@@ -1,0 +1,114 @@
+"""Ablation for paper section 4.2: array storage strategies.
+
+The same array-containment workload (NoBench Q8's shape) under the three
+strategies Sinew offers: the array kept native in the reservoir, each
+position as its own column, and a separate element table.  The paper
+argues positional columns make containment "trivial filters" and the
+element table gives the optimizer aggregate statistics on elements.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core import ArrayStorageManager, ArrayStrategy, SinewDB
+from repro.harness import format_table
+from repro.nobench import NoBenchGenerator
+from repro.nobench.generator import ARRAY_LENGTH
+
+from conftest import write_report
+
+N_RECORDS = max(400, int(4000 * float(os.environ.get("REPRO_SCALE", "1.0"))))
+
+
+def build(strategy: ArrayStrategy):
+    generator = NoBenchGenerator(N_RECORDS)
+    params = generator.params()
+    sdb = SinewDB(f"arrays_{strategy.value}")
+    sdb.create_collection("nobench_main")
+    sdb.load("nobench_main", generator.documents())
+    manager = ArrayStorageManager(sdb)
+    if strategy is not ArrayStrategy.NATIVE:
+        manager.apply(
+            "nobench_main",
+            "nested_arr",
+            strategy,
+            fixed_size=ARRAY_LENGTH if strategy is ArrayStrategy.POSITIONAL else None,
+        )
+    sdb.analyze()
+    return sdb, manager, params
+
+
+@pytest.fixture(scope="module")
+def worlds():
+    return {strategy: build(strategy) for strategy in ArrayStrategy}
+
+
+def _best(fn, repeats: int = 3) -> float:
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(worlds):
+    rows = []
+    for strategy, (sdb, manager, params) in worlds.items():
+        containment_s = _best(
+            lambda m=manager, p=params: m.contains("nobench_main", "nested_arr", p.q8_term)
+        )
+        rows.append(
+            [
+                strategy.value,
+                f"{containment_s:.4f}",
+                f"{sdb.db.total_table_bytes() / 1e6:.2f}",
+            ]
+        )
+    write_report(
+        "ablation_array_storage",
+        format_table(
+            ["strategy", "containment (s)", "total size (MB)"],
+            rows,
+            title=f"Section 4.2 ablation -- array storage, {N_RECORDS} records",
+        ),
+    )
+    yield
+
+
+def test_all_strategies_agree(worlds):
+    results = {
+        strategy: manager.contains("nobench_main", "nested_arr", params.q8_term)
+        for strategy, (_sdb, manager, params) in worlds.items()
+    }
+    reference = results[ArrayStrategy.NATIVE]
+    assert reference  # the term matches something
+    for strategy, matched in results.items():
+        assert matched == reference, strategy
+
+
+def test_element_table_has_statistics(worlds):
+    sdb, _manager, _params = worlds[ArrayStrategy.ELEMENT_TABLE]
+    stats = sdb.db.stats("nobench_main__nested_arr")
+    assert stats is not None
+    assert stats.columns["element"].n_distinct > 10
+
+
+@pytest.mark.parametrize(
+    "strategy", [ArrayStrategy.NATIVE, ArrayStrategy.POSITIONAL, ArrayStrategy.ELEMENT_TABLE]
+)
+def test_array_containment(benchmark, worlds, strategy):
+    _sdb, manager, params = worlds[strategy]
+    benchmark.group = "array-containment"
+    benchmark.pedantic(
+        lambda: manager.contains("nobench_main", "nested_arr", params.q8_term),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )

@@ -1,0 +1,153 @@
+"""Ablation for paper section 3.1.1: all-virtual vs. hybrid vs. wide-physical.
+
+The hybrid schema is Sinew's central design decision.  This bench compares
+three layouts of the same NoBench data:
+
+* **all-virtual** -- the single-reservoir extreme: most compact, but every
+  predicate is an opaque UDF with the fixed 200-row estimate;
+* **hybrid** -- the analyzer's policy (the paper's choice);
+* **wide-physical** -- every top-level attribute gets a physical column
+  (the sparse 1000-key pool included), showing the storage bloat of
+  pre-allocated attribute tracking on sparse data.
+
+Reported: storage bytes, per-tuple header overhead, and the Q6/Q10 query
+times + plans under each layout.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import SinewDB
+from repro.core.schema_analyzer import MaterializationPolicy
+from repro.core.sinew import SinewConfig
+from repro.harness import format_table
+from repro.nobench import NoBenchGenerator
+from repro.rdbms.database import DatabaseConfig
+from repro.rdbms.types import NullStorageModel
+
+from conftest import write_report
+
+# the wide-physical build materializes 1000+ sparse columns, so this
+# ablation runs at half the usual scale
+N_RECORDS = max(400, int(2000 * float(os.environ.get("REPRO_SCALE", "1.0"))))
+
+
+def build(layout: str, null_model: NullStorageModel = NullStorageModel.BITMAP) -> SinewDB:
+    if layout == "wide-physical":
+        # thresholds low enough that *everything* top-level materializes
+        policy = MaterializationPolicy(density_threshold=0.0, cardinality_threshold=0)
+    else:
+        policy = MaterializationPolicy()
+    sdb = SinewDB(
+        f"hybrid_{layout}_{null_model.value}",
+        SinewConfig(database=DatabaseConfig(null_model=null_model), policy=policy),
+    )
+    sdb.create_collection("nobench_main")
+    sdb.load("nobench_main", NoBenchGenerator(N_RECORDS).documents())
+    if layout != "all-virtual":
+        sdb.settle("nobench_main")
+    sdb.analyze()
+    return sdb
+
+
+@pytest.fixture(scope="module")
+def systems():
+    return {
+        "all-virtual": build("all-virtual"),
+        "hybrid": build("hybrid"),
+        "wide-physical": build("wide-physical"),
+    }
+
+
+@pytest.fixture(scope="module")
+def innodb_wide():
+    return build("wide-physical", NullStorageModel.PER_ATTRIBUTE)
+
+
+def queries(n: int) -> dict[str, str]:
+    return {
+        "q6-range": (
+            f"SELECT _id FROM nobench_main WHERE num BETWEEN {n // 3} "
+            f"AND {n // 3 + max(1, n // 1000)}"
+        ),
+        "q10-agg": (
+            "SELECT thousandth, count(*) FROM nobench_main "
+            f"WHERE num BETWEEN {n // 5} AND {n // 5 + n // 10} GROUP BY thousandth"
+        ),
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(systems, innodb_wide):
+    import time
+
+    rows = []
+    for layout, sdb in systems.items():
+        table = sdb.db.table("nobench_main")
+        times = {}
+        for label, sql in queries(N_RECORDS).items():
+            sdb.query(sql)
+            start = time.perf_counter()
+            sdb.query(sql)
+            times[label] = time.perf_counter() - start
+        rows.append(
+            [
+                layout,
+                len(table.schema),
+                f"{table.total_bytes / 1e6:.2f}",
+                f"{times['q6-range']:.4f}",
+                f"{times['q10-agg']:.4f}",
+            ]
+        )
+    # the InnoDB-style wide table, to show the per-attribute header bloat
+    table = innodb_wide.db.table("nobench_main")
+    rows.append(
+        [
+            "wide-physical (2B/attr headers)",
+            len(table.schema),
+            f"{table.total_bytes / 1e6:.2f}",
+            "-",
+            "-",
+        ]
+    )
+    write_report(
+        "ablation_hybrid",
+        format_table(
+            ["layout", "physical columns", "size (MB)", "Q6 (s)", "Q10 (s)"],
+            rows,
+            title=(
+                "Section 3.1.1 ablation -- storage layout extremes, "
+                f"{N_RECORDS} records"
+            ),
+        ),
+    )
+    yield
+
+
+def test_wide_physical_bloats_on_sparse_data(systems, innodb_wide):
+    hybrid = systems["hybrid"].db.table("nobench_main").total_bytes
+    wide = systems["wide-physical"].db.table("nobench_main").total_bytes
+    assert wide > hybrid  # pre-allocated sparse columns cost real bytes
+
+    innodb_bytes = innodb_wide.db.table("nobench_main").total_bytes
+    assert innodb_bytes > wide  # 2 bytes/attribute dwarfs the bitmap
+
+
+def test_hybrid_estimates_beat_all_virtual(systems):
+    sql = queries(N_RECORDS)["q6-range"]
+    virtual_plan = systems["all-virtual"].explain(sql)
+    hybrid_plan = systems["hybrid"].explain(sql)
+    assert "rows=200" in virtual_plan  # the fixed UDF default
+    assert "rows=200" not in hybrid_plan.splitlines()[1]
+
+
+@pytest.mark.parametrize("layout", ["all-virtual", "hybrid", "wide-physical"])
+@pytest.mark.parametrize("query_label", ["q6-range", "q10-agg"])
+def test_hybrid_layout_query(benchmark, systems, layout, query_label):
+    sdb = systems[layout]
+    sql = queries(N_RECORDS)[query_label]
+    benchmark.group = f"hybrid-{query_label}"
+    benchmark.pedantic(lambda: sdb.query(sql), rounds=2, iterations=1, warmup_rounds=1)

@@ -1,0 +1,171 @@
+"""Ablation for the paper's section 6.7 outlook: would ``jsonb`` fix
+Postgres JSON?
+
+The paper: "these deficiencies may be remedied with Postgres's recent
+announcement of jsonb ..., a more systemic deficiency is the opaqueness
+of the JSON type to the optimizer".  This bench runs text-JSON, binary
+jsonb, and Sinew on the same workload and separates the two effects:
+
+* jsonb removes the parse-per-extraction CPU cost (the part it fixes);
+* jsonb keeps the fixed default selectivities, the bad GROUP BY plans,
+  the Q7 cast abort, and per-record key strings (the parts it does not).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.baselines.jsonb import PgJsonbStore
+from repro.baselines.pgjson import PgJsonStore
+from repro.harness import format_table
+from repro.nobench import NoBenchGenerator, SinewNoBench
+from repro.rdbms.errors import TypeCastError
+
+from conftest import write_report
+
+N_RECORDS = max(400, int(4000 * float(os.environ.get("REPRO_SCALE", "1.0"))))
+
+
+@pytest.fixture(scope="module")
+def world():
+    generator = NoBenchGenerator(N_RECORDS)
+    documents = list(generator.documents())
+    params = generator.params()
+
+    text = PgJsonStore()
+    text.create_collection("nobench_main")
+    text.load("nobench_main", documents)
+    text.analyze("nobench_main")
+
+    binary = PgJsonbStore()
+    binary.create_collection("nobench_main")
+    binary.load("nobench_main", documents)
+    binary.analyze("nobench_main")
+
+    sinew = SinewNoBench(params)
+    sinew.load(documents)
+    sinew.prepare()
+    return text, binary, sinew, params
+
+
+def _best(fn, repeats: int = 3) -> float:
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _queries(fn_prefix: str, params) -> dict[str, str]:
+    return {
+        "q1-projection": (
+            f"SELECT {fn_prefix}_get_text(data, 'str1'), "
+            f"{fn_prefix}_get_num(data, 'num') FROM nobench_main"
+        ),
+        "q6-selection": (
+            f"SELECT id FROM nobench_main WHERE {fn_prefix}_get_num(data, 'num') "
+            f"BETWEEN {params.q6_low} AND {params.q6_high}"
+        ),
+        "q10-aggregation": (
+            f"SELECT {fn_prefix}_get_num(data, 'thousandth'), count(*) "
+            f"FROM nobench_main WHERE {fn_prefix}_get_num(data, 'num') "
+            f"BETWEEN {params.q10_low} AND {params.q10_high} "
+            f"GROUP BY {fn_prefix}_get_num(data, 'thousandth')"
+        ),
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(world):
+    text, binary, sinew, params = world
+    rows = []
+    for label in ("q1-projection", "q6-selection", "q10-aggregation"):
+        text_s = _best(lambda: text.query(_queries("json", params)[label]))
+        binary_s = _best(lambda: binary.query(_queries("jsonb", params)[label]))
+        sinew_s = _best(lambda: sinew.run({"q1-projection": "q1",
+                                           "q6-selection": "q6",
+                                           "q10-aggregation": "q10"}[label]))
+        rows.append(
+            [label, f"{text_s:.4f}", f"{binary_s:.4f}", f"{sinew_s:.4f}"]
+        )
+    rows.append(
+        [
+            "storage (MB)",
+            f"{text.storage_bytes('nobench_main') / 1e6:.2f}",
+            f"{binary.storage_bytes('nobench_main') / 1e6:.2f}",
+            f"{sinew.storage_bytes() / 1e6:.2f}",
+        ]
+    )
+    q7_text = "FAIL" if _fails_q7(text, "json", params) else "ok"
+    q7_binary = "FAIL" if _fails_q7(binary, "jsonb", params) else "ok"
+    rows.append(["q7 (multi-typed key)", q7_text, q7_binary, "ok"])
+    write_report(
+        "ablation_jsonb",
+        format_table(
+            ["task", "PG JSON (text)", "PG jsonb (binary)", "Sinew"],
+            rows,
+            title=(
+                "Section 6.7 ablation -- what jsonb fixes and what it "
+                f"does not, {N_RECORDS} records"
+            ),
+        ),
+    )
+    yield
+
+
+def _fails_q7(store, fn_prefix: str, params) -> bool:
+    try:
+        store.query(
+            f"SELECT id FROM nobench_main WHERE {fn_prefix}_get_num(data, 'dyn1') "
+            f"BETWEEN {params.q7_low} AND {params.q7_high}"
+        )
+        return False
+    except TypeCastError:
+        return True
+
+
+def test_jsonb_faster_than_text(world):
+    text, binary, _sinew, params = world
+    text_s = _best(lambda: text.query(_queries("json", params)["q1-projection"]))
+    binary_s = _best(lambda: binary.query(_queries("jsonb", params)["q1-projection"]))
+    assert binary_s < text_s
+
+def test_sinew_still_fastest(world):
+    _text, binary, sinew, params = world
+    binary_s = _best(lambda: binary.query(_queries("jsonb", params)["q6-selection"]))
+    sinew_s = _best(lambda: sinew.run("q6"))
+    assert sinew_s < binary_s
+
+
+def test_jsonb_keeps_the_systemic_deficiencies(world):
+    _text, binary, _sinew, params = world
+    # Q7 still aborts
+    assert _fails_q7(binary, "jsonb", params)
+    # the optimizer is still blind
+    plan = binary.db.explain(
+        "SELECT id FROM nobench_main WHERE jsonb_get_num(data, 'num') > 0"
+    )
+    assert "rows=200" in plan
+
+
+def test_jsonb_storage_larger_than_sinew(world):
+    _text, binary, sinew, _params = world
+    assert binary.storage_bytes("nobench_main") > sinew.storage_bytes()
+
+
+@pytest.mark.parametrize("system", ["text", "jsonb", "sinew"])
+def test_jsonb_projection(benchmark, world, system):
+    text, binary, sinew, params = world
+    benchmark.group = "jsonb-projection"
+    if system == "text":
+        fn = lambda: text.query(_queries("json", params)["q1-projection"])
+    elif system == "jsonb":
+        fn = lambda: binary.query(_queries("jsonb", params)["q1-projection"])
+    else:
+        fn = lambda: sinew.run("q1")
+    benchmark.pedantic(fn, rounds=2, iterations=1, warmup_rounds=1)

@@ -1,0 +1,87 @@
+"""Paper Figure 6 (a and b): NoBench queries Q1-Q10 on all four systems.
+
+Figure 6a is the in-memory regime (everything cached, CPU-bound); Figure
+6b is the I/O-bound regime (dataset larger than the buffer pool; reported
+times are wall + modelled I/O).  Expected shape (paper sections 6.3-6.5):
+
+* projections (Q1-Q4): Sinew ~an order of magnitude over Postgres-JSON
+  and EAV; Sinew ahead of MongoDB on the dense Q1/Q2, with a smaller gap
+  on the sparse Q3/Q4;
+* selections (Q5-Q9): Sinew and MongoDB well ahead of the others; Q7
+  aborts on Postgres-JSON (TypeCastError on the multi-typed key) and, at
+  the large scale, Q8/Q9 die on EAV (DiskFullError);
+* aggregation (Q10): Postgres-JSON worst (mis-planned GROUP BY).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (
+    build_systems,
+    format_table,
+    large_scale,
+    result_rows,
+    run_suite,
+    small_scale,
+)
+
+QUERIES = ["q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9", "q10"]
+
+from conftest import write_report
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    scale = small_scale()
+    runs, params = build_systems(scale)
+    return scale, runs, params
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(small_world):
+    sections = []
+    scale, runs, _params = small_world
+    names = [run.name for run in runs]
+
+    results = run_suite(runs, QUERIES, repeats=2)
+    rows = result_rows(results, names, scale.use_effective_time)
+    sections.append(
+        format_table(
+            ["query"] + names,
+            rows,
+            title=f"Figure 6a reproduction -- {scale.name} (seconds)",
+        )
+    )
+
+    large = large_scale()
+    large_runs, _params = build_systems(large)
+    large_results = run_suite(large_runs, QUERIES, repeats=1)
+    rows = result_rows(large_results, names, large.use_effective_time)
+    sections.append(
+        format_table(
+            ["query"] + names,
+            rows,
+            title=f"Figure 6b reproduction -- {large.name} "
+            "(seconds incl. modelled I/O)",
+        )
+    )
+    write_report("fig6_nobench_queries", "\n\n".join(sections))
+    yield
+
+
+def _adapter(runs, name):
+    return next(run.adapter for run in runs if run.name == name)
+
+
+@pytest.mark.parametrize("query_id", QUERIES)
+@pytest.mark.parametrize("system", ["Sinew", "MongoDB", "EAV", "PG JSON"])
+def test_fig6a_query(benchmark, small_world, query_id, system):
+    _scale, runs, _params = small_world
+    if system == "PG JSON" and query_id == "q7":
+        pytest.skip("Q7 cannot execute on Postgres JSON (paper section 6.4)")
+    adapter = _adapter(runs, system)
+    benchmark.group = f"fig6a-{query_id}"
+    benchmark.pedantic(
+        lambda: adapter.run(query_id), rounds=2, iterations=1, warmup_rounds=1
+    )

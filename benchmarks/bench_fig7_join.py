@@ -1,0 +1,71 @@
+"""Paper Figure 7: the NoBench Q11 join.
+
+Expected shape (paper section 6.5): Sinew fastest; Postgres-JSON and EAV
+behind it; MongoDB an order of magnitude slower than Sinew (client-side
+join with explicit intermediate collections).  At the large scale the
+MongoDB and EAV runs terminate with out-of-disk failures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (
+    build_systems,
+    format_table,
+    large_scale,
+    result_rows,
+    run_suite,
+    small_scale,
+)
+
+from conftest import write_report
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    scale = small_scale()
+    runs, params = build_systems(scale)
+    return scale, runs
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(small_world):
+    sections = []
+    scale, runs = small_world
+    names = [run.name for run in runs]
+    results = run_suite(runs, ["q11"], repeats=2)
+    sections.append(
+        format_table(
+            ["query"] + names,
+            result_rows(results, names, scale.use_effective_time),
+            title=f"Figure 7 reproduction -- {scale.name} (seconds)",
+        )
+    )
+
+    large = large_scale()
+    large_runs, _params = build_systems(large)
+    large_results = run_suite(large_runs, ["q11"], repeats=1)
+    sections.append(
+        format_table(
+            ["query"] + names,
+            result_rows(large_results, names, large.use_effective_time),
+            title=f"Figure 7 reproduction -- {large.name} "
+            "(seconds incl. modelled I/O)",
+        )
+    )
+
+    # the headline ratio: Mongo's client-side join vs Sinew's RDBMS join
+    sinew = results["q11"]["Sinew"].wall_seconds
+    mongo = results["q11"]["MongoDB"].wall_seconds
+    sections.append(f"MongoDB / Sinew wall-time ratio at small scale: {mongo / sinew:.1f}x")
+    write_report("fig7_join", "\n\n".join(sections))
+    yield
+
+
+@pytest.mark.parametrize("system", ["Sinew", "MongoDB", "EAV", "PG JSON"])
+def test_fig7_q11(benchmark, small_world, system):
+    _scale, runs = small_world
+    adapter = next(run.adapter for run in runs if run.name == system)
+    benchmark.group = "fig7-q11"
+    benchmark.pedantic(lambda: adapter.run("q11"), rounds=2, iterations=1)

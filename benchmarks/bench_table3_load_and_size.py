@@ -1,0 +1,107 @@
+"""Paper Table 3: load time and storage size for all four systems at both
+scales.
+
+Expected shape (paper section 6.2):
+
+* **load time**: Postgres-JSON fastest (syntax validation only); MongoDB
+  and Sinew pay one serialization pass; EAV slowest (20+ tuples/record);
+* **size**: Sinew smallest (dictionary-encoded keys in the reservoir);
+  Postgres-JSON roughly the input size; MongoDB at or above the input
+  (BSON type bloat); EAV about twice the input or more.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.harness import build_systems, format_table, large_scale, small_scale
+from repro.nobench import (
+    EavNoBench,
+    MongoNoBench,
+    NoBenchGenerator,
+    PgJsonNoBench,
+    SinewNoBench,
+)
+
+from conftest import write_report
+
+
+def original_bytes(documents) -> int:
+    return sum(
+        len(json.dumps(doc, separators=(",", ":")).encode()) for doc in documents
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report():
+    sections = []
+    for scale in (small_scale(), large_scale()):
+        generator = NoBenchGenerator(scale.n_records)
+        documents = list(generator.documents())
+        runs, _params = build_systems(scale, generator)
+        rows = []
+        for run in runs:
+            rows.append(
+                [
+                    run.name,
+                    f"{run.load_measurement.wall_seconds:.2f}",
+                    f"{run.adapter.storage_bytes() / 1e6:.2f}",
+                ]
+            )
+        rows.append(["Original (JSON)", "-", f"{original_bytes(documents) / 1e6:.2f}"])
+        sections.append(
+            format_table(
+                ["System", "Load (s)", "Size (MB)"],
+                rows,
+                title=f"Table 3 reproduction -- {scale.name}, "
+                f"{scale.n_records} records",
+            )
+        )
+    write_report("table3_load_and_size", "\n\n".join(sections))
+    yield
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    generator = NoBenchGenerator(small_scale().n_records)
+    return list(generator.documents()), generator.params()
+
+
+@pytest.mark.parametrize(
+    "system", ["Sinew", "MongoDB", "EAV", "PG JSON"]
+)
+def test_load_time(benchmark, corpus, system):
+    documents, params = corpus
+    benchmark.group = "table3-load"
+
+    def load_fresh():
+        if system == "Sinew":
+            adapter = SinewNoBench(params)
+        elif system == "MongoDB":
+            adapter = MongoNoBench(params)
+        elif system == "EAV":
+            adapter = EavNoBench(params)
+        else:
+            adapter = PgJsonNoBench(params)
+        adapter.load(documents)
+        return adapter
+
+    benchmark.pedantic(load_fresh, rounds=2, iterations=1)
+
+
+def test_size_ordering(corpus):
+    """Sinew most compact; EAV largest (the Table 3 size ordering)."""
+    documents, params = corpus
+    adapters = [
+        SinewNoBench(params),
+        MongoNoBench(params),
+        EavNoBench(params),
+        PgJsonNoBench(params),
+    ]
+    for adapter in adapters:
+        adapter.load(documents)
+    sizes = {a.name: a.storage_bytes() for a in adapters}
+    assert sizes["Sinew"] == min(sizes.values())
+    assert sizes["EAV"] == max(sizes.values())

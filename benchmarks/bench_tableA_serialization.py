@@ -1,0 +1,198 @@
+"""Paper Appendix A / Table 4: serialization format comparison.
+
+Sinew's custom format vs. the Protocol-Buffers-like and Avro-like
+serializers over NoBench objects, on the paper's five tasks: serialize,
+deserialize, extract 1 key, extract 10 keys, and encoded size (plus the
+original JSON size for reference).
+
+Expected shape: Sinew fastest on every task; Protocol Buffers slightly
+smaller on size (varint bit-packing); Avro far behind on everything and
+*larger than the original* (explicit NULLs for its 1000-key union schema).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.baselines import AvroLikeSerializer, ProtobufLikeSerializer, RecordSchema
+from repro.core import serializer
+from repro.core.catalog import SinewCatalog
+from repro.core.extractors import ReservoirExtractor
+from repro.core.loader import SinewLoader
+from repro.harness import format_table
+from repro.nobench import NoBenchGenerator
+from repro.rdbms.database import Database
+
+from conftest import write_report
+
+N_OBJECTS = max(400, int(4000 * float(os.environ.get("REPRO_SCALE", "1.0"))))
+
+#: 1 dense + 1 nested + some sparse keys: the 10-key extraction mix.
+TEN_KEYS = [
+    "str1", "str2", "num", "bool", "dyn1", "dyn2", "thousandth",
+    "sparse_110", "sparse_440", "sparse_889",
+]
+ONE_KEY = "num"
+
+
+class SinewFormatAdapter:
+    """Sinew's reservoir format behind the common comparison interface."""
+
+    name = "Sinew"
+
+    def __init__(self, documents):
+        self.catalog = SinewCatalog()
+        self.loader = SinewLoader(Database("tableA"), self.catalog)
+        self.extractor = ReservoirExtractor(self.catalog)
+        # register the attribute dictionary up front (the loader would)
+        for document in documents:
+            self.loader.serialize_document(document)
+
+    def serialize(self, document):
+        return self.loader.serialize_document(document)
+
+    def deserialize(self, data):
+        return self.extractor.to_dict(data)
+
+    def extract(self, data, key):
+        return self.extractor.extract_any(data, key)
+
+    def extract_many(self, data, keys):
+        # resolve keys to attribute ids once (as a query binding would),
+        # then use the format's amortised multi-key extraction
+        wanted = self._resolve(tuple(keys))
+        return serializer.extract_many(data, wanted)
+
+    def _resolve(self, keys):
+        if not hasattr(self, "_resolved"):
+            self._resolved = {}
+        if keys not in self._resolved:
+            wanted = []
+            for key in keys:
+                attributes = self.catalog.attributes_named(key)
+                if attributes:
+                    wanted.append((attributes[0].attr_id, attributes[0].key_type))
+                else:
+                    wanted.append((0, None))
+            self._resolved[keys] = wanted
+        return self._resolved[keys]
+
+
+class SchemaFormatAdapter:
+    """Avro-like / Protobuf-like behind the same interface."""
+
+    def __init__(self, name, serializer):
+        self.name = name
+        self.serializer = serializer
+
+    def serialize(self, document):
+        return self.serializer.serialize(document)
+
+    def deserialize(self, data):
+        return self.serializer.deserialize(data)
+
+    def extract(self, data, key):
+        return self.serializer.extract(data, key)
+
+    def extract_many(self, data, keys):
+        return self.serializer.extract_many(data, keys)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return list(NoBenchGenerator(N_OBJECTS).documents())
+
+
+@pytest.fixture(scope="module")
+def formats(corpus):
+    schema = RecordSchema.from_documents(corpus)
+    return [
+        SinewFormatAdapter(corpus),
+        SchemaFormatAdapter("Protocol Buffers", ProtobufLikeSerializer(schema)),
+        SchemaFormatAdapter("Avro", AvroLikeSerializer(schema)),
+    ]
+
+
+def timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report(corpus, formats):
+    rows = []
+    for adapter in formats:
+        encoded = [adapter.serialize(doc) for doc in corpus]
+        serialize_s = timed(lambda: [adapter.serialize(doc) for doc in corpus])
+        deserialize_s = timed(lambda: [adapter.deserialize(data) for data in encoded])
+        extract1_s = timed(lambda: [adapter.extract(data, ONE_KEY) for data in encoded])
+        extract10_s = timed(
+            lambda: [adapter.extract_many(data, TEN_KEYS) for data in encoded]
+        )
+        size_mb = sum(len(data) for data in encoded) / 1e6
+        rows.append(
+            [
+                adapter.name,
+                f"{serialize_s:.3f}",
+                f"{deserialize_s:.3f}",
+                f"{extract1_s:.3f}",
+                f"{extract10_s:.3f}",
+                f"{size_mb:.3f}",
+            ]
+        )
+    original_mb = sum(
+        len(json.dumps(doc, separators=(",", ":")).encode()) for doc in corpus
+    ) / 1e6
+    rows.append(["Original (JSON)", "-", "-", "-", "-", f"{original_mb:.3f}"])
+    write_report(
+        "tableA_serialization",
+        format_table(
+            [
+                "Format",
+                "Serialize (s)",
+                "Deserialize (s)",
+                "Extract 1 key (s)",
+                "Extract 10 keys (s)",
+                "Size (MB)",
+            ],
+            rows,
+            title=f"Table 4 (Appendix A) reproduction -- {N_OBJECTS} NoBench objects",
+        ),
+    )
+    yield
+
+
+def test_size_ordering(corpus, formats):
+    """Protobuf smallest, Sinew close, Avro bigger than the original."""
+    sizes = {
+        adapter.name: sum(len(adapter.serialize(doc)) for doc in corpus)
+        for adapter in formats
+    }
+    original = sum(
+        len(json.dumps(doc, separators=(",", ":")).encode()) for doc in corpus
+    )
+    assert sizes["Protocol Buffers"] < sizes["Sinew"] < sizes["Avro"]
+    assert sizes["Avro"] > original
+
+
+@pytest.mark.parametrize("task", ["serialize", "deserialize", "extract1", "extract10"])
+@pytest.mark.parametrize("format_name", ["Sinew", "Protocol Buffers", "Avro"])
+def test_serialization_task(benchmark, corpus, formats, task, format_name):
+    adapter = next(f for f in formats if f.name == format_name)
+    sample = corpus[: max(50, len(corpus) // 20)]
+    encoded = [adapter.serialize(doc) for doc in sample]
+    operations = {
+        "serialize": lambda: [adapter.serialize(doc) for doc in sample],
+        "deserialize": lambda: [adapter.deserialize(data) for data in encoded],
+        "extract1": lambda: [adapter.extract(data, ONE_KEY) for data in encoded],
+        "extract10": lambda: [
+            adapter.extract_many(data, TEN_KEYS) for data in encoded
+        ],
+    }
+    benchmark.group = f"tableA-{task}"
+    benchmark.pedantic(operations[task], rounds=3, iterations=1)

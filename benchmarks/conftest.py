@@ -1,0 +1,38 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark module regenerates one table or figure of the paper.  The
+paper-style result grids are written to ``benchmarks/results/*.txt`` (and
+echoed to stdout) by module-scoped fixtures, so a single
+
+    pytest benchmarks/ --benchmark-only
+
+run produces both the pytest-benchmark timing table and the full set of
+paper-artifact reports.
+
+Scale knob: set ``REPRO_SCALE`` (default 1.0) to grow or shrink every
+dataset proportionally.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_report(name: str, text: str) -> pathlib.Path:
+    """Persist a paper-style report and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

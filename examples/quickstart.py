@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Quickstart: SQL over schemaless documents, no schema ever declared.
+
+This walks the paper's running example (Figures 2-3, section 3.2.2): load
+heterogeneous web-request documents, query them with plain SQL, watch the
+hybrid physical schema evolve, and keep querying while the column
+materializer works in the background.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import SinewDB
+
+
+def main() -> None:
+    sdb = SinewDB("quickstart")
+    sdb.create_collection("webrequests")
+
+    # -- 1. load documents with different shapes: no CREATE TABLE, no schema
+    sdb.load(
+        "webrequests",
+        [
+            {
+                "url": "www.sample-site.com",
+                "hits": 22,
+                "avg_site_visit": 128.5,
+                "country": "pl",
+            },
+            {
+                "url": "www.sample-site2.com",
+                "hits": 15,
+                "date": "8/19/13",
+                "ip": "123.45.67.89",
+                "owner": "John P. Smith",
+            },
+        ],
+    )
+
+    # -- 2. standard SQL against the universal relation
+    result = sdb.query("SELECT url FROM webrequests WHERE hits > 20")
+    print("sites with more than 20 hits:", result.rows)
+
+    result = sdb.query("SELECT url, owner FROM webrequests WHERE ip IS NOT NULL")
+    print("requests with an ip:", result.rows)
+
+    # keys a document lacks are simply NULL
+    result = sdb.query("SELECT url, country FROM webrequests")
+    print("countries (sparse):", result.rows)
+
+    # -- 3. the logical schema grew from the data alone
+    print("\nlogical schema (key, type, storage):")
+    for key, sql_type, storage in sdb.logical_schema("webrequests"):
+        print(f"  {key:<16} {sql_type.value:<8} {storage}")
+
+    # -- 4. what the RDBMS actually executes: the rewritten query
+    print("\nEXPLAIN SELECT url FROM webrequests WHERE hits > 20:")
+    print(sdb.explain("SELECT url FROM webrequests WHERE hits > 20"))
+
+    # -- 5. load more data: new keys appear with zero DDL
+    sdb.load(
+        "webrequests",
+        [{"url": f"site-{i}.example", "hits": 1000 + i, "region": "eu"} for i in range(500)],
+    )
+    print(
+        "\nafter loading 500 more docs:",
+        sdb.query("SELECT count(*) FROM webrequests").scalar(),
+        "rows;",
+        "region now queryable:",
+        sdb.query("SELECT count(*) FROM webrequests WHERE region = 'eu'").scalar(),
+    )
+
+    # -- 6. let the schema analyzer + column materializer settle the
+    #       hybrid physical layout (normally a background process)
+    report = sdb.analyze_schema("webrequests")
+    print("\nanalyzer decided to materialize:", report.materialized_keys())
+    move = sdb.run_materializer("webrequests")
+    print(f"materializer moved {move.rows_moved} values into physical columns")
+
+    print("\nstorage after settling:")
+    for key, sql_type, storage in sdb.logical_schema("webrequests"):
+        print(f"  {key:<16} {sql_type.value:<8} {storage}")
+
+    # -- 7. identical SQL, now running against physical columns
+    print("\nsame query, new plan:")
+    print(sdb.explain("SELECT url FROM webrequests WHERE hits > 20"))
+
+    # -- 8. SELECT * reconstructs complete documents
+    result = sdb.query("SELECT * FROM webrequests WHERE owner IS NOT NULL")
+    print("\nfull document:", result.rows[0][0])
+
+    # -- 9. updates work on any logical column, physical or virtual
+    sdb.execute("UPDATE webrequests SET owner = 'New Owner' WHERE hits = 22")
+    print(
+        "owner after update:",
+        sdb.query("SELECT owner FROM webrequests WHERE hits = 22").rows,
+    )
+
+
+if __name__ == "__main__":
+    main()

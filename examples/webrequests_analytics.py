@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Mixed analytics: schemaless documents joined with plain relational data.
+
+The paper stresses that Sinew "interact[s] transparently with structured
+data already stored in the RDBMS".  Here a schemaless web-request stream
+is joined against an ordinary relational dimension table living in the
+same database, and the whole session is plain SQL.
+
+Run:  python examples/webrequests_analytics.py
+"""
+
+import random
+
+from repro.core import SinewDB
+
+COUNTRIES = ["pl", "us", "de", "jp", "br"]
+REGIONS = [("pl", "EMEA"), ("us", "AMER"), ("de", "EMEA"), ("jp", "APAC"), ("br", "AMER")]
+
+
+def requests(n: int):
+    rng = random.Random(7)
+    for index in range(n):
+        document = {
+            "url": f"www.site-{index % 40}.example",
+            "hits": rng.randrange(1, 500),
+            "country": rng.choice(COUNTRIES),
+        }
+        if rng.random() < 0.3:
+            document["referrer"] = f"www.search-{rng.randrange(5)}.example"
+        if rng.random() < 0.1:
+            document["session"] = {
+                "duration_s": rng.randrange(5, 600),
+                "pages": rng.randrange(1, 20),
+            }
+        yield document
+
+
+def main() -> None:
+    sdb = SinewDB("weblog")
+
+    # schemaless side: the request stream
+    sdb.create_collection("webrequests")
+    sdb.load("webrequests", requests(3000))
+    sdb.settle("webrequests")
+
+    # plain relational side: an ordinary table with DDL, in the same DB
+    sdb.db.execute("CREATE TABLE regions (country text, region text)")
+    for country, region in REGIONS:
+        sdb.db.execute(f"INSERT INTO regions VALUES ('{country}', '{region}')")
+    sdb.db.analyze("regions")
+
+    print("hits by region (documents joined with a relational table):")
+    result = sdb.query(
+        "SELECT r.region, sum(w.hits) AS total "
+        "FROM webrequests w, regions r "
+        "WHERE w.country = r.country "
+        "GROUP BY r.region ORDER BY total DESC"
+    )
+    for region, total in result.rows:
+        print(f"  {region}: {total}")
+
+    print("\ntop referred sites (sparse key, ~30% of documents):")
+    result = sdb.query(
+        "SELECT url, count(*) AS n FROM webrequests "
+        "WHERE referrer IS NOT NULL GROUP BY url ORDER BY n DESC LIMIT 3"
+    )
+    for url, count in result.rows:
+        print(f"  {url}: {count} referred requests")
+
+    print("\nlong sessions (a nested key present in ~10% of documents):")
+    result = sdb.query(
+        'SELECT count(*), avg("session.pages") FROM webrequests '
+        'WHERE "session.duration_s" > 300'
+    )
+    count, avg_pages = result.rows[0]
+    print(f"  {count} sessions over 5 minutes, {avg_pages:.1f} pages on average")
+
+    print("\nwhat the optimizer sees for the join:")
+    print(
+        sdb.explain(
+            "SELECT r.region, sum(w.hits) FROM webrequests w, regions r "
+            "WHERE w.country = r.country GROUP BY r.region"
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: lets ``pip install -e .`` work on environments without the
+``wheel`` package (offline CI) via ``python setup.py develop``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Reproduction of *Sinew: A SQL System for Multi-Structured Data*
+(Tahara, Diamond & Abadi, SIGMOD 2014).
+
+Packages
+--------
+``repro.rdbms``
+    A self-contained relational engine standing in for PostgreSQL.
+``repro.core``
+    Sinew itself: serialization format, catalog, schema analyzer, column
+    materializer, loader, query rewriter, text index, and the ``SinewDB``
+    facade.
+``repro.baselines``
+    The paper's comparison systems: a MongoDB-like document store, an
+    entity-attribute-value shredder, a Postgres-JSON-style text column,
+    and Avro/Protocol-Buffers-like serializers.
+``repro.nobench`` / ``repro.workloads``
+    The NoBench benchmark generator and queries, and the Twitter-shaped
+    workload used by Tables 1-2 and Appendix B.
+``repro.harness``
+    Timing, cost accounting, and table formatting for the benchmark suite.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,31 @@
+"""The paper's comparison systems (section 6.1) and the Appendix A
+serialization comparators.
+
+* :mod:`repro.baselines.mongo` -- a MongoDB-like document store over a
+  BSON-like sequential binary format (:mod:`repro.baselines.bson`);
+* :mod:`repro.baselines.eav` -- the entity-attribute-value shredder;
+* :mod:`repro.baselines.pgjson` -- Postgres-style JSON text columns;
+* :mod:`repro.baselines.avro_like` / :mod:`repro.baselines.protobuf_like`
+  -- miniature Avro and Protocol Buffers re-implementations preserving
+  the access-pattern properties Appendix A compares.
+"""
+
+from .avro_like import AvroLikeSerializer
+from .eav import EavStore
+from .jsonb import PgJsonbStore
+from .mongo import MongoCollection, MongoDatabase, client_side_join
+from .pgjson import PgJsonStore
+from .protobuf_like import ProtobufLikeSerializer
+from .record_schema import RecordSchema
+
+__all__ = [
+    "AvroLikeSerializer",
+    "EavStore",
+    "MongoCollection",
+    "MongoDatabase",
+    "PgJsonStore",
+    "PgJsonbStore",
+    "ProtobufLikeSerializer",
+    "RecordSchema",
+    "client_side_join",
+]

@@ -1,0 +1,198 @@
+"""An Avro-like serializer (Appendix A comparator).
+
+Reproduces the two Avro properties the paper's measurements hinge on:
+
+* **no primitive optionals** -- optional fields are unions
+  ``[null, T, ...]``, and the writer emits a union branch index for
+  *every* field in the schema, present or not.  Over NoBench's
+  1000-key sparse field pool this writes a branch marker per schema field
+  per record: "this requires that Avro store NULLs explicitly ..., which
+  bloats its serialization size and destroys performance";
+* **strictly sequential access** -- values carry no offsets; extracting
+  one field requires decoding (or at best length-skipping) every field
+  before it in schema order.
+
+Encodings follow Avro's binary spec in spirit: zigzag-varint longs,
+8-byte doubles, length-prefixed UTF-8 strings, recursively encoded
+sub-records, and counted arrays.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Mapping
+
+from ..rdbms.errors import ExecutionError
+from .record_schema import (
+    KIND_ARRAY,
+    KIND_BOOL,
+    KIND_INT,
+    KIND_REAL,
+    KIND_RECORD,
+    KIND_TEXT,
+    FieldSchema,
+    RecordSchema,
+    kind_of,
+)
+from .varint import decode_varint, encode_varint, zigzag_decode, zigzag_encode
+
+_F64 = struct.Struct("<d")
+
+
+class AvroLikeSerializer:
+    """Schema-based serializer with union-encoded optional fields."""
+
+    def __init__(self, schema: RecordSchema):
+        self.schema = schema.freeze()
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+
+    def serialize(self, document: Mapping[str, Any]) -> bytes:
+        return self._encode_record(document, self.schema)
+
+    def _encode_record(self, document: Mapping[str, Any], schema: RecordSchema) -> bytes:
+        parts: list[bytes] = []
+        for field_schema in schema.ordered_fields():
+            value = document.get(field_schema.name)
+            if value is None:
+                # union branch 0 == null: the explicit NULL Avro must write
+                parts.append(encode_varint(0))
+                continue
+            kind = kind_of(value)
+            if kind not in field_schema.kinds:
+                raise ExecutionError(
+                    f"value kind {kind} not in schema union for "
+                    f"{field_schema.name!r}"
+                )
+            branch = field_schema.kinds.index(kind) + 1
+            parts.append(encode_varint(branch))
+            parts.append(self._encode_value(value, kind, field_schema))
+        return b"".join(parts)
+
+    def _encode_value(self, value: Any, kind: str, field_schema: FieldSchema) -> bytes:
+        if kind == KIND_INT:
+            return encode_varint(zigzag_encode(value))
+        if kind == KIND_REAL:
+            return _F64.pack(value)
+        if kind == KIND_BOOL:
+            return b"\x01" if value else b"\x00"
+        if kind == KIND_TEXT:
+            encoded = value.encode("utf-8")
+            return encode_varint(len(encoded)) + encoded
+        if kind == KIND_RECORD:
+            assert field_schema.sub_schema is not None
+            return self._encode_record(value, field_schema.sub_schema)
+        if kind == KIND_ARRAY:
+            parts = [encode_varint(len(value))]
+            for element in value:
+                element_kind = kind_of(element) if element is not None else None
+                if element is None:
+                    parts.append(encode_varint(0))
+                    continue
+                # element union: null=0, int=1, real=2, bool=3, text=4, rec=5
+                branch = {
+                    KIND_INT: 1,
+                    KIND_REAL: 2,
+                    KIND_BOOL: 3,
+                    KIND_TEXT: 4,
+                    KIND_RECORD: 5,
+                }[element_kind]
+                parts.append(encode_varint(branch))
+                parts.append(self._encode_value(element, element_kind, field_schema))
+            return b"".join(parts)
+        raise ExecutionError(f"cannot encode kind {kind}")
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+
+    def deserialize(self, data: bytes) -> dict[str, Any]:
+        document, _position = self._decode_record(data, 0, self.schema)
+        return document
+
+    def _decode_record(
+        self, data: bytes, position: int, schema: RecordSchema
+    ) -> tuple[dict[str, Any], int]:
+        out: dict[str, Any] = {}
+        for field_schema in schema.ordered_fields():
+            branch, position = decode_varint(data, position)
+            if branch == 0:
+                continue
+            kind = field_schema.kinds[branch - 1]
+            value, position = self._decode_value(data, position, kind, field_schema)
+            out[field_schema.name] = value
+        return out, position
+
+    def _decode_value(
+        self, data: bytes, position: int, kind: str, field_schema: FieldSchema
+    ) -> tuple[Any, int]:
+        if kind == KIND_INT:
+            raw, position = decode_varint(data, position)
+            return zigzag_decode(raw), position
+        if kind == KIND_REAL:
+            return _F64.unpack_from(data, position)[0], position + 8
+        if kind == KIND_BOOL:
+            return data[position] != 0, position + 1
+        if kind == KIND_TEXT:
+            length, position = decode_varint(data, position)
+            return (
+                data[position : position + length].decode("utf-8"),
+                position + length,
+            )
+        if kind == KIND_RECORD:
+            assert field_schema.sub_schema is not None
+            return self._decode_record(data, position, field_schema.sub_schema)
+        if kind == KIND_ARRAY:
+            count, position = decode_varint(data, position)
+            elements: list[Any] = []
+            kinds = [None, KIND_INT, KIND_REAL, KIND_BOOL, KIND_TEXT, KIND_RECORD]
+            for _ in range(count):
+                branch, position = decode_varint(data, position)
+                if branch == 0:
+                    elements.append(None)
+                    continue
+                value, position = self._decode_value(
+                    data, position, kinds[branch], field_schema
+                )
+                elements.append(value)
+            return elements, position
+        raise ExecutionError(f"cannot decode kind {kind}")
+
+    # ------------------------------------------------------------------
+    # extraction (sequential by construction)
+    # ------------------------------------------------------------------
+
+    def extract(self, data: bytes, key: str) -> Any:
+        """Extract one top-level field: decode fields in schema order until
+        the target is reached (no random access exists)."""
+        position = 0
+        for field_schema in self.schema.ordered_fields():
+            branch, position = decode_varint(data, position)
+            if branch == 0:
+                if field_schema.name == key:
+                    return None
+                continue
+            kind = field_schema.kinds[branch - 1]
+            value, position = self._decode_value(data, position, kind, field_schema)
+            if field_schema.name == key:
+                return value
+        return None
+
+    def extract_many(self, data: bytes, keys: list[str]) -> list[Any]:
+        """Extract several fields in one sequential pass."""
+        wanted = set(keys)
+        found: dict[str, Any] = {}
+        position = 0
+        for field_schema in self.schema.ordered_fields():
+            branch, position = decode_varint(data, position)
+            if branch == 0:
+                continue
+            kind = field_schema.kinds[branch - 1]
+            value, position = self._decode_value(data, position, kind, field_schema)
+            if field_schema.name in wanted:
+                found[field_schema.name] = value
+                if len(found) == len(wanted):
+                    break
+        return [found.get(key) for key in keys]

@@ -1,0 +1,164 @@
+"""A BSON-like sequential binary document format (the MongoDB baseline).
+
+Faithful to the properties the paper measures, not to the full BSON spec:
+
+* **sequential layout** -- elements are stored one after another as
+  ``type byte | key cstring | value``, so extracting a key requires
+  walking elements from the front (no random access);
+* **key-existence is cheaper than extraction** -- the walk can *skip*
+  values using their length information without decoding them, which is
+  why MongoDB's sparse projections (NoBench Q3/Q4) close the gap on Sinew
+  while dense projections (Q1/Q2) do not (paper section 6.3);
+* **type bloat** -- every element repeats its full key string and a type
+  byte, so the encoding is usually *larger* than the input JSON
+  ("MongoDB states in its specification that its BSON serialization may
+  in fact increase data size", section 6.2).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterator, Mapping
+
+from ..rdbms.errors import ExecutionError
+
+_I32 = struct.Struct("<i")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+TYPE_DOUBLE = 0x01
+TYPE_STRING = 0x02
+TYPE_DOCUMENT = 0x03
+TYPE_ARRAY = 0x04
+TYPE_BOOL = 0x08
+TYPE_NULL = 0x0A
+TYPE_INT64 = 0x12
+
+
+def encode(document: Mapping[str, Any]) -> bytes:
+    """Encode a document: ``i32 total_size | elements... | 0x00``."""
+    body = b"".join(_encode_element(key, value) for key, value in document.items())
+    total = 4 + len(body) + 1
+    return _I32.pack(total) + body + b"\x00"
+
+
+def _encode_element(key: str, value: Any) -> bytes:
+    name = key.encode("utf-8") + b"\x00"
+    if value is None:
+        return bytes([TYPE_NULL]) + name
+    if isinstance(value, bool):
+        return bytes([TYPE_BOOL]) + name + (b"\x01" if value else b"\x00")
+    if isinstance(value, int):
+        return bytes([TYPE_INT64]) + name + _I64.pack(value)
+    if isinstance(value, float):
+        return bytes([TYPE_DOUBLE]) + name + _F64.pack(value)
+    if isinstance(value, str):
+        encoded = value.encode("utf-8") + b"\x00"
+        return bytes([TYPE_STRING]) + name + _I32.pack(len(encoded)) + encoded
+    if isinstance(value, dict):
+        return bytes([TYPE_DOCUMENT]) + name + encode(value)
+    if isinstance(value, (list, tuple)):
+        as_document = {str(index): element for index, element in enumerate(value)}
+        return bytes([TYPE_ARRAY]) + name + encode(as_document)
+    raise ExecutionError(f"cannot BSON-encode {type(value).__name__}")
+
+
+def _iter_elements(data: bytes) -> Iterator[tuple[int, str, int, int]]:
+    """Yield ``(type, key, value_start, value_end)`` walking sequentially."""
+    (total,) = _I32.unpack_from(data, 0)
+    position = 4
+    end = total - 1
+    while position < end:
+        element_type = data[position]
+        position += 1
+        key_end = data.index(b"\x00", position)
+        key = data[position:key_end].decode("utf-8")
+        position = key_end + 1
+        value_start = position
+        position = _skip_value(data, position, element_type)
+        yield element_type, key, value_start, position
+
+
+def _skip_value(data: bytes, position: int, element_type: int) -> int:
+    """Advance past a value without decoding it (the cheap existence walk)."""
+    if element_type == TYPE_NULL:
+        return position
+    if element_type == TYPE_BOOL:
+        return position + 1
+    if element_type in (TYPE_INT64, TYPE_DOUBLE):
+        return position + 8
+    if element_type == TYPE_STRING:
+        (length,) = _I32.unpack_from(data, position)
+        return position + 4 + length
+    if element_type in (TYPE_DOCUMENT, TYPE_ARRAY):
+        (length,) = _I32.unpack_from(data, position)
+        return position + length
+    raise ExecutionError(f"corrupt BSON: unknown type byte {element_type:#x}")
+
+
+def _decode_value(data: bytes, start: int, end: int, element_type: int) -> Any:
+    if element_type == TYPE_NULL:
+        return None
+    if element_type == TYPE_BOOL:
+        return data[start] != 0
+    if element_type == TYPE_INT64:
+        return _I64.unpack_from(data, start)[0]
+    if element_type == TYPE_DOUBLE:
+        return _F64.unpack_from(data, start)[0]
+    if element_type == TYPE_STRING:
+        return data[start + 4 : end - 1].decode("utf-8")
+    if element_type == TYPE_DOCUMENT:
+        return decode(data[start:end])
+    if element_type == TYPE_ARRAY:
+        as_document = decode(data[start:end])
+        return [as_document[str(index)] for index in range(len(as_document))]
+    raise ExecutionError(f"corrupt BSON: unknown type byte {element_type:#x}")
+
+
+def decode(data: bytes) -> dict[str, Any]:
+    """Fully decode a BSON document back into a dict."""
+    out: dict[str, Any] = {}
+    for element_type, key, start, end in _iter_elements(data):
+        out[key] = _decode_value(data, start, end, element_type)
+    return out
+
+
+def get(data: bytes, dotted_key: str) -> Any:
+    """Extract one (dotted) key: a sequential walk decoding only the match.
+
+    This is the expensive-per-record operation the paper attributes
+    MongoDB's dense-projection slowdown to.
+    """
+    head, separator, rest = dotted_key.partition(".")
+    for element_type, key, start, end in _iter_elements(data):
+        if key != head:
+            continue
+        if not separator:
+            return _decode_value(data, start, end, element_type)
+        if element_type == TYPE_DOCUMENT:
+            return get(data[start:end], rest)
+        return None
+    return None
+
+
+def has(data: bytes, dotted_key: str) -> bool:
+    """Key-existence check: sequential walk that skips values undecoded.
+
+    "Checking whether or not a key exists in BSON is significantly faster
+    than extracting the key" (paper section 6.3).
+    """
+    head, separator, rest = dotted_key.partition(".")
+    for element_type, key, start, end in _iter_elements(data):
+        if key != head:
+            continue
+        if not separator:
+            return element_type != TYPE_NULL
+        if element_type == TYPE_DOCUMENT:
+            return has(data[start:end], rest)
+        return False
+    return False
+
+
+def size(data: bytes) -> int:
+    """Encoded size in bytes."""
+    return len(data)

@@ -1,0 +1,284 @@
+"""A jsonb-style binary JSON baseline (the paper's section 6.7 outlook).
+
+The paper's discussion notes that Postgres's then-new ``jsonb`` type
+"may remedy" the CPU deficiencies of text JSON -- but immediately adds
+that "a more systemic deficiency is the opaqueness of the JSON type to
+the optimizer".  This baseline makes that argument testable:
+
+* documents are stored in a **binary tree format with sorted keys**:
+  each object is ``u32 count | sorted key directory | value offsets |
+  payload``, so key lookup is a binary search per nesting level and no
+  text parsing happens at query time (jsonb's core win over json);
+* unlike Sinew's format there is **no attribute dictionary** -- every
+  record carries its full key strings (jsonb stores keys inline), so the
+  encoding is larger than Sinew's reservoir;
+* extraction still happens through UDFs, so the optimizer remains blind:
+  predicates keep the fixed default estimate and the bad GROUP BY plans
+  of section 6.5 persist.
+
+The ``bench_ablation_jsonb`` benchmark quantifies exactly how much of the
+Sinew-vs-Postgres gap jsonb closes (the CPU part) and how much it cannot
+(statistics, plans, and key-dictionary compression).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping
+
+from ..rdbms.database import Database, DatabaseConfig, QueryResult
+from ..rdbms.errors import ExecutionError, TypeCastError
+from ..rdbms.types import SqlType
+from ..core.document import parse_document
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+TAG_NULL = 0
+TAG_INT = 1
+TAG_REAL = 2
+TAG_BOOL = 3
+TAG_TEXT = 4
+TAG_OBJECT = 5
+TAG_ARRAY = 6
+
+
+def encode(value: Any) -> bytes:
+    """Encode one JSON value as ``tag | payload``."""
+    if value is None:
+        return bytes([TAG_NULL])
+    if isinstance(value, bool):
+        return bytes([TAG_BOOL, 1 if value else 0])
+    if isinstance(value, int):
+        return bytes([TAG_INT]) + _I64.pack(value)
+    if isinstance(value, float):
+        return bytes([TAG_REAL]) + _F64.pack(value)
+    if isinstance(value, str):
+        return bytes([TAG_TEXT]) + value.encode("utf-8")
+    if isinstance(value, Mapping):
+        return bytes([TAG_OBJECT]) + _encode_object(value)
+    if isinstance(value, (list, tuple)):
+        return bytes([TAG_ARRAY]) + _encode_array(value)
+    raise ExecutionError(f"cannot jsonb-encode {type(value).__name__}")
+
+
+def _encode_object(obj: Mapping[str, Any]) -> bytes:
+    """``u32 n | key dir (offset,len per key, sorted) | value offsets |
+    key payload | value payload``."""
+    items = sorted(obj.items())
+    keys = [key.encode("utf-8") for key, _value in items]
+    values = [encode(value) for _key, value in items]
+    n = len(items)
+    header = bytearray(_U32.pack(n))
+    key_offset = 0
+    for key in keys:
+        header += _U32.pack(key_offset)
+        key_offset += len(key)
+    header += _U32.pack(key_offset)  # total key bytes
+    value_offset = 0
+    for value in values:
+        header += _U32.pack(value_offset)
+        value_offset += len(value)
+    header += _U32.pack(value_offset)
+    return bytes(header) + b"".join(keys) + b"".join(values)
+
+
+def _encode_array(values: Iterable[Any]) -> bytes:
+    encoded = [encode(value) for value in values]
+    header = bytearray(_U32.pack(len(encoded)))
+    offset = 0
+    for chunk in encoded:
+        header += _U32.pack(offset)
+        offset += len(chunk)
+    header += _U32.pack(offset)
+    return bytes(header) + b"".join(encoded)
+
+
+def decode(data: bytes) -> Any:
+    """Decode a complete value back to Python."""
+    value, _consumed = _decode(memoryview(data), 0, len(data))
+    return value
+
+
+def _decode(view: memoryview, start: int, end: int) -> tuple[Any, int]:
+    tag = view[start]
+    if tag == TAG_NULL:
+        return None, start + 1
+    if tag == TAG_BOOL:
+        return view[start + 1] != 0, start + 2
+    if tag == TAG_INT:
+        return _I64.unpack_from(view, start + 1)[0], start + 9
+    if tag == TAG_REAL:
+        return _F64.unpack_from(view, start + 1)[0], start + 9
+    if tag == TAG_TEXT:
+        return bytes(view[start + 1 : end]).decode("utf-8"), end
+    if tag == TAG_OBJECT:
+        return _decode_object(view, start + 1), end
+    if tag == TAG_ARRAY:
+        return _decode_array(view, start + 1), end
+    raise ExecutionError(f"corrupt jsonb: tag {tag}")
+
+
+def _object_layout(view: memoryview, base: int):
+    (n,) = _U32.unpack_from(view, base)
+    key_dir = base + 4
+    value_dir = key_dir + 4 * (n + 1)
+    keys_base = value_dir + 4 * (n + 1)
+    (total_keys,) = _U32.unpack_from(view, key_dir + 4 * n)
+    values_base = keys_base + total_keys
+    return n, key_dir, value_dir, keys_base, values_base
+
+
+def _decode_object(view: memoryview, base: int) -> dict[str, Any]:
+    n, key_dir, value_dir, keys_base, values_base = _object_layout(view, base)
+    out: dict[str, Any] = {}
+    for index in range(n):
+        key_start, key_end = struct.unpack_from("<II", view, key_dir + 4 * index)
+        value_start, value_end = struct.unpack_from("<II", view, value_dir + 4 * index)
+        key = bytes(view[keys_base + key_start : keys_base + key_end]).decode("utf-8")
+        value, _ = _decode(
+            view, values_base + value_start, values_base + value_end
+        )
+        out[key] = value
+    return out
+
+
+def _decode_array(view: memoryview, base: int) -> list[Any]:
+    (n,) = _U32.unpack_from(view, base)
+    dir_base = base + 4
+    payload = dir_base + 4 * (n + 1)
+    out = []
+    for index in range(n):
+        start, end = struct.unpack_from("<II", view, dir_base + 4 * index)
+        value, _ = _decode(view, payload + start, payload + end)
+        out.append(value)
+    return out
+
+
+def get_raw(data: bytes, dotted_key: str) -> Any:
+    """Binary-search key lookup, one nesting level per dot; no text parse."""
+    start, end = 0, len(data)
+    for part in dotted_key.split("."):
+        if data[start] != TAG_OBJECT:
+            return None
+        located = _lookup(data, start + 1, part.encode("utf-8"))
+        if located is None:
+            return None
+        start, end = located
+    value, _ = _decode(memoryview(data), start, end)
+    return value
+
+
+def _lookup(data: bytes, base: int, key: bytes) -> tuple[int, int] | None:
+    """Binary search over the sorted key directory of one object.
+
+    The key directory is unpacked in a single struct call; probes compare
+    byte slices directly.
+    """
+    (n,) = _U32.unpack_from(data, base)
+    if n == 0:
+        return None
+    key_dir = base + 4
+    directory = struct.unpack_from(f"<{n + 1}I", data, key_dir)
+    value_dir = key_dir + 4 * (n + 1)
+    keys_base = value_dir + 4 * (n + 1)
+    values_base = keys_base + directory[n]
+    low, high = 0, n - 1
+    while low <= high:
+        mid = (low + high) // 2
+        candidate = data[keys_base + directory[mid] : keys_base + directory[mid + 1]]
+        if candidate == key:
+            value_start, value_end = struct.unpack_from(
+                "<II", data, value_dir + 4 * mid
+            )
+            return values_base + value_start, values_base + value_end
+        if candidate < key:
+            low = mid + 1
+        else:
+            high = mid - 1
+    return None
+
+
+class PgJsonbStore:
+    """Documents as jsonb-style binary values in ``(id, data bytea)``.
+
+    API-compatible with :class:`~repro.baselines.pgjson.PgJsonStore`, with
+    ``jsonb_get_*`` UDFs that share Postgres's cast semantics (a numeric
+    cast on a string value raises), so NoBench Q7 still fails here --
+    jsonb fixes the CPU cost, not the type-system or optimizer issues.
+    """
+
+    def __init__(self, name: str = "pgjsonb", config: DatabaseConfig | None = None):
+        self.name = name
+        self.db = Database(name, config)
+        self._next_id: dict[str, int] = {}
+        self._register_udfs()
+
+    def _register_udfs(self) -> None:
+        def jsonb_get_text(data: bytes | None, key: str) -> str | None:
+            if data is None:
+                return None
+            value = get_raw(data, key)
+            if value is None:
+                return None
+            if isinstance(value, bool):
+                return "true" if value else "false"
+            if isinstance(value, (dict, list)):
+                return json.dumps(value)
+            return str(value)
+
+        def jsonb_get_num(data: bytes | None, key: str) -> float | None:
+            if data is None:
+                return None
+            value = get_raw(data, key)
+            if value is None:
+                return None
+            if isinstance(value, bool):
+                raise TypeCastError(
+                    f"invalid input syntax for type numeric: {value!r}"
+                )
+            if isinstance(value, (int, float)):
+                return value
+            raise TypeCastError(f"invalid input syntax for type numeric: {value!r}")
+
+        def jsonb_exists(data: bytes | None, key: str) -> bool:
+            return data is not None and get_raw(data, key) is not None
+
+        self.db.create_function("jsonb_get_text", jsonb_get_text, SqlType.TEXT)
+        self.db.create_function("jsonb_get_num", jsonb_get_num, SqlType.REAL)
+        self.db.create_function("jsonb_exists", jsonb_exists, SqlType.BOOLEAN)
+
+    def create_collection(self, table_name: str) -> None:
+        self.db.create_table(
+            table_name, [("id", SqlType.INTEGER), ("data", SqlType.BYTEA)]
+        )
+        self._next_id[table_name] = 0
+
+    def load(
+        self, table_name: str, documents: Iterable[str | Mapping[str, Any]]
+    ) -> int:
+        """jsonb loads slower than json: the binary transform happens here."""
+        rows: list[tuple] = []
+        next_id = self._next_id[table_name]
+        for raw_document in documents:
+            document = parse_document(raw_document)
+            rows.append((next_id, encode(document)))
+            next_id += 1
+        self._next_id[table_name] = next_id
+        self.db.insert_rows(table_name, rows)
+        return len(rows)
+
+    def analyze(self, table_name: str) -> None:
+        self.db.analyze(table_name)
+
+    def storage_bytes(self, table_name: str) -> int:
+        return self.db.table(table_name).total_bytes
+
+    def query(self, sql: str) -> QueryResult:
+        return self.db.execute(sql)
+
+    def n_documents(self, table_name: str) -> int:
+        return self._next_id.get(table_name, 0)

@@ -1,0 +1,480 @@
+"""A MongoDB-like document store (the paper's NoSQL comparator).
+
+Implements the slice of MongoDB 2.4 behaviour the benchmark exercises:
+
+* collections of BSON-encoded documents (:mod:`repro.baselines.bson`);
+* ``find`` with an operator filter language (``$gt``/``$gte``/``$lt``/
+  ``$lte``/``$ne``/``$in``/``$exists``), dotted paths, and Mongo's
+  array-equality semantics (an equality filter on an array field matches
+  when any element matches -- NoBench Q8);
+* an ``aggregate`` pipeline with ``$match``, ``$group``, ``$project``,
+  ``$unwind``, ``$sort`` and ``$limit``;
+* ``update_many`` with ``$set`` -- **no WAL and no transactions**, the
+  durability discount the update experiment (Figure 8) is about;
+* **no native join**: the paper's Q11 runs as client-side code that
+  materialises explicit intermediate collections; those intermediates are
+  charged against a shared disk budget, reproducing the out-of-disk
+  failure at the larger scale (section 6.5).
+
+Range predicates **precompute the tested value once per document** before
+applying both bounds, the behaviour that lets MongoDB beat Sinew on the
+in-memory Q7 (section 6.4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from ..rdbms.cost import DiskBudget
+from ..rdbms.errors import ExecutionError
+from . import bson
+
+_COMPARISON_OPERATORS = frozenset(
+    {"$gt", "$gte", "$lt", "$lte", "$ne", "$in", "$exists", "$eq"}
+)
+
+
+@dataclass
+class MongoStats:
+    """Activity counters for one MongoDB-like database."""
+
+    documents_scanned: int = 0
+    bytes_scanned: int = 0
+    documents_written: int = 0
+
+
+class MongoDatabase:
+    """A database of named collections sharing one disk budget."""
+
+    def __init__(self, name: str = "mongo", disk_budget_bytes: int | None = None):
+        self.name = name
+        self.disk = DiskBudget(disk_budget_bytes)
+        self.stats = MongoStats()
+        self._collections: dict[str, MongoCollection] = {}
+
+    def collection(self, name: str) -> "MongoCollection":
+        if name not in self._collections:
+            self._collections[name] = MongoCollection(name, self)
+        return self._collections[name]
+
+    def drop_collection(self, name: str) -> None:
+        collection = self._collections.pop(name, None)
+        if collection is not None:
+            self.disk.release(collection.total_bytes)
+
+    def total_bytes(self) -> int:
+        return sum(c.total_bytes for c in self._collections.values())
+
+
+class MongoCollection:
+    """One collection of BSON documents."""
+
+    def __init__(self, name: str, database: MongoDatabase):
+        self.name = name
+        self.database = database
+        self._documents: list[bytes] = []
+        self.total_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> int:
+        inserted = 0
+        for document in documents:
+            encoded = bson.encode(document)
+            self._documents.append(encoded)
+            self.total_bytes += len(encoded)
+            self.database.disk.charge(len(encoded))
+            self.database.stats.documents_written += 1
+            inserted += 1
+        return inserted
+
+    def update_many(
+        self, filter: Mapping[str, Any], update: Mapping[str, Any]
+    ) -> int:
+        """``$set`` updates, applied in place with no transactional log."""
+        set_fields = update.get("$set")
+        if not isinstance(set_fields, Mapping):
+            raise ExecutionError("update_many requires a {'$set': {...}} document")
+        predicate = _compile_filter(filter)
+        updated = 0
+        for index, encoded in enumerate(self._documents):
+            self.database.stats.documents_scanned += 1
+            self.database.stats.bytes_scanned += len(encoded)
+            if not predicate(encoded):
+                continue
+            document = bson.decode(encoded)
+            for dotted, value in set_fields.items():
+                _set_path(document, dotted, value)
+            replacement = bson.encode(document)
+            delta = len(replacement) - len(encoded)
+            self._documents[index] = replacement
+            self.total_bytes += delta
+            if delta > 0:
+                self.database.disk.charge(delta)
+            self.database.stats.documents_written += 1
+            updated += 1
+        return updated
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def scan(self) -> Iterator[bytes]:
+        for encoded in self._documents:
+            self.database.stats.documents_scanned += 1
+            self.database.stats.bytes_scanned += len(encoded)
+            yield encoded
+
+    def find(
+        self,
+        filter: Mapping[str, Any] | None = None,
+        projection: Iterable[str] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Filter + optional projection, like ``db.coll.find(f, p)``."""
+        predicate = _compile_filter(filter or {})
+        fields = list(projection) if projection is not None else None
+        out: list[dict[str, Any]] = []
+        for encoded in self.scan():
+            if not predicate(encoded):
+                continue
+            if fields is None:
+                out.append(bson.decode(encoded))
+            else:
+                out.append({field: bson.get(encoded, field) for field in fields})
+        return out
+
+    def count(self, filter: Mapping[str, Any] | None = None) -> int:
+        predicate = _compile_filter(filter or {})
+        return sum(1 for encoded in self.scan() if predicate(encoded))
+
+    def aggregate(self, pipeline: list[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        """Evaluate an aggregation pipeline."""
+        current: list[dict[str, Any]] | None = None
+        for stage in pipeline:
+            if len(stage) != 1:
+                raise ExecutionError("each pipeline stage must have one operator")
+            operator, spec = next(iter(stage.items()))
+            if operator == "$match" and current is None:
+                current = self.find(spec)
+            else:
+                if current is None:
+                    current = [bson.decode(encoded) for encoded in self.scan()]
+                current = _apply_stage(operator, spec, current)
+        if current is None:
+            current = [bson.decode(encoded) for encoded in self.scan()]
+        return current
+
+
+# ---------------------------------------------------------------------------
+# filter language
+# ---------------------------------------------------------------------------
+
+
+def _compile_filter(filter: Mapping[str, Any]) -> Callable[[bytes], bool]:
+    """Compile a filter document into a predicate over encoded documents.
+
+    Field values are extracted **once** per document, then every operator
+    for that field is applied to the precomputed value.
+    """
+    conditions: list[tuple[str, list[Callable[[Any], bool]], bool]] = []
+    for dotted, condition in filter.items():
+        if isinstance(condition, Mapping) and any(
+            key in _COMPARISON_OPERATORS for key in condition
+        ):
+            operators = [_compile_operator(op, operand) for op, operand in condition.items()]
+            needs_existence_only = list(condition.keys()) == ["$exists"]
+            conditions.append((dotted, operators, needs_existence_only))
+        else:
+            conditions.append((dotted, [_equality(condition)], False))
+
+    def predicate(encoded: bytes) -> bool:
+        for dotted, operators, existence_only in conditions:
+            if existence_only:
+                value: Any = bson.has(encoded, dotted)
+            else:
+                value = bson.get(encoded, dotted)
+            for operator in operators:
+                if not operator(value):
+                    return False
+        return True
+
+    return predicate
+
+
+def _equality(expected: Any) -> Callable[[Any], bool]:
+    def check(value: Any) -> bool:
+        if isinstance(value, list):
+            # Mongo array-equality semantics: match if any element matches.
+            return any(_values_equal(element, expected) for element in value)
+        return _values_equal(value, expected)
+
+    return check
+
+
+def _values_equal(left: Any, right: Any) -> bool:
+    if _is_number(left) and _is_number(right):
+        return float(left) == float(right)
+    return type(left) is type(right) and left == right
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _compile_operator(op: str, operand: Any) -> Callable[[Any], bool]:
+    if op == "$eq":
+        return _equality(operand)
+    if op == "$ne":
+        equal = _equality(operand)
+        return lambda value: not equal(value)
+    if op == "$in":
+        checks = [_equality(item) for item in operand]
+        return lambda value: any(check(value) for check in checks)
+    if op == "$exists":
+        wanted = bool(operand)
+        return lambda value: bool(value) is wanted if isinstance(value, bool) else (
+            (value is not None) is wanted
+        )
+    if op in ("$gt", "$gte", "$lt", "$lte"):
+        def ordered(value: Any, op: str = op, operand: Any = operand) -> bool:
+            if value is None:
+                return False
+            if _is_number(value) != _is_number(operand):
+                return False
+            if not _is_number(value) and type(value) is not type(operand):
+                return False
+            try:
+                if op == "$gt":
+                    return value > operand
+                if op == "$gte":
+                    return value >= operand
+                if op == "$lt":
+                    return value < operand
+                return value <= operand
+            except TypeError:
+                return False
+
+        return ordered
+    raise ExecutionError(f"unsupported filter operator {op!r}")
+
+
+def _get_path(document: Mapping[str, Any], dotted: str) -> Any:
+    node: Any = document
+    for part in dotted.split("."):
+        if not isinstance(node, Mapping) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def _set_path(document: dict, dotted: str, value: Any) -> None:
+    parts = dotted.split(".")
+    node = document
+    for part in parts[:-1]:
+        child = node.get(part)
+        if not isinstance(child, dict):
+            child = {}
+            node[part] = child
+        node = child
+    node[parts[-1]] = value
+
+
+# ---------------------------------------------------------------------------
+# aggregation stages
+# ---------------------------------------------------------------------------
+
+
+def _apply_stage(
+    operator: str, spec: Any, documents: list[dict[str, Any]]
+) -> list[dict[str, Any]]:
+    if operator == "$match":
+        conditions = list(spec.items())
+
+        def matches(document: dict) -> bool:
+            for dotted, condition in conditions:
+                value = _get_path(document, dotted)
+                if isinstance(condition, Mapping) and any(
+                    key in _COMPARISON_OPERATORS for key in condition
+                ):
+                    for op, operand in condition.items():
+                        if not _compile_operator(op, operand)(value):
+                            return False
+                elif isinstance(value, list):
+                    if not any(_values_equal(e, condition) for e in value):
+                        return False
+                elif not _values_equal(value, condition):
+                    return False
+            return True
+
+        return [document for document in documents if matches(document)]
+
+    if operator == "$project":
+        fields = [dotted for dotted, keep in spec.items() if keep]
+        return [
+            {dotted: _get_path(document, dotted) for dotted in fields}
+            for document in documents
+        ]
+
+    if operator == "$unwind":
+        dotted = spec.lstrip("$")
+        out = []
+        for document in documents:
+            values = _get_path(document, dotted)
+            if not isinstance(values, list):
+                continue
+            for element in values:
+                clone = dict(document)
+                _set_path(clone, dotted, element)
+                out.append(clone)
+        return out
+
+    if operator == "$group":
+        key_spec = spec["_id"]
+        accumulators = {name: rule for name, rule in spec.items() if name != "_id"}
+        groups: dict[Any, dict[str, Any]] = {}
+        states: dict[Any, dict[str, list]] = {}
+        for document in documents:
+            key = (
+                _get_path(document, key_spec.lstrip("$"))
+                if isinstance(key_spec, str)
+                else key_spec
+            )
+            hashable = key if not isinstance(key, (list, dict)) else repr(key)
+            if hashable not in groups:
+                groups[hashable] = {"_id": key}
+                states[hashable] = {name: [] for name in accumulators}
+            for name, rule in accumulators.items():
+                op, operand = next(iter(rule.items()))
+                value = (
+                    _get_path(document, operand.lstrip("$"))
+                    if isinstance(operand, str) and operand.startswith("$")
+                    else operand
+                )
+                states[hashable][name].append((op, value))
+        for hashable, group in groups.items():
+            for name, entries in states[hashable].items():
+                group[name] = _finalise_accumulator(entries)
+        return list(groups.values())
+
+    if operator == "$sort":
+        out = list(documents)
+        for dotted, direction in reversed(list(spec.items())):
+            out.sort(
+                key=lambda document: _sort_key(_get_path(document, dotted)),
+                reverse=direction < 0,
+            )
+        return out
+
+    if operator == "$limit":
+        return documents[: int(spec)]
+
+    if operator == "$count":
+        return [{spec: len(documents)}]
+
+    raise ExecutionError(f"unsupported pipeline stage {operator!r}")
+
+
+def _sort_key(value: Any) -> tuple:
+    if value is None:
+        return (0, "", 0)
+    if _is_number(value):
+        return (1, "", float(value))
+    return (2, str(value), 0)
+
+
+def _finalise_accumulator(entries: list[tuple[str, Any]]) -> Any:
+    if not entries:
+        return None
+    op = entries[0][0]
+    values = [value for _op, value in entries if value is not None]
+    if op == "$sum":
+        numeric = [v for v in values if _is_number(v)]
+        return sum(numeric)
+    if op == "$avg":
+        numeric = [v for v in values if _is_number(v)]
+        return sum(numeric) / len(numeric) if numeric else None
+    if op == "$min":
+        return min(values) if values else None
+    if op == "$max":
+        return max(values) if values else None
+    if op == "$first":
+        return values[0] if values else None
+    raise ExecutionError(f"unsupported accumulator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# client-side join (MongoDB has no native join; section 6.5)
+# ---------------------------------------------------------------------------
+
+
+def client_side_join(
+    database: MongoDatabase,
+    left: MongoCollection,
+    right: MongoCollection,
+    left_key: str,
+    right_key: str,
+    left_filter: Mapping[str, Any] | None = None,
+    output_name: str = "_join_out",
+) -> MongoCollection:
+    """Emulate the paper's user-code join: explicit intermediate collections.
+
+    The MapReduce-style recipe MongoDB 2.4 users had to write:
+
+    1. extract-and-spill the (filtered) left side's join keys with their
+       documents into a scratch collection;
+    2. extract-and-spill the join key of **every right-side document** into
+       a second scratch collection (the right side cannot be pre-filtered:
+       the predicate is on the left), tagging each key with its document;
+    3. merge the two tagged streams into the output collection.
+
+    Step 2 re-materialises essentially the whole collection, which is why
+    the join is both an order of magnitude slower than an RDBMS join and
+    "required so much intermediate storage that it could not complete" at
+    the larger scale (section 6.5).  All scratch collections are charged
+    against the shared disk budget.
+    """
+    # phase 1: filtered left side -> keyed scratch collection
+    keys_collection = database.collection(output_name + "_left")
+    predicate = _compile_filter(left_filter or {})
+    spilled = []
+    for encoded in left.scan():
+        if not predicate(encoded):
+            continue
+        document = bson.decode(encoded)
+        spilled.append({"key": _get_path(document, left_key), "doc": document})
+    keys_collection.insert_many(spilled)
+
+    # phase 2: the whole right side -> keyed scratch collection
+    right_keys = database.collection(output_name + "_right")
+    batch: list[dict] = []
+    for encoded in right.scan():
+        document = bson.decode(encoded)
+        batch.append({"key": _get_path(document, right_key), "doc": document})
+        if len(batch) >= 1000:
+            right_keys.insert_many(batch)
+            batch.clear()
+    if batch:
+        right_keys.insert_many(batch)
+
+    # phase 3: merge the tagged streams into the output collection
+    lookup: dict[Any, list[dict]] = {}
+    for entry in keys_collection.find():
+        lookup.setdefault(entry["key"], []).append(entry["doc"])
+    output = database.collection(output_name)
+    batch = []
+    for entry in right_keys.find():
+        for left_document in lookup.get(entry["key"], ()):
+            batch.append({"left": left_document, "right": entry["doc"]})
+            if len(batch) >= 1000:
+                output.insert_many(batch)
+                batch.clear()
+    if batch:
+        output.insert_many(batch)
+    return output

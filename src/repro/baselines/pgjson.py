@@ -1,0 +1,155 @@
+"""The Postgres-JSON baseline (paper section 6.1).
+
+Documents are stored as **raw JSON text** in a single column; every key
+access re-parses the text.  The three deficiencies the paper measures are
+all present by construction:
+
+* **CPU-bound extraction** -- ``json_get_*`` UDFs call ``json.loads`` on
+  the full document text per invocation, the cost that makes even simple
+  projections CPU-bound (section 6.3);
+* **multi-typed keys abort** -- Postgres's extraction operator returns
+  JSON-typed data that must be cast, and a malformed cast raises; the
+  ``json_get_num`` UDF faithfully raises
+  :class:`~repro.rdbms.errors.TypeCastError` on a string value, so
+  NoBench Q7 "cannot be executed" here (section 6.4);
+* **opaque to the optimizer** -- every predicate goes through a UDF, so
+  the planner falls back to default estimates and produces the
+  sub-optimal GROUP BY plans of section 6.5;
+* **array predicates are inexpressible** -- like the paper, Q8 is
+  approximated with a (technically incorrect) LIKE over the text
+  representation of the array.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+from ..rdbms.database import Database, DatabaseConfig, QueryResult
+from ..rdbms.errors import TypeCastError
+from ..rdbms.types import SqlType
+from ..core.document import parse_document
+
+
+def _navigate(document: Any, dotted_key: str) -> Any:
+    node = document
+    for part in dotted_key.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+class PgJsonStore:
+    """Documents as JSON text in ``(id integer, data json)`` relations."""
+
+    def __init__(self, name: str = "pgjson", config: DatabaseConfig | None = None):
+        self.name = name
+        self.db = Database(name, config)
+        self._next_id: dict[str, int] = {}
+        self._register_udfs()
+
+    # ------------------------------------------------------------------
+    # the json_* UDF family (parse-per-call on purpose)
+    # ------------------------------------------------------------------
+
+    def _register_udfs(self) -> None:
+        def json_get_text(data: str | None, key: str) -> str | None:
+            if data is None:
+                return None
+            value = _navigate(json.loads(data), key)
+            if value is None:
+                return None
+            if isinstance(value, bool):
+                return "true" if value else "false"
+            if isinstance(value, (dict, list)):
+                return json.dumps(value)
+            return str(value)
+
+        def json_get_num(data: str | None, key: str) -> float | None:
+            """``(data->>key)::numeric`` -- raises on non-numeric text."""
+            if data is None:
+                return None
+            value = _navigate(json.loads(data), key)
+            if value is None:
+                return None
+            if isinstance(value, bool):
+                raise TypeCastError(
+                    f"invalid input syntax for type numeric: {value!r}"
+                )
+            if isinstance(value, (int, float)):
+                return value
+            if isinstance(value, str):
+                try:
+                    return float(value) if "." in value else int(value)
+                except ValueError:
+                    raise TypeCastError(
+                        f"invalid input syntax for type numeric: {value!r}"
+                    ) from None
+            raise TypeCastError(f"cannot cast JSON {type(value).__name__} to numeric")
+
+        def json_get_bool(data: str | None, key: str) -> bool | None:
+            if data is None:
+                return None
+            value = _navigate(json.loads(data), key)
+            if value is None:
+                return None
+            if isinstance(value, bool):
+                return value
+            raise TypeCastError(f"invalid input syntax for type boolean: {value!r}")
+
+        def json_exists(data: str | None, key: str) -> bool:
+            if data is None:
+                return False
+            return _navigate(json.loads(data), key) is not None
+
+        self.db.create_function("json_get_text", json_get_text, SqlType.TEXT)
+        self.db.create_function("json_get_num", json_get_num, SqlType.REAL)
+        self.db.create_function("json_get_bool", json_get_bool, SqlType.BOOLEAN)
+        self.db.create_function("json_exists", json_exists, SqlType.BOOLEAN)
+
+    # ------------------------------------------------------------------
+    # collections
+    # ------------------------------------------------------------------
+
+    def create_collection(self, table_name: str) -> None:
+        self.db.create_table(
+            table_name, [("id", SqlType.INTEGER), ("data", SqlType.JSON)]
+        )
+        self._next_id[table_name] = 0
+
+    def load(
+        self, table_name: str, documents: Iterable[str | Mapping[str, Any]]
+    ) -> int:
+        """Load documents: *only* syntax validation, no transformation.
+
+        That is why this system loads fastest in Table 3 -- and why every
+        later read pays for it.
+        """
+        rows: list[tuple] = []
+        next_id = self._next_id[table_name]
+        for raw_document in documents:
+            if isinstance(raw_document, str):
+                json.loads(raw_document)  # validation only
+                text = raw_document
+            else:
+                text = json.dumps(parse_document(raw_document), separators=(",", ":"))
+            rows.append((next_id, text))
+            next_id += 1
+        self._next_id[table_name] = next_id
+        self.db.insert_rows(table_name, rows)
+        return len(rows)
+
+    def analyze(self, table_name: str) -> None:
+        """ANALYZE sees only (id, data) -- no per-key statistics exist."""
+        self.db.analyze(table_name)
+
+    def storage_bytes(self, table_name: str) -> int:
+        return self.db.table(table_name).total_bytes
+
+    def query(self, sql: str) -> QueryResult:
+        """Run SQL written directly against the json_* UDFs."""
+        return self.db.execute(sql)
+
+    def n_documents(self, table_name: str) -> int:
+        return self._next_id.get(table_name, 0)

@@ -1,0 +1,110 @@
+"""Record schemas for the schema-based serializers of Appendix A.
+
+Avro and Protocol Buffers are *schema-first* formats: before serializing a
+document corpus, the writer needs a record schema covering every field that
+can appear.  :class:`RecordSchema` infers that schema from observed
+documents -- every key becomes an optional field, multi-typed keys become
+unions, nested objects become sub-records, and arrays carry an element
+union.  Field order is the observation order made deterministic by sorting
+at freeze time (Avro decodes by position; Protocol Buffers number fields).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Primitive kind tags used by both serializers.
+KIND_INT = "int"
+KIND_REAL = "real"
+KIND_BOOL = "bool"
+KIND_TEXT = "text"
+KIND_RECORD = "record"
+KIND_ARRAY = "array"
+
+
+def kind_of(value: Any) -> str:
+    if isinstance(value, bool):
+        return KIND_BOOL
+    if isinstance(value, int):
+        return KIND_INT
+    if isinstance(value, float):
+        return KIND_REAL
+    if isinstance(value, str):
+        return KIND_TEXT
+    if isinstance(value, Mapping):
+        return KIND_RECORD
+    if isinstance(value, (list, tuple)):
+        return KIND_ARRAY
+    raise TypeError(f"unsupported value type {type(value).__name__}")
+
+
+@dataclass
+class FieldSchema:
+    """One optional field: a union of observed kinds."""
+
+    name: str
+    number: int  # position (Avro) / field number (Protobuf)
+    kinds: list[str] = field(default_factory=list)  # deterministic order
+    sub_schema: "RecordSchema | None" = None
+
+    def observe_kind(self, kind: str) -> None:
+        if kind not in self.kinds:
+            self.kinds.append(kind)
+
+
+class RecordSchema:
+    """An inferred record schema: ordered optional fields."""
+
+    def __init__(self):
+        self.fields: dict[str, FieldSchema] = {}
+        self._frozen = False
+
+    def observe(self, document: Mapping[str, Any]) -> None:
+        """Fold one document's shape into the schema."""
+        if self._frozen:
+            raise RuntimeError("schema is frozen")
+        for key, value in document.items():
+            if value is None:
+                continue
+            kind = kind_of(value)
+            if key not in self.fields:
+                self.fields[key] = FieldSchema(key, number=len(self.fields) + 1)
+            field_schema = self.fields[key]
+            field_schema.observe_kind(kind)
+            if kind == KIND_RECORD:
+                if field_schema.sub_schema is None:
+                    field_schema.sub_schema = RecordSchema()
+                field_schema.sub_schema.observe(value)
+            elif kind == KIND_ARRAY:
+                for element in value:
+                    if isinstance(element, Mapping):
+                        if field_schema.sub_schema is None:
+                            field_schema.sub_schema = RecordSchema()
+                        field_schema.sub_schema.observe(element)
+
+    def freeze(self) -> "RecordSchema":
+        """Fix field numbering (sorted by name) and recurse; idempotent."""
+        if self._frozen:
+            return self
+        ordered = sorted(self.fields)
+        for number, name in enumerate(ordered, start=1):
+            self.fields[name].number = number
+            if self.fields[name].sub_schema is not None:
+                self.fields[name].sub_schema.freeze()
+        self.fields = {name: self.fields[name] for name in ordered}
+        self._frozen = True
+        return self
+
+    @classmethod
+    def from_documents(cls, documents) -> "RecordSchema":
+        schema = cls()
+        for document in documents:
+            schema.observe(document)
+        return schema.freeze()
+
+    def ordered_fields(self) -> list[FieldSchema]:
+        return list(self.fields.values())
+
+    def __len__(self) -> int:
+        return len(self.fields)

@@ -1,0 +1,40 @@
+"""LEB128 varint and ZigZag helpers shared by the Avro-like and
+Protocol-Buffers-like serializers (Appendix A comparators)."""
+
+from __future__ import annotations
+
+
+def encode_varint(value: int) -> bytes:
+    """Unsigned LEB128."""
+    if value < 0:
+        raise ValueError("encode_varint needs a non-negative integer")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, position: int) -> tuple[int, int]:
+    """Decode an unsigned LEB128 at ``position``; returns (value, next)."""
+    result = 0
+    shift = 0
+    while True:
+        byte = data[position]
+        position += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, position
+        shift += 7
+
+
+def zigzag_encode(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def zigzag_decode(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)

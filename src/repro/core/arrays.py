@@ -1,0 +1,220 @@
+"""Array storage strategies (paper section 4.2).
+
+JSON arrays can be stored three ways, chosen per key by the user according
+to what the array *means*:
+
+``NATIVE``
+    The default: the array stays a value in the column reservoir (or a
+    physical ARRAY column once materialized).  Containment predicates use
+    ``value = ANY(extract_key_array(data, key))``.
+
+``POSITIONAL``
+    For fixed-size, small arrays (Deutsch et al.'s STORED mapping): each
+    position becomes its own physical column ``<key>_0 .. <key>_{n-1}``,
+    so positional and containment predicates reduce to trivial column
+    filters.
+
+``ELEMENT_TABLE``
+    For unordered collections or arrays of nested objects: elements move
+    to a separate relation ``<table>__<key>`` of ``(parent_id, idx,
+    element)`` rows -- or one column per object attribute when elements
+    are homogeneous objects -- so the RDBMS keeps aggregate statistics on
+    the element collection and containment becomes a semi-join.
+
+The :class:`ArrayStorageManager` applies a strategy to already-loaded data
+(scanning the reservoir, building the auxiliary columns/tables, and
+removing the moved arrays from the reservoir) and builds the matching
+containment SQL for each strategy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..rdbms.errors import ExecutionError, PlanningError
+from ..rdbms.storage import Column
+from ..rdbms.types import SqlType
+from .loader import ID_COLUMN, RESERVOIR_COLUMN
+
+
+class ArrayStrategy(enum.Enum):
+    NATIVE = "native"
+    POSITIONAL = "positional"
+    ELEMENT_TABLE = "element_table"
+
+
+@dataclass
+class ArrayConfig:
+    """The applied strategy for one (table, key)."""
+
+    table_name: str
+    key_name: str
+    strategy: ArrayStrategy
+    fixed_size: int | None = None
+    element_table: str | None = None
+    position_columns: tuple[str, ...] = ()
+
+
+class ArrayStorageManager:
+    """Applies and queries the per-key array storage strategies."""
+
+    def __init__(self, sdb):
+        self.sdb = sdb
+        self.configs: dict[tuple[str, str], ArrayConfig] = {}
+
+    # ------------------------------------------------------------------
+    # applying strategies
+    # ------------------------------------------------------------------
+
+    def apply(
+        self,
+        table_name: str,
+        key_name: str,
+        strategy: ArrayStrategy,
+        fixed_size: int | None = None,
+    ) -> ArrayConfig:
+        """Reorganise the storage of one array key."""
+        if strategy is ArrayStrategy.NATIVE:
+            config = ArrayConfig(table_name, key_name, strategy)
+        elif strategy is ArrayStrategy.POSITIONAL:
+            if fixed_size is None or fixed_size <= 0:
+                raise PlanningError(
+                    "POSITIONAL array storage needs a fixed_size > 0"
+                )
+            config = self._apply_positional(table_name, key_name, fixed_size)
+        elif strategy is ArrayStrategy.ELEMENT_TABLE:
+            config = self._apply_element_table(table_name, key_name)
+        else:  # pragma: no cover
+            raise PlanningError(f"unknown strategy {strategy!r}")
+        self.configs[(table_name, key_name)] = config
+        return config
+
+    def _apply_positional(
+        self, table_name: str, key_name: str, fixed_size: int
+    ) -> ArrayConfig:
+        table = self.sdb.db.table(table_name)
+        extractor = self.sdb.extractor
+        names = tuple(f"{key_name}_{index}" for index in range(fixed_size))
+        for name in names:
+            if name not in table.schema:
+                table.add_column(Column(name, SqlType.TEXT))
+        data_position = table.schema.position_of(RESERVOIR_COLUMN)
+        positions = [table.schema.position_of(name) for name in names]
+
+        for rid, row in list(table.scan()):
+            data = row[data_position]
+            if data is None:
+                continue
+            values = extractor.extract_array(data, key_name)
+            if values is None:
+                continue
+            if len(values) > fixed_size:
+                raise ExecutionError(
+                    f"array {key_name!r} has {len(values)} elements; "
+                    f"fixed_size is {fixed_size}"
+                )
+            new_row = list(row)
+            for index, position in enumerate(positions):
+                new_row[position] = (
+                    _element_as_text(values[index]) if index < len(values) else None
+                )
+            new_row[data_position] = extractor.remove_path(
+                data, key_name, SqlType.ARRAY
+            )
+            table.update(rid, tuple(new_row))
+        return ArrayConfig(
+            table_name,
+            key_name,
+            ArrayStrategy.POSITIONAL,
+            fixed_size=fixed_size,
+            position_columns=names,
+        )
+
+    def _apply_element_table(self, table_name: str, key_name: str) -> ArrayConfig:
+        db = self.sdb.db
+        extractor = self.sdb.extractor
+        element_table = f"{table_name}__{_sanitize(key_name)}"
+        if not db.has_table(element_table):
+            db.create_table(
+                element_table,
+                [
+                    ("parent_id", SqlType.INTEGER),
+                    ("idx", SqlType.INTEGER),
+                    ("element", SqlType.TEXT),
+                ],
+            )
+        table = db.table(table_name)
+        data_position = table.schema.position_of(RESERVOIR_COLUMN)
+        id_position = table.schema.position_of(ID_COLUMN)
+
+        element_rows: list[tuple] = []
+        for rid, row in list(table.scan()):
+            data = row[data_position]
+            if data is None:
+                continue
+            values = extractor.extract_array(data, key_name)
+            if values is None:
+                continue
+            parent_id = row[id_position]
+            for index, element in enumerate(values):
+                element_rows.append((parent_id, index, _element_as_text(element)))
+            new_row = list(row)
+            new_row[data_position] = extractor.remove_path(
+                data, key_name, SqlType.ARRAY
+            )
+            table.update(rid, tuple(new_row))
+        db.insert_rows(element_table, element_rows)
+        db.analyze(element_table)
+        return ArrayConfig(
+            table_name,
+            key_name,
+            ArrayStrategy.ELEMENT_TABLE,
+            element_table=element_table,
+        )
+
+    # ------------------------------------------------------------------
+    # containment queries
+    # ------------------------------------------------------------------
+
+    def containment_sql(self, table_name: str, key_name: str, value: str) -> str:
+        """SQL returning ``_id`` of parents whose array contains ``value``,
+        under whichever strategy is configured for the key."""
+        config = self.configs.get(
+            (table_name, key_name),
+            ArrayConfig(table_name, key_name, ArrayStrategy.NATIVE),
+        )
+        escaped = value.replace("'", "''")
+        if config.strategy is ArrayStrategy.NATIVE:
+            return (
+                f"SELECT _id FROM {table_name} "
+                f"WHERE '{escaped}' = ANY(extract_key_array(data, '{key_name}'))"
+            )
+        if config.strategy is ArrayStrategy.POSITIONAL:
+            predicate = " OR ".join(
+                f"{column} = '{escaped}'" for column in config.position_columns
+            )
+            return f"SELECT _id FROM {table_name} WHERE {predicate}"
+        return (
+            f"SELECT DISTINCT t._id FROM {table_name} t, {config.element_table} e "
+            f"WHERE t._id = e.parent_id AND e.element = '{escaped}'"
+        )
+
+    def contains(self, table_name: str, key_name: str, value: str) -> list[int]:
+        """Parent ``_id`` values whose ``key_name`` array contains ``value``."""
+        result = self.sdb.db.execute(self.containment_sql(table_name, key_name, value))
+        return sorted(row[0] for row in result.rows)
+
+
+def _element_as_text(element) -> str | None:
+    if element is None:
+        return None
+    if isinstance(element, bool):
+        return "true" if element else "false"
+    if isinstance(element, bytes):
+        return element.hex()
+    return str(element)
+
+
+def _sanitize(key_name: str) -> str:
+    return "".join(ch if ch.isalnum() else "_" for ch in key_name)

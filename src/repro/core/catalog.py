@@ -1,0 +1,238 @@
+"""Sinew's catalog (paper section 3.1.2).
+
+The catalog has two parts, exactly as in Figure 4:
+
+* a **global attribute dictionary** mapping ``(key_name, key_type)`` pairs
+  -- *attributes* -- to compact integer ids.  The ids are what the
+  serialization format stores, so the dictionary doubles as the
+  dictionary-encoding of key names that makes Sinew's representation the
+  most compact in Table 3;
+* a **per-table catalog** recording, for every attribute seen in a table:
+  its occurrence count, whether it is stored as a physical column or
+  virtually in the column reservoir, and the ``dirty`` flag that marks
+  partially-materialized columns.
+
+The catalog also owns the loader/materializer **latch** ("the materializer
+and loader are not allowed to run concurrently, which we implement via a
+latch in the catalog" -- section 3.1.4).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..rdbms.errors import CatalogError, ConcurrencyError
+from ..rdbms.types import SqlType
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One entry of the global dictionary: an id for a (key, type) pair."""
+
+    attr_id: int
+    key_name: str
+    key_type: SqlType
+
+
+@dataclass
+class ColumnState:
+    """Per-table bookkeeping for one attribute (Figure 4b)."""
+
+    attr_id: int
+    count: int = 0
+    materialized: bool = False
+    dirty: bool = False
+    #: physical column name once materialized (usually the key name; may be
+    #: suffixed on a name/type collision).
+    physical_name: str | None = None
+    #: queries that referenced this attribute since the last analyzer pass
+    #: (the "query patterns" input of section 3.1.3; the rewriter maintains
+    #: it, the analyzer consumes and resets it).
+    access_count: int = 0
+
+    def density(self, n_documents: int) -> float:
+        """Fraction of the table's documents containing this attribute."""
+        if n_documents <= 0:
+            return 0.0
+        return self.count / n_documents
+
+
+@dataclass
+class TableCatalog:
+    """All catalog state for one Sinew table."""
+
+    table_name: str
+    n_documents: int = 0
+    columns: dict[int, ColumnState] = field(default_factory=dict)
+
+    def state(self, attr_id: int) -> ColumnState:
+        if attr_id not in self.columns:
+            self.columns[attr_id] = ColumnState(attr_id)
+        return self.columns[attr_id]
+
+    def dirty_columns(self) -> list[ColumnState]:
+        return [state for state in self.columns.values() if state.dirty]
+
+    def materialized_columns(self) -> list[ColumnState]:
+        return [state for state in self.columns.values() if state.materialized]
+
+
+class SinewCatalog:
+    """Global dictionary + per-table catalogs + the loader latch."""
+
+    def __init__(self):
+        self._attributes: dict[tuple[str, SqlType], Attribute] = {}
+        self._by_id: dict[int, Attribute] = {}
+        self._by_name: dict[str, list[Attribute]] = {}
+        self._next_id = 1
+        self.tables: dict[str, TableCatalog] = {}
+        self._latch = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # global attribute dictionary
+    # ------------------------------------------------------------------
+
+    def attribute_id(self, key_name: str, key_type: SqlType) -> int:
+        """Get-or-create the id of an attribute.
+
+        This is the loader's hot path: "the cost of adding a new attribute
+        to the schema is just the cost to insert the new attribute into the
+        catalog during serialization the first time it appears".
+        """
+        key = (key_name, key_type)
+        attribute = self._attributes.get(key)
+        if attribute is None:
+            attribute = Attribute(self._next_id, key_name, key_type)
+            self._next_id += 1
+            self._attributes[key] = attribute
+            self._by_id[attribute.attr_id] = attribute
+            self._by_name.setdefault(key_name, []).append(attribute)
+        return attribute.attr_id
+
+    def lookup_id(self, key_name: str, key_type: SqlType) -> int | None:
+        """Id of an existing attribute, or None (read-only lookup)."""
+        attribute = self._attributes.get((key_name, key_type))
+        return attribute.attr_id if attribute else None
+
+    def attribute(self, attr_id: int) -> Attribute:
+        if attr_id not in self._by_id:
+            raise CatalogError(f"unknown attribute id: {attr_id}")
+        return self._by_id[attr_id]
+
+    def type_of(self, attr_id: int) -> SqlType:
+        return self.attribute(attr_id).key_type
+
+    def attributes_named(self, key_name: str) -> list[Attribute]:
+        """Every attribute sharing a key name (multi-typed keys)."""
+        return list(self._by_name.get(key_name, ()))
+
+    def known_key(self, key_name: str) -> bool:
+        return key_name in self._by_name
+
+    def all_attributes(self) -> Iterator[Attribute]:
+        return iter(self._by_id.values())
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    # ------------------------------------------------------------------
+    # per-table catalogs
+    # ------------------------------------------------------------------
+
+    def table(self, table_name: str) -> TableCatalog:
+        if table_name not in self.tables:
+            self.tables[table_name] = TableCatalog(table_name)
+        return self.tables[table_name]
+
+    def record_occurrence(self, table_name: str, attr_id: int, count: int = 1) -> None:
+        self.table(table_name).state(attr_id).count += count
+
+    def logical_columns(self, table_name: str) -> list[tuple[str, SqlType, str]]:
+        """The universal-relation view of a table.
+
+        Returns ``(key_name, type, storage)`` triples where storage is
+        ``physical``, ``dirty`` or ``virtual`` -- what the user sees when
+        inspecting the evolving logical schema.
+        """
+        table = self.table(table_name)
+        out: list[tuple[str, SqlType, str]] = []
+        for attr_id, state in sorted(table.columns.items()):
+            attribute = self.attribute(attr_id)
+            if state.materialized and not state.dirty:
+                storage = "physical"
+            elif state.dirty:
+                storage = "dirty"
+            else:
+                storage = "virtual"
+            out.append((attribute.key_name, attribute.key_type, storage))
+        return out
+
+    # ------------------------------------------------------------------
+    # loader / materializer latch
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def exclusive_latch(self, owner: str):
+        """Mutual exclusion between the loader and the materializer."""
+        acquired = self._latch.acquire(blocking=False)
+        if not acquired:
+            raise ConcurrencyError(
+                f"catalog latch is held; {owner} must wait for the other of "
+                "loader/materializer to finish"
+            )
+        try:
+            yield
+        finally:
+            self._latch.release()
+
+    # ------------------------------------------------------------------
+    # reflection into the RDBMS (introspection tables)
+    # ------------------------------------------------------------------
+
+    def sync_to_rdbms(self, db) -> None:
+        """Materialise the catalog as ordinary relations, as Figure 4 shows.
+
+        Creates/refreshes ``_sinew_attributes`` (the global dictionary) and
+        one ``_sinew_catalog_<table>`` relation per Sinew table so users can
+        inspect the catalog with plain SQL.
+        """
+        from ..rdbms.types import SqlType as T
+
+        if db.has_table("_sinew_attributes"):
+            db.table("_sinew_attributes").truncate()
+        else:
+            db.create_table(
+                "_sinew_attributes",
+                [("_id", T.INTEGER), ("key_name", T.TEXT), ("key_type", T.TEXT)],
+            )
+        db.insert_rows(
+            "_sinew_attributes",
+            [
+                (a.attr_id, a.key_name, a.key_type.value)
+                for a in self.all_attributes()
+            ],
+        )
+        for table_name, table in self.tables.items():
+            reflected = f"_sinew_catalog_{table_name}"
+            if db.has_table(reflected):
+                db.table(reflected).truncate()
+            else:
+                db.create_table(
+                    reflected,
+                    [
+                        ("_id", T.INTEGER),
+                        ("count", T.INTEGER),
+                        ("materialized", T.BOOLEAN),
+                        ("dirty", T.BOOLEAN),
+                    ],
+                )
+            db.insert_rows(
+                reflected,
+                [
+                    (state.attr_id, state.count, state.materialized, state.dirty)
+                    for state in table.columns.values()
+                ],
+            )

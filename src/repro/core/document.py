@@ -1,0 +1,113 @@
+"""Document parsing, type inference, and flattening.
+
+Sinew accepts "any data represented as a combination of required, optional,
+nested, and repeated fields" (paper section 3).  This module normalises an
+input document (a JSON string or an already-parsed mapping) into the shapes
+the rest of the system consumes:
+
+* ``parse_document`` -- syntax validation + dict form (the loader's first
+  step);
+* ``infer_sql_type`` -- the JSON-to-SQL type mapping of section 3.2.1
+  (an *attribute* is a (key, type) pair, so the same key name may map to
+  several attributes when values are multi-typed, e.g. NoBench's ``dyn1``);
+* ``flatten`` -- dotted-path flattening of nested objects, producing the
+  logical columns of the universal relation (``user.id`` etc.).  The parent
+  object itself remains a value (paper: "the nested object remains
+  referenceable by the original key").
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator, Mapping
+
+from ..rdbms.errors import ExecutionError
+from ..rdbms.types import SqlType
+
+
+class DocumentError(ExecutionError):
+    """The input is not a valid document (bad JSON, non-object root...)."""
+
+
+def parse_document(document: str | Mapping[str, Any]) -> dict[str, Any]:
+    """Validate and normalise one input document.
+
+    Accepts a JSON text or a mapping.  The root must be an object, because
+    each document becomes one row of the universal relation.
+    """
+    if isinstance(document, str):
+        try:
+            parsed = json.loads(document)
+        except json.JSONDecodeError as error:
+            raise DocumentError(f"invalid JSON: {error}") from None
+    elif isinstance(document, Mapping):
+        parsed = dict(document)
+    else:
+        raise DocumentError(
+            f"document must be a JSON string or mapping, got {type(document).__name__}"
+        )
+    if not isinstance(parsed, dict):
+        raise DocumentError("document root must be a JSON object")
+    for key in parsed:
+        if not isinstance(key, str) or not key:
+            raise DocumentError(f"document keys must be non-empty strings: {key!r}")
+    return parsed
+
+
+def infer_sql_type(value: Any) -> SqlType:
+    """The loader's JSON-value to SQL-type mapping."""
+    if isinstance(value, bool):
+        return SqlType.BOOLEAN
+    if isinstance(value, int):
+        return SqlType.INTEGER
+    if isinstance(value, float):
+        return SqlType.REAL
+    if isinstance(value, str):
+        return SqlType.TEXT
+    if isinstance(value, dict):
+        return SqlType.BYTEA  # nested document (serialized sub-record)
+    if isinstance(value, (list, tuple)):
+        return SqlType.ARRAY
+    if value is None:
+        raise DocumentError("cannot infer a type for null")
+    raise DocumentError(f"unsupported JSON value type: {type(value).__name__}")
+
+
+def flatten(document: Mapping[str, Any], prefix: str = "") -> Iterator[tuple[str, Any]]:
+    """Yield ``(dotted_key, value)`` for every addressable logical column.
+
+    Nested objects contribute both the parent key (with the dict value) and
+    each flattened subkey.  Arrays are left opaque (section 4.2 discusses
+    the storage options for them separately).  ``None`` values are skipped:
+    JSON null is treated as key absence, matching the sparse-data model.
+    """
+    for key, value in document.items():
+        if value is None:
+            continue
+        dotted = f"{prefix}{key}"
+        yield dotted, value
+        if isinstance(value, dict):
+            yield from flatten(value, prefix=f"{dotted}.")
+
+
+def resolve_path(document: Mapping[str, Any], dotted_key: str) -> Any:
+    """Navigate a dotted path through nested dicts; None when absent.
+
+    Longest-key-first semantics: a literal key containing a dot wins over
+    path navigation (``{"a.b": 1}`` resolves ``a.b`` to 1).
+    """
+    if dotted_key in document:
+        return document[dotted_key]
+    head, separator, rest = dotted_key.partition(".")
+    if not separator:
+        return None
+    child = document.get(head)
+    if isinstance(child, dict):
+        return resolve_path(child, rest)
+    return None
+
+
+def document_bytes(document: Mapping[str, Any]) -> int:
+    """Size of the document's canonical JSON text (the 'Original' column of
+    Tables 3 and 4)."""
+    return len(json.dumps(document, separators=(",", ":")).encode("utf-8"))

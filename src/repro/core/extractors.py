@@ -1,0 +1,258 @@
+"""Key-extraction functions over the column reservoir.
+
+These are the UDFs the query rewriter substitutes for virtual-column
+references (paper section 3.2.2)::
+
+    SELECT url, extract_key_text(data, 'owner') FROM webrequests ...
+
+Each function takes the serialized reservoir value and a (possibly dotted)
+key, resolves the key against the global catalog dictionary, and performs
+the O(log n) random-access extraction of section 4.1.  Type handling
+follows the paper:
+
+* the extraction is *typed*: ``extract_key_num`` applied to a key that maps
+  to both integers and strings returns the numeric values and NULL for the
+  strings -- "rather than throwing an exception for type mismatches ... it
+  will instead selectively extract the integer values and return NULL";
+* with no type context (a bare projection) ``extract_key_any`` returns the
+  value "downcast to a string type".
+
+Dotted keys navigate nested sub-documents: the serializer stores every
+level's attributes under their *full* dotted names, so navigation extracts
+the longest nested-document prefix and recurses.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from ..rdbms.database import Database
+from ..rdbms.types import SqlType
+from . import serializer
+from .catalog import SinewCatalog
+
+
+class ReservoirExtractor:
+    """Catalog-aware extraction over serialized reservoir values."""
+
+    def __init__(self, catalog: SinewCatalog):
+        self.catalog = catalog
+
+    # -- core navigation ----------------------------------------------------
+
+    def extract_typed(self, data: bytes | None, key: str, sql_type: SqlType) -> Any:
+        """Extract ``key`` as ``sql_type``; None when absent or mistyped.
+
+        A stored attribute's value is never NULL (the serializer encodes
+        absence by omission), so a None from ``extract`` means "absent at
+        this level" and navigation can proceed without a separate
+        existence probe.
+        """
+        if data is None:
+            return None
+        if "." in key:
+            # dotted keys almost always live inside a nested document;
+            # navigate the parent chain first, then fall back to a literal
+            # dotted key stored at this level
+            value = self._descend(
+                data, key, lambda sub: self.extract_typed(sub, key, sql_type)
+            )
+            if value is not None:
+                return value
+        attr_id = self.catalog.lookup_id(key, sql_type)
+        if attr_id is None:
+            return None
+        return serializer.extract(data, attr_id, sql_type)
+
+    def _descend(self, data: bytes, key: str, continuation: Callable[[bytes], Any]) -> Any:
+        """Navigate into the longest nested-document prefix of ``key``."""
+        parts = key.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:split])
+            parent_id = self.catalog.lookup_id(prefix, SqlType.BYTEA)
+            if parent_id is not None and serializer.has_attribute(data, parent_id):
+                sub_document = serializer.extract(data, parent_id, SqlType.BYTEA)
+                return continuation(sub_document)
+        return None
+
+    def exists(self, data: bytes | None, key: str) -> bool:
+        """Key-existence check (any type) without decoding the value."""
+        if data is None:
+            return False
+        for attribute in self.catalog.attributes_named(key):
+            if serializer.has_attribute(data, attribute.attr_id):
+                return True
+        result = self._descend(data, key, lambda sub: self.exists(sub, key))
+        return bool(result)
+
+    # -- typed entry points (the registered UDFs) ---------------------------
+
+    def extract_text(self, data: bytes | None, key: str) -> str | None:
+        return self.extract_typed(data, key, SqlType.TEXT)
+
+    def extract_int(self, data: bytes | None, key: str) -> int | None:
+        return self.extract_typed(data, key, SqlType.INTEGER)
+
+    def extract_real(self, data: bytes | None, key: str) -> float | None:
+        return self.extract_typed(data, key, SqlType.REAL)
+
+    def extract_num(self, data: bytes | None, key: str) -> int | float | None:
+        """Numeric extraction: integer attribute first, then real."""
+        value = self.extract_typed(data, key, SqlType.INTEGER)
+        if value is not None:
+            return value
+        return self.extract_typed(data, key, SqlType.REAL)
+
+    def extract_bool(self, data: bytes | None, key: str) -> bool | None:
+        return self.extract_typed(data, key, SqlType.BOOLEAN)
+
+    def extract_array(self, data: bytes | None, key: str) -> list | None:
+        return self.extract_typed(data, key, SqlType.ARRAY)
+
+    def extract_doc(self, data: bytes | None, key: str) -> bytes | None:
+        return self.extract_typed(data, key, SqlType.BYTEA)
+
+    def extract_any(self, data: bytes | None, key: str) -> str | None:
+        """Untyped extraction; non-text values are downcast to text."""
+        if data is None:
+            return None
+        for attribute in self.catalog.attributes_named(key):
+            if serializer.has_attribute(data, attribute.attr_id):
+                value = serializer.extract(data, attribute.attr_id, attribute.key_type)
+                return self._downcast(value, attribute.key_type)
+        return self._descend(data, key, lambda sub: self.extract_any(sub, key))
+
+    def _downcast(self, value: Any, sql_type: SqlType) -> str | None:
+        if value is None:
+            return None
+        if sql_type is SqlType.TEXT:
+            return value
+        if sql_type is SqlType.BOOLEAN:
+            return "true" if value else "false"
+        if sql_type is SqlType.BYTEA:
+            return json.dumps(self.to_dict(value), sort_keys=True)
+        if sql_type is SqlType.ARRAY:
+            return json.dumps(self._array_to_plain(value))
+        return str(value)
+
+    # -- whole-document reconstruction ---------------------------------------
+
+    def to_dict(self, data: bytes | None, prefix: str = "") -> dict[str, Any]:
+        """Rebuild the original (nested) document from the reservoir."""
+        if data is None:
+            return {}
+        out: dict[str, Any] = {}
+        for attr_id, raw in serializer.iterate(data):
+            attribute = self.catalog.attribute(attr_id)
+            local_name = attribute.key_name[len(prefix):]
+            if attribute.key_type is SqlType.BYTEA:
+                out[local_name] = self.to_dict(
+                    bytes(raw), prefix=attribute.key_name + "."
+                )
+            else:
+                value = serializer.decode_value(raw, attribute.key_type)
+                if attribute.key_type is SqlType.ARRAY:
+                    value = self._array_to_plain(
+                        value, prefix=attribute.key_name + "."
+                    )
+                out[local_name] = value
+        return out
+
+    def _array_to_plain(self, values: list, prefix: str = "") -> list:
+        """Decode nested sub-documents stored inside arrays.
+
+        Object elements were serialized under the array key's dotted
+        prefix, which must be stripped when rebuilding them.
+        """
+        out = []
+        for element in values:
+            if isinstance(element, bytes):
+                out.append(self.to_dict(element, prefix=prefix))
+            elif isinstance(element, list):
+                out.append(self._array_to_plain(element, prefix=prefix))
+            else:
+                out.append(element)
+        return out
+
+    def to_json(self, data: bytes | None) -> str | None:
+        if data is None:
+            return None
+        return json.dumps(self.to_dict(data), sort_keys=True)
+
+    # -- reservoir mutation (materializer / UPDATE support) ------------------
+
+    def remove_path(self, data: bytes, key: str, sql_type: SqlType) -> bytes:
+        """Remove a (possibly nested) attribute from a serialized document."""
+        attr_id = self.catalog.lookup_id(key, sql_type)
+        if attr_id is not None and serializer.has_attribute(data, attr_id):
+            return serializer.remove_attribute(data, attr_id, self.catalog.type_of)
+        rewritten = self._rewrite_parent(
+            data, key, lambda sub: self.remove_path(sub, key, sql_type)
+        )
+        return rewritten if rewritten is not None else data
+
+    def set_path(self, data: bytes, key: str, sql_type: SqlType, value: Any) -> bytes:
+        """Set (or clear, when value is None) an attribute in a document.
+
+        For dotted keys the nested parent document must already exist; a
+        missing parent leaves the document unchanged except for top-level
+        keys, which are created on demand.
+        """
+        attr_id = self.catalog.attribute_id(key, sql_type)
+        if "." not in key or serializer.has_attribute(data, attr_id):
+            return serializer.add_attribute(
+                data, attr_id, sql_type, value, self.catalog.type_of
+            )
+        rewritten = self._rewrite_parent(
+            data, key, lambda sub: self.set_path(sub, key, sql_type, value)
+        )
+        if rewritten is not None:
+            return rewritten
+        return serializer.add_attribute(
+            data, attr_id, sql_type, value, self.catalog.type_of
+        )
+
+    def _rewrite_parent(
+        self, data: bytes, key: str, transform: Callable[[bytes], bytes]
+    ) -> bytes | None:
+        """Apply ``transform`` to the nested document owning ``key`` and
+        re-serialize the chain of parents; None when no parent exists."""
+        parts = key.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:split])
+            parent_id = self.catalog.lookup_id(prefix, SqlType.BYTEA)
+            if parent_id is not None and serializer.has_attribute(data, parent_id):
+                sub_document = serializer.extract(data, parent_id, SqlType.BYTEA)
+                new_sub = transform(sub_document)
+                return serializer.add_attribute(
+                    data, parent_id, SqlType.BYTEA, new_sub, self.catalog.type_of
+                )
+        return None
+
+
+#: Map from an expected SQL type to the UDF name the rewriter emits.
+EXTRACT_FUNCTION_FOR_TYPE = {
+    SqlType.TEXT: "extract_key_text",
+    SqlType.INTEGER: "extract_key_num",
+    SqlType.REAL: "extract_key_num",
+    SqlType.BOOLEAN: "extract_key_bool",
+    SqlType.ARRAY: "extract_key_array",
+    SqlType.BYTEA: "extract_key_doc",
+    None: "extract_key_any",
+}
+
+
+def register_extraction_udfs(db: Database, extractor: ReservoirExtractor) -> None:
+    """Register Sinew's extraction functions on the underlying RDBMS,
+    exactly as the prototype installs its UDF extension (paper section 5)."""
+    db.create_function("extract_key_text", extractor.extract_text, SqlType.TEXT)
+    db.create_function("extract_key_int", extractor.extract_int, SqlType.INTEGER)
+    db.create_function("extract_key_real", extractor.extract_real, SqlType.REAL)
+    db.create_function("extract_key_num", extractor.extract_num, SqlType.REAL)
+    db.create_function("extract_key_bool", extractor.extract_bool, SqlType.BOOLEAN)
+    db.create_function("extract_key_array", extractor.extract_array, SqlType.ARRAY)
+    db.create_function("extract_key_doc", extractor.extract_doc, SqlType.BYTEA)
+    db.create_function("extract_key_any", extractor.extract_any, SqlType.TEXT)
+    db.create_function("sinew_exists", extractor.exists, SqlType.BOOLEAN)
+    db.create_function("sinew_to_json", extractor.to_json, SqlType.TEXT)

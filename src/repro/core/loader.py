@@ -1,0 +1,144 @@
+"""Sinew's bulk loader (paper section 3.2.1).
+
+A load is two steps:
+
+1. **Serialization** -- each document is parsed and syntax-checked, its
+   keys are type-inferred and registered in the global catalog dictionary
+   (get-or-create of attribute ids), per-table occurrence counts are
+   accumulated, and the document is serialized into the reservoir format.
+2. **Insertion** -- every serialized document goes into the column
+   reservoir *regardless of the current physical schema*; physical columns
+   of the row are NULL.  Affected materialized columns are then flagged
+   dirty so the column materializer will move the newly loaded values into
+   their physical columns in the background.
+
+The loader takes the catalog latch, so it can never run concurrently with
+the materializer (section 3.1.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..rdbms.database import Database
+from ..rdbms.types import SqlType
+from . import serializer
+from .catalog import SinewCatalog
+from .document import infer_sql_type, parse_document
+
+#: Fixed physical columns every Sinew table starts with.
+ID_COLUMN = "_id"
+RESERVOIR_COLUMN = "data"
+
+
+@dataclass
+class LoadReport:
+    """Summary of one bulk load."""
+
+    n_documents: int = 0
+    serialized_bytes: int = 0
+    new_attributes: int = 0
+    dirtied_columns: list[str] = field(default_factory=list)
+
+
+class SinewLoader:
+    """Serializes documents and appends them to a Sinew table."""
+
+    def __init__(self, db: Database, catalog: SinewCatalog):
+        self.db = db
+        self.catalog = catalog
+
+    def serialize_document(
+        self,
+        document: Mapping[str, Any],
+        prefix: str = "",
+        counts: dict[int, int] | None = None,
+    ) -> bytes:
+        """Serialize one parsed document into the reservoir format.
+
+        Nested objects are recursively serialized; every nesting level's
+        attributes are registered under their full dotted key names, so the
+        catalog dictionary covers the whole flattened logical schema.
+
+        When ``counts`` is given, each registered attribute's occurrence is
+        tallied there (the loader's statistics pass, folded into
+        serialization so the document is walked only once).
+        """
+        triples: list[tuple[int, SqlType, Any]] = []
+        for key, value in document.items():
+            if value is None:
+                continue  # JSON null == key absence in the sparse model
+            dotted = f"{prefix}{key}"
+            sql_type = infer_sql_type(value)
+            attr_id = self.catalog.attribute_id(dotted, sql_type)
+            if counts is not None:
+                counts[attr_id] = counts.get(attr_id, 0) + 1
+            if sql_type is SqlType.BYTEA:
+                value = self.serialize_document(value, prefix=f"{dotted}.", counts=counts)
+            elif sql_type is SqlType.ARRAY:
+                value = self._normalise_array(value, dotted)
+            triples.append((attr_id, sql_type, value))
+        return serializer.serialize(triples)
+
+    def _normalise_array(self, values: Iterable[Any], dotted: str) -> list[Any]:
+        """Serialize dict elements inside arrays as nested documents."""
+        out: list[Any] = []
+        for element in values:
+            if isinstance(element, dict):
+                out.append(self.serialize_document(element, prefix=f"{dotted}."))
+            else:
+                out.append(element)
+        return out
+
+    def load(
+        self,
+        table_name: str,
+        documents: Iterable[str | Mapping[str, Any]],
+    ) -> LoadReport:
+        """Bulk-load documents into ``table_name``.
+
+        The table must already exist with at least the ``(_id, data)``
+        physical columns (``SinewDB.create_collection`` sets this up).
+        """
+        report = LoadReport()
+        table = self.db.table(table_name)
+        table_catalog = self.catalog.table(table_name)
+        schema = table.schema
+        n_physical = len(schema)
+        id_position = schema.position_of(ID_COLUMN)
+        data_position = schema.position_of(RESERVOIR_COLUMN)
+        attributes_before = len(self.catalog)
+
+        with self.catalog.exclusive_latch("loader"):
+            rows: list[tuple] = []
+            counts: dict[int, int] = {}
+            next_id = table_catalog.n_documents
+            for raw_document in documents:
+                document = parse_document(raw_document)
+                serialized = self.serialize_document(document, counts=counts)
+                row = [None] * n_physical
+                row[id_position] = next_id
+                row[data_position] = serialized
+                rows.append(tuple(row))
+                next_id += 1
+                report.n_documents += 1
+                report.serialized_bytes += len(serialized)
+            for attr_id, occurrences in counts.items():
+                table_catalog.state(attr_id).count += occurrences
+            self.db.insert_rows(table_name, rows)
+            table_catalog.n_documents = next_id
+
+            # Newly loaded values live only in the reservoir: every
+            # materialized column is now dirty until the materializer
+            # catches up (section 3.2.1).
+            if report.n_documents:
+                for state in table_catalog.materialized_columns():
+                    if not state.dirty:
+                        state.dirty = True
+                    report.dirtied_columns.append(
+                        self.catalog.attribute(state.attr_id).key_name
+                    )
+
+        report.new_attributes = len(self.catalog) - attributes_before
+        return report

@@ -1,0 +1,222 @@
+"""The column materializer (paper section 3.1.4).
+
+Maintains the dynamic physical schema by moving attribute values between
+the column reservoir and physical columns.  Design requirements carried
+over from the paper:
+
+* **Incremental and interruptible** -- materialization proceeds row by
+  row; ``step(max_rows)`` can stop at any point and resume later, so the
+  process can yield to foreground queries.  A partially moved column is
+  *dirty*, and the query rewriter wraps it in ``COALESCE(physical,
+  extract(...))`` until the move completes.
+* **Per-row atomicity** -- each row move is one atomic update (a
+  transaction here), but the materialization as a whole is not a
+  transaction.
+* **Mutual exclusion with the loader** -- via the catalog latch, so that
+  once the row cursor reaches the end of the table every value is in its
+  correct location and the dirty bit can be cleared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..rdbms.database import Database
+from ..rdbms.errors import CatalogError
+from ..rdbms.storage import Column
+from ..rdbms.types import SqlType
+from .catalog import ColumnState, SinewCatalog
+from .extractors import ReservoirExtractor
+from .loader import ID_COLUMN, RESERVOIR_COLUMN
+
+
+@dataclass
+class MaterializerReport:
+    """Progress accounting for materializer activity."""
+
+    rows_examined: int = 0
+    rows_moved: int = 0
+    columns_completed: list[str] = field(default_factory=list)
+
+
+class ColumnMaterializer:
+    """Moves data between the reservoir and physical columns."""
+
+    def __init__(self, db: Database, catalog: SinewCatalog, extractor: ReservoirExtractor):
+        self.db = db
+        self.catalog = catalog
+        self.extractor = extractor
+        #: Resume cursors: (table, attr_id) -> next rid to examine.
+        self._cursors: dict[tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def pending(self, table_name: str) -> list[ColumnState]:
+        """Dirty columns of a table, in attribute-id order."""
+        return sorted(
+            self.catalog.table(table_name).dirty_columns(), key=lambda s: s.attr_id
+        )
+
+    def step(self, table_name: str, max_rows: int = 1000) -> MaterializerReport:
+        """Process up to ``max_rows`` row-moves, then stop.
+
+        Works on one dirty column at a time (lowest attribute id first).
+        Returns a report; when no dirty column remains the report is empty.
+        """
+        report = MaterializerReport()
+        with self.catalog.exclusive_latch("materializer"):
+            budget = max_rows
+            for state in self.pending(table_name):
+                if budget <= 0:
+                    break
+                budget -= self._process_column(table_name, state, budget, report)
+        return report
+
+    def run_to_completion(self, table_name: str, batch_rows: int = 10000) -> MaterializerReport:
+        """Loop :meth:`step` until no dirty columns remain."""
+        total = MaterializerReport()
+        while True:
+            report = self.step(table_name, batch_rows)
+            total.rows_examined += report.rows_examined
+            total.rows_moved += report.rows_moved
+            total.columns_completed.extend(report.columns_completed)
+            if not report.rows_examined and not report.columns_completed:
+                break
+        return total
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _process_column(
+        self,
+        table_name: str,
+        state: ColumnState,
+        budget: int,
+        report: MaterializerReport,
+    ) -> int:
+        """Advance one dirty column by up to ``budget`` rows; returns the
+        number of rows examined."""
+        attribute = self.catalog.attribute(state.attr_id)
+        table = self.db.table(table_name)
+
+        if state.materialized:
+            self._ensure_physical_column(table_name, state)
+        physical_name = state.physical_name
+        if physical_name is None or physical_name not in table.schema:
+            if state.materialized:
+                raise CatalogError(
+                    f"column {attribute.key_name!r} marked materialized but has "
+                    "no physical column"
+                )
+            # Dematerialization finished earlier and column was dropped.
+            state.dirty = False
+            return 0
+
+        data_position = table.schema.position_of(RESERVOIR_COLUMN)
+        column_position = table.schema.position_of(physical_name)
+        cursor_key = (table_name, state.attr_id)
+        cursor = self._cursors.get(cursor_key, 0)
+        examined = 0
+        n_rids = self._max_rid(table)
+
+        while cursor < n_rids and examined < budget:
+            row = table.fetch(cursor)
+            examined += 1
+            if row is not None:
+                moved = self._move_row_value(
+                    table, cursor, row, state, attribute.key_type,
+                    data_position, column_position,
+                )
+                if moved:
+                    report.rows_moved += 1
+            cursor += 1
+        self._cursors[cursor_key] = cursor
+        report.rows_examined += examined
+
+        if cursor >= n_rids:
+            # Cursor reached the end under the latch: the column is clean.
+            self._finish_column(table_name, state, attribute.key_name)
+            report.columns_completed.append(attribute.key_name)
+            del self._cursors[cursor_key]
+        return examined
+
+    def _move_row_value(
+        self,
+        table,
+        rid: int,
+        row: tuple,
+        state: ColumnState,
+        key_type: SqlType,
+        data_position: int,
+        column_position: int,
+    ) -> bool:
+        """Move one row's value to its correct location (atomic update)."""
+        attribute = self.catalog.attribute(state.attr_id)
+        data = row[data_position]
+        if state.materialized:
+            if data is None:
+                return False
+            value = self.extractor.extract_typed(data, attribute.key_name, key_type)
+            if value is None:
+                return False
+            new_data = self.extractor.remove_path(data, attribute.key_name, key_type)
+            new_row = list(row)
+            new_row[data_position] = new_data
+            new_row[column_position] = value
+        else:
+            value = row[column_position]
+            if value is None:
+                return False
+            if data is None:
+                from . import serializer
+
+                data = serializer.serialize([])
+            new_data = self.extractor.set_path(
+                data, attribute.key_name, key_type, value
+            )
+            new_row = list(row)
+            new_row[data_position] = new_data
+            new_row[column_position] = None
+        with self.db.txn_manager.autocommit() as txn:
+            old = table.update(rid, tuple(new_row))
+            txn.log_update(
+                table.name,
+                rid,
+                table.tuple_bytes(tuple(new_row)),
+                undo=lambda rid=rid, old=old: table.update(rid, old),
+            )
+        return True
+
+    def _finish_column(self, table_name: str, state: ColumnState, key_name: str) -> None:
+        state.dirty = False
+        if not state.materialized and state.physical_name:
+            # Dematerialization complete: drop the now-empty physical column.
+            self.db.table(table_name).drop_column(state.physical_name)
+            state.physical_name = None
+
+    def _ensure_physical_column(self, table_name: str, state: ColumnState) -> None:
+        """ALTER TABLE ADD COLUMN for a newly materialized attribute."""
+        table = self.db.table(table_name)
+        if state.physical_name and state.physical_name in table.schema:
+            return
+        attribute = self.catalog.attribute(state.attr_id)
+        name = attribute.key_name
+        if name in (ID_COLUMN, RESERVOIR_COLUMN) or name in table.schema:
+            name = f"{name}__{attribute.key_type.value}"
+        if name in table.schema:
+            raise CatalogError(f"cannot allocate physical column name for {name!r}")
+        column_type = (
+            SqlType.BYTEA
+            if attribute.key_type is SqlType.BYTEA
+            else attribute.key_type
+        )
+        table.add_column(Column(name, column_type))
+        state.physical_name = name
+
+    @staticmethod
+    def _max_rid(table) -> int:
+        """Upper bound of allocated row ids (the row-cursor horizon)."""
+        return table.allocated_rids

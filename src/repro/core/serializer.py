@@ -1,0 +1,305 @@
+"""Sinew's custom binary serialization format (paper section 4.1).
+
+Layout of one serialized document::
+
+    +-----------+---------------------+--------------------+-------+------+
+    | n_attrs   | attr ids (sorted)   | value offsets      | len   | body |
+    | uint32    | n_attrs x uint32    | n_attrs x uint32   | u32   | ...  |
+    +-----------+---------------------+--------------------+-------+------+
+
+* attribute ids come from the global catalog dictionary and are stored
+  **sorted**, so key lookup is a binary search (O(log n)); the paper keeps
+  ids and offsets in two separate runs to maximise cache locality of the
+  binary search, which this layout preserves;
+* ``offsets[i]`` is the byte offset of attribute i's value within the body;
+  the value's length is ``offsets[i+1] - offsets[i]`` (or ``len -
+  offsets[i]`` for the last attribute), so no per-value length words are
+  needed;
+* the body holds type-dependent binary encodings; nested objects are
+  recursively serialized documents, giving the "nested object is itself a
+  serialized data column" behaviour of section 6.1.
+
+Value encodings
+---------------
+========  =====================================================
+INTEGER   8-byte signed little-endian
+REAL      8-byte IEEE-754 double
+BOOLEAN   1 byte (0/1)
+TEXT      UTF-8 bytes
+BYTEA     nested serialized document (or raw bytes)
+ARRAY     u32 count, then per element: u8 type tag, u32 byte
+          length, encoded element
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left
+from typing import Any, Iterator, Sequence
+
+from ..rdbms.errors import ExecutionError
+from ..rdbms.types import SqlType
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+#: One-byte tags used inside ARRAY bodies (arrays are heterogeneous in
+#: JSON, so elements are self-describing).
+_TAG_NULL = 0
+_TAG_INT = 1
+_TAG_REAL = 2
+_TAG_BOOL = 3
+_TAG_TEXT = 4
+_TAG_DOC = 5
+_TAG_ARRAY = 6
+
+_TAG_OF_TYPE = {
+    SqlType.INTEGER: _TAG_INT,
+    SqlType.REAL: _TAG_REAL,
+    SqlType.BOOLEAN: _TAG_BOOL,
+    SqlType.TEXT: _TAG_TEXT,
+    SqlType.BYTEA: _TAG_DOC,
+    SqlType.ARRAY: _TAG_ARRAY,
+}
+
+
+def encode_value(value: Any, sql_type: SqlType) -> bytes:
+    """Encode one non-NULL value with its catalog-declared type."""
+    if sql_type is SqlType.INTEGER:
+        return _I64.pack(value)
+    if sql_type is SqlType.REAL:
+        return _F64.pack(value)
+    if sql_type is SqlType.BOOLEAN:
+        return b"\x01" if value else b"\x00"
+    if sql_type is SqlType.TEXT:
+        return value.encode("utf-8")
+    if sql_type is SqlType.BYTEA:
+        return bytes(value)
+    if sql_type is SqlType.ARRAY:
+        return encode_array(value)
+    raise ExecutionError(f"cannot serialize type {sql_type}")
+
+
+def decode_value(data: bytes, sql_type: SqlType) -> Any:
+    """Decode one value previously produced by :func:`encode_value`."""
+    if sql_type is SqlType.INTEGER:
+        return _I64.unpack(data)[0]
+    if sql_type is SqlType.REAL:
+        return _F64.unpack(data)[0]
+    if sql_type is SqlType.BOOLEAN:
+        return data != b"\x00"
+    if sql_type is SqlType.TEXT:
+        return data.decode("utf-8")
+    if sql_type is SqlType.BYTEA:
+        return bytes(data)
+    if sql_type is SqlType.ARRAY:
+        return decode_array(data)
+    raise ExecutionError(f"cannot deserialize type {sql_type}")
+
+
+def encode_array(values: Sequence[Any]) -> bytes:
+    """Self-describing array encoding (heterogeneous elements allowed)."""
+    parts = [_U32.pack(len(values))]
+    for element in values:
+        if element is None:
+            parts.append(bytes([_TAG_NULL]))
+            parts.append(_U32.pack(0))
+            continue
+        if isinstance(element, bool):
+            tag, encoded = _TAG_BOOL, (b"\x01" if element else b"\x00")
+        elif isinstance(element, int):
+            tag, encoded = _TAG_INT, _I64.pack(element)
+        elif isinstance(element, float):
+            tag, encoded = _TAG_REAL, _F64.pack(element)
+        elif isinstance(element, str):
+            tag, encoded = _TAG_TEXT, element.encode("utf-8")
+        elif isinstance(element, (bytes, bytearray)):
+            tag, encoded = _TAG_DOC, bytes(element)
+        elif isinstance(element, (list, tuple)):
+            tag, encoded = _TAG_ARRAY, encode_array(element)
+        else:
+            raise ExecutionError(
+                f"cannot serialize array element of type {type(element).__name__}"
+            )
+        parts.append(bytes([tag]))
+        parts.append(_U32.pack(len(encoded)))
+        parts.append(encoded)
+    return b"".join(parts)
+
+
+def decode_array(data: bytes) -> list[Any]:
+    (count,) = _U32.unpack_from(data, 0)
+    position = 4
+    out: list[Any] = []
+    for _ in range(count):
+        tag = data[position]
+        (length,) = _U32.unpack_from(data, position + 1)
+        start = position + 5
+        chunk = data[start : start + length]
+        position = start + length
+        if tag == _TAG_NULL:
+            out.append(None)
+        elif tag == _TAG_INT:
+            out.append(_I64.unpack(chunk)[0])
+        elif tag == _TAG_REAL:
+            out.append(_F64.unpack(chunk)[0])
+        elif tag == _TAG_BOOL:
+            out.append(chunk != b"\x00")
+        elif tag == _TAG_TEXT:
+            out.append(chunk.decode("utf-8"))
+        elif tag == _TAG_DOC:
+            out.append(bytes(chunk))
+        elif tag == _TAG_ARRAY:
+            out.append(decode_array(chunk))
+        else:
+            raise ExecutionError(f"corrupt array: unknown tag {tag}")
+    return out
+
+
+def serialize(attributes: Sequence[tuple[int, SqlType, Any]]) -> bytes:
+    """Serialize a document given ``(attr_id, type, value)`` triples.
+
+    NULL-valued attributes are *omitted entirely* -- absence is encoded by
+    absence, which is where the format's space advantage over Avro comes
+    from (Appendix A).  Attribute ids must be unique; they are sorted here.
+    """
+    present = [(aid, t, v) for aid, t, v in attributes if v is not None]
+    present.sort(key=lambda item: item[0])
+    n = len(present)
+    encoded = [encode_value(value, sql_type) for _aid, sql_type, value in present]
+
+    header = bytearray()
+    header += _U32.pack(n)
+    for aid, _t, _v in present:
+        header += _U32.pack(aid)
+    offset = 0
+    for chunk in encoded:
+        header += _U32.pack(offset)
+        offset += len(chunk)
+    header += _U32.pack(offset)  # total body length
+    return bytes(header) + b"".join(encoded)
+
+
+def attribute_count(data: bytes) -> int:
+    return _U32.unpack_from(data, 0)[0]
+
+
+def attribute_ids(data: bytes) -> list[int]:
+    """The sorted attribute ids present in a serialized document."""
+    n = attribute_count(data)
+    return list(struct.unpack_from(f"<{n}I", data, 4)) if n else []
+
+
+def has_attribute(data: bytes, attr_id: int) -> bool:
+    """Key-existence test: binary search over the header only.
+
+    This is the fast path the paper contrasts with BSON, where existence
+    checks still walk the record.
+    """
+    n = _U32.unpack_from(data, 0)[0]
+    if n == 0:
+        return False
+    ids = struct.unpack_from(f"<{n}I", data, 4)
+    position = bisect_left(ids, attr_id)
+    return position < n and ids[position] == attr_id
+
+
+def extract(data: bytes, attr_id: int, sql_type: SqlType) -> Any:
+    """Random-access extraction of one attribute; None when absent.
+
+    Cost is O(log n) in the number of attributes: one binary search in the
+    id run, one offset lookup, one slice decode.
+    """
+    n = _U32.unpack_from(data, 0)[0]
+    if n == 0:
+        return None
+    ids = struct.unpack_from(f"<{n}I", data, 4)
+    position = bisect_left(ids, attr_id)
+    if position >= n or ids[position] != attr_id:
+        return None
+    offsets_base = 4 + 4 * n
+    start_offset, end_offset = struct.unpack_from(
+        "<II", data, offsets_base + 4 * position
+    )
+    body_base = offsets_base + 4 * (n + 1)
+    return decode_value(
+        data[body_base + start_offset : body_base + end_offset], sql_type
+    )
+
+
+def extract_many(
+    data: bytes, wanted: Sequence[tuple[int, SqlType]]
+) -> list[Any]:
+    """Extract several attributes from one document (amortises the header
+    unpack across keys, as Appendix A's 10-key task does)."""
+    n = _U32.unpack_from(data, 0)[0]
+    if n == 0:
+        return [None] * len(wanted)
+    ids = struct.unpack_from(f"<{n}I", data, 4)
+    offsets_base = 4 + 4 * n
+    offsets = struct.unpack_from(f"<{n + 1}I", data, offsets_base)
+    body_base = offsets_base + 4 * (n + 1)
+    out: list[Any] = []
+    for attr_id, sql_type in wanted:
+        position = bisect_left(ids, attr_id)
+        if position >= n or ids[position] != attr_id:
+            out.append(None)
+            continue
+        start, end = offsets[position], offsets[position + 1]
+        out.append(decode_value(data[body_base + start : body_base + end], sql_type))
+    return out
+
+
+def iterate(data: bytes) -> Iterator[tuple[int, bytes]]:
+    """Yield ``(attr_id, raw_value_bytes)`` pairs (deserialization path)."""
+    n = _U32.unpack_from(data, 0)[0]
+    if n == 0:
+        return
+    ids = struct.unpack_from(f"<{n}I", data, 4)
+    offsets_base = 4 + 4 * n
+    offsets = struct.unpack_from(f"<{n + 1}I", data, offsets_base)
+    body_base = offsets_base + 4 * (n + 1)
+    for index in range(n):
+        yield ids[index], data[
+            body_base + offsets[index] : body_base + offsets[index + 1]
+        ]
+
+
+def remove_attribute(data: bytes, attr_id: int, sql_type_of) -> bytes:
+    """Return a copy of the document without ``attr_id``.
+
+    ``sql_type_of`` maps attr_id -> SqlType (the catalog dictionary).  Used
+    by the column materializer when moving a value out of the reservoir
+    into a physical column.
+    """
+    kept: list[tuple[int, SqlType, Any]] = []
+    for aid, raw in iterate(data):
+        if aid == attr_id:
+            continue
+        sql_type = sql_type_of(aid)
+        kept.append((aid, sql_type, decode_value(raw, sql_type)))
+    return serialize(kept)
+
+
+def add_attribute(data: bytes, attr_id: int, sql_type: SqlType, value: Any, sql_type_of) -> bytes:
+    """Return a copy of the document with ``attr_id`` set to ``value``.
+
+    Used by the materializer when dematerializing a physical column back
+    into the reservoir, and by Sinew's UPDATE path for virtual columns.
+    """
+    kept: list[tuple[int, SqlType, Any]] = []
+    for aid, raw in iterate(data):
+        if aid == attr_id:
+            continue
+        existing_type = sql_type_of(aid)
+        kept.append((aid, existing_type, decode_value(raw, existing_type)))
+    if value is not None:
+        kept.append((attr_id, sql_type, value))
+    return serialize(kept)
+
+
+def serialized_size(data: bytes) -> int:
+    """Total byte size of a serialized document (Table 3 / 4 metric)."""
+    return len(data)

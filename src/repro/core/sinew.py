@@ -1,0 +1,575 @@
+"""``SinewDB`` -- the complete system facade.
+
+Wires together every component of Figure 1: the underlying RDBMS, the
+catalog, the loader, the schema analyzer, the column materializer, the
+query rewriter, and the optional inverted text index.  A typical session::
+
+    from repro.core import SinewDB
+
+    sdb = SinewDB("demo")
+    sdb.create_collection("webrequests")
+    sdb.load("webrequests", [{"url": "www.sample-site.com", "hits": 22}])
+    sdb.query("SELECT url FROM webrequests WHERE hits > 20")
+
+Users only ever see the logical universal relation; the physical hybrid
+schema (which attributes are materialized, which are dirty mid-move) is
+invisible except through :meth:`logical_schema`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from ..rdbms.database import Database, DatabaseConfig, QueryResult
+from ..rdbms.errors import CatalogError, PlanningError
+from ..rdbms.expressions import Star
+from ..rdbms.sql.ast import (
+    DeleteStatement,
+    SelectItem,
+    SelectStatement,
+    UpdateStatement,
+)
+from ..rdbms.sql.parser import parse
+from ..rdbms.types import SqlType
+from .catalog import SinewCatalog
+from .extractors import ReservoirExtractor, register_extraction_udfs
+from .loader import ID_COLUMN, RESERVOIR_COLUMN, LoadReport, SinewLoader
+from .materializer import ColumnMaterializer, MaterializerReport
+from .rewriter import QueryRewriter
+from .schema_analyzer import (
+    AnalyzerReport,
+    MaterializationPolicy,
+    SchemaAnalyzer,
+)
+from .text_index import InvertedTextIndex
+
+
+@dataclass
+class SinewConfig:
+    """Configuration for a :class:`SinewDB` instance."""
+
+    database: DatabaseConfig = field(default_factory=DatabaseConfig)
+    policy: MaterializationPolicy = field(default_factory=MaterializationPolicy)
+    enable_text_index: bool = False
+    #: section 4.3: automatically prefilter equality predicates on virtual
+    #: text columns through the inverted index (requires enable_text_index)
+    rewrite_predicates_with_index: bool = False
+
+
+class SinewDB:
+    """A Sinew instance: SQL over multi-structured data, no schema needed."""
+
+    def __init__(self, name: str = "sinew", config: SinewConfig | None = None):
+        self.name = name
+        self.config = config or SinewConfig()
+        self.db = Database(name, self.config.database)
+        self.catalog = SinewCatalog()
+        self.extractor = ReservoirExtractor(self.catalog)
+        self.loader = SinewLoader(self.db, self.catalog)
+        self.analyzer = SchemaAnalyzer(self.db, self.catalog, self.config.policy)
+        self.materializer = ColumnMaterializer(self.db, self.catalog, self.extractor)
+        self._collections: set[str] = set()
+        self.text_index = InvertedTextIndex() if self.config.enable_text_index else None
+        self._matches_cache: dict[tuple[str, str], set[int]] = {}
+        register_extraction_udfs(self.db, self.extractor)
+        # a cached set-membership probe, not reservoir extraction work, so
+        # it stays out of the udf_calls extraction counter
+        self.db.create_function(
+            "sinew_matches", self._sinew_matches, SqlType.BOOLEAN, counts_as_udf=False
+        )
+
+    # ------------------------------------------------------------------
+    # collections and loading
+    # ------------------------------------------------------------------
+
+    def create_collection(self, table_name: str) -> None:
+        """Create a Sinew table: ``(_id integer, data bytea)`` to start."""
+        self.db.create_table(
+            table_name, [(ID_COLUMN, SqlType.INTEGER), (RESERVOIR_COLUMN, SqlType.BYTEA)]
+        )
+        self.catalog.table(table_name)
+        self._collections.add(table_name)
+
+    def drop_collection(self, table_name: str) -> None:
+        self.db.drop_table(table_name)
+        self.catalog.tables.pop(table_name, None)
+        self._collections.discard(table_name)
+
+    def collections(self) -> list[str]:
+        return sorted(self._collections)
+
+    def load(
+        self, table_name: str, documents: Iterable[str | Mapping[str, Any]]
+    ) -> LoadReport:
+        """Bulk-load documents (JSON strings or mappings)."""
+        self._require_collection(table_name)
+        documents = list(documents)
+        report = self.loader.load(table_name, documents)
+        if self.text_index is not None:
+            base = self.catalog.table(table_name).n_documents - report.n_documents
+            from .document import parse_document
+
+            for offset, document in enumerate(documents):
+                self.text_index.index_document(base + offset, parse_document(document))
+        self._matches_cache.clear()
+        return report
+
+    # ------------------------------------------------------------------
+    # schema management
+    # ------------------------------------------------------------------
+
+    def analyze_schema(self, table_name: str) -> AnalyzerReport:
+        """Run the schema analyzer pass (decides what to (de)materialize)."""
+        self._require_collection(table_name)
+        return self.analyzer.analyze(table_name)
+
+    def materialize(self, table_name: str, key_name: str, key_type: SqlType) -> None:
+        """Explicitly mark an attribute for materialization.
+
+        The analyzer normally decides this; the explicit form exists for
+        experiments like Table 2 that pin a specific hybrid layout.
+        """
+        self._require_collection(table_name)
+        attr_id = self.catalog.lookup_id(key_name, key_type)
+        if attr_id is None:
+            raise CatalogError(f"unknown attribute: {key_name!r} ({key_type})")
+        state = self.catalog.table(table_name).state(attr_id)
+        if not state.materialized:
+            state.materialized = True
+            state.dirty = True
+
+    def dematerialize(self, table_name: str, key_name: str, key_type: SqlType) -> None:
+        """Explicitly mark a materialized attribute to move back."""
+        self._require_collection(table_name)
+        attr_id = self.catalog.lookup_id(key_name, key_type)
+        if attr_id is None:
+            raise CatalogError(f"unknown attribute: {key_name!r} ({key_type})")
+        state = self.catalog.table(table_name).state(attr_id)
+        if state.materialized:
+            state.materialized = False
+            state.dirty = True
+
+    def materializer_step(self, table_name: str, max_rows: int = 1000) -> MaterializerReport:
+        """One incremental materializer slice (the background process)."""
+        return self.materializer.step(table_name, max_rows)
+
+    def run_materializer(self, table_name: str) -> MaterializerReport:
+        """Drive the materializer until no dirty columns remain."""
+        report = self.materializer.run_to_completion(table_name)
+        self.db.analyze(table_name)
+        return report
+
+    def settle(self, table_name: str) -> None:
+        """Analyzer + materializer + statistics refresh, in one call."""
+        self.analyze_schema(table_name)
+        self.run_materializer(table_name)
+
+    def logical_schema(self, table_name: str) -> list[tuple[str, SqlType, str]]:
+        """The user-facing universal relation: (key, type, storage) rows."""
+        self._require_collection(table_name)
+        return self.catalog.logical_columns(table_name)
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+
+    def query(self, sql: str) -> QueryResult:
+        """Run a standard SQL query against the logical schema."""
+        statement = parse(sql)
+        if not isinstance(statement, SelectStatement):
+            return self.execute(sql)
+        return self._execute_select(statement)
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN of the *rewritten* query (what the RDBMS actually sees)."""
+        statement = parse(sql)
+        if not isinstance(statement, SelectStatement):
+            raise PlanningError("EXPLAIN supports only SELECT statements")
+        rewriter = self._rewriter()
+        rewritten = rewriter.rewrite_select(statement)
+        rewritten = self._expand_stars_plain(rewritten)
+        plan = self.db._plan(rewritten)
+        return plan.explain()
+
+    def execute(self, sql: str) -> QueryResult:
+        """Execute DML (UPDATE/DELETE) against the logical schema."""
+        statement = parse(sql)
+        if isinstance(statement, UpdateStatement) and statement.table in self._collections:
+            return self._execute_update(statement)
+        if isinstance(statement, DeleteStatement) and statement.table in self._collections:
+            where = self._rewriter().rewrite_where(statement)
+            result = self.db.execute_statement(
+                DeleteStatement(statement.table, where)
+            )
+            self._matches_cache.clear()
+            return result
+        if isinstance(statement, SelectStatement):
+            return self._execute_select(statement)
+        return self.db.execute_statement(statement)
+
+    # -- SELECT ----------------------------------------------------------
+
+    def _rewriter(self) -> QueryRewriter:
+        tables = {name: self.db.table(name) for name in self._collections}
+        return QueryRewriter(
+            self.catalog,
+            tables,
+            use_text_index=(
+                self.config.rewrite_predicates_with_index
+                and self.text_index is not None
+            ),
+        )
+
+    def _execute_select(self, statement: SelectStatement) -> QueryResult:
+        rewritten = self._rewriter().rewrite_select(statement)
+        star_bindings = self._star_bindings(rewritten)
+        if not star_bindings:
+            return self.db.execute_statement(rewritten)
+        return self._execute_star_select(rewritten, star_bindings)
+
+    def _star_bindings(self, statement: SelectStatement) -> list[str]:
+        """Bindings of Sinew tables covered by ``*`` items (in order)."""
+        sinew_bindings = {
+            (ref.alias or ref.name): ref.name
+            for ref in statement.from_tables
+            if ref.name in self._collections
+        }
+        covered: list[str] = []
+        for item in statement.items:
+            if not isinstance(item.expr, Star):
+                continue
+            if item.expr.table is None:
+                covered.extend(sinew_bindings)
+                if len(sinew_bindings) < len(statement.from_tables):
+                    raise PlanningError(
+                        "SELECT * mixing Sinew and plain tables is not supported; "
+                        "project columns explicitly"
+                    )
+            elif item.expr.table in sinew_bindings:
+                covered.append(item.expr.table)
+            else:
+                raise PlanningError(
+                    f"SELECT {item.expr.table}.* does not name a Sinew table"
+                )
+        return covered
+
+    def _execute_star_select(
+        self, statement: SelectStatement, star_bindings: list[str]
+    ) -> QueryResult:
+        """Execute a SELECT containing ``*`` over Sinew tables.
+
+        Each star expands to the table's clean physical columns plus
+        ``sinew_to_json(data)``; the user layer then merges both back into
+        complete documents -- reconstructing exactly what was loaded.
+        """
+        binding_tables = {
+            (ref.alias or ref.name): ref.name for ref in statement.from_tables
+        }
+        new_items: list[SelectItem] = []
+        # output assembly program: ("doc", binding, phys_specs, json_index)
+        # or ("col", source_index, name)
+        program: list[tuple] = []
+        from ..rdbms.expressions import ColumnRef, FunctionCall
+
+        for item in statement.items:
+            if isinstance(item.expr, Star):
+                expand_over = (
+                    list(binding_tables)
+                    if item.expr.table is None
+                    else [item.expr.table]
+                )
+                for binding in expand_over:
+                    table_name = binding_tables[binding]
+                    phys_specs: list[tuple[str, SqlType, int]] = []
+                    table_catalog = self.catalog.table(table_name)
+                    for state in table_catalog.materialized_columns():
+                        if not state.physical_name:
+                            continue
+                        attribute = self.catalog.attribute(state.attr_id)
+                        phys_specs.append(
+                            (attribute.key_name, attribute.key_type, len(new_items))
+                        )
+                        new_items.append(
+                            SelectItem(
+                                ColumnRef(binding, state.physical_name),
+                                f"__{binding}__{attribute.key_name}",
+                            )
+                        )
+                    json_index = len(new_items)
+                    new_items.append(
+                        SelectItem(
+                            FunctionCall(
+                                "sinew_to_json",
+                                (ColumnRef(binding, RESERVOIR_COLUMN),),
+                            ),
+                            f"__{binding}__json",
+                        )
+                    )
+                    program.append(("doc", binding, phys_specs, json_index))
+            else:
+                program.append(("col", len(new_items), item.alias))
+                new_items.append(item)
+
+        inner = SelectStatement(
+            items=tuple(new_items),
+            from_tables=statement.from_tables,
+            where=statement.where,
+            group_by=statement.group_by,
+            having=statement.having,
+            order_by=statement.order_by,
+            limit=statement.limit,
+            distinct=statement.distinct,
+        )
+        raw = self.db.execute_statement(inner)
+
+        single_star = sum(1 for step in program if step[0] == "doc") == 1
+        columns: list[str] = []
+        for step in program:
+            if step[0] == "doc":
+                columns.append("document" if single_star else step[1])
+            else:
+                columns.append(step[2] or raw.columns[step[1]])
+
+        rows: list[tuple] = []
+        for raw_row in raw.rows:
+            out: list[Any] = []
+            for step in program:
+                if step[0] == "doc":
+                    out.append(self._assemble_document(raw_row, step[2], step[3]))
+                else:
+                    out.append(raw_row[step[1]])
+            rows.append(tuple(out))
+        return QueryResult(columns=columns, rows=rows, plan_text=raw.plan_text)
+
+    def _assemble_document(
+        self,
+        row: tuple,
+        phys_specs: list[tuple[str, SqlType, int]],
+        json_index: int,
+    ) -> dict[str, Any]:
+        """Merge reservoir JSON with materialized physical values."""
+        text = row[json_index]
+        document: dict[str, Any] = json.loads(text) if text else {}
+        for key_name, key_type, index in phys_specs:
+            value = row[index]
+            if value is None:
+                continue
+            if key_type is SqlType.BYTEA:
+                value = self.extractor.to_dict(value, prefix=key_name + ".")
+            elif key_type is SqlType.ARRAY:
+                value = self.extractor._array_to_plain(value)
+            self._insert_path(document, key_name, value)
+        return document
+
+    @staticmethod
+    def _insert_path(document: dict, dotted_key: str, value: Any) -> None:
+        parts = dotted_key.split(".")
+        node = document
+        for part in parts[:-1]:
+            child = node.get(part)
+            if not isinstance(child, dict):
+                child = {}
+                node[part] = child
+            node = child
+        node[parts[-1]] = value
+
+    def _expand_stars_plain(self, statement: SelectStatement) -> SelectStatement:
+        """For EXPLAIN: replace stars with the physical-column expansion."""
+        if not any(isinstance(item.expr, Star) for item in statement.items):
+            return statement
+        from ..rdbms.expressions import ColumnRef, FunctionCall
+
+        items: list[SelectItem] = []
+        for item in statement.items:
+            if not isinstance(item.expr, Star):
+                items.append(item)
+                continue
+            for ref in statement.from_tables:
+                binding = ref.alias or ref.name
+                if item.expr.table is not None and item.expr.table != binding:
+                    continue
+                items.append(
+                    SelectItem(
+                        FunctionCall(
+                            "sinew_to_json", (ColumnRef(binding, RESERVOIR_COLUMN),)
+                        ),
+                        f"__{binding}__json",
+                    )
+                )
+        return SelectStatement(
+            items=tuple(items),
+            from_tables=statement.from_tables,
+            where=statement.where,
+            group_by=statement.group_by,
+            having=statement.having,
+            order_by=statement.order_by,
+            limit=statement.limit,
+            distinct=statement.distinct,
+        )
+
+    # -- UPDATE ------------------------------------------------------------
+
+    def _execute_update(self, statement: UpdateStatement) -> QueryResult:
+        """UPDATE against the logical schema.
+
+        Assignments to clean physical columns run as plain SQL; assignments
+        to virtual (or dirty) columns rewrite the serialized reservoir value
+        row by row, inside one transaction.
+        """
+        table_name = statement.table
+        table = self.db.table(table_name)
+        table_catalog = self.catalog.table(table_name)
+        rewriter = self._rewriter()
+        where = rewriter.rewrite_where(statement)
+
+        physical_assignments: list[tuple[str, Any]] = []
+        reservoir_assignments: list[tuple[str, SqlType, Any]] = []
+        for column_name, value_expr in statement.assignments:
+            from ..rdbms.expressions import Literal
+
+            if not isinstance(value_expr, Literal):
+                raise PlanningError(
+                    "Sinew UPDATE currently supports literal assignments on "
+                    "logical columns"
+                )
+            value = value_expr.value
+            state, _name = rewriter._column_state(
+                column_name, rewriter._bindings_for_tables([(table_name, None)])[table_name]
+            )
+            if (
+                state is not None
+                and state.materialized
+                and not state.dirty
+                and state.physical_name
+            ):
+                physical_assignments.append((state.physical_name, value))
+            else:
+                sql_type = (
+                    self.catalog.type_of(state.attr_id)
+                    if state is not None
+                    else _literal_sql_type(value)
+                )
+                reservoir_assignments.append((column_name, sql_type, value))
+
+        from ..rdbms.expressions import SchemaResolver, compile_expr
+
+        resolver = SchemaResolver(
+            [(table_name, c.name) for c in table.schema], self.db.functions
+        )
+        predicate = compile_expr(where, resolver) if where is not None else None
+        data_position = table.schema.position_of(RESERVOIR_COLUMN)
+        id_position = table.schema.position_of(ID_COLUMN)
+
+        updated = 0
+        with self.db.txn_manager.autocommit() as txn:
+            matches: list[tuple[int, tuple]] = []
+            for rid, row in table.scan():
+                if predicate is None or predicate(row) is True:
+                    matches.append((rid, row))
+            for rid, row in matches:
+                new_row = list(row)
+                for physical_name, value in physical_assignments:
+                    new_row[table.schema.position_of(physical_name)] = value
+                if reservoir_assignments:
+                    data = new_row[data_position]
+                    if data is None:
+                        from . import serializer
+
+                        data = serializer.serialize([])
+                    for key_name, sql_type, value in reservoir_assignments:
+                        had_value = (
+                            self.extractor.extract_typed(data, key_name, sql_type)
+                            is not None
+                        )
+                        data = self.extractor.set_path(data, key_name, sql_type, value)
+                        attr_id = self.catalog.attribute_id(key_name, sql_type)
+                        if value is not None and not had_value:
+                            table_catalog.state(attr_id).count += 1
+                        elif value is None and had_value:
+                            table_catalog.state(attr_id).count -= 1
+                    new_row[data_position] = data
+                old = table.update(rid, tuple(new_row))
+                txn.log_update(
+                    table_name,
+                    rid,
+                    table.tuple_bytes(tuple(new_row)),
+                    undo=lambda rid=rid, old=old: table.update(rid, old),
+                )
+                if self.text_index is not None:
+                    doc = self._document_of_row(table, tuple(new_row))
+                    self.text_index.index_document(tuple(new_row)[id_position], doc)
+                updated += 1
+        self._matches_cache.clear()
+        return QueryResult(rowcount=updated)
+
+    def _document_of_row(self, table, row: tuple) -> dict[str, Any]:
+        data_position = table.schema.position_of(RESERVOIR_COLUMN)
+        document = self.extractor.to_dict(row[data_position]) if row[data_position] else {}
+        table_catalog = self.catalog.table(table.name)
+        for state in table_catalog.materialized_columns():
+            if not state.physical_name or state.physical_name not in table.schema:
+                continue
+            value = row[table.schema.position_of(state.physical_name)]
+            if value is None:
+                continue
+            attribute = self.catalog.attribute(state.attr_id)
+            if attribute.key_type is SqlType.BYTEA:
+                value = self.extractor.to_dict(value, prefix=attribute.key_name + ".")
+            self._insert_path(document, attribute.key_name, value)
+        return document
+
+    # ------------------------------------------------------------------
+    # documents and text search
+    # ------------------------------------------------------------------
+
+    def documents(self, table_name: str) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Iterate ``(_id, reconstructed document)`` over a collection."""
+        self._require_collection(table_name)
+        table = self.db.table(table_name)
+        id_position = table.schema.position_of(ID_COLUMN)
+        for _rid, row in table.scan():
+            yield row[id_position], self._document_of_row(table, row)
+
+    def _sinew_matches(self, doc_id: int, keys: str, query: str) -> bool:
+        """The UDF behind ``matches()``: membership in the index result."""
+        if self.text_index is None:
+            raise PlanningError(
+                "matches() requires the text index "
+                "(SinewConfig.enable_text_index=True)"
+            )
+        cache_key = (keys, query)
+        if cache_key not in self._matches_cache:
+            self._matches_cache[cache_key] = self.text_index.matches(keys, query)
+        return doc_id in self._matches_cache[cache_key]
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+
+    def analyze(self, table_name: str | None = None) -> None:
+        """Refresh RDBMS optimizer statistics (physical columns only)."""
+        self.db.analyze(table_name)
+
+    def storage_bytes(self, table_name: str) -> int:
+        """Modelled on-disk size of a collection (Table 3 metric)."""
+        return self.db.table(table_name).total_bytes
+
+    def sync_catalog(self) -> None:
+        """Reflect the catalog into queryable ``_sinew_*`` relations."""
+        self.catalog.sync_to_rdbms(self.db)
+
+    def _require_collection(self, table_name: str) -> None:
+        if table_name not in self._collections:
+            raise CatalogError(f"no such Sinew collection: {table_name!r}")
+
+
+def _literal_sql_type(value: Any) -> SqlType:
+    if isinstance(value, bool):
+        return SqlType.BOOLEAN
+    if isinstance(value, int):
+        return SqlType.INTEGER
+    if isinstance(value, float):
+        return SqlType.REAL
+    return SqlType.TEXT

@@ -1,0 +1,23 @@
+"""Benchmark harness: timing, cost accounting, scales, and table output."""
+
+from .runner import EXPECTED_FAILURES, SystemRun, build_systems, result_rows, run_suite
+from .scale import ScaleConfig, large_scale, small_scale
+from .tables import format_table, print_table
+from .timing import Measurement, best_of, measure, mongo_modelled_io_seconds
+
+__all__ = [
+    "EXPECTED_FAILURES",
+    "Measurement",
+    "ScaleConfig",
+    "SystemRun",
+    "best_of",
+    "build_systems",
+    "format_table",
+    "large_scale",
+    "measure",
+    "mongo_modelled_io_seconds",
+    "print_table",
+    "result_rows",
+    "run_suite",
+    "small_scale",
+]

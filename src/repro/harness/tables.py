@@ -1,0 +1,55 @@
+"""Plain-text table rendering for benchmark reports.
+
+Every benchmark prints the same kind of artifact the paper's tables and
+figures contain: a labelled grid of systems x tasks.  Keeping the renderer
+in one place makes the bench outputs uniform and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an ASCII table with right-padded columns."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+
+    def line(values: Sequence[str]) -> str:
+        return "| " + " | ".join(v.ljust(widths[i]) for i, v in enumerate(values)) + " |"
+
+    separator = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(list(headers)))
+    out.append(separator)
+    for row in rendered_rows:
+        out.append(line(row))
+    out.append(separator)
+    return "\n".join(out)
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> None:
+    print()
+    print(format_table(headers, rows, title))

@@ -1,0 +1,103 @@
+"""Measurement utilities for the benchmark suite.
+
+Pure-Python wall-clock numbers do not transfer across machines, so every
+measurement pairs wall time with the engine's deterministic cost counters
+and a modelled I/O time derived from them.  The "effective" time used in
+the I/O-bound (large-scale) regime is ``wall + modelled_io`` -- exactly the
+role the paper's 64M-record dataset plays against its 16M in-memory one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..rdbms.cost import CostCounters, IoCostModel
+
+#: Sequential read bandwidth of the paper's testbed ("We observed read
+#: speeds of 250-300MB/s"), used to model MongoDB's scan I/O.
+PAPER_READ_BANDWIDTH_BYTES_PER_S = 275e6
+
+
+@dataclass
+class Measurement:
+    """One timed operation with its mechanical cost."""
+
+    label: str
+    wall_seconds: float
+    result: Any = None
+    failed: str | None = None  # exception class name when the op failed
+    counter_deltas: dict[str, int] = field(default_factory=dict)
+    modelled_io_seconds: float = 0.0
+
+    @property
+    def effective_seconds(self) -> float:
+        """Wall time plus modelled I/O (the large-scale regime metric)."""
+        return self.wall_seconds + self.modelled_io_seconds
+
+    def cell(self, use_effective: bool = False) -> str:
+        """Render for a results table ('FAIL(DiskFullError)' on failure)."""
+        if self.failed is not None:
+            return f"FAIL({self.failed})"
+        seconds = self.effective_seconds if use_effective else self.wall_seconds
+        return f"{seconds:.4f}"
+
+
+def measure(
+    label: str,
+    fn: Callable[[], Any],
+    counters: CostCounters | None = None,
+    io_model: IoCostModel | None = None,
+    expected_failures: tuple[type, ...] = (),
+) -> Measurement:
+    """Time ``fn`` once, capturing counter deltas and expected failures."""
+    before = counters.snapshot() if counters is not None else {}
+    start = time.perf_counter()
+    try:
+        result = fn()
+        failed = None
+    except expected_failures as error:
+        result = None
+        failed = type(error).__name__
+    wall = time.perf_counter() - start
+    deltas = counters.diff(before) if counters is not None else {}
+    modelled = 0.0
+    if counters is not None and io_model is not None:
+        snapshot = CostCounters(**deltas)
+        modelled = io_model.modelled_io_seconds(snapshot)
+    return Measurement(
+        label=label,
+        wall_seconds=wall,
+        result=result,
+        failed=failed,
+        counter_deltas=deltas,
+        modelled_io_seconds=modelled,
+    )
+
+
+def best_of(
+    label: str,
+    fn: Callable[[], Any],
+    repeats: int = 3,
+    counters: CostCounters | None = None,
+    io_model: IoCostModel | None = None,
+    expected_failures: tuple[type, ...] = (),
+) -> Measurement:
+    """Run ``fn`` several times (warmed caches, like the paper's 4-run
+    averages) and keep the fastest successful measurement."""
+    measurements = [
+        measure(label, fn, counters, io_model, expected_failures)
+        for _ in range(max(1, repeats))
+    ]
+    failures = [m for m in measurements if m.failed is not None]
+    successes = [m for m in measurements if m.failed is None]
+    if successes:
+        return min(successes, key=lambda m: m.wall_seconds)
+    return failures[0]
+
+
+def mongo_modelled_io_seconds(bytes_scanned: int) -> float:
+    """Modelled scan I/O for the MongoDB baseline (no buffer pool of its
+    own; reads are charged at the paper's observed disk bandwidth)."""
+    return bytes_scanned / PAPER_READ_BANDWIDTH_BYTES_PER_S

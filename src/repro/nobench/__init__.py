@@ -1,0 +1,23 @@
+"""The NoBench benchmark: generator, query suite, and per-system adapters."""
+
+from .generator import NoBenchGenerator, NoBenchParams, base32_string
+from .queries import (
+    QUERY_IDS,
+    EavNoBench,
+    MongoNoBench,
+    NoBenchAdapter,
+    PgJsonNoBench,
+    SinewNoBench,
+)
+
+__all__ = [
+    "EavNoBench",
+    "MongoNoBench",
+    "NoBenchAdapter",
+    "NoBenchGenerator",
+    "NoBenchParams",
+    "PgJsonNoBench",
+    "QUERY_IDS",
+    "SinewNoBench",
+    "base32_string",
+]

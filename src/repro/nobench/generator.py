@@ -1,0 +1,244 @@
+"""The NoBench data generator (Chasseur, Li & Patel, WebDB 2013).
+
+The paper runs all experiments on NoBench data: "Each record has
+approximately fifteen keys, ten of which are randomly selected from a pool
+of 1000 possible keys, and the remainder of which are either a string,
+integer, boolean, nested array, or nested document.  Two dynamically typed
+columns, dyn1 and dyn2, take either a string, integer, or boolean value"
+(paper section 6).
+
+Record layout generated here (record ``i`` of ``n``):
+
+==============  ==========================================================
+``str1``        unique base32-encoded string (cardinality = n)
+``str2``        base32 string from a pool of 1000 (low cardinality)
+``num``         pseudo-random permutation of [0, n) (dense, unique)
+``bool``        alternating true/false (cardinality 2)
+``dyn1``        int / string / bool, split ~ evenly by record
+``dyn2``        string-dominant dynamic type
+``nested_obj``  ``{"str": <some record's str1>, "num": <int>}``
+``nested_arr``  5 strings drawn from a 100-term pool
+``thousandth``  ``num % 1000`` (cardinality 1000)
+``sparse_XXX``  10 keys from one of 100 clusters of the 1000-key pool,
+                each key therefore ~1% dense; values are base32 strings
+                from a pool of 100
+==============  ==========================================================
+
+Under the paper's materialization policy (density >= 60% and cardinality
+> 200) exactly ``str1``, ``num``, ``nested_arr``, ``nested_obj`` and
+``thousandth`` qualify, matching section 6.1.
+
+Everything is deterministic in (seed, n) so every benchmarked system loads
+byte-identical documents and query parameters are reproducible.
+"""
+
+from __future__ import annotations
+
+import base64
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+#: Sparse-key pool: sparse_000 .. sparse_999, in 100 clusters of 10.
+SPARSE_POOL = 1000
+SPARSE_PER_RECORD = 10
+SPARSE_CLUSTERS = SPARSE_POOL // SPARSE_PER_RECORD
+
+#: Distinct values used for sparse attributes and str2.  str2's pool stays
+#: below the 200-cardinality materialization threshold so that, as in the
+#: paper's evaluation, str2 is NOT materialized despite being dense.
+SPARSE_VALUE_POOL = 100
+STR2_POOL = 100
+
+#: Term pool for nested_arr elements.
+ARRAY_TERM_POOL = 100
+ARRAY_LENGTH = 5
+
+_KNUTH = 2654435761  # Knuth multiplicative hash constant
+
+
+def base32_string(value: int) -> str:
+    """NoBench-style base32 value strings (e.g. 'GBRDCMBQGA======')."""
+    return base64.b32encode(str(value).encode("ascii")).decode("ascii")
+
+
+def _mix(seed: int, record: int, salt: int) -> int:
+    """Deterministic 64-bit mix for per-record pseudo-randomness."""
+    x = (seed * 0x9E3779B97F4A7C15 + record * _KNUTH + salt * 0x517CC1B7) & (
+        2**64 - 1
+    )
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & (2**64 - 1)
+    x ^= x >> 29
+    return x
+
+
+@dataclass
+class NoBenchGenerator:
+    """Deterministic NoBench document stream."""
+
+    n_records: int
+    seed: int = 42
+
+    # ------------------------------------------------------------------
+    # record pieces
+    # ------------------------------------------------------------------
+
+    def num_of(self, record: int) -> int:
+        """A pseudo-random permutation of [0, n)."""
+        # multiplicative permutation over the next power of two, rejected
+        # into range (cycle walking keeps it a bijection)
+        size = 1
+        while size < self.n_records:
+            size <<= 1
+        value = record
+        while True:
+            value = (value * 0x9E3779B1 + self.seed) % size
+            if value < self.n_records:
+                return value
+
+    def str1_of(self, record: int) -> str:
+        return base32_string(record + 1_000_000)
+
+    def dyn1_of(self, record: int) -> Any:
+        mode = _mix(self.seed, record, 1) % 3
+        if mode == 0:
+            return int(_mix(self.seed, record, 2) % self.n_records)
+        if mode == 1:
+            return base32_string(_mix(self.seed, record, 3) % self.n_records)
+        return bool(_mix(self.seed, record, 4) % 2)
+
+    def dyn2_of(self, record: int) -> Any:
+        # string-dominant but below the 60% density threshold per attribute
+        # (an attribute is a (key, type) pair), so neither dyn2 attribute is
+        # materialized -- matching the paper's policy outcome.
+        mode = _mix(self.seed, record, 5) % 7
+        if mode < 4:
+            return base32_string(_mix(self.seed, record, 6) % STR2_POOL)
+        return int(_mix(self.seed, record, 7) % self.n_records)
+
+    def sparse_cluster_of(self, record: int) -> int:
+        return _mix(self.seed, record, 8) % SPARSE_CLUSTERS
+
+    def sparse_value_of(self, record: int, key_index: int) -> str:
+        """Sparse attribute values.
+
+        Key index 0 of each cluster draws from a pool of 2 values, giving
+        Q9 a ~0.5% match rate (large enough that EAV's reconstruction
+        exhausts the disk budget at the larger scale, per the paper);
+        the other indexes draw from a pool of 100, keeping the update
+        task's WHERE on key index 9 at the paper's ~1/10000 selectivity.
+        """
+        pool = 2 if key_index == 0 else SPARSE_VALUE_POOL
+        return base32_string(_mix(self.seed, record, 100 + key_index) % pool)
+
+    def nested_arr_of(self, record: int) -> list[str]:
+        return [
+            "term_" + base32_string(_mix(self.seed, record, 200 + j) % ARRAY_TERM_POOL)
+            for j in range(ARRAY_LENGTH)
+        ]
+
+    def record(self, record: int) -> dict[str, Any]:
+        """Generate NoBench record ``record`` (0-based)."""
+        num = self.num_of(record)
+        cluster = self.sparse_cluster_of(record)
+        document: dict[str, Any] = {
+            "str1": self.str1_of(record),
+            "str2": base32_string(_mix(self.seed, record, 9) % STR2_POOL),
+            "num": num,
+            "bool": record % 2 == 0,
+            "dyn1": self.dyn1_of(record),
+            "dyn2": self.dyn2_of(record),
+            "nested_obj": {
+                "str": self.str1_of(_mix(self.seed, record, 10) % self.n_records),
+                "num": int(_mix(self.seed, record, 11) % self.n_records),
+            },
+            "nested_arr": self.nested_arr_of(record),
+            "thousandth": num % 1000,
+        }
+        for key_index in range(SPARSE_PER_RECORD):
+            key = f"sparse_{cluster * SPARSE_PER_RECORD + key_index:03d}"
+            document[key] = self.sparse_value_of(record, key_index)
+        return document
+
+    def documents(self) -> Iterator[dict[str, Any]]:
+        for record in range(self.n_records):
+            yield self.record(record)
+
+    # ------------------------------------------------------------------
+    # deterministic query parameters
+    # ------------------------------------------------------------------
+
+    def params(self) -> "NoBenchParams":
+        """Query parameters scaled to this dataset (same for all systems)."""
+        n = self.n_records
+        # Q6: ~0.1% of num values; Q10: ~10%
+        q6_low = n // 3
+        q6_high = q6_low + max(1, n // 1000) - 1
+        q10_low = n // 5
+        q10_high = q10_low + max(1, n // 10) - 1
+        # Q7: range over dyn1's integer domain (~0.33% of [0, n); only a
+        # third of the records carry an integer dyn1, so ~0.1% match)
+        q7_low = n // 4
+        q7_high = q7_low + max(1, n // 300) - 1
+        # Q11: selective num filter on the left side (~0.25%)
+        q11_low = n // 2
+        q11_high = q11_low + max(1, n // 400) - 1
+        # sparse keys: one cluster pair for Q3 (co-occurring), far keys for Q4
+        q3_cluster = 11
+        sample_record = self._record_in_cluster(58)
+        q9_key = f"sparse_{58 * SPARSE_PER_RECORD:03d}"
+        q9_value = self.sparse_value_of(sample_record, 0)
+        update_record = self._record_in_cluster(58)
+        return NoBenchParams(
+            q3_key_a=f"sparse_{q3_cluster * SPARSE_PER_RECORD:03d}",
+            q3_key_b=f"sparse_{q3_cluster * SPARSE_PER_RECORD + 9:03d}",
+            q4_key_a=f"sparse_{22 * SPARSE_PER_RECORD:03d}",
+            q4_key_b=f"sparse_{33 * SPARSE_PER_RECORD + 1:03d}",
+            q5_str1=self.str1_of(n // 7),
+            q6_low=q6_low,
+            q6_high=q6_high,
+            q7_low=q7_low,
+            q7_high=q7_high,
+            q8_term=self.nested_arr_of(n // 3)[0],
+            q9_key=q9_key,
+            q9_value=q9_value,
+            q10_low=q10_low,
+            q10_high=q10_high,
+            q11_low=q11_low,
+            q11_high=q11_high,
+            update_set_key="sparse_588",
+            update_where_key="sparse_589",
+            update_where_value=self.sparse_value_of(update_record, 9),
+        )
+
+    def _record_in_cluster(self, cluster: int) -> int:
+        """The first record whose sparse keys come from ``cluster``."""
+        for record in range(self.n_records):
+            if self.sparse_cluster_of(record) == cluster:
+                return record
+        return 0
+
+
+@dataclass(frozen=True)
+class NoBenchParams:
+    """Concrete parameters for the 11 queries + the update task."""
+
+    q3_key_a: str
+    q3_key_b: str
+    q4_key_a: str
+    q4_key_b: str
+    q5_str1: str
+    q6_low: int
+    q6_high: int
+    q7_low: int
+    q7_high: int
+    q8_term: str
+    q9_key: str
+    q9_value: str
+    q10_low: int
+    q10_high: int
+    q11_low: int
+    q11_high: int
+    update_set_key: str
+    update_where_key: str
+    update_where_value: str

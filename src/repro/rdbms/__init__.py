@@ -1,0 +1,55 @@
+"""A self-contained relational engine (the PostgreSQL substitute).
+
+This package provides everything Sinew needs from an unmodified RDBMS:
+typed heap storage with NULL-bitmap size accounting, a buffer pool with I/O
+counting, WAL-backed transactions, a SQL front end, per-column statistics,
+a cost-based planner, and an iterator executor.
+
+Public entry point::
+
+    from repro.rdbms import Database
+
+    db = Database("demo")
+    db.execute("CREATE TABLE t (a integer, b text)")
+"""
+
+from .cost import CostCounters, DiskBudget, IoCostModel
+from .database import Database, DatabaseConfig, QueryResult
+from .errors import (
+    CatalogError,
+    ConcurrencyError,
+    DatabaseError,
+    DiskFullError,
+    ExecutionError,
+    PlanningError,
+    SqlSyntaxError,
+    TransactionError,
+    TypeCastError,
+)
+from .storage import Column, HeapTable, Schema
+from .types import NullStorageModel, SqlType, cast_value, infer_type
+
+__all__ = [
+    "CatalogError",
+    "Column",
+    "ConcurrencyError",
+    "CostCounters",
+    "Database",
+    "DatabaseConfig",
+    "DatabaseError",
+    "DiskBudget",
+    "DiskFullError",
+    "ExecutionError",
+    "HeapTable",
+    "IoCostModel",
+    "NullStorageModel",
+    "PlanningError",
+    "QueryResult",
+    "Schema",
+    "SqlSyntaxError",
+    "SqlType",
+    "TransactionError",
+    "TypeCastError",
+    "cast_value",
+    "infer_type",
+]

@@ -1,0 +1,447 @@
+"""The engine facade: an embedded relational database.
+
+``Database`` ties the storage, transaction, planning and execution layers
+together behind a DB-API-flavoured interface::
+
+    db = Database("bench")
+    db.execute("CREATE TABLE webrequests (url text, hits integer)")
+    db.execute("INSERT INTO webrequests VALUES ('www.sample-site.com', 22)")
+    result = db.execute("SELECT url FROM webrequests WHERE hits > 20")
+    rows = result.rows
+
+Sinew treats this object exactly the way the paper treats PostgreSQL: it
+never modifies engine code, only creates tables, registers UDFs
+(``create_function``), issues rewritten SQL, and reads EXPLAIN output.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from .cost import CostCounters, DiskBudget, IoCostModel
+from .errors import (
+    CatalogError,
+    ExecutionError,
+    PlanningError,
+    TransactionError,
+)
+from .expressions import ColumnRef, Expr, SchemaResolver, compile_expr
+from .functions import FunctionRegistry
+from .plan_nodes import ExecutionContext, PlanNode
+from .planner import Planner
+from .sql.ast import (
+    AlterTableStatement,
+    AnalyzeStatement,
+    BeginStatement,
+    ColumnDef,
+    CommitStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    ExplainStatement,
+    InsertStatement,
+    RollbackStatement,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from .sql.parser import parse
+from .statistics import TableStats, analyze_table
+from .storage import BufferPool, Column, HeapTable, Schema
+from .transactions import Transaction, TransactionManager
+from .types import NullStorageModel, SqlType
+
+#: Default work_mem, deliberately small so hash/sort strategy crossovers
+#: happen at benchmark scale (PostgreSQL's default is 4 MB at paper scale).
+DEFAULT_WORK_MEM_BYTES = 256 * 1024
+
+#: Default buffer pool: 4096 pages (32 MiB) -- "everything in memory" for
+#: small-scale runs; benches shrink it to create the I/O-bound regime.
+DEFAULT_BUFFER_POOL_PAGES = 4096
+
+
+@dataclass
+class DatabaseConfig:
+    """Tunables for one database instance."""
+
+    work_mem_bytes: int = DEFAULT_WORK_MEM_BYTES
+    buffer_pool_pages: int = DEFAULT_BUFFER_POOL_PAGES
+    null_model: NullStorageModel = NullStorageModel.BITMAP
+    disk_budget_bytes: int | None = None
+    io_model: IoCostModel = field(default_factory=IoCostModel)
+
+
+class QueryResult:
+    """Rows plus metadata from one statement execution."""
+
+    def __init__(
+        self,
+        columns: list[str] | None = None,
+        rows: list[tuple] | None = None,
+        rowcount: int = 0,
+        plan_text: str | None = None,
+    ):
+        self.columns = columns or []
+        self.rows = rows or []
+        self.rowcount = rowcount if rowcount else len(self.rows)
+        self.plan_text = plan_text
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Any:
+        """First column of the first row (for aggregates)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def column(self, name_or_index: str | int) -> list[Any]:
+        """All values of one output column."""
+        if isinstance(name_or_index, str):
+            index = self.columns.index(name_or_index)
+        else:
+            index = name_or_index
+        return [row[index] for row in self.rows]
+
+
+class Database:
+    """An embedded relational database instance."""
+
+    def __init__(self, name: str = "db", config: DatabaseConfig | None = None):
+        self.name = name
+        self.config = config or DatabaseConfig()
+        self.counters = CostCounters()
+        self.disk = DiskBudget(self.config.disk_budget_bytes)
+        self.buffer_pool = BufferPool(self.config.buffer_pool_pages, self.counters)
+        self.functions = FunctionRegistry(self.counters)
+        self.txn_manager = TransactionManager(self.counters)
+        self.tables: dict[str, HeapTable] = {}
+        self.table_stats: dict[str, TableStats] = {}
+        self._session_txn: Transaction | None = None
+
+    # ------------------------------------------------------------------
+    # DDL / catalog
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str, columns: Sequence[tuple[str, SqlType]]) -> HeapTable:
+        """Create a heap table (programmatic form of CREATE TABLE)."""
+        if name in self.tables:
+            raise CatalogError(f"table already exists: {name!r}")
+        schema = Schema([Column(c_name, c_type) for c_name, c_type in columns])
+        table = HeapTable(
+            name,
+            schema,
+            self.counters,
+            self.buffer_pool,
+            self.disk,
+            null_model=self.config.null_model,
+        )
+        self.tables[name] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        if name not in self.tables:
+            if if_exists:
+                return
+            raise CatalogError(f"no such table: {name!r}")
+        self.tables[name].truncate()
+        del self.tables[name]
+        self.table_stats.pop(name, None)
+
+    def table(self, name: str) -> HeapTable:
+        if name not in self.tables:
+            raise CatalogError(f"no such table: {name!r}")
+        return self.tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    def create_function(
+        self,
+        name: str,
+        fn: Callable[..., Any],
+        return_type: SqlType,
+        counts_as_udf: bool = True,
+    ) -> None:
+        """Register a UDF, like PostgreSQL's CREATE FUNCTION."""
+        self.functions.register_scalar(name, fn, return_type, counts_as_udf)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def analyze(self, table_name: str | None = None) -> None:
+        """Refresh optimizer statistics for one table or all tables."""
+        names = [table_name] if table_name is not None else list(self.tables)
+        for name in names:
+            self.table_stats[name] = analyze_table(self.table(name))
+
+    def stats(self, table_name: str) -> TableStats | None:
+        return self.table_stats.get(table_name)
+
+    # ------------------------------------------------------------------
+    # statement execution
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse and execute one SQL statement."""
+        return self.execute_statement(parse(sql))
+
+    def execute_statement(self, statement: Statement) -> QueryResult:
+        if isinstance(statement, SelectStatement):
+            return self._execute_select(statement)
+        if isinstance(statement, ExplainStatement):
+            plan = self._plan(statement.inner)
+            return QueryResult(plan_text=plan.explain())
+        if isinstance(statement, InsertStatement):
+            return self._execute_insert(statement)
+        if isinstance(statement, UpdateStatement):
+            return self._execute_update(statement)
+        if isinstance(statement, DeleteStatement):
+            return self._execute_delete(statement)
+        if isinstance(statement, CreateTableStatement):
+            return self._execute_create_table(statement)
+        if isinstance(statement, DropTableStatement):
+            self.drop_table(statement.table, statement.if_exists)
+            return QueryResult()
+        if isinstance(statement, AlterTableStatement):
+            return self._execute_alter(statement)
+        if isinstance(statement, AnalyzeStatement):
+            self.analyze(statement.table)
+            return QueryResult()
+        if isinstance(statement, BeginStatement):
+            self._begin()
+            return QueryResult()
+        if isinstance(statement, CommitStatement):
+            self._commit()
+            return QueryResult()
+        if isinstance(statement, RollbackStatement):
+            self._rollback()
+            return QueryResult()
+        raise PlanningError(f"unsupported statement type: {type(statement).__name__}")
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN helper returning the plan text for a SELECT."""
+        statement = parse(sql)
+        if isinstance(statement, ExplainStatement):
+            statement = statement.inner
+        if not isinstance(statement, SelectStatement):
+            raise PlanningError("EXPLAIN supports only SELECT statements")
+        return self._plan(statement).explain()
+
+    # -- SELECT ----------------------------------------------------------
+
+    def _plan(self, statement: SelectStatement) -> PlanNode:
+        planner = Planner(
+            self.tables,
+            self.table_stats,
+            self.functions,
+            self.config.work_mem_bytes,
+        )
+        return planner.plan_select(statement)
+
+    def _execute_select(self, statement: SelectStatement) -> QueryResult:
+        plan = self._plan(statement)
+        context = self.execution_context()
+        rows = list(plan.rows(context))
+        columns = [name for _qualifier, name in plan.output_columns]
+        return QueryResult(columns=columns, rows=rows, plan_text=plan.explain())
+
+    def execution_context(self) -> ExecutionContext:
+        return ExecutionContext(
+            self.counters, self.functions, self.disk, self.config.work_mem_bytes
+        )
+
+    # -- DML --------------------------------------------------------------
+
+    def _execute_insert(self, statement: InsertStatement) -> QueryResult:
+        table = self.table(statement.table)
+        resolver = SchemaResolver([], self.functions)
+        rows_to_insert: list[tuple] = []
+        for value_row in statement.rows:
+            values = [compile_expr(expr, resolver)(()) for expr in value_row]
+            rows_to_insert.append(
+                self._shape_row(table, statement.columns, values)
+            )
+        with self._dml_txn() as txn:
+            for row in rows_to_insert:
+                self._insert_row(table, row, txn)
+        return QueryResult(rowcount=len(rows_to_insert))
+
+    def insert_rows(self, table_name: str, rows: Sequence[tuple]) -> int:
+        """Bulk append (used by loaders); one transaction for the batch."""
+        table = self.table(table_name)
+        with self._dml_txn() as txn:
+            for row in rows:
+                self._insert_row(table, tuple(row), txn)
+        return len(rows)
+
+    def _insert_row(self, table: HeapTable, row: tuple, txn: Transaction) -> int:
+        rid = table.insert(row)
+        txn.log_insert(
+            table.name, rid, table.tuple_bytes(row), undo=lambda: table.delete(rid)
+        )
+        return rid
+
+    def _shape_row(
+        self,
+        table: HeapTable,
+        columns: tuple[str, ...] | None,
+        values: list[Any],
+    ) -> tuple:
+        if columns is None:
+            if len(values) != len(table.schema):
+                raise ExecutionError(
+                    f"INSERT arity mismatch for table {table.name!r}"
+                )
+            return tuple(values)
+        if len(columns) != len(values):
+            raise ExecutionError("INSERT column list / VALUES arity mismatch")
+        row: list[Any] = [None] * len(table.schema)
+        for name, value in zip(columns, values):
+            row[table.schema.position_of(name)] = value
+        return tuple(row)
+
+    def _execute_update(self, statement: UpdateStatement) -> QueryResult:
+        table = self.table(statement.table)
+        resolver = SchemaResolver(
+            [(statement.table, c.name) for c in table.schema], self.functions
+        )
+        predicate = (
+            compile_expr(statement.where, resolver)
+            if statement.where is not None
+            else None
+        )
+        assignments: list[tuple[int, Callable]] = []
+        for name, expr in statement.assignments:
+            position = table.schema.position_of(name)
+            assignments.append((position, compile_expr(expr, resolver)))
+
+        updated = 0
+        with self._dml_txn() as txn:
+            # Two phases so an UPDATE never observes its own writes.
+            matches: list[tuple[int, tuple]] = []
+            for rid, row in table.scan():
+                if predicate is None or predicate(row) is True:
+                    matches.append((rid, row))
+            for rid, row in matches:
+                new_row = list(row)
+                for position, value_fn in assignments:
+                    new_row[position] = value_fn(row)
+                old = table.update(rid, tuple(new_row))
+                txn.log_update(
+                    table.name,
+                    rid,
+                    table.tuple_bytes(tuple(new_row)),
+                    undo=lambda rid=rid, old=old: table.update(rid, old),
+                )
+                updated += 1
+        return QueryResult(rowcount=updated)
+
+    def _execute_delete(self, statement: DeleteStatement) -> QueryResult:
+        table = self.table(statement.table)
+        resolver = SchemaResolver(
+            [(statement.table, c.name) for c in table.schema], self.functions
+        )
+        predicate = (
+            compile_expr(statement.where, resolver)
+            if statement.where is not None
+            else None
+        )
+        deleted = 0
+        with self._dml_txn() as txn:
+            victims = [
+                rid
+                for rid, row in table.scan()
+                if predicate is None or predicate(row) is True
+            ]
+            for rid in victims:
+                old = table.delete(rid)
+                txn.log_delete(
+                    table.name,
+                    rid,
+                    table.tuple_bytes(old),
+                    undo=lambda rid=rid, old=old: table.undo_delete(rid, old),
+                )
+                deleted += 1
+        return QueryResult(rowcount=deleted)
+
+    # -- DDL ----------------------------------------------------------------
+
+    def _execute_create_table(self, statement: CreateTableStatement) -> QueryResult:
+        if statement.table in self.tables:
+            if statement.if_not_exists:
+                return QueryResult()
+            raise CatalogError(f"table already exists: {statement.table!r}")
+        self.create_table(
+            statement.table,
+            [(c.name, c.sql_type) for c in statement.columns],
+        )
+        return QueryResult()
+
+    def _execute_alter(self, statement: AlterTableStatement) -> QueryResult:
+        table = self.table(statement.table)
+        if statement.action == "add":
+            assert statement.sql_type is not None
+            table.add_column(Column(statement.column_name, statement.sql_type))
+        elif statement.action == "drop":
+            table.drop_column(statement.column_name)
+        else:  # pragma: no cover - parser prevents this
+            raise PlanningError(f"unknown ALTER action {statement.action!r}")
+        return QueryResult()
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def _begin(self) -> None:
+        if self._session_txn is not None:
+            raise TransactionError("a transaction is already in progress")
+        self._session_txn = self.txn_manager.begin()
+
+    def _commit(self) -> None:
+        if self._session_txn is None:
+            raise TransactionError("no transaction in progress")
+        self.txn_manager.finish(self._session_txn, commit=True)
+        self._session_txn = None
+
+    def _rollback(self) -> None:
+        if self._session_txn is None:
+            raise TransactionError("no transaction in progress")
+        self.txn_manager.finish(self._session_txn, commit=False)
+        self._session_txn = None
+
+    def _dml_txn(self):
+        """Session transaction when open, else per-statement autocommit."""
+        if self._session_txn is not None:
+            return _NoopTxnContext(self._session_txn)
+        return self.txn_manager.autocommit()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def total_table_bytes(self) -> int:
+        """Total modelled on-disk size of every table (Table 3 metric)."""
+        return sum(table.total_bytes for table in self.tables.values())
+
+    def modelled_io_seconds(self) -> float:
+        return self.config.io_model.modelled_io_seconds(self.counters)
+
+
+class _NoopTxnContext:
+    """Adapter exposing an already-open transaction as a context manager."""
+
+    def __init__(self, txn: Transaction):
+        self.txn = txn
+
+    def __enter__(self) -> Transaction:
+        return self.txn
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False

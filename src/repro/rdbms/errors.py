@@ -1,0 +1,75 @@
+"""Exception hierarchy for the relational engine.
+
+The engine mirrors the error surface of a conventional RDBMS closely enough
+for the paper's failure modes to be reproducible:
+
+* ``TypeCastError`` corresponds to PostgreSQL's ``invalid input syntax for
+  type ...`` error, which is what makes NoBench Q7 fail on the Postgres
+  JSON baseline (paper section 6.4).
+* ``DiskFullError`` corresponds to running out of scratch/table space, which
+  is what terminates NoBench Q8/Q9/Q11 on the EAV baseline and Q11 on
+  MongoDB (paper sections 6.4 and 6.5).
+"""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for every error raised by the engine."""
+
+
+class SqlSyntaxError(DatabaseError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class CatalogError(DatabaseError):
+    """A referenced table, column, or function does not exist (or already
+    exists when it must not)."""
+
+
+class TypeCastError(DatabaseError):
+    """A value could not be converted to the requested SQL type.
+
+    Matches PostgreSQL's behaviour of aborting the whole query on a
+    malformed cast such as ``'twenty'::integer``.
+    """
+
+
+class ExecutionError(DatabaseError):
+    """A runtime failure while executing a plan (bad expression, overflow,
+    unexpected NULL, ...)."""
+
+
+class PlanningError(DatabaseError):
+    """The planner could not produce a plan for a (parsed) statement."""
+
+
+class DiskFullError(DatabaseError):
+    """The database exceeded its configured disk budget.
+
+    Raised while appending heap pages or spilling intermediate results.  Used
+    to reproduce the paper's out-of-disk terminations for the EAV and
+    MongoDB baselines.
+    """
+
+    def __init__(self, used_bytes: int, budget_bytes: int):
+        self.used_bytes = used_bytes
+        self.budget_bytes = budget_bytes
+        super().__init__(
+            f"disk budget exhausted: {used_bytes} bytes used, "
+            f"budget is {budget_bytes} bytes"
+        )
+
+
+class TransactionError(DatabaseError):
+    """Illegal transaction state transition (commit without begin, ...)."""
+
+
+class ConcurrencyError(DatabaseError):
+    """A latch could not be acquired (loader vs. materializer exclusion)."""

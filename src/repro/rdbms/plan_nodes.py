@@ -1,0 +1,707 @@
+"""Physical plan operators: cost estimates, execution, and EXPLAIN text.
+
+Each node carries
+
+* ``output_columns`` -- the ``(qualifier, name)`` layout of its output rows,
+* ``est_rows`` / ``est_row_bytes`` / ``est_cost`` -- the planner's estimates,
+* ``rows(context)`` -- a generator executing the operator, and
+* ``explain_lines()`` -- PostgreSQL-flavoured EXPLAIN output.
+
+The operator inventory mirrors what the paper's Table 2 plans mention:
+Seq Scan, Filter, Project, Nested Loop / Hash Join / Merge Join, Sort,
+Unique, HashAggregate, GroupAggregate, and Limit.
+
+Memory-overflow behaviour matters for the reproduction: Sort and the two
+hash operators charge scratch space against the database's
+:class:`~repro.rdbms.cost.DiskBudget` whenever their input exceeds
+``work_mem`` -- this is the mechanism by which the EAV baseline dies with
+"out of disk" on NoBench Q8/Q9/Q11 and MongoDB's client-side join dies on
+Q11, exactly as reported in paper sections 6.4-6.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from .cost import CostCounters, DiskBudget
+from .errors import ExecutionError
+from .expressions import (
+    CompiledExpr,
+    Expr,
+    SchemaResolver,
+    Star,
+    compile_expr,
+)
+from .functions import AggregateFunction, FunctionRegistry
+from .storage import HeapTable
+
+Row = tuple
+OutputColumns = list[tuple[str | None, str]]
+
+#: Abstract cost units, PostgreSQL-style.
+SEQ_PAGE_COST = 1.0
+CPU_TUPLE_COST = 0.01
+CPU_OPERATOR_COST = 0.0025
+UDF_CALL_COST = 0.1
+SORT_COST_FACTOR = 0.02
+
+
+class ExecutionContext:
+    """Runtime services handed to every operator."""
+
+    def __init__(
+        self,
+        counters: CostCounters,
+        functions: FunctionRegistry,
+        disk: DiskBudget,
+        work_mem_bytes: int,
+    ):
+        self.counters = counters
+        self.functions = functions
+        self.disk = disk
+        self.work_mem_bytes = work_mem_bytes
+
+
+class PlanNode:
+    """Base physical operator."""
+
+    output_columns: OutputColumns
+    est_rows: float = 0.0
+    est_row_bytes: float = 48.0
+    est_cost: float = 0.0
+
+    def children(self) -> Sequence["PlanNode"]:
+        return ()
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def node_label(self) -> str:
+        raise NotImplementedError
+
+    def explain_lines(self, depth: int = 0) -> list[str]:
+        prefix = "" if depth == 0 else "  " * depth + "->  "
+        line = f"{prefix}{self.node_label()}  (rows={int(self.est_rows)})"
+        lines = [line]
+        for child in self.children():
+            lines.extend(child.explain_lines(depth + 1))
+        return lines
+
+    def explain(self) -> str:
+        return "\n".join(self.explain_lines())
+
+    def resolver(self, functions: FunctionRegistry) -> SchemaResolver:
+        return SchemaResolver(self.output_columns, functions)
+
+    def walk(self) -> Iterator["PlanNode"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+class SeqScan(PlanNode):
+    """Full scan of a heap table through the buffer pool."""
+
+    def __init__(self, table: HeapTable, qualifier: str, est_rows: float | None = None):
+        self.table = table
+        self.qualifier = qualifier
+        self.output_columns = [(qualifier, c.name) for c in table.schema]
+        self.est_rows = float(len(table)) if est_rows is None else est_rows
+        self.est_row_bytes = (
+            table.total_bytes / max(1, len(table)) if len(table) else 48.0
+        )
+        self.est_cost = table.n_pages * SEQ_PAGE_COST + len(table) * CPU_TUPLE_COST
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        for _rid, row in self.table.scan():
+            yield row
+
+    def node_label(self) -> str:
+        name = self.table.name
+        if self.qualifier != name:
+            return f"Seq Scan on {name} {self.qualifier}"
+        return f"Seq Scan on {name}"
+
+
+class Filter(PlanNode):
+    """Row filter; keeps rows whose predicate evaluates to TRUE."""
+
+    def __init__(self, child: PlanNode, predicate: Expr, selectivity: float):
+        self.child = child
+        self.predicate = predicate
+        self.output_columns = list(child.output_columns)
+        self.est_rows = max(1.0, child.est_rows * selectivity)
+        self.est_row_bytes = child.est_row_bytes
+        self.est_cost = child.est_cost + child.est_rows * CPU_OPERATOR_COST
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        compiled = compile_expr(self.predicate, self.resolver(context.functions))
+        for row in self.child.rows(context):
+            if compiled(row) is True:
+                yield row
+
+    def node_label(self) -> str:
+        return f"Filter: {self.predicate}"
+
+    def explain_lines(self, depth: int = 0) -> list[str]:
+        # Postgres renders filters as an annotation of the child node; we
+        # keep the filter visible but inline its child at the same depth.
+        prefix = "" if depth == 0 else "  " * depth + "->  "
+        lines = [f"{prefix}{self.node_label()}  (rows={int(self.est_rows)})"]
+        lines.extend(self.child.explain_lines(depth + 1))
+        return lines
+
+
+class Project(PlanNode):
+    """Computes the SELECT list."""
+
+    def __init__(
+        self,
+        child: PlanNode,
+        expressions: Sequence[Expr],
+        names: Sequence[str],
+    ):
+        if len(expressions) != len(names):
+            raise ExecutionError("projection arity mismatch")
+        self.child = child
+        self.expressions = list(expressions)
+        self.output_columns = [(None, name) for name in names]
+        self.est_rows = child.est_rows
+        self.est_row_bytes = max(16.0, 16.0 * len(expressions))
+        self.est_cost = child.est_cost + child.est_rows * CPU_OPERATOR_COST * max(
+            1, len(expressions)
+        )
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        resolver = self.child.resolver(context.functions)
+        compiled = [compile_expr(e, resolver) for e in self.expressions]
+        for row in self.child.rows(context):
+            yield tuple(fn(row) for fn in compiled)
+
+    def node_label(self) -> str:
+        rendered = ", ".join(str(e) for e in self.expressions)
+        if len(rendered) > 160:
+            rendered = rendered[:157] + "..."
+        return f"Project: {rendered}"
+
+
+class Limit(PlanNode):
+    def __init__(self, child: PlanNode, limit: int):
+        self.child = child
+        self.limit = limit
+        self.output_columns = list(child.output_columns)
+        self.est_rows = min(child.est_rows, float(limit))
+        self.est_row_bytes = child.est_row_bytes
+        self.est_cost = child.est_cost
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        produced = 0
+        for row in self.child.rows(context):
+            if produced >= self.limit:
+                return
+            produced += 1
+            yield row
+
+    def node_label(self) -> str:
+        return f"Limit {self.limit}"
+
+
+def _sort_key_fn(
+    compiled_keys: list[tuple[CompiledExpr, bool]],
+) -> Callable[[Row], tuple]:
+    """Build a total-order sort key with NULLS LAST semantics.
+
+    Values of mixed types within a key are bucketed by type name first so
+    ``sorted`` never raises; this mirrors a type-bracketed collation.
+    """
+
+    def key(row: Row) -> tuple:
+        parts: list[Any] = []
+        for fn, ascending in compiled_keys:
+            value = fn(row)
+            if value is None:
+                parts.append((2, "", 0))
+                continue
+            if isinstance(value, bool):
+                rank, normalised = 1, (str(type(value).__name__), int(value))
+            elif isinstance(value, (int, float)):
+                rank, normalised = 0, ("num", float(value))
+            else:
+                rank, normalised = 1, (type(value).__name__, value)
+            if not ascending:
+                if isinstance(normalised[1], float):
+                    normalised = (normalised[0], -normalised[1])
+                    parts.append((rank, normalised[0], normalised[1]))
+                    continue
+                # descending over non-numeric: negate via reversed rank trick
+                parts.append((-rank, _Reversed(normalised[0]), _Reversed(normalised[1])))
+                continue
+            parts.append((rank, normalised[0], normalised[1]))
+        return tuple(parts)
+
+    return key
+
+
+class _Reversed:
+    """Wrapper inverting comparison order (for DESC over strings)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.value == self.value
+
+
+class Sort(PlanNode):
+    """Full in-memory sort; charges scratch space when over work_mem."""
+
+    def __init__(self, child: PlanNode, keys: Sequence[tuple[Expr, bool]]):
+        self.child = child
+        self.keys = list(keys)
+        self.output_columns = list(child.output_columns)
+        self.est_rows = child.est_rows
+        self.est_row_bytes = child.est_row_bytes
+        n = max(2.0, child.est_rows)
+        import math
+
+        self.est_cost = child.est_cost + SORT_COST_FACTOR * n * math.log2(n)
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        resolver = self.child.resolver(context.functions)
+        compiled = [(compile_expr(e, resolver), asc) for e, asc in self.keys]
+        buffered = list(self.child.rows(context))
+        spilled = charge_spill(
+            context, len(buffered), self.child.est_row_bytes
+        )
+        buffered.sort(key=_sort_key_fn(compiled))
+        release_spill(context, spilled)
+        yield from buffered
+
+    def node_label(self) -> str:
+        rendered = ", ".join(
+            f"{expr}{'' if asc else ' DESC'}" for expr, asc in self.keys
+        )
+        return f"Sort  Key: {rendered}"
+
+
+def charge_spill(context: ExecutionContext, n_rows: int, row_bytes: float) -> int:
+    """Charge scratch space for a buffered input exceeding work_mem.
+
+    Returns the number of bytes charged (0 when the input fit in memory) so
+    the caller can release them when the operator finishes.
+    """
+    total = int(n_rows * max(row_bytes, 16.0))
+    if total <= context.work_mem_bytes:
+        return 0
+    spill = total - context.work_mem_bytes
+    context.counters.spill_bytes += spill
+    context.disk.charge(spill)
+    return spill
+
+
+def release_spill(context: ExecutionContext, spilled: int) -> None:
+    if spilled:
+        context.disk.release(spilled)
+
+
+class Unique(PlanNode):
+    """Removes duplicates from *sorted* input (pairs with Sort)."""
+
+    def __init__(self, child: PlanNode):
+        self.child = child
+        self.output_columns = list(child.output_columns)
+        self.est_rows = max(1.0, child.est_rows * 0.9)
+        self.est_row_bytes = child.est_row_bytes
+        self.est_cost = child.est_cost + child.est_rows * CPU_OPERATOR_COST
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        previous: Row | None = None
+        first = True
+        for row in self.child.rows(context):
+            if first or row != previous:
+                yield row
+            previous = row
+            first = False
+
+    def node_label(self) -> str:
+        return "Unique"
+
+
+@dataclass
+class AggSpec:
+    """One aggregate in the SELECT/HAVING list."""
+
+    function: AggregateFunction
+    argument: Expr | None  # None for count(*)
+    distinct: bool
+    output_name: str
+
+
+class _AggregateBase(PlanNode):
+    """Shared machinery for hash and sorted grouping."""
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_exprs: Sequence[Expr],
+        aggregates: Sequence[AggSpec],
+        est_groups: float,
+    ):
+        self.child = child
+        self.group_exprs = list(group_exprs)
+        self.aggregates = list(aggregates)
+        self.output_columns = [
+            (None, f"__key{i}") for i in range(len(self.group_exprs))
+        ] + [(None, spec.output_name) for spec in self.aggregates]
+        self.est_rows = max(1.0, est_groups)
+        self.est_row_bytes = 16.0 * max(1, len(self.output_columns))
+        self.est_cost = child.est_cost + child.est_rows * CPU_OPERATOR_COST * (
+            len(self.group_exprs) + len(self.aggregates) + 1
+        )
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def _compile(self, context: ExecutionContext):
+        resolver = self.child.resolver(context.functions)
+        group_fns = [compile_expr(e, resolver) for e in self.group_exprs]
+        agg_fns: list[CompiledExpr | None] = []
+        for spec in self.aggregates:
+            if spec.argument is None or isinstance(spec.argument, Star):
+                agg_fns.append(None)
+            else:
+                agg_fns.append(compile_expr(spec.argument, resolver))
+        return group_fns, agg_fns
+
+    def _finalise(self, key: tuple, states: list[Any]) -> Row:
+        finals = [
+            spec.function.final(state)
+            for spec, state in zip(self.aggregates, states)
+        ]
+        return key + tuple(finals)
+
+    def _step_all(self, specs_states, agg_fns, row, distinct_seen) -> None:
+        for index, (spec, _state) in enumerate(specs_states):
+            fn = agg_fns[index]
+            if fn is None:
+                value: Any = 1  # count(*) counts every row
+            else:
+                value = fn(row)
+                if value is None and spec.function.skip_nulls:
+                    continue
+            if spec.distinct:
+                seen = distinct_seen[index]
+                if value in seen:
+                    continue
+                seen.add(value)
+            specs_states[index] = (spec, spec.function.step(specs_states[index][1], value))
+
+
+class HashAggregate(_AggregateBase):
+    """Hash-based grouping; also implements hash DISTINCT when it has no
+    aggregate specs (each group key is the full distinct row)."""
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        group_fns, agg_fns = self._compile(context)
+        groups: dict[tuple, list] = {}
+        distinct_sets: dict[tuple, list[set]] = {}
+        n_buffered = 0
+        for row in self.child.rows(context):
+            key = tuple(fn(row) for fn in group_fns)
+            if key not in groups:
+                groups[key] = [
+                    (spec, spec.function.init()) for spec in self.aggregates
+                ]
+                distinct_sets[key] = [set() for _ in self.aggregates]
+                n_buffered += 1
+            self._step_all(groups[key], agg_fns, row, distinct_sets[key])
+        if not groups and not self.group_exprs:
+            # SQL: a global aggregate always yields exactly one row.
+            states = [(spec, spec.function.init()) for spec in self.aggregates]
+            yield self._finalise((), [state for _spec, state in states])
+            return
+        spilled = charge_spill(context, n_buffered, self.est_row_bytes)
+        try:
+            for key, specs_states in groups.items():
+                yield self._finalise(key, [state for _spec, state in specs_states])
+        finally:
+            release_spill(context, spilled)
+
+    def node_label(self) -> str:
+        return "HashAggregate"
+
+
+class GroupAggregate(_AggregateBase):
+    """Sort-based grouping over input already sorted on the group keys."""
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        group_fns, agg_fns = self._compile(context)
+        current_key: tuple | None = None
+        states: list | None = None
+        distinct_seen: list[set] = []
+        for row in self.child.rows(context):
+            key = tuple(fn(row) for fn in group_fns)
+            if key != current_key:
+                if states is not None:
+                    yield self._finalise(
+                        current_key, [state for _spec, state in states]
+                    )
+                current_key = key
+                states = [(spec, spec.function.init()) for spec in self.aggregates]
+                distinct_seen = [set() for _ in self.aggregates]
+            self._step_all(states, agg_fns, row, distinct_seen)
+        if states is not None:
+            yield self._finalise(current_key, [state for _spec, state in states])
+        elif not self.group_exprs:
+            empty = [(spec, spec.function.init()) for spec in self.aggregates]
+            yield self._finalise((), [state for _spec, state in empty])
+
+    def node_label(self) -> str:
+        return "GroupAggregate"
+
+
+class NestedLoopJoin(PlanNode):
+    """Materialised-inner nested loop with optional join condition."""
+
+    def __init__(
+        self,
+        outer: PlanNode,
+        inner: PlanNode,
+        condition: Expr | None,
+        est_rows: float,
+    ):
+        self.outer = outer
+        self.inner = inner
+        self.condition = condition
+        self.output_columns = list(outer.output_columns) + list(inner.output_columns)
+        self.est_rows = max(1.0, est_rows)
+        self.est_row_bytes = outer.est_row_bytes + inner.est_row_bytes
+        self.est_cost = (
+            outer.est_cost
+            + inner.est_cost
+            + outer.est_rows * inner.est_rows * CPU_OPERATOR_COST
+        )
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.outer, self.inner)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        inner_rows = list(self.inner.rows(context))
+        spilled = charge_spill(context, len(inner_rows), self.inner.est_row_bytes)
+        try:
+            compiled = (
+                compile_expr(self.condition, self.resolver(context.functions))
+                if self.condition is not None
+                else None
+            )
+            for outer_row in self.outer.rows(context):
+                for inner_row in inner_rows:
+                    combined = outer_row + inner_row
+                    if compiled is None or compiled(combined) is True:
+                        yield combined
+        finally:
+            release_spill(context, spilled)
+
+    def node_label(self) -> str:
+        return "Nested Loop"
+
+
+class HashJoin(PlanNode):
+    """Equi-join building a hash table on the inner input."""
+
+    def __init__(
+        self,
+        outer: PlanNode,
+        inner: PlanNode,
+        outer_keys: Sequence[Expr],
+        inner_keys: Sequence[Expr],
+        est_rows: float,
+        residual: Expr | None = None,
+    ):
+        self.outer = outer
+        self.inner = inner
+        self.outer_keys = list(outer_keys)
+        self.inner_keys = list(inner_keys)
+        self.residual = residual
+        self.output_columns = list(outer.output_columns) + list(inner.output_columns)
+        self.est_rows = max(1.0, est_rows)
+        self.est_row_bytes = outer.est_row_bytes + inner.est_row_bytes
+        self.est_cost = (
+            outer.est_cost
+            + inner.est_cost
+            + (outer.est_rows + inner.est_rows) * CPU_OPERATOR_COST * 2
+        )
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.outer, self.inner)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        inner_resolver = self.inner.resolver(context.functions)
+        inner_key_fns = [compile_expr(e, inner_resolver) for e in self.inner_keys]
+        table: dict[tuple, list[Row]] = {}
+        n_inner = 0
+        for row in self.inner.rows(context):
+            key = tuple(fn(row) for fn in inner_key_fns)
+            if any(part is None for part in key):
+                continue
+            table.setdefault(key, []).append(row)
+            n_inner += 1
+        spilled = charge_spill(context, n_inner, self.inner.est_row_bytes)
+        try:
+            outer_resolver = self.outer.resolver(context.functions)
+            outer_key_fns = [compile_expr(e, outer_resolver) for e in self.outer_keys]
+            residual_fn = (
+                compile_expr(self.residual, self.resolver(context.functions))
+                if self.residual is not None
+                else None
+            )
+            for outer_row in self.outer.rows(context):
+                key = tuple(fn(outer_row) for fn in outer_key_fns)
+                if any(part is None for part in key):
+                    continue
+                for inner_row in table.get(key, ()):
+                    combined = outer_row + inner_row
+                    if residual_fn is None or residual_fn(combined) is True:
+                        yield combined
+        finally:
+            release_spill(context, spilled)
+
+    def node_label(self) -> str:
+        condition = " AND ".join(
+            f"{o} = {i}" for o, i in zip(self.outer_keys, self.inner_keys)
+        )
+        return f"Hash Join  Cond: {condition}"
+
+
+class MergeJoin(PlanNode):
+    """Sort-merge equi-join (sorts both inputs on the join keys)."""
+
+    def __init__(
+        self,
+        outer: PlanNode,
+        inner: PlanNode,
+        outer_keys: Sequence[Expr],
+        inner_keys: Sequence[Expr],
+        est_rows: float,
+        residual: Expr | None = None,
+    ):
+        self.outer = Sort(outer, [(k, True) for k in outer_keys])
+        self.inner = Sort(inner, [(k, True) for k in inner_keys])
+        self.outer_keys = list(outer_keys)
+        self.inner_keys = list(inner_keys)
+        self.residual = residual
+        self.output_columns = list(outer.output_columns) + list(inner.output_columns)
+        self.est_rows = max(1.0, est_rows)
+        self.est_row_bytes = outer.est_row_bytes + inner.est_row_bytes
+        self.est_cost = (
+            self.outer.est_cost
+            + self.inner.est_cost
+            + (outer.est_rows + inner.est_rows) * CPU_OPERATOR_COST
+        )
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.outer, self.inner)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        outer_resolver = self.outer.resolver(context.functions)
+        inner_resolver = self.inner.resolver(context.functions)
+        outer_key_fns = [compile_expr(e, outer_resolver) for e in self.outer_keys]
+        inner_key_fns = [compile_expr(e, inner_resolver) for e in self.inner_keys]
+        residual_fn = (
+            compile_expr(self.residual, self.resolver(context.functions))
+            if self.residual is not None
+            else None
+        )
+
+        def key_of(row: Row, fns) -> tuple:
+            return tuple(fn(row) for fn in fns)
+
+        outer_rows = [
+            r for r in self.outer.rows(context)
+            if not any(v is None for v in key_of(r, outer_key_fns))
+        ]
+        inner_rows = [
+            r for r in self.inner.rows(context)
+            if not any(v is None for v in key_of(r, inner_key_fns))
+        ]
+        i = j = 0
+        while i < len(outer_rows) and j < len(inner_rows):
+            outer_key = key_of(outer_rows[i], outer_key_fns)
+            inner_key = key_of(inner_rows[j], inner_key_fns)
+            cmp = _compare_keys(outer_key, inner_key)
+            if cmp < 0:
+                i += 1
+            elif cmp > 0:
+                j += 1
+            else:
+                # gather the matching runs on both sides
+                i_end = i
+                while (
+                    i_end < len(outer_rows)
+                    and key_of(outer_rows[i_end], outer_key_fns) == outer_key
+                ):
+                    i_end += 1
+                j_end = j
+                while (
+                    j_end < len(inner_rows)
+                    and key_of(inner_rows[j_end], inner_key_fns) == inner_key
+                ):
+                    j_end += 1
+                for oi in range(i, i_end):
+                    for ji in range(j, j_end):
+                        combined = outer_rows[oi] + inner_rows[ji]
+                        if residual_fn is None or residual_fn(combined) is True:
+                            yield combined
+                i, j = i_end, j_end
+
+    def node_label(self) -> str:
+        condition = " AND ".join(
+            f"{o} = {i}" for o, i in zip(self.outer_keys, self.inner_keys)
+        )
+        return f"Merge Join  Cond: {condition}"
+
+
+def _type_rank(value: Any) -> int:
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 0
+    return 2
+
+
+def _compare_keys(left: tuple, right: tuple) -> int:
+    for lv, rv in zip(left, right):
+        lr, rr = _type_rank(lv), _type_rank(rv)
+        if lr != rr:
+            return -1 if lr < rr else 1
+        if lv == rv:
+            continue
+        try:
+            return -1 if lv < rv else 1
+        except TypeError:
+            ls, rs = str(lv), str(rv)
+            if ls == rs:
+                continue
+            return -1 if ls < rs else 1
+    return 0

@@ -1,0 +1,42 @@
+"""SQL front end: lexer, parser, and statement AST."""
+
+from .ast import (
+    AlterTableStatement,
+    AnalyzeStatement,
+    ColumnDef,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    ExplainStatement,
+    InsertStatement,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Statement,
+    TableRef,
+    UpdateStatement,
+)
+from .lexer import Token, TokenType, tokenize
+from .parser import parse, parse_expression
+
+__all__ = [
+    "AlterTableStatement",
+    "AnalyzeStatement",
+    "ColumnDef",
+    "CreateTableStatement",
+    "DeleteStatement",
+    "DropTableStatement",
+    "ExplainStatement",
+    "InsertStatement",
+    "OrderItem",
+    "SelectItem",
+    "SelectStatement",
+    "Statement",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "UpdateStatement",
+    "parse",
+    "parse_expression",
+    "tokenize",
+]

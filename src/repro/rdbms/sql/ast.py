@@ -1,0 +1,138 @@
+"""Statement-level AST produced by the SQL parser.
+
+Expression nodes live in :mod:`repro.rdbms.expressions`; this module holds
+the statement shells around them.  Join syntax is normalised at parse time:
+both ``FROM a, b WHERE a.x = b.y`` and ``FROM a JOIN b ON a.x = b.y``
+produce a flat table list plus a conjunctive WHERE, which is the form the
+join-order enumerator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..expressions import Expr
+from ..types import SqlType
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in a FROM clause, with its effective alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        """The name other clauses use to refer to this table instance."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One SELECT-list entry: an expression plus optional output alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+class Statement:
+    """Marker base class for all statements."""
+
+
+@dataclass(frozen=True)
+class SelectStatement(Statement):
+    items: tuple[SelectItem, ...]
+    from_tables: tuple[TableRef, ...]
+    where: Expr | None = None
+    group_by: tuple[Expr, ...] = ()
+    having: Expr | None = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class InsertStatement(Statement):
+    table: str
+    columns: tuple[str, ...] | None
+    rows: tuple[tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class UpdateStatement(Statement):
+    table: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class DeleteStatement(Statement):
+    table: str
+    where: Expr | None = None
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    sql_type: SqlType
+
+
+@dataclass(frozen=True)
+class CreateTableStatement(Statement):
+    table: str
+    columns: tuple[ColumnDef, ...]
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropTableStatement(Statement):
+    table: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class AlterTableStatement(Statement):
+    """``ALTER TABLE t ADD COLUMN c type`` or ``... DROP COLUMN c``."""
+
+    table: str
+    action: str  # "add" | "drop"
+    column_name: str
+    sql_type: SqlType | None = None
+
+
+@dataclass(frozen=True)
+class AnalyzeStatement(Statement):
+    """``ANALYZE [table]`` -- refresh optimizer statistics."""
+
+    table: str | None = None
+
+
+@dataclass(frozen=True)
+class ExplainStatement(Statement):
+    """``EXPLAIN select`` -- plan without executing."""
+
+    inner: SelectStatement
+
+
+@dataclass(frozen=True)
+class BeginStatement(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class CommitStatement(Statement):
+    pass
+
+
+@dataclass(frozen=True)
+class RollbackStatement(Statement):
+    pass

@@ -1,0 +1,181 @@
+"""SQL tokenizer.
+
+Produces a flat token stream with source positions for error reporting.
+Two details matter for Sinew:
+
+* **Quoted identifiers keep their exact spelling**, including dots --
+  ``"user.id"`` is a single logical column of the universal relation
+  (a flattened nested key), not a table-qualified reference.
+* Unquoted identifiers are case-folded to lower case (PostgreSQL rule).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import SqlSyntaxError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"  # unquoted, lower-cased
+    QIDENT = "qident"  # "quoted", spelling preserved
+    STRING = "string"
+    NUMBER = "number"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    """
+    select from where group by having order asc desc limit distinct as and or
+    not in like between is null true false insert into values update set
+    delete create table drop alter add column if exists analyze explain
+    join inner left on cast any coalesce begin commit rollback
+    """.split()
+)
+
+_OPERATORS = (
+    "<>",
+    "!=",
+    "<=",
+    ">=",
+    "::",
+    "||",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+)
+
+_PUNCT = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        if self.type is not token_type:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``, raising :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = n if newline == -1 else newline + 1
+            continue
+        if ch == "'":
+            value, i = _read_string(sql, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        if ch == '"':
+            value, i = _read_quoted_identifier(sql, i)
+            tokens.append(Token(TokenType.QIDENT, value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            value, i = _read_number(sql, i)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_" or sql[i] == "$"):
+                i += 1
+            word = sql[start:i].lower()
+            token_type = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(token_type, word, start))
+            continue
+        matched_operator = None
+        for operator in _OPERATORS:
+            if sql.startswith(operator, i):
+                matched_operator = operator
+                break
+        if matched_operator is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched_operator, i))
+            i += len(matched_operator)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string; '' is an escaped quote."""
+    i = start + 1
+    n = len(sql)
+    parts: list[str] = []
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal", position=start)
+
+
+def _read_quoted_identifier(sql: str, start: int) -> tuple[str, int]:
+    """Read a double-quoted identifier; "" is an escaped quote."""
+    i = start + 1
+    n = len(sql)
+    parts: list[str] = []
+    while i < n:
+        ch = sql[i]
+        if ch == '"':
+            if i + 1 < n and sql[i + 1] == '"':
+                parts.append('"')
+                i += 2
+                continue
+            if not parts:
+                raise SqlSyntaxError("empty quoted identifier", position=start)
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated quoted identifier", position=start)
+
+
+def _read_number(sql: str, start: int) -> tuple[str, int]:
+    i = start
+    n = len(sql)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            seen_exp = True
+            i += 1
+            if i < n and sql[i] in "+-":
+                i += 1
+        else:
+            break
+    return sql[start:i], i

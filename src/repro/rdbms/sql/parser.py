@@ -1,0 +1,589 @@
+"""Recursive-descent SQL parser.
+
+Grammar coverage is the dialect the paper's workload needs: SELECT with
+joins (comma and ``JOIN ... ON``), WHERE, GROUP BY, HAVING, ORDER BY,
+LIMIT, DISTINCT; INSERT/UPDATE/DELETE; CREATE/DROP/ALTER TABLE; ANALYZE;
+EXPLAIN; transaction control.  Expression syntax includes BETWEEN, IN,
+LIKE, IS [NOT] NULL, ``= ANY(array)`` containment (NoBench Q8), CAST /
+``::`` casts, COALESCE (the dirty-column rewrite of paper section 3.2.2),
+and function calls (the ``extract_key_*`` UDFs).
+"""
+
+from __future__ import annotations
+
+from ..errors import SqlSyntaxError
+from ..expressions import (
+    AnyPredicate,
+    Between,
+    BinaryOp,
+    Coalesce,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from ..types import type_from_name
+from .ast import (
+    AlterTableStatement,
+    AnalyzeStatement,
+    BeginStatement,
+    ColumnDef,
+    CommitStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    ExplainStatement,
+    InsertStatement,
+    OrderItem,
+    RollbackStatement,
+    SelectItem,
+    SelectStatement,
+    Statement,
+    TableRef,
+    UpdateStatement,
+)
+from .lexer import Token, TokenType, tokenize
+
+_COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+
+
+def parse(sql: str) -> Statement:
+    """Parse one SQL statement (a trailing semicolon is allowed)."""
+    return _Parser(tokenize(sql)).parse_statement()
+
+
+def parse_expression(sql: str) -> Expr:
+    """Parse a standalone expression (used by tests and the rewriter)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token-stream helpers -------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.type is not TokenType.EOF:
+            self.position += 1
+        return token
+
+    def accept(self, token_type: TokenType, value: str | None = None) -> Token | None:
+        if self.peek().matches(token_type, value):
+            return self.advance()
+        return None
+
+    def accept_keyword(self, *words: str) -> bool:
+        """Consume a sequence of keywords if all of them are next."""
+        for offset, word in enumerate(words):
+            if not self.peek(offset).matches(TokenType.KEYWORD, word):
+                return False
+        for _ in words:
+            self.advance()
+        return True
+
+    def expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        token = self.accept(token_type, value)
+        if token is None:
+            actual = self.peek()
+            expected = value or token_type.value
+            raise SqlSyntaxError(
+                f"expected {expected!r}, found {actual.value!r}",
+                position=actual.position,
+            )
+        return token
+
+    def expect_keyword(self, word: str) -> None:
+        self.expect(TokenType.KEYWORD, word)
+
+    def expect_eof(self) -> None:
+        self.accept(TokenType.PUNCT, ";")
+        if self.peek().type is not TokenType.EOF:
+            token = self.peek()
+            raise SqlSyntaxError(
+                f"unexpected trailing input: {token.value!r}", position=token.position
+            )
+
+    # -- statements -------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        token = self.peek()
+        if token.type is not TokenType.KEYWORD:
+            raise SqlSyntaxError(
+                f"expected a statement keyword, found {token.value!r}",
+                position=token.position,
+            )
+        dispatch = {
+            "select": self._parse_select_statement,
+            "insert": self._parse_insert,
+            "update": self._parse_update,
+            "delete": self._parse_delete,
+            "create": self._parse_create_table,
+            "drop": self._parse_drop_table,
+            "alter": self._parse_alter_table,
+            "analyze": self._parse_analyze,
+            "explain": self._parse_explain,
+            "begin": self._parse_begin,
+            "commit": self._parse_commit,
+            "rollback": self._parse_rollback,
+        }
+        if token.value not in dispatch:
+            raise SqlSyntaxError(
+                f"unsupported statement: {token.value!r}", position=token.position
+            )
+        statement = dispatch[token.value]()
+        self.expect_eof()
+        return statement
+
+    def _parse_select_statement(self) -> SelectStatement:
+        statement = self._parse_select()
+        return statement
+
+    def _parse_select(self) -> SelectStatement:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        items = [self._parse_select_item()]
+        while self.accept(TokenType.PUNCT, ","):
+            items.append(self._parse_select_item())
+
+        from_tables: list[TableRef] = []
+        where: Expr | None = None
+        if self.accept_keyword("from"):
+            from_tables.append(self._parse_table_ref())
+            while True:
+                if self.accept(TokenType.PUNCT, ","):
+                    from_tables.append(self._parse_table_ref())
+                    continue
+                is_join = (
+                    self.accept_keyword("join")
+                    or self.accept_keyword("inner", "join")
+                    or self.accept_keyword("left", "join")
+                )
+                if is_join:
+                    from_tables.append(self._parse_table_ref())
+                    self.expect_keyword("on")
+                    condition = self.parse_expr()
+                    where = condition if where is None else BinaryOp("AND", where, condition)
+                    continue
+                break
+
+        if self.accept_keyword("where"):
+            condition = self.parse_expr()
+            where = condition if where is None else BinaryOp("AND", where, condition)
+
+        group_by: list[Expr] = []
+        if self.accept_keyword("group", "by"):
+            group_by.append(self.parse_expr())
+            while self.accept(TokenType.PUNCT, ","):
+                group_by.append(self.parse_expr())
+
+        having: Expr | None = None
+        if self.accept_keyword("having"):
+            having = self.parse_expr()
+
+        order_by: list[OrderItem] = []
+        if self.accept_keyword("order", "by"):
+            order_by.append(self._parse_order_item())
+            while self.accept(TokenType.PUNCT, ","):
+                order_by.append(self._parse_order_item())
+
+        limit: int | None = None
+        if self.accept_keyword("limit"):
+            token = self.expect(TokenType.NUMBER)
+            limit = int(token.value)
+
+        return SelectStatement(
+            items=tuple(items),
+            from_tables=tuple(from_tables),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> SelectItem:
+        # "*" and "alias.*"
+        if self.peek().matches(TokenType.OPERATOR, "*"):
+            self.advance()
+            return SelectItem(Star())
+        if (
+            self.peek().type in (TokenType.IDENT, TokenType.QIDENT)
+            and self.peek(1).matches(TokenType.PUNCT, ".")
+            and self.peek(2).matches(TokenType.OPERATOR, "*")
+        ):
+            qualifier = self.advance().value
+            self.advance()
+            self.advance()
+            return SelectItem(Star(qualifier))
+        expr = self.parse_expr()
+        alias: str | None = None
+        if self.accept_keyword("as"):
+            alias = self._parse_identifier("output alias")
+        elif self.peek().type in (TokenType.IDENT, TokenType.QIDENT):
+            alias = self.advance().value
+        return SelectItem(expr, alias)
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self.parse_expr()
+        ascending = True
+        if self.accept_keyword("desc"):
+            ascending = False
+        else:
+            self.accept_keyword("asc")
+        return OrderItem(expr, ascending)
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._parse_identifier("table name")
+        alias: str | None = None
+        if self.accept_keyword("as"):
+            alias = self._parse_identifier("table alias")
+        elif self.peek().type in (TokenType.IDENT, TokenType.QIDENT):
+            alias = self.advance().value
+        return TableRef(name, alias)
+
+    def _parse_insert(self) -> InsertStatement:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self._parse_identifier("table name")
+        columns: tuple[str, ...] | None = None
+        if self.accept(TokenType.PUNCT, "("):
+            names = [self._parse_identifier("column name")]
+            while self.accept(TokenType.PUNCT, ","):
+                names.append(self._parse_identifier("column name"))
+            self.expect(TokenType.PUNCT, ")")
+            columns = tuple(names)
+        self.expect_keyword("values")
+        rows = [self._parse_value_row()]
+        while self.accept(TokenType.PUNCT, ","):
+            rows.append(self._parse_value_row())
+        return InsertStatement(table, columns, tuple(rows))
+
+    def _parse_value_row(self) -> tuple[Expr, ...]:
+        self.expect(TokenType.PUNCT, "(")
+        values = [self.parse_expr()]
+        while self.accept(TokenType.PUNCT, ","):
+            values.append(self.parse_expr())
+        self.expect(TokenType.PUNCT, ")")
+        return tuple(values)
+
+    def _parse_update(self) -> UpdateStatement:
+        self.expect_keyword("update")
+        table = self._parse_identifier("table name")
+        self.expect_keyword("set")
+        assignments = [self._parse_assignment()]
+        while self.accept(TokenType.PUNCT, ","):
+            assignments.append(self._parse_assignment())
+        where: Expr | None = None
+        if self.accept_keyword("where"):
+            where = self.parse_expr()
+        return UpdateStatement(table, tuple(assignments), where)
+
+    def _parse_assignment(self) -> tuple[str, Expr]:
+        name = self._parse_identifier("column name")
+        self.expect(TokenType.OPERATOR, "=")
+        return name, self.parse_expr()
+
+    def _parse_delete(self) -> DeleteStatement:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        table = self._parse_identifier("table name")
+        where: Expr | None = None
+        if self.accept_keyword("where"):
+            where = self.parse_expr()
+        return DeleteStatement(table, where)
+
+    def _parse_create_table(self) -> CreateTableStatement:
+        self.expect_keyword("create")
+        self.expect_keyword("table")
+        if_not_exists = self.accept_keyword("if", "not", "exists")
+        table = self._parse_identifier("table name")
+        self.expect(TokenType.PUNCT, "(")
+        columns = [self._parse_column_def()]
+        while self.accept(TokenType.PUNCT, ","):
+            columns.append(self._parse_column_def())
+        self.expect(TokenType.PUNCT, ")")
+        return CreateTableStatement(table, tuple(columns), if_not_exists)
+
+    def _parse_column_def(self) -> ColumnDef:
+        name = self._parse_identifier("column name")
+        sql_type = self._parse_type_name()
+        return ColumnDef(name, sql_type)
+
+    def _parse_type_name(self):
+        first = self.expect(TokenType.IDENT).value
+        if first == "double" and self.peek().matches(TokenType.IDENT, "precision"):
+            self.advance()
+            first = "double precision"
+        return type_from_name(first)
+
+    def _parse_drop_table(self) -> DropTableStatement:
+        self.expect_keyword("drop")
+        self.expect_keyword("table")
+        if_exists = self.accept_keyword("if", "exists")
+        table = self._parse_identifier("table name")
+        return DropTableStatement(table, if_exists)
+
+    def _parse_alter_table(self) -> AlterTableStatement:
+        self.expect_keyword("alter")
+        self.expect_keyword("table")
+        table = self._parse_identifier("table name")
+        if self.accept_keyword("add"):
+            self.accept_keyword("column")
+            name = self._parse_identifier("column name")
+            sql_type = self._parse_type_name()
+            return AlterTableStatement(table, "add", name, sql_type)
+        if self.accept_keyword("drop"):
+            self.accept_keyword("column")
+            name = self._parse_identifier("column name")
+            return AlterTableStatement(table, "drop", name)
+        token = self.peek()
+        raise SqlSyntaxError(
+            f"expected ADD or DROP, found {token.value!r}", position=token.position
+        )
+
+    def _parse_analyze(self) -> AnalyzeStatement:
+        self.expect_keyword("analyze")
+        table: str | None = None
+        if self.peek().type in (TokenType.IDENT, TokenType.QIDENT):
+            table = self.advance().value
+        return AnalyzeStatement(table)
+
+    def _parse_explain(self) -> ExplainStatement:
+        self.expect_keyword("explain")
+        return ExplainStatement(self._parse_select())
+
+    def _parse_begin(self) -> BeginStatement:
+        self.expect_keyword("begin")
+        return BeginStatement()
+
+    def _parse_commit(self) -> CommitStatement:
+        self.expect_keyword("commit")
+        return CommitStatement()
+
+    def _parse_rollback(self) -> RollbackStatement:
+        self.expect_keyword("rollback")
+        return RollbackStatement()
+
+    def _parse_identifier(self, what: str) -> str:
+        token = self.peek()
+        if token.type in (TokenType.IDENT, TokenType.QIDENT):
+            return self.advance().value
+        raise SqlSyntaxError(
+            f"expected {what}, found {token.value!r}", position=token.position
+        )
+
+    # -- expressions ------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.accept_keyword("or"):
+            left = BinaryOp("OR", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self.accept_keyword("and"):
+            left = BinaryOp("AND", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self.accept_keyword("not"):
+            return UnaryOp("NOT", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        left = self._parse_additive()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.OPERATOR and token.value in _COMPARISON_OPS:
+                op = self.advance().value
+                if op == "=" and self.accept_keyword("any"):
+                    self.expect(TokenType.PUNCT, "(")
+                    haystack = self.parse_expr()
+                    self.expect(TokenType.PUNCT, ")")
+                    left = AnyPredicate(left, haystack)
+                else:
+                    left = BinaryOp(op, left, self._parse_additive())
+                continue
+            if token.matches(TokenType.KEYWORD, "is"):
+                self.advance()
+                negated = bool(self.accept_keyword("not"))
+                self.expect_keyword("null")
+                left = IsNull(left, negated)
+                continue
+            negated = False
+            if token.matches(TokenType.KEYWORD, "not"):
+                follower = self.peek(1)
+                if follower.type is TokenType.KEYWORD and follower.value in (
+                    "between",
+                    "in",
+                    "like",
+                ):
+                    self.advance()
+                    negated = True
+                    token = self.peek()
+                else:
+                    break
+            if token.matches(TokenType.KEYWORD, "between"):
+                self.advance()
+                low = self._parse_additive()
+                self.expect_keyword("and")
+                high = self._parse_additive()
+                left = Between(left, low, high, negated)
+                continue
+            if token.matches(TokenType.KEYWORD, "in"):
+                self.advance()
+                self.expect(TokenType.PUNCT, "(")
+                items = [self.parse_expr()]
+                while self.accept(TokenType.PUNCT, ","):
+                    items.append(self.parse_expr())
+                self.expect(TokenType.PUNCT, ")")
+                left = InList(left, tuple(items), negated)
+                continue
+            if token.matches(TokenType.KEYWORD, "like"):
+                self.advance()
+                left = Like(left, self._parse_additive(), negated)
+                continue
+            break
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-", "||"):
+                op = self.advance().value
+                left = BinaryOp(op, left, self._parse_multiplicative())
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.OPERATOR and token.value in ("*", "/", "%"):
+                op = self.advance().value
+                left = BinaryOp(op, left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.matches(TokenType.OPERATOR, "-"):
+            self.advance()
+            return UnaryOp("-", self._parse_unary())
+        if token.matches(TokenType.OPERATOR, "+"):
+            self.advance()
+            return self._parse_unary()
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while self.accept(TokenType.OPERATOR, "::"):
+            from ..expressions import Cast
+
+            expr = Cast(expr, self._parse_type_name())
+        return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self.peek()
+
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            text = token.value
+            if "." in text or "e" in text or "E" in text:
+                return Literal(float(text))
+            return Literal(int(text))
+
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+
+        if token.type is TokenType.KEYWORD:
+            if token.value == "null":
+                self.advance()
+                return Literal(None)
+            if token.value == "true":
+                self.advance()
+                return Literal(True)
+            if token.value == "false":
+                self.advance()
+                return Literal(False)
+            if token.value == "cast":
+                self.advance()
+                self.expect(TokenType.PUNCT, "(")
+                inner = self.parse_expr()
+                self.expect_keyword("as")
+                target = self._parse_type_name()
+                self.expect(TokenType.PUNCT, ")")
+                from ..expressions import Cast
+
+                return Cast(inner, target)
+            if token.value == "coalesce":
+                self.advance()
+                self.expect(TokenType.PUNCT, "(")
+                args = [self.parse_expr()]
+                while self.accept(TokenType.PUNCT, ","):
+                    args.append(self.parse_expr())
+                self.expect(TokenType.PUNCT, ")")
+                return Coalesce(tuple(args))
+            raise SqlSyntaxError(
+                f"unexpected keyword {token.value!r} in expression",
+                position=token.position,
+            )
+
+        if token.type in (TokenType.IDENT, TokenType.QIDENT):
+            name = self.advance().value
+            # function call?
+            if token.type is TokenType.IDENT and self.peek().matches(
+                TokenType.PUNCT, "("
+            ):
+                self.advance()
+                distinct = self.accept_keyword("distinct")
+                args: list[Expr] = []
+                if self.peek().matches(TokenType.OPERATOR, "*"):
+                    self.advance()
+                    args.append(Star())
+                elif not self.peek().matches(TokenType.PUNCT, ")"):
+                    args.append(self.parse_expr())
+                    while self.accept(TokenType.PUNCT, ","):
+                        args.append(self.parse_expr())
+                self.expect(TokenType.PUNCT, ")")
+                return FunctionCall(name, tuple(args), distinct=distinct)
+            # qualified column reference?
+            if self.peek().matches(TokenType.PUNCT, "."):
+                follower = self.peek(1)
+                if follower.type in (TokenType.IDENT, TokenType.QIDENT):
+                    self.advance()
+                    column = self.advance().value
+                    return ColumnRef(name, column)
+            return ColumnRef(None, name)
+
+        if token.matches(TokenType.PUNCT, "("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(TokenType.PUNCT, ")")
+            return inner
+
+        raise SqlSyntaxError(
+            f"unexpected token {token.value!r} in expression", position=token.position
+        )

@@ -1,0 +1,309 @@
+"""Optimizer statistics: collection (ANALYZE) and selectivity estimation.
+
+This module is the load-bearing wall for the paper's Table 2 experiment.
+Sinew's whole argument for materializing hot attributes into physical
+columns is that the RDBMS optimizer *can only see physical columns*:
+
+* a predicate over a **physical column** is estimated from per-column
+  statistics (null fraction, distinct count, most-common values, an
+  equi-depth histogram), like PostgreSQL's ``pg_statistic``;
+* a predicate over a **virtual column** reaches the engine as a call to an
+  ``extract_key_*`` UDF, which the estimator cannot see through -- those
+  predicates get a *fixed default row estimate*
+  (:data:`DEFAULT_UDF_PREDICATE_ROWS`, the paper's "200 rows out of 10
+  million"), regardless of the true selectivity.
+
+The difference between these two paths is what flips aggregate strategies
+and join orders in Table 2.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from .expressions import (
+    AnyPredicate,
+    Between,
+    BinaryOp,
+    Coalesce,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+    contains_function_call,
+)
+from .storage import HeapTable
+
+#: Fixed output-row estimate for predicates the optimizer cannot analyse
+#: (anything routed through a UDF).  The paper reports Postgres assuming
+#: 200 rows out of 10 million for virtual-column predicates.
+DEFAULT_UDF_PREDICATE_ROWS = 200
+
+#: Default selectivities for analysable predicates on columns without
+#: statistics (PostgreSQL's eqsel/ineqsel defaults).
+DEFAULT_EQ_SELECTIVITY = 0.005
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_LIKE_SELECTIVITY = 0.05
+
+#: Number of most-common values and histogram buckets kept per column.
+N_MCVS = 20
+N_HISTOGRAM_BUCKETS = 50
+
+
+@dataclass
+class ColumnStats:
+    """Statistics for one physical column."""
+
+    null_frac: float = 1.0
+    n_distinct: int = 0
+    mcv: dict[Any, float] = field(default_factory=dict)  # value -> frequency
+    histogram: list[Any] = field(default_factory=list)  # equi-depth bounds
+    min_value: Any = None
+    max_value: Any = None
+
+    @property
+    def has_histogram(self) -> bool:
+        return len(self.histogram) >= 2
+
+
+@dataclass
+class TableStats:
+    """Statistics for one table: row count plus per-column details."""
+
+    row_count: int = 0
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+
+def analyze_table(table: HeapTable) -> TableStats:
+    """Compute full statistics for ``table`` (no sampling; tables here are
+    benchmark-scale)."""
+    stats = TableStats(row_count=len(table))
+    if stats.row_count == 0:
+        for column in table.schema:
+            stats.columns[column.name] = ColumnStats()
+        return stats
+
+    per_column_values: list[list[Any]] = [[] for _ in table.schema]
+    for _rid, row in table.scan():
+        for index, value in enumerate(row):
+            if value is not None and not isinstance(
+                value, (list, dict, bytes, bytearray)
+            ):
+                per_column_values[index].append(value)
+
+    for index, column in enumerate(table.schema):
+        values = per_column_values[index]
+        column_stats = ColumnStats()
+        column_stats.null_frac = 1.0 - len(values) / stats.row_count
+        if values:
+            counts = Counter(values)
+            column_stats.n_distinct = len(counts)
+            most_common = counts.most_common(N_MCVS)
+            column_stats.mcv = {
+                value: count / stats.row_count for value, count in most_common
+            }
+            try:
+                ordered = sorted(values)
+            except TypeError:
+                ordered = []
+            if ordered:
+                column_stats.min_value = ordered[0]
+                column_stats.max_value = ordered[-1]
+                column_stats.histogram = _equi_depth_bounds(
+                    ordered, N_HISTOGRAM_BUCKETS
+                )
+        stats.columns[column.name] = column_stats
+    return stats
+
+
+def _equi_depth_bounds(ordered: list[Any], n_buckets: int) -> list[Any]:
+    """Equi-depth histogram bounds over pre-sorted values."""
+    if len(ordered) < 2:
+        return []
+    n_buckets = min(n_buckets, len(ordered) - 1)
+    bounds = []
+    for bucket in range(n_buckets + 1):
+        position = round(bucket * (len(ordered) - 1) / n_buckets)
+        bounds.append(ordered[position])
+    return bounds
+
+
+# ---------------------------------------------------------------------------
+# Selectivity estimation
+# ---------------------------------------------------------------------------
+
+
+class SelectivityEstimator:
+    """Estimates predicate selectivity against a set of table statistics.
+
+    ``column_stats_for`` is a callable mapping a :class:`ColumnRef` to
+    :class:`ColumnStats` or None (None = column unknown to the optimizer,
+    e.g. a reference the binder could not map to a physical column).
+    """
+
+    def __init__(self, column_stats_for, total_rows: int):
+        self.column_stats_for = column_stats_for
+        self.total_rows = max(1, total_rows)
+
+    def estimate(self, predicate: Expr | None) -> float:
+        """Selectivity in [0, 1] of ``predicate``."""
+        if predicate is None:
+            return 1.0
+        if contains_function_call(predicate):
+            # The optimizer cannot see through UDFs: fixed row estimate.
+            return min(1.0, DEFAULT_UDF_PREDICATE_ROWS / self.total_rows)
+        return self._estimate(predicate)
+
+    def _estimate(self, predicate: Expr) -> float:
+        if isinstance(predicate, BinaryOp):
+            if predicate.op == "AND":
+                return self._estimate(predicate.left) * self._estimate(predicate.right)
+            if predicate.op == "OR":
+                left = self._estimate(predicate.left)
+                right = self._estimate(predicate.right)
+                return min(1.0, left + right - left * right)
+            return self._estimate_comparison(predicate)
+        if isinstance(predicate, UnaryOp) and predicate.op == "NOT":
+            return max(0.0, 1.0 - self._estimate(predicate.operand))
+        if isinstance(predicate, IsNull):
+            return self._estimate_is_null(predicate)
+        if isinstance(predicate, Between):
+            selectivity = self._estimate_range(
+                predicate.operand, predicate.low, predicate.high
+            )
+            return max(0.0, 1.0 - selectivity) if predicate.negated else selectivity
+        if isinstance(predicate, InList):
+            base = self._column_and_literal(predicate.operand, None)
+            per_item = (
+                self._equality_selectivity(base[0], None)
+                if base
+                else DEFAULT_EQ_SELECTIVITY
+            )
+            selectivity = min(1.0, per_item * len(predicate.items))
+            return max(0.0, 1.0 - selectivity) if predicate.negated else selectivity
+        if isinstance(predicate, Like):
+            return (
+                max(0.0, 1.0 - DEFAULT_LIKE_SELECTIVITY)
+                if predicate.negated
+                else DEFAULT_LIKE_SELECTIVITY
+            )
+        if isinstance(predicate, AnyPredicate):
+            return DEFAULT_EQ_SELECTIVITY
+        if isinstance(predicate, Literal):
+            if predicate.value is True:
+                return 1.0
+            return 0.0
+        if isinstance(predicate, Coalesce):
+            return 0.5
+        return 0.5
+
+    def _estimate_comparison(self, comparison: BinaryOp) -> float:
+        pair = self._column_and_literal(comparison.left, comparison.right)
+        if pair is None:
+            # column-to-column comparison (join predicates handled by the
+            # planner separately) or literal-only: generic default.
+            if comparison.op == "=":
+                return DEFAULT_EQ_SELECTIVITY
+            return DEFAULT_RANGE_SELECTIVITY
+        stats, literal, flipped = pair
+        op = comparison.op
+        if flipped:
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if op == "=":
+            return self._equality_selectivity(stats, literal)
+        if op in ("<>", "!="):
+            return max(0.0, 1.0 - self._equality_selectivity(stats, literal))
+        return self._inequality_selectivity(stats, literal, op)
+
+    def _column_and_literal(self, left: Expr, right: Expr | None):
+        """Normalise ``col OP literal`` / ``literal OP col``.
+
+        Returns ``(stats, literal_value, flipped)`` or None.  When called
+        with ``right=None`` only the left side is checked for a column.
+        """
+        if isinstance(left, ColumnRef):
+            stats = self.column_stats_for(left)
+            if right is None:
+                return (stats, None, False) if stats is not None else None
+            if isinstance(right, Literal):
+                return (stats, right.value, False) if stats is not None else None
+        if right is not None and isinstance(right, ColumnRef) and isinstance(left, Literal):
+            stats = self.column_stats_for(right)
+            if stats is not None:
+                return (stats, left.value, True)
+        return None
+
+    def _equality_selectivity(self, stats: ColumnStats | None, literal: Any) -> float:
+        if stats is None or stats.n_distinct == 0:
+            return DEFAULT_EQ_SELECTIVITY
+        if literal is not None and literal in stats.mcv:
+            return stats.mcv[literal]
+        non_null = max(0.0, 1.0 - stats.null_frac)
+        return min(1.0, non_null / stats.n_distinct)
+
+    def _inequality_selectivity(
+        self, stats: ColumnStats | None, literal: Any, op: str
+    ) -> float:
+        if stats is None or not stats.has_histogram or literal is None:
+            return DEFAULT_RANGE_SELECTIVITY
+        fraction_below = self._histogram_fraction_below(stats, literal)
+        if op in ("<", "<="):
+            selectivity = fraction_below
+        else:
+            selectivity = 1.0 - fraction_below
+        non_null = max(0.0, 1.0 - stats.null_frac)
+        return max(0.0, min(1.0, selectivity)) * non_null
+
+    def _estimate_range(self, operand: Expr, low: Expr, high: Expr) -> float:
+        if contains_function_call(operand):
+            return min(1.0, DEFAULT_UDF_PREDICATE_ROWS / self.total_rows)
+        if not isinstance(operand, ColumnRef):
+            return DEFAULT_RANGE_SELECTIVITY
+        stats = self.column_stats_for(operand)
+        if (
+            stats is None
+            or not stats.has_histogram
+            or not isinstance(low, Literal)
+            or not isinstance(high, Literal)
+        ):
+            return DEFAULT_RANGE_SELECTIVITY
+        below_low = self._histogram_fraction_below(stats, low.value)
+        below_high = self._histogram_fraction_below(stats, high.value)
+        non_null = max(0.0, 1.0 - stats.null_frac)
+        return max(0.0, below_high - below_low) * non_null
+
+    def _estimate_is_null(self, predicate: IsNull) -> float:
+        if isinstance(predicate.operand, ColumnRef):
+            stats = self.column_stats_for(predicate.operand)
+            if stats is not None:
+                if predicate.negated:
+                    return max(0.0, 1.0 - stats.null_frac)
+                return stats.null_frac
+        return 0.5 if not predicate.negated else 0.5
+
+    def _histogram_fraction_below(self, stats: ColumnStats, literal: Any) -> float:
+        bounds = stats.histogram
+        try:
+            if literal <= bounds[0]:
+                return 0.0
+            if literal >= bounds[-1]:
+                return 1.0
+            position = bisect.bisect_left(bounds, literal)
+        except TypeError:
+            return DEFAULT_RANGE_SELECTIVITY
+        n_buckets = len(bounds) - 1
+        # linear interpolation within the bucket
+        low_bound = bounds[position - 1]
+        high_bound = bounds[position]
+        if isinstance(literal, (int, float)) and high_bound != low_bound:
+            within = (literal - low_bound) / (high_bound - low_bound)
+        else:
+            within = 0.5
+        return (position - 1 + within) / n_buckets

@@ -1,0 +1,388 @@
+"""Paged heap storage with a buffer pool and byte-accurate size accounting.
+
+The heap is the substrate under every system in this reproduction (Sinew,
+EAV, and Postgres-JSON all sit on it; the MongoDB baseline uses its own
+collection store but shares the :class:`~repro.rdbms.cost.DiskBudget`).
+
+Model
+-----
+* A table is a sequence of fixed-capacity **pages**; each page holds whole
+  tuples (a tuple never spans pages).
+* Tuple byte size = fixed tuple header + per-attribute NULL-tracking
+  overhead (bitmap or per-attribute, see
+  :class:`~repro.rdbms.types.NullStorageModel`) + the width of each
+  non-NULL value.  This makes the sparse-data storage-bloat arithmetic of
+  paper section 3.1.1 directly observable.
+* Every page access goes through a **buffer pool** with LRU replacement.
+  A miss increments ``pages_read`` on the shared cost counters; this is how
+  the benchmark harness distinguishes the paper's in-memory (16M-record)
+  regime from its I/O-bound (64M-record) regime at reduced scale.
+
+Rows are plain Python tuples; ``None`` is SQL NULL.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+from .cost import CostCounters, DiskBudget
+from .errors import ExecutionError
+from .types import (
+    NullStorageModel,
+    SqlType,
+    TUPLE_HEADER_BYTES,
+    null_overhead_bytes,
+    value_size,
+)
+
+#: Default page capacity, matching PostgreSQL's 8 KiB heap pages.
+DEFAULT_PAGE_BYTES = 8192
+
+
+@dataclass(frozen=True)
+class Column:
+    """One attribute of a physical table schema."""
+
+    name: str
+    sql_type: SqlType
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name} {self.sql_type}"
+
+
+class Schema:
+    """Ordered list of :class:`Column` with O(1) name lookup."""
+
+    __slots__ = ("columns", "_index")
+
+    def __init__(self, columns: Sequence[Column]):
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self._index: dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            if column.name in self._index:
+                raise ExecutionError(f"duplicate column name: {column.name!r}")
+            self._index[column.name] = position
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def position_of(self, name: str) -> int:
+        """Ordinal position of a column, raising if absent."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ExecutionError(f"no such column: {name!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position_of(name)]
+
+    def names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def with_column(self, column: Column) -> "Schema":
+        """New schema with ``column`` appended."""
+        return Schema(self.columns + (column,))
+
+    def without_column(self, name: str) -> "Schema":
+        """New schema with the named column removed."""
+        keep = [c for c in self.columns if c.name != name]
+        if len(keep) == len(self.columns):
+            raise ExecutionError(f"no such column: {name!r}")
+        return Schema(keep)
+
+
+class Page:
+    """One heap page: a list of tuple slots plus a byte-usage gauge.
+
+    A slot is ``None`` after the tuple was deleted (dead tuple); the row id
+    of a live tuple is stable for its lifetime.
+    """
+
+    __slots__ = ("slots", "used_bytes", "capacity_bytes")
+
+    def __init__(self, capacity_bytes: int = DEFAULT_PAGE_BYTES):
+        self.slots: list[tuple | None] = []
+        self.used_bytes = 0
+        self.capacity_bytes = capacity_bytes
+
+    def has_room(self, tuple_bytes: int) -> bool:
+        return self.used_bytes + tuple_bytes <= self.capacity_bytes
+
+    def append(self, row: tuple, tuple_bytes: int) -> int:
+        """Store ``row``; returns the slot number within the page."""
+        self.slots.append(row)
+        self.used_bytes += tuple_bytes
+        return len(self.slots) - 1
+
+
+class BufferPool:
+    """LRU cache of ``(table_name, page_no)`` keys with miss accounting.
+
+    The pool does not hold page *contents* (the heap keeps those in process
+    memory regardless); it tracks *residency* so that scans over data sets
+    larger than the pool register page reads on the shared counters, exactly
+    like a real buffer manager would issue real I/O.
+    """
+
+    def __init__(self, capacity_pages: int, counters: CostCounters):
+        if capacity_pages < 1:
+            raise ExecutionError("buffer pool needs at least one page")
+        self.capacity_pages = capacity_pages
+        self.counters = counters
+        self._resident: OrderedDict[tuple[str, int], None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def access(self, table_name: str, page_no: int) -> bool:
+        """Touch a page; returns True on a hit, False on a miss (a 'read')."""
+        key = (table_name, page_no)
+        if key in self._resident:
+            self._resident.move_to_end(key)
+            self.counters.page_cache_hits += 1
+            return True
+        self.counters.pages_read += 1
+        self._resident[key] = None
+        if len(self._resident) > self.capacity_pages:
+            self._resident.popitem(last=False)
+        return False
+
+    def mark_dirty_write(self, table_name: str, page_no: int) -> None:
+        """Record that a page was (re)written."""
+        self.counters.pages_written += 1
+        key = (table_name, page_no)
+        self._resident[key] = None
+        self._resident.move_to_end(key)
+        if len(self._resident) > self.capacity_pages:
+            self._resident.popitem(last=False)
+
+    def invalidate_table(self, table_name: str) -> None:
+        """Drop every cached page of a table (DROP TABLE, TRUNCATE)."""
+        stale = [key for key in self._resident if key[0] == table_name]
+        for key in stale:
+            del self._resident[key]
+
+
+class HeapTable:
+    """Append-mostly heap of tuples with stable row ids.
+
+    Row id encoding: ``rid = page_no * slots_per_page_estimate`` is *not*
+    used -- instead a flat ``(page_no, slot_no)`` pair is packed into a
+    single integer via an internal directory, keeping ids stable across
+    page-boundary irregularities.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        counters: CostCounters,
+        buffer_pool: BufferPool,
+        disk: DiskBudget,
+        null_model: NullStorageModel = NullStorageModel.BITMAP,
+        page_bytes: int = DEFAULT_PAGE_BYTES,
+    ):
+        self.name = name
+        self.schema = schema
+        self.counters = counters
+        self.buffer_pool = buffer_pool
+        self.disk = disk
+        self.null_model = null_model
+        self.page_bytes = page_bytes
+        self.pages: list[Page] = []
+        self._rid_directory: list[tuple[int, int]] = []  # rid -> (page, slot)
+        self.live_rows = 0
+        self.total_bytes = 0
+
+    # -- size accounting ----------------------------------------------------
+
+    def tuple_bytes(self, row: tuple) -> int:
+        """Modelled on-disk size of one row under this table's schema."""
+        size = TUPLE_HEADER_BYTES + null_overhead_bytes(
+            len(self.schema), self.null_model
+        )
+        for value, column in zip(row, self.schema.columns):
+            if value is not None:
+                size += value_size(value, column.sql_type)
+        return size
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, row: tuple) -> int:
+        """Append a row, returning its row id."""
+        if len(row) != len(self.schema):
+            raise ExecutionError(
+                f"row arity {len(row)} does not match schema arity "
+                f"{len(self.schema)} of table {self.name!r}"
+            )
+        size = self.tuple_bytes(row)
+        if not self.pages or not self.pages[-1].has_room(size):
+            self.pages.append(Page(self.page_bytes))
+            self.disk.charge(self.page_bytes)
+        page_no = len(self.pages) - 1
+        slot_no = self.pages[page_no].append(row, size)
+        self.buffer_pool.mark_dirty_write(self.name, page_no)
+        self.counters.tuples_written += 1
+        self._rid_directory.append((page_no, slot_no))
+        self.live_rows += 1
+        self.total_bytes += size
+        return len(self._rid_directory) - 1
+
+    def update(self, rid: int, row: tuple) -> tuple:
+        """Replace the row at ``rid`` in place; returns the old row."""
+        page_no, slot_no = self._locate(rid)
+        page = self.pages[page_no]
+        old = page.slots[slot_no]
+        if old is None:
+            raise ExecutionError(f"row {rid} of {self.name!r} is deleted")
+        old_size = self.tuple_bytes(old)
+        new_size = self.tuple_bytes(row)
+        page.slots[slot_no] = row
+        page.used_bytes += new_size - old_size
+        self.total_bytes += new_size - old_size
+        if new_size > old_size:
+            self.disk.charge(new_size - old_size)
+        self.buffer_pool.mark_dirty_write(self.name, page_no)
+        self.counters.tuples_written += 1
+        return old
+
+    def delete(self, rid: int) -> tuple:
+        """Mark the row at ``rid`` dead; returns the old row."""
+        page_no, slot_no = self._locate(rid)
+        page = self.pages[page_no]
+        old = page.slots[slot_no]
+        if old is None:
+            raise ExecutionError(f"row {rid} of {self.name!r} is already deleted")
+        page.slots[slot_no] = None
+        size = self.tuple_bytes(old)
+        page.used_bytes -= size
+        self.total_bytes -= size
+        self.live_rows -= 1
+        self.buffer_pool.mark_dirty_write(self.name, page_no)
+        return old
+
+    def undo_delete(self, rid: int, row: tuple) -> None:
+        """Transaction rollback helper: resurrect a deleted row."""
+        page_no, slot_no = self._locate(rid)
+        page = self.pages[page_no]
+        if page.slots[slot_no] is not None:
+            raise ExecutionError(f"row {rid} of {self.name!r} is not deleted")
+        page.slots[slot_no] = row
+        size = self.tuple_bytes(row)
+        page.used_bytes += size
+        self.total_bytes += size
+        self.live_rows += 1
+
+    # -- schema evolution ---------------------------------------------------
+
+    def add_column(self, column: Column) -> None:
+        """``ALTER TABLE ADD COLUMN``: widen every stored row with NULL.
+
+        Cheap in PostgreSQL (NULL default adds only catalog metadata); here
+        the rows are physically widened but the NULL values cost only the
+        per-attribute presence overhead, which the size gauge re-reflects.
+        """
+        old_arity = len(self.schema)
+        self.schema = self.schema.with_column(column)
+        delta_per_row = null_overhead_bytes(
+            len(self.schema), self.null_model
+        ) - null_overhead_bytes(old_arity, self.null_model)
+        for page in self.pages:
+            for slot_no, row in enumerate(page.slots):
+                if row is not None:
+                    page.slots[slot_no] = row + (None,)
+                    page.used_bytes += delta_per_row
+        self.total_bytes += delta_per_row * self.live_rows
+
+    def drop_column(self, name: str) -> None:
+        """``ALTER TABLE DROP COLUMN``: physically narrow every row."""
+        position = self.schema.position_of(name)
+        column = self.schema.columns[position]
+        old_arity = len(self.schema)
+        self.schema = self.schema.without_column(name)
+        delta_header = null_overhead_bytes(
+            old_arity, self.null_model
+        ) - null_overhead_bytes(len(self.schema), self.null_model)
+        for page in self.pages:
+            for slot_no, row in enumerate(page.slots):
+                if row is None:
+                    continue
+                value = row[position]
+                page.slots[slot_no] = row[:position] + row[position + 1 :]
+                freed = delta_header
+                if value is not None:
+                    freed += value_size(value, column.sql_type)
+                page.used_bytes -= freed
+                self.total_bytes -= freed
+
+    def truncate(self) -> None:
+        """Drop every row and page, releasing the disk budget."""
+        self.disk.release(len(self.pages) * self.page_bytes)
+        self.buffer_pool.invalidate_table(self.name)
+        self.pages.clear()
+        self._rid_directory.clear()
+        self.live_rows = 0
+        self.total_bytes = 0
+
+    # -- access -------------------------------------------------------------
+
+    def scan(self) -> Iterator[tuple[int, tuple]]:
+        """Yield ``(rid, row)`` for every live row, page by page.
+
+        Each visited page is pulled through the buffer pool, so scanning a
+        table larger than the pool registers reads on the cost counters.
+        """
+        rid = 0
+        directory = self._rid_directory
+        n_rids = len(directory)
+        for page_no, page in enumerate(self.pages):
+            self.buffer_pool.access(self.name, page_no)
+            slots = page.slots
+            # rids are allocated in append order, so the directory segment
+            # for this page is contiguous; walk it without re-deriving.
+            while rid < n_rids and directory[rid][0] == page_no:
+                row = slots[directory[rid][1]]
+                if row is not None:
+                    self.counters.tuples_scanned += 1
+                    yield rid, row
+                rid += 1
+
+    def fetch(self, rid: int) -> tuple | None:
+        """Random access to one row (through the buffer pool)."""
+        page_no, slot_no = self._locate(rid)
+        self.buffer_pool.access(self.name, page_no)
+        row = self.pages[page_no].slots[slot_no]
+        if row is not None:
+            self.counters.tuples_scanned += 1
+        return row
+
+    def _locate(self, rid: int) -> tuple[int, int]:
+        if not 0 <= rid < len(self._rid_directory):
+            raise ExecutionError(f"row id {rid} out of range for {self.name!r}")
+        return self._rid_directory[rid]
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.pages)
+
+    @property
+    def allocated_rids(self) -> int:
+        """Total row ids ever allocated (live + dead); the scan horizon for
+        incremental processes like Sinew's column materializer."""
+        return len(self._rid_directory)
+
+    def __len__(self) -> int:
+        return self.live_rows

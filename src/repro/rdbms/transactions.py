@@ -1,0 +1,182 @@
+"""Write-ahead logging and transactions.
+
+The update experiment (paper Figure 8) depends on the RDBMS-based systems
+paying a transactional cost that MongoDB does not: every row mutation is
+WAL-logged and committed, while the MongoDB baseline mutates documents with
+no durability bookkeeping.  The paper found that Sinew's cheaper predicate
+evaluation outweighed this overhead; reproducing that requires the overhead
+to actually exist, which this module provides.
+
+The WAL here is an in-memory record stream with byte accounting (record
+counts and bytes flow into the shared :class:`~repro.rdbms.cost.CostCounters`
+so the harness can model fsync latency).  Rollback is implemented with
+per-transaction undo entries applied in reverse order.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .cost import CostCounters
+from .errors import TransactionError
+
+
+class WalRecordType(enum.Enum):
+    BEGIN = "begin"
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One record in the write-ahead log."""
+
+    lsn: int
+    txn_id: int
+    record_type: WalRecordType
+    table: str | None = None
+    rid: int | None = None
+    payload_bytes: int = 0
+
+
+class WriteAheadLog:
+    """Append-only log with monotonically increasing LSNs."""
+
+    #: Fixed overhead per WAL record (header, CRC, alignment).
+    RECORD_HEADER_BYTES = 26
+
+    def __init__(self, counters: CostCounters):
+        self.counters = counters
+        self.records: list[WalRecord] = []
+        self._lsn = itertools.count(1)
+
+    def append(
+        self,
+        txn_id: int,
+        record_type: WalRecordType,
+        table: str | None = None,
+        rid: int | None = None,
+        payload_bytes: int = 0,
+    ) -> WalRecord:
+        record = WalRecord(
+            lsn=next(self._lsn),
+            txn_id=txn_id,
+            record_type=record_type,
+            table=table,
+            rid=rid,
+            payload_bytes=payload_bytes,
+        )
+        self.records.append(record)
+        self.counters.wal_records += 1
+        self.counters.wal_bytes += self.RECORD_HEADER_BYTES + payload_bytes
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def records_for(self, txn_id: int) -> list[WalRecord]:
+        return [r for r in self.records if r.txn_id == txn_id]
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """A unit of atomic work.  Undo actions run in reverse on abort."""
+
+    txn_id: int
+    wal: WriteAheadLog
+    state: TxnState = TxnState.ACTIVE
+    _undo: list[Callable[[], None]] = field(default_factory=list)
+
+    def log_insert(self, table: str, rid: int, payload_bytes: int, undo: Callable[[], None]) -> None:
+        self._require_active()
+        self.wal.append(self.txn_id, WalRecordType.INSERT, table, rid, payload_bytes)
+        self._undo.append(undo)
+
+    def log_update(self, table: str, rid: int, payload_bytes: int, undo: Callable[[], None]) -> None:
+        self._require_active()
+        self.wal.append(self.txn_id, WalRecordType.UPDATE, table, rid, payload_bytes)
+        self._undo.append(undo)
+
+    def log_delete(self, table: str, rid: int, payload_bytes: int, undo: Callable[[], None]) -> None:
+        self._require_active()
+        self.wal.append(self.txn_id, WalRecordType.DELETE, table, rid, payload_bytes)
+        self._undo.append(undo)
+
+    def commit(self) -> None:
+        self._require_active()
+        self.wal.append(self.txn_id, WalRecordType.COMMIT)
+        self.state = TxnState.COMMITTED
+        self._undo.clear()
+
+    def abort(self) -> None:
+        self._require_active()
+        for undo in reversed(self._undo):
+            undo()
+        self._undo.clear()
+        self.wal.append(self.txn_id, WalRecordType.ABORT)
+        self.state = TxnState.ABORTED
+
+    def _require_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.state.value}, not active"
+            )
+
+
+class TransactionManager:
+    """Hands out transactions and owns the WAL.
+
+    ``autocommit()`` is a context manager wrapping a single statement, which
+    is how the executor runs DML issued outside an explicit transaction.
+    """
+
+    def __init__(self, counters: CostCounters):
+        self.wal = WriteAheadLog(counters)
+        self._next_txn_id = itertools.count(1)
+        self.active: dict[int, Transaction] = {}
+
+    def begin(self) -> Transaction:
+        txn = Transaction(next(self._next_txn_id), self.wal)
+        self.wal.append(txn.txn_id, WalRecordType.BEGIN)
+        self.active[txn.txn_id] = txn
+        return txn
+
+    def finish(self, txn: Transaction, commit: bool = True) -> None:
+        if commit:
+            txn.commit()
+        else:
+            txn.abort()
+        self.active.pop(txn.txn_id, None)
+
+    def autocommit(self) -> "_Autocommit":
+        return _Autocommit(self)
+
+
+class _Autocommit:
+    """Context manager: commit on clean exit, roll back on exception."""
+
+    def __init__(self, manager: TransactionManager):
+        self.manager = manager
+        self.txn: Transaction | None = None
+
+    def __enter__(self) -> Transaction:
+        self.txn = self.manager.begin()
+        return self.txn
+
+    def __exit__(self, exc_type: type | None, exc: Any, tb: Any) -> bool:
+        assert self.txn is not None
+        if self.txn.state is TxnState.ACTIVE:
+            self.manager.finish(self.txn, commit=exc_type is None)
+        return False

@@ -1,0 +1,166 @@
+"""An interactive SQL shell for Sinew (``python -m repro.shell``).
+
+A small psql-flavoured REPL over a :class:`~repro.core.SinewDB` instance:
+plain SQL runs against the logical universal relation, and meta-commands
+manage collections and inspect the hybrid schema.
+
+Meta-commands
+-------------
+==================  ====================================================
+``\\c NAME``         create a collection
+``\\load NAME FILE`` bulk-load a JSON-lines file into a collection
+``\\d [NAME]``       list collections, or show one logical schema
+``\\explain SQL``    show the rewritten physical plan
+``\\settle NAME``    run the schema analyzer + column materializer
+``\\catalog``        reflect + dump the attribute dictionary
+``\\q``              quit
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Iterable, TextIO
+
+from .core import SinewConfig, SinewDB
+from .harness.tables import format_table
+from .rdbms.errors import DatabaseError
+
+
+class SinewShell:
+    """Line-oriented command processor over one SinewDB instance."""
+
+    def __init__(self, sdb: SinewDB | None = None, out: TextIO | None = None):
+        self.sdb = sdb or SinewDB("shell", SinewConfig(enable_text_index=True))
+        self.out = out or sys.stdout
+        self.running = True
+
+    # ------------------------------------------------------------------
+
+    def run_line(self, line: str) -> None:
+        """Execute one input line (SQL or a meta-command)."""
+        line = line.strip()
+        if not line or line.startswith("--"):
+            return
+        try:
+            if line.startswith("\\"):
+                self._meta(line)
+            else:
+                self._sql(line)
+        except DatabaseError as error:
+            self._print(f"ERROR: {error}")
+        except FileNotFoundError as error:
+            self._print(f"ERROR: {error}")
+
+    def run(self, lines: Iterable[str]) -> None:
+        for line in lines:
+            if not self.running:
+                break
+            self.run_line(line)
+
+    # ------------------------------------------------------------------
+
+    def _print(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    def _sql(self, sql: str) -> None:
+        result = self.sdb.query(sql)
+        if result.columns:
+            rows = [list(row) for row in result.rows[:100]]
+            self._print(format_table(result.columns, rows))
+            suffix = "" if len(result.rows) <= 100 else " (first 100 shown)"
+            self._print(f"({len(result.rows)} rows){suffix}")
+        else:
+            self._print(f"OK ({result.rowcount} rows affected)")
+
+    def _meta(self, line: str) -> None:
+        parts = line.split()
+        command, arguments = parts[0], parts[1:]
+        if command == "\\q":
+            self.running = False
+            return
+        if command == "\\c":
+            self._require(arguments, 1, "\\c NAME")
+            self.sdb.create_collection(arguments[0])
+            self._print(f"created collection {arguments[0]!r}")
+            return
+        if command == "\\load":
+            self._require(arguments, 2, "\\load NAME FILE")
+            self._load(arguments[0], arguments[1])
+            return
+        if command == "\\d":
+            if arguments:
+                self._describe(arguments[0])
+            else:
+                names = self.sdb.collections()
+                self._print("collections: " + (", ".join(names) or "(none)"))
+            return
+        if command == "\\explain":
+            sql = line[len("\\explain") :].strip()
+            if not sql:
+                self._print("usage: \\explain SELECT ...")
+                return
+            self._print(self.sdb.explain(sql))
+            return
+        if command == "\\settle":
+            self._require(arguments, 1, "\\settle NAME")
+            report = self.sdb.analyze_schema(arguments[0])
+            moved = self.sdb.run_materializer(arguments[0])
+            self._print(
+                f"materialized: {report.materialized_keys() or '(nothing)'} / "
+                f"dematerialized: {report.dematerialized_keys() or '(nothing)'} / "
+                f"{moved.rows_moved} values moved"
+            )
+            return
+        if command == "\\catalog":
+            self.sdb.sync_catalog()
+            result = self.sdb.db.execute(
+                "SELECT _id, key_name, key_type FROM _sinew_attributes "
+                "ORDER BY _id LIMIT 100"
+            )
+            self._print(format_table(["id", "key", "type"], [list(r) for r in result]))
+            return
+        self._print(f"unknown meta-command {command!r}; try \\d, \\c, \\load, \\q")
+
+    def _require(self, arguments: list[str], n: int, usage: str) -> None:
+        if len(arguments) != n:
+            raise DatabaseError(f"usage: {usage}")
+
+    def _load(self, table_name: str, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            documents = [json.loads(line) for line in handle if line.strip()]
+        if table_name not in self.sdb.collections():
+            self.sdb.create_collection(table_name)
+        report = self.sdb.load(table_name, documents)
+        self._print(
+            f"loaded {report.n_documents} documents "
+            f"({report.new_attributes} new attributes)"
+        )
+
+    def _describe(self, table_name: str) -> None:
+        rows = [
+            [key, sql_type.value, storage]
+            for key, sql_type, storage in self.sdb.logical_schema(table_name)
+        ]
+        self._print(format_table(["key", "type", "storage"], rows))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: read-eval-print over stdin."""
+    shell = SinewShell()
+    print("Sinew shell -- \\q to quit, \\load NAME FILE to load JSON lines")
+    try:
+        while shell.running:
+            try:
+                line = input("sinew> ")
+            except EOFError:
+                break
+            shell.run_line(line)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

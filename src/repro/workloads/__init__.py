@@ -1,0 +1,16 @@
+"""Non-NoBench workloads: the Twitter-shaped dataset of Tables 1-2 and
+Appendix B."""
+
+from .twitter import (
+    APPENDIX_B_QUERIES,
+    TABLE1_QUERIES,
+    TABLE2_PHYSICAL_ATTRIBUTES,
+    TwitterGenerator,
+)
+
+__all__ = [
+    "APPENDIX_B_QUERIES",
+    "TABLE1_QUERIES",
+    "TABLE2_PHYSICAL_ATTRIBUTES",
+    "TwitterGenerator",
+]

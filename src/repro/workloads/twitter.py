@@ -1,0 +1,219 @@
+"""A Twitter-firehose-shaped workload (paper sections 3.1.1, Table 1/2,
+Appendix B).
+
+The paper's motivating dataset is 10 million tweets from the Twitter API:
+13 nullable top-level attributes expanding to ~23 flattened keys, a nested
+``user`` object, optional entity collections, and ``delete`` records --
+"upwards of 150 optional attributes" when fully flattened, with sparsity
+"between less than 1% all the way up to 100%".
+
+This generator reproduces that *shape* synthetically and deterministically:
+
+* dense core fields (``id_str``, ``text``, ``retweet_count``, ``user.*``);
+* ``in_reply_to_screen_name`` at ~30% density (needed by query T4);
+* ``user.lang`` drawn from a skewed language distribution in which ``msa``
+  is rare (query T3 filters on it);
+* optional blocks (``coordinates``, ``place``, ``entities.*`` and a tail
+  of rarely-set fields) at descending densities from 50% down to <1%,
+  pushing the flattened attribute count past 150;
+* a separate ``deletes`` stream of ``{"delete": {"status": {...}}}``
+  records referencing tweet/user ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+_LANGS = ["en"] * 55 + ["ja"] * 15 + ["es"] * 10 + ["pt"] * 8 + ["ar"] * 6 + [
+    "fr",
+    "tr",
+    "id",
+    "ko",
+    "ru",
+] + ["msa"]  # msa: ~1% of tweets
+
+_WORDS = (
+    "just watched the game tonight amazing win cannot believe it "
+    "new post on my blog check it out link in bio coffee time "
+    "monday again feeling good about this release big news coming"
+).split()
+
+#: The long tail of rarely-present optional attributes (sub-1% to 20%),
+#: there to reproduce the ~150-attribute flattened schema and its sparsity.
+_RARE_FIELDS = [
+    ("contributors", 0.002),
+    ("current_user_retweet", 0.004),
+    ("filter_level", 0.2),
+    ("possibly_sensitive", 0.1),
+    ("scopes", 0.005),
+    ("truncated", 0.15),
+    ("withheld_copyright", 0.001),
+    ("withheld_in_countries", 0.003),
+    ("withheld_scope", 0.002),
+] + [(f"experiment_{index:02d}", 0.01 + 0.002 * index) for index in range(20)]
+
+
+def _mix(seed: int, record: int, salt: int) -> int:
+    x = (seed * 0x9E3779B97F4A7C15 + record * 2654435761 + salt * 0x517CC1B7) & (
+        2**64 - 1
+    )
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & (2**64 - 1)
+    x ^= x >> 29
+    return x
+
+
+def _chance(seed: int, record: int, salt: int, probability: float) -> bool:
+    return (_mix(seed, record, salt) % 1_000_000) < probability * 1_000_000
+
+
+@dataclass
+class TwitterGenerator:
+    """Deterministic synthetic tweets + delete records."""
+
+    n_tweets: int
+    n_users: int | None = None
+    seed: int = 7
+
+    def __post_init__(self):
+        if self.n_users is None:
+            # ~1.3 tweets per user on average, like a firehose slice
+            self.n_users = max(1, int(self.n_tweets * 0.75))
+
+    # ------------------------------------------------------------------
+    # tweets
+    # ------------------------------------------------------------------
+
+    def user_of(self, record: int) -> int:
+        return _mix(self.seed, record, 1) % self.n_users
+
+    def screen_name(self, user_id: int) -> str:
+        return f"user_{user_id}"
+
+    def lang_of(self, user_id: int) -> str:
+        return _LANGS[_mix(self.seed, user_id, 2) % len(_LANGS)]
+
+    def tweet(self, record: int) -> dict[str, Any]:
+        user_id = self.user_of(record)
+        seed = self.seed
+        text = " ".join(
+            _WORDS[_mix(seed, record, 10 + w) % len(_WORDS)] for w in range(8)
+        )
+        document: dict[str, Any] = {
+            "id_str": str(500_000_000 + record),
+            "text": text,
+            "created_at": f"2013-08-{1 + record % 28:02d}",
+            "retweet_count": int(_mix(seed, record, 3) % 1000)
+            if _mix(seed, record, 4) % 10 < 9
+            else int(_mix(seed, record, 5) % 100000),
+            "favorite_count": int(_mix(seed, record, 6) % 500),
+            "source": "web" if record % 3 else "mobile",
+            "user": {
+                "id": user_id,
+                "id_str": str(user_id),
+                "screen_name": self.screen_name(user_id),
+                "lang": self.lang_of(user_id),
+                "friends_count": int(_mix(seed, user_id, 7) % 5000),
+                "followers_count": int(_mix(seed, user_id, 8) % 100000),
+                "statuses_count": int(_mix(seed, user_id, 9) % 50000),
+                "verified": _mix(seed, user_id, 11) % 100 == 0,
+            },
+        }
+        if _chance(seed, record, 20, 0.30):
+            replied_user = _mix(seed, record, 21) % self.n_users
+            document["in_reply_to_screen_name"] = self.screen_name(replied_user)
+            document["in_reply_to_status_id_str"] = str(
+                500_000_000 + _mix(seed, record, 22) % max(1, record + 1)
+            )
+        if _chance(seed, record, 30, 0.5):
+            document["entities"] = {
+                "hashtags": [
+                    f"#tag{_mix(seed, record, 31 + h) % 500}"
+                    for h in range(_mix(seed, record, 32) % 3)
+                ],
+                "urls": [
+                    f"http://t.co/{_mix(seed, record, 33):x}"[:18]
+                    for _ in range(_mix(seed, record, 34) % 2)
+                ],
+            }
+        if _chance(seed, record, 40, 0.02):
+            document["coordinates"] = {
+                "type": "Point",
+                "lon": (_mix(seed, record, 41) % 360000) / 1000.0 - 180.0,
+                "lat": (_mix(seed, record, 42) % 180000) / 1000.0 - 90.0,
+            }
+        if _chance(seed, record, 50, 0.05):
+            document["place"] = {
+                "id": f"place{_mix(seed, record, 51) % 1000}",
+                "country_code": ["US", "JP", "BR", "GB", "MY"][
+                    _mix(seed, record, 52) % 5
+                ],
+            }
+        for salt, (field_name, probability) in enumerate(_RARE_FIELDS, start=60):
+            if _chance(seed, record, salt, probability):
+                document[field_name] = f"v{_mix(seed, record, salt + 1000) % 16}"
+        return document
+
+    def tweets(self) -> Iterator[dict[str, Any]]:
+        for record in range(self.n_tweets):
+            yield self.tweet(record)
+
+    # ------------------------------------------------------------------
+    # delete records
+    # ------------------------------------------------------------------
+
+    def delete_record(self, record: int) -> dict[str, Any]:
+        target = _mix(self.seed, record, 90) % self.n_tweets
+        return {
+            "delete": {
+                "status": {
+                    "id_str": str(500_000_000 + target),
+                    "user_id": self.user_of(target),
+                }
+            }
+        }
+
+    def deletes(self, n_deletes: int) -> Iterator[dict[str, Any]]:
+        for record in range(n_deletes):
+            yield self.delete_record(record)
+
+
+#: The four analysis queries of Table 1, in this engine's SQL dialect.
+TABLE1_QUERIES: dict[str, str] = {
+    "T1": 'SELECT DISTINCT "user.id" FROM tweets',
+    "T2": 'SELECT SUM(retweet_count) FROM tweets GROUP BY "user.id"',
+    "T3": (
+        'SELECT t1."user.id" FROM tweets t1, deletes d1, deletes d2 '
+        'WHERE t1.id_str = d1."delete.status.id_str" '
+        'AND d1."delete.status.user_id" = d2."delete.status.user_id" '
+        "AND t1.\"user.lang\" = 'msa'"
+    ),
+    "T4": (
+        'SELECT t1."user.screen_name", t2."user.screen_name" '
+        "FROM tweets t1, tweets t2, tweets t3 "
+        'WHERE t1."user.screen_name" = t3."user.screen_name" '
+        'AND t1."user.screen_name" = t2.in_reply_to_screen_name '
+        'AND t2."user.screen_name" = t3.in_reply_to_screen_name'
+    ),
+}
+
+#: The attributes Table 2's "physical" condition materializes.
+TABLE2_PHYSICAL_ATTRIBUTES: list[tuple[str, str]] = [
+    ("id_str", "text"),
+    ("retweet_count", "integer"),
+    ("in_reply_to_screen_name", "text"),
+    ("user.id", "integer"),
+    ("user.lang", "text"),
+    ("user.screen_name", "text"),
+    ("user.friends_count", "integer"),
+    ("delete.status.id_str", "text"),
+    ("delete.status.user_id", "integer"),
+]
+
+#: Appendix B's three queries (Table 5).
+APPENDIX_B_QUERIES: dict[str, str] = {
+    "projection": 'SELECT "user.id" FROM tweets',
+    "selection": "SELECT * FROM tweets WHERE \"user.lang\" = 'en'",
+    "order_by": 'SELECT id_str FROM tweets ORDER BY "user.friends_count" DESC',
+}

@@ -1,0 +1,99 @@
+"""Unit + property tests for the BSON-like format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import bson
+
+
+class TestRoundTrip:
+    def test_scalars(self):
+        document = {"i": -5, "f": 2.5, "s": "text", "b": True, "n": None}
+        assert bson.decode(bson.encode(document)) == document
+
+    def test_nested_and_arrays(self):
+        document = {"user": {"id": 7, "tags": ["a", "b"]}, "arr": [1, None, "x"]}
+        assert bson.decode(bson.encode(document)) == document
+
+    def test_empty(self):
+        assert bson.decode(bson.encode({})) == {}
+
+    def test_unicode(self):
+        document = {"k": "héllo ☃"}
+        assert bson.decode(bson.encode(document)) == document
+
+
+class TestGet:
+    def test_top_level(self):
+        data = bson.encode({"a": 1, "b": "x"})
+        assert bson.get(data, "a") == 1
+        assert bson.get(data, "b") == "x"
+        assert bson.get(data, "zzz") is None
+
+    def test_dotted_path(self):
+        data = bson.encode({"user": {"geo": {"lat": 1.5}}})
+        assert bson.get(data, "user.geo.lat") == 1.5
+        assert bson.get(data, "user.geo") == {"lat": 1.5}
+        assert bson.get(data, "user.nope") is None
+
+    def test_path_through_scalar_is_none(self):
+        data = bson.encode({"a": 1})
+        assert bson.get(data, "a.b") is None
+
+    def test_array_value(self):
+        data = bson.encode({"arr": [1, 2, 3]})
+        assert bson.get(data, "arr") == [1, 2, 3]
+
+
+class TestHas:
+    def test_presence(self):
+        data = bson.encode({"a": 1, "n": None, "user": {"id": 1}})
+        assert bson.has(data, "a")
+        assert not bson.has(data, "n")  # explicit null counts as absent
+        assert bson.has(data, "user.id")
+        assert not bson.has(data, "missing")
+
+    def test_size_grows_with_keys(self):
+        small = bson.encode({"a": 1})
+        large = bson.encode({("k" * 30 + str(i)): 1 for i in range(10)})
+        assert bson.size(large) > bson.size(small)
+
+
+_values = st.recursive(
+    st.one_of(
+        st.integers(min_value=-(2**62), max_value=2**62),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.booleans(),
+        st.text(max_size=20),
+        st.none(),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(
+            st.text(alphabet="abcdefghij", min_size=1, max_size=6), children, max_size=4
+        ),
+    ),
+    max_leaves=15,
+)
+
+_documents = st.dictionaries(
+    st.text(alphabet="abcdefghijklmnop_", min_size=1, max_size=10),
+    _values,
+    max_size=8,
+)
+
+
+class TestProperties:
+    @given(_documents)
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip(self, document):
+        assert bson.decode(bson.encode(document)) == document
+
+    @given(_documents)
+    @settings(max_examples=100, deadline=None)
+    def test_get_matches_decode(self, document):
+        data = bson.encode(document)
+        for key, value in document.items():
+            assert bson.get(data, key) == value
+            assert bson.has(data, key) == (value is not None)

@@ -1,0 +1,111 @@
+"""Unit tests for the EAV shredding baseline."""
+
+import pytest
+
+from repro.baselines.eav import EavStore
+from repro.rdbms.database import DatabaseConfig
+from repro.rdbms.errors import DiskFullError
+
+DOCS = [
+    {"str1": "aaa", "num": 1, "flag": True, "nested_obj": {"str": "x"}},
+    {"str1": "bbb", "num": 2, "arr": ["p", "q", "r"]},
+    {"str1": "ccc", "num": 3, "sparse_1": "v"},
+]
+
+
+@pytest.fixture()
+def store():
+    instance = EavStore()
+    instance.create_collection("t")
+    instance.load("t", DOCS)
+    return instance
+
+
+class TestShredding:
+    def test_one_tuple_per_flattened_value(self, store):
+        # doc1: str1, num, flag, nested_obj.str = 4
+        # doc2: str1, num, arr x3 = 5 ; doc3: 3 -> 12 total
+        count = store.db.execute("SELECT count(*) FROM t_eav").scalar()
+        assert count == 12
+
+    def test_value_typed_into_columns(self, store):
+        rows = store.db.execute(
+            "SELECT value_type, str_val, num_val, bool_val FROM t_eav "
+            "WHERE key_name = 'flag'"
+        ).rows
+        assert rows == [("bool", None, None, True)]
+
+    def test_nested_keys_flattened_with_dots(self, store):
+        rows = store.db.execute(
+            "SELECT str_val FROM t_eav WHERE key_name = 'nested_obj.str'"
+        ).rows
+        assert rows == [("x",)]
+
+    def test_array_one_row_per_element(self, store):
+        count = store.db.execute(
+            "SELECT count(*) FROM t_eav WHERE key_name = 'arr'"
+        ).scalar()
+        assert count == 3
+
+    def test_storage_larger_than_flat(self, store):
+        assert store.storage_bytes("t") > 0
+        assert store.n_documents("t") == 3
+
+
+class TestMappingLayer:
+    def test_project_multi_key_joins(self, store):
+        result = store.project("t", ["str1", "num"])
+        assert sorted(result.rows) == [("aaa", 1.0), ("bbb", 2.0), ("ccc", 3.0)]
+
+    def test_project_single(self, store):
+        result = store.project_single("t", "str1")
+        assert len(result) == 3
+
+    def test_matching_oids(self, store):
+        result = store.matching_oids("t", "num", "num_val >= 2")
+        assert sorted(row[0] for row in result.rows) == [1, 2]
+
+    def test_select_objects_reconstructs(self, store):
+        result = store.select_objects("t", "str1", "b.str_val = 'bbb'")
+        documents = store.reconstruct(result.rows)
+        assert set(documents) == {1}
+        assert documents[1]["num"] == 2
+        assert sorted(documents[1]["arr"]) == ["p", "q", "r"]
+
+    def test_update_existing_key(self, store):
+        updated = store.update("t", "num", "99", "str1", "aaa")
+        assert updated == 1
+        rows = store.db.execute(
+            "SELECT str_val FROM t_eav WHERE key_name = 'num' AND oid = 0"
+        ).rows
+        assert rows == [("99",)]
+
+    def test_update_inserts_missing_key(self, store):
+        store.update("t", "brand_new", "v", "str1", "ccc")
+        rows = store.db.execute(
+            "SELECT oid FROM t_eav WHERE key_name = 'brand_new'"
+        ).rows
+        assert rows == [(2,)]
+
+
+class TestDiskExhaustion:
+    def test_reconstruction_spool_can_exhaust_disk(self):
+        store = EavStore("tight", DatabaseConfig(work_mem_bytes=8 * 1024))
+        store.create_collection("t")
+        documents = [
+            {"k": f"v{i}", "a": "x" * 40, "b": "y" * 40, "c": i, "d": i, "e": i}
+            for i in range(2000)
+        ]
+        store.load("t", documents)
+        # the disk is nearly full after loading: ~1 MB of scratch left
+        store.db.disk.budget_bytes = store.db.disk.used_bytes + 1_000_000
+        with pytest.raises(DiskFullError):
+            store.select_objects("t", "k", "b.str_val LIKE 'v%'")
+
+    def test_selective_reconstruction_fits(self):
+        store = EavStore("tight2", DatabaseConfig(work_mem_bytes=8 * 1024))
+        store.create_collection("t")
+        store.load("t", [{"k": f"v{i}", "a": i} for i in range(2000)])
+        store.db.disk.budget_bytes = store.db.disk.used_bytes + 1_000_000
+        result = store.select_objects("t", "k", "b.str_val = 'v7'")
+        assert len(store.reconstruct(result.rows)) == 1

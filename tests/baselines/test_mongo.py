@@ -1,0 +1,152 @@
+"""Unit tests for the MongoDB-like document store."""
+
+import pytest
+
+from repro.baselines.mongo import MongoDatabase, client_side_join
+from repro.rdbms.errors import DiskFullError, ExecutionError
+
+DOCS = [
+    {"name": "a", "score": 10, "tags": ["x", "y"], "user": {"lang": "en"}},
+    {"name": "b", "score": 20, "tags": ["y"], "user": {"lang": "pl"}},
+    {"name": "c", "score": 30, "user": {"lang": "en"}, "extra": True},
+    {"name": "d", "score": None},
+]
+
+
+@pytest.fixture()
+def collection():
+    database = MongoDatabase()
+    coll = database.collection("t")
+    coll.insert_many(DOCS)
+    return coll
+
+
+class TestFind:
+    def test_equality(self, collection):
+        assert len(collection.find({"name": "a"})) == 1
+
+    def test_dotted_path(self, collection):
+        assert len(collection.find({"user.lang": "en"})) == 2
+
+    def test_range_operators(self, collection):
+        assert len(collection.find({"score": {"$gte": 20}})) == 2
+        assert len(collection.find({"score": {"$gt": 10, "$lt": 30}})) == 1
+
+    def test_ne_and_in(self, collection):
+        assert len(collection.find({"name": {"$ne": "a"}})) == 3
+        assert len(collection.find({"name": {"$in": ["a", "d"]}})) == 2
+
+    def test_exists(self, collection):
+        assert len(collection.find({"extra": {"$exists": True}})) == 1
+        assert len(collection.find({"extra": {"$exists": False}})) == 3
+        # explicit null counts as absent, like Mongo sparse semantics here
+        assert len(collection.find({"score": {"$exists": True}})) == 3
+
+    def test_array_equality_matches_elements(self, collection):
+        assert len(collection.find({"tags": "y"})) == 2
+        assert len(collection.find({"tags": "x"})) == 1
+
+    def test_projection(self, collection):
+        rows = collection.find({"name": "a"}, ["score", "user.lang"])
+        assert rows == [{"score": 10, "user.lang": "en"}]
+
+    def test_type_bracketing(self, collection):
+        # a string never equals a number
+        assert collection.find({"score": "10"}) == []
+
+    def test_count(self, collection):
+        assert collection.count() == 4
+        assert collection.count({"score": {"$gte": 20}}) == 2
+
+
+class TestAggregate:
+    def test_match_group(self, collection):
+        out = collection.aggregate(
+            [
+                {"$match": {"score": {"$gte": 10}}},
+                {"$group": {"_id": "$user.lang", "total": {"$sum": "$score"}}},
+            ]
+        )
+        by_lang = {row["_id"]: row["total"] for row in out}
+        assert by_lang == {"en": 40, "pl": 20}
+
+    def test_unwind(self, collection):
+        out = collection.aggregate([{"$unwind": "$tags"}])
+        assert len(out) == 3
+
+    def test_sort_and_limit(self, collection):
+        out = collection.aggregate(
+            [{"$sort": {"score": -1}}, {"$limit": 2}, {"$project": {"name": 1}}]
+        )
+        assert [row["name"] for row in out] == ["c", "b"]
+
+    def test_count_stage(self, collection):
+        out = collection.aggregate([{"$match": {"user.lang": "en"}}, {"$count": "n"}])
+        assert out == [{"n": 2}]
+
+    def test_avg_min_max(self, collection):
+        out = collection.aggregate(
+            [
+                {"$group": {
+                    "_id": 1,
+                    "mean": {"$avg": "$score"},
+                    "low": {"$min": "$score"},
+                    "high": {"$max": "$score"},
+                }}
+            ]
+        )
+        assert out[0]["mean"] == 20
+        assert (out[0]["low"], out[0]["high"]) == (10, 30)
+
+    def test_bad_stage(self, collection):
+        with pytest.raises(ExecutionError):
+            collection.aggregate([{"$frobnicate": {}}])
+
+
+class TestUpdate:
+    def test_set_existing_and_new_field(self, collection):
+        updated = collection.update_many({"name": "a"}, {"$set": {"score": 99, "fresh": 1}})
+        assert updated == 1
+        row = collection.find({"name": "a"})[0]
+        assert row["score"] == 99 and row["fresh"] == 1
+
+    def test_set_nested(self, collection):
+        collection.update_many({"name": "b"}, {"$set": {"user.lang": "de"}})
+        assert collection.find({"user.lang": "de"})[0]["name"] == "b"
+
+    def test_requires_set(self, collection):
+        with pytest.raises(ExecutionError):
+            collection.update_many({}, {"replace": True})
+
+
+class TestClientSideJoin:
+    def test_join_results(self):
+        database = MongoDatabase()
+        left = database.collection("left")
+        right = database.collection("right")
+        left.insert_many([{"ref": "k1", "v": 1}, {"ref": "k2", "v": 2}])
+        right.insert_many([{"key": "k1"}, {"key": "k1"}, {"key": "k3"}])
+        output = client_side_join(
+            database, left, right, left_key="ref", right_key="key"
+        )
+        assert len(output) == 2  # k1 matches twice
+
+    def test_join_exhausts_disk_budget(self):
+        database = MongoDatabase(disk_budget_bytes=200_000)
+        coll = database.collection("t")
+        coll.insert_many(
+            [{"k": f"key{i % 5}", "payload": "x" * 60} for i in range(1000)]
+        )
+        with pytest.raises(DiskFullError):
+            client_side_join(database, coll, coll, left_key="k", right_key="k")
+
+
+class TestAccounting:
+    def test_bytes_scanned_counted(self, collection):
+        before = collection.database.stats.bytes_scanned
+        collection.find({"name": "a"})
+        assert collection.database.stats.bytes_scanned > before
+
+    def test_total_bytes(self, collection):
+        assert collection.total_bytes > 0
+        assert collection.database.total_bytes() == collection.total_bytes

@@ -1,0 +1,86 @@
+"""Further MongoDB-baseline coverage: pipeline composition and join phases."""
+
+import pytest
+
+from repro.baselines.mongo import MongoDatabase, client_side_join
+
+
+@pytest.fixture()
+def db():
+    database = MongoDatabase()
+    collection = database.collection("orders")
+    collection.insert_many(
+        [
+            {"id": 1, "customer": "ada", "items": ["a", "b"], "total": 30},
+            {"id": 2, "customer": "bob", "items": ["a"], "total": 10},
+            {"id": 3, "customer": "ada", "items": ["c", "d", "e"], "total": 55},
+            {"id": 4, "customer": "cyd", "total": 5},
+        ]
+    )
+    return database
+
+
+class TestPipelines:
+    def test_match_unwind_group(self, db):
+        out = db.collection("orders").aggregate(
+            [
+                {"$match": {"total": {"$gte": 10}}},
+                {"$unwind": "$items"},
+                {"$group": {"_id": "$customer", "n_items": {"$sum": 1}}},
+            ]
+        )
+        assert {row["_id"]: row["n_items"] for row in out} == {"ada": 5, "bob": 1}
+
+    def test_group_then_sort_then_limit(self, db):
+        out = db.collection("orders").aggregate(
+            [
+                {"$group": {"_id": "$customer", "spend": {"$sum": "$total"}}},
+                {"$sort": {"spend": -1}},
+                {"$limit": 1},
+            ]
+        )
+        assert out == [{"_id": "ada", "spend": 85}]
+
+    def test_match_on_array_in_pipeline(self, db):
+        out = db.collection("orders").aggregate(
+            [{"$match": {"items": "a"}}, {"$count": "n"}]
+        )
+        assert out == [{"n": 2}]
+
+    def test_group_constant_key(self, db):
+        out = db.collection("orders").aggregate(
+            [{"$group": {"_id": 1, "grand": {"$sum": "$total"}}}]
+        )
+        assert out == [{"_id": 1, "grand": 100}]
+
+
+class TestClientSideJoinPhases:
+    def test_intermediate_collections_created(self, db):
+        orders = db.collection("orders")
+        customers = db.collection("customers")
+        customers.insert_many([{"name": "ada"}, {"name": "bob"}])
+        output = client_side_join(
+            db, customers, orders, left_key="name", right_key="customer",
+            output_name="joined",
+        )
+        # the tagged right-side spill exists and covers the whole collection
+        assert len(db.collection("joined_right")) == len(orders)
+        assert len(db.collection("joined_left")) == 2
+        assert len(output) == 3  # ada x2 + bob x1
+
+    def test_join_bytes_accounted(self, db):
+        orders = db.collection("orders")
+        before = db.total_bytes()
+        client_side_join(db, orders, orders, left_key="customer",
+                         right_key="customer", output_name="selfjoin")
+        assert db.total_bytes() > before * 2  # intermediates dwarf the base
+
+    def test_unmatched_keys_produce_nothing(self, db):
+        orders = db.collection("orders")
+        lonely = db.collection("lonely")
+        lonely.insert_many([{"k": "nope"}])
+        output = client_side_join(
+            db, lonely, orders, left_key="k", right_key="customer",
+            output_name="out2",
+        )
+        assert len(output) == 0

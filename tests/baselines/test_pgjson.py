@@ -1,0 +1,91 @@
+"""Unit tests for the Postgres-JSON baseline."""
+
+import pytest
+
+from repro.baselines.pgjson import PgJsonStore
+from repro.rdbms.errors import TypeCastError
+
+DOCS = [
+    {"str1": "aaa", "num": 1, "dyn1": 5, "nested": {"k": "deep"}},
+    {"str1": "bbb", "num": 2, "dyn1": "not-a-number", "arr": [1, 2]},
+]
+
+
+@pytest.fixture()
+def store():
+    instance = PgJsonStore()
+    instance.create_collection("t")
+    instance.load("t", DOCS)
+    return instance
+
+
+class TestLoad:
+    def test_stores_raw_text(self, store):
+        rows = store.db.execute("SELECT data FROM t").rows
+        assert all(isinstance(row[0], str) for row in rows)
+
+    def test_json_strings_validated_not_transformed(self, store):
+        raw = '{"x":   1}'  # odd spacing preserved verbatim
+        store.load("t", [raw])
+        rows = store.db.execute("SELECT data FROM t WHERE id = 2").rows
+        assert rows == [(raw,)]
+
+    def test_invalid_json_rejected(self, store):
+        with pytest.raises(Exception):
+            store.load("t", ["{broken"])
+
+    def test_n_documents(self, store):
+        assert store.n_documents("t") == 2
+
+
+class TestExtraction:
+    def test_text_extraction(self, store):
+        result = store.query("SELECT json_get_text(data, 'str1') FROM t")
+        assert result.column(0) == ["aaa", "bbb"]
+
+    def test_numeric_extraction(self, store):
+        result = store.query(
+            "SELECT id FROM t WHERE json_get_num(data, 'num') > 1"
+        )
+        assert result.column(0) == [1]
+
+    def test_nested_path(self, store):
+        result = store.query("SELECT json_get_text(data, 'nested.k') FROM t")
+        assert result.column(0) == ["deep", None]
+
+    def test_exists(self, store):
+        result = store.query("SELECT id FROM t WHERE json_exists(data, 'arr')")
+        assert result.column(0) == [1]
+
+    def test_array_as_text_like_hack(self, store):
+        # the paper's "technically incorrect" array predicate
+        result = store.query(
+            "SELECT id FROM t WHERE json_get_text(data, 'arr') LIKE '%2%'"
+        )
+        assert result.column(0) == [1]
+
+
+class TestMultiTypedKeyFailure:
+    def test_numeric_cast_on_string_value_aborts(self, store):
+        # the Q7 behaviour of paper section 6.4
+        with pytest.raises(TypeCastError, match="invalid input syntax"):
+            store.query("SELECT id FROM t WHERE json_get_num(data, 'dyn1') > 1")
+
+    def test_projection_of_multityped_key_is_fine(self, store):
+        result = store.query("SELECT json_get_text(data, 'dyn1') FROM t")
+        assert result.column(0) == ["5", "not-a-number"]
+
+    def test_boolean_cast_failure(self, store):
+        with pytest.raises(TypeCastError):
+            store.query("SELECT id FROM t WHERE json_get_bool(data, 'str1')")
+
+
+class TestOptimizerOpacity:
+    def test_predicates_get_default_estimate(self, store):
+        store.load("t", [{"num": i} for i in range(500)])
+        store.analyze("t")
+        plan = store.db.explain(
+            "SELECT id FROM t WHERE json_get_num(data, 'num') > 0"
+        )
+        # 200-row default, not the true ~500
+        assert "rows=200" in plan

@@ -1,0 +1,137 @@
+"""Unit + property tests for the Appendix A serialization comparators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.avro_like import AvroLikeSerializer
+from repro.baselines.protobuf_like import ProtobufLikeSerializer
+from repro.baselines.record_schema import RecordSchema
+from repro.baselines.varint import (
+    decode_varint,
+    encode_varint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+DOCS = [
+    {"a": 1, "b": "hello", "c": 2.5, "d": True},
+    {"a": 7, "e": {"x": 1, "y": "nested"}},
+    {"b": "only-b", "f": [1, "two", None, False]},
+    {},
+]
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return RecordSchema.from_documents(DOCS)
+
+
+class TestVarint:
+    def test_roundtrip_values(self):
+        for value in (0, 1, 127, 128, 300, 2**32, 2**60):
+            encoded = encode_varint(value)
+            decoded, position = decode_varint(encoded, 0)
+            assert decoded == value and position == len(encoded)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_zigzag(self):
+        for value in (0, -1, 1, -64, 63, -(2**40), 2**40):
+            assert zigzag_decode(zigzag_encode(value)) == value
+
+    @given(st.integers(min_value=0, max_value=2**63))
+    @settings(max_examples=200, deadline=None)
+    def test_varint_roundtrip_property(self, value):
+        decoded, _ = decode_varint(encode_varint(value), 0)
+        assert decoded == value
+
+
+class TestRecordSchema:
+    def test_field_numbers_deterministic(self, schema):
+        numbers = [f.number for f in schema.ordered_fields()]
+        assert numbers == sorted(numbers)
+        names = [f.name for f in schema.ordered_fields()]
+        assert names == sorted(names)
+
+    def test_union_kinds_accumulate(self):
+        schema = RecordSchema.from_documents([{"dyn": 1}, {"dyn": "s"}])
+        kinds = schema.fields["dyn"].kinds
+        assert set(kinds) == {"int", "text"}
+
+    def test_sub_schema_for_nested(self, schema):
+        assert schema.fields["e"].sub_schema is not None
+        assert "x" in schema.fields["e"].sub_schema.fields
+
+
+@pytest.mark.parametrize(
+    "serializer_class", [AvroLikeSerializer, ProtobufLikeSerializer]
+)
+class TestRoundTrips:
+    def test_each_document(self, serializer_class, schema):
+        serializer = serializer_class(schema)
+        for document in DOCS:
+            data = serializer.serialize(document)
+            assert serializer.deserialize(data) == document
+
+    def test_extract_every_key(self, serializer_class, schema):
+        serializer = serializer_class(schema)
+        for document in DOCS:
+            data = serializer.serialize(document)
+            for key, value in document.items():
+                assert serializer.extract(data, key) == value
+            assert serializer.extract(data, "a" if "a" not in document else "zz") is None
+
+    def test_extract_many(self, serializer_class, schema):
+        serializer = serializer_class(schema)
+        data = serializer.serialize(DOCS[0])
+        assert serializer.extract_many(data, ["a", "zz_missing", "c"]) == [1, None, 2.5]
+
+
+class TestFormatProperties:
+    def test_avro_pays_for_absent_fields(self, schema):
+        """Avro writes a union branch per schema field even when absent --
+        the explicit-NULL bloat of Appendix A."""
+        avro = AvroLikeSerializer(schema)
+        protobuf = ProtobufLikeSerializer(schema)
+        empty = {}
+        assert len(avro.serialize(empty)) == len(schema)  # one branch byte each
+        assert len(protobuf.serialize(empty)) == 0  # absent fields are free
+
+    def test_avro_grows_with_schema_not_data(self):
+        documents = [{"k": 1}]
+        wide_docs = documents + [{f"pad{i:03d}": i} for i in range(200)]
+        narrow = AvroLikeSerializer(RecordSchema.from_documents(documents))
+        wide = AvroLikeSerializer(RecordSchema.from_documents(wide_docs))
+        assert len(wide.serialize({"k": 1})) > len(narrow.serialize({"k": 1})) + 150
+
+    def test_protobuf_short_circuits_past_target(self, schema):
+        serializer = ProtobufLikeSerializer(schema)
+        data = serializer.serialize({"f": [1]})
+        # 'a' has a smaller field number than 'f': absent and detected early
+        assert serializer.extract(data, "a") is None
+
+
+_flat_docs = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d", "e", "f", "g", "h"]),
+    st.one_of(
+        st.integers(min_value=-(2**50), max_value=2**50),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.booleans(),
+        st.text(max_size=15),
+    ),
+    max_size=8,
+)
+
+
+class TestPropertyRoundTrips:
+    @given(st.lists(_flat_docs, min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_both_formats_roundtrip_any_corpus(self, corpus):
+        schema = RecordSchema.from_documents(corpus)
+        for serializer in (AvroLikeSerializer(schema), ProtobufLikeSerializer(schema)):
+            for document in corpus:
+                data = serializer.serialize(document)
+                assert serializer.deserialize(data) == document

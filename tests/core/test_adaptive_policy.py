@@ -1,0 +1,101 @@
+"""Tests for the query-pattern-adaptive materialization mode (§3.1.3's
+"evolving data models and query patterns")."""
+
+import pytest
+
+from repro.core import MaterializationPolicy, SinewConfig, SinewDB
+
+
+def adaptive_sdb(hot_threshold=5):
+    config = SinewConfig(
+        policy=MaterializationPolicy(hot_access_threshold=hot_threshold)
+    )
+    sdb = SinewDB("adaptive", config)
+    sdb.create_collection("t")
+    documents = []
+    for index in range(500):
+        document = {"dense": f"d{index}"}
+        if index % 20 == 0:
+            document["rare"] = f"r{index}"  # 5% dense: below the base policy
+        documents.append(document)
+    sdb.load("t", documents)
+    return sdb
+
+
+class TestAccessTracking:
+    def test_rewriter_counts_accesses(self):
+        sdb = adaptive_sdb()
+        for _ in range(3):
+            sdb.query("SELECT rare FROM t WHERE rare IS NOT NULL")
+        attr = sdb.catalog.attributes_named("rare")[0]
+        state = sdb.catalog.table("t").state(attr.attr_id)
+        # each query references 'rare' twice (projection + predicate)
+        assert state.access_count == 6
+
+    def test_untouched_keys_stay_at_zero(self):
+        sdb = adaptive_sdb()
+        sdb.query("SELECT dense FROM t")
+        attr = sdb.catalog.attributes_named("rare")[0]
+        assert sdb.catalog.table("t").state(attr.attr_id).access_count == 0
+
+
+class TestHotMaterialization:
+    def test_sparse_but_hot_key_materializes(self):
+        sdb = adaptive_sdb(hot_threshold=5)
+        for _ in range(5):
+            sdb.query("SELECT _id FROM t WHERE rare = 'r40'")
+        report = sdb.analyze_schema("t")
+        hot = [d for d in report.decisions if d.reason == "hot"]
+        assert [d.key_name for d in hot] == ["rare"]
+        sdb.run_materializer("t")
+        assert any(
+            key == "rare" and storage == "physical"
+            for key, _t, storage in sdb.logical_schema("t")
+        )
+        # and the answers stay correct
+        assert sdb.query("SELECT count(*) FROM t WHERE rare IS NOT NULL").scalar() == 25
+
+    def test_cold_sparse_key_stays_virtual(self):
+        sdb = adaptive_sdb(hot_threshold=5)
+        sdb.query("SELECT _id FROM t WHERE rare = 'r40'")  # only one access
+        report = sdb.analyze_schema("t")
+        assert "rare" not in report.materialized_keys()
+
+    def test_disabled_by_default(self):
+        sdb = SinewDB("plain")
+        sdb.create_collection("t")
+        sdb.load("t", [{"rare": i} if i % 20 == 0 else {"x": i} for i in range(200)])
+        for _ in range(50):
+            sdb.query("SELECT rare FROM t")
+        report = sdb.analyze_schema("t")
+        assert "rare" not in report.materialized_keys()
+
+    def test_window_resets_after_analysis(self):
+        sdb = adaptive_sdb(hot_threshold=5)
+        for _ in range(5):
+            sdb.query("SELECT rare FROM t")
+        sdb.analyze_schema("t")
+        attr = sdb.catalog.attributes_named("rare")[0]
+        assert sdb.catalog.table("t").state(attr.attr_id).access_count == 0
+
+    def test_hot_column_not_dematerialized_while_hot(self):
+        sdb = adaptive_sdb(hot_threshold=3)
+        for _ in range(3):
+            sdb.query("SELECT rare FROM t")
+        sdb.settle("t")  # materializes 'rare' as hot
+        # keep it hot: more queries before the next pass
+        for _ in range(3):
+            sdb.query("SELECT rare FROM t")
+        report = sdb.analyze_schema("t")
+        assert "rare" not in report.dematerialized_keys()
+
+    def test_gone_cold_column_dematerializes(self):
+        sdb = adaptive_sdb(hot_threshold=3)
+        for _ in range(3):
+            sdb.query("SELECT rare FROM t")
+        sdb.settle("t")
+        # no further queries touch 'rare': next pass cools it down
+        report = sdb.analyze_schema("t")
+        assert "rare" in report.dematerialized_keys()
+        sdb.run_materializer("t")
+        assert sdb.query("SELECT count(*) FROM t WHERE rare IS NOT NULL").scalar() == 25

@@ -1,0 +1,104 @@
+"""Unit tests for the section 4.2 array storage strategies."""
+
+import pytest
+
+from repro.core import ArrayStorageManager, ArrayStrategy, SinewDB
+from repro.rdbms.errors import ExecutionError, PlanningError
+
+DOCS = [
+    {"tags": ["red", "green"], "n": 0},
+    {"tags": ["green", "blue"], "n": 1},
+    {"tags": ["blue"], "n": 2},
+    {"n": 3},  # no array at all
+    {"tags": [], "n": 4},
+]
+
+
+def fresh():
+    sdb = SinewDB("arrays")
+    sdb.create_collection("t")
+    sdb.load("t", DOCS)
+    return sdb, ArrayStorageManager(sdb)
+
+
+class TestNative:
+    def test_containment(self):
+        _sdb, manager = fresh()
+        assert manager.contains("t", "tags", "green") == [0, 1]
+        assert manager.contains("t", "tags", "purple") == []
+
+
+class TestPositional:
+    def test_requires_fixed_size(self):
+        _sdb, manager = fresh()
+        with pytest.raises(PlanningError):
+            manager.apply("t", "tags", ArrayStrategy.POSITIONAL)
+
+    def test_containment_after_apply(self):
+        sdb, manager = fresh()
+        config = manager.apply("t", "tags", ArrayStrategy.POSITIONAL, fixed_size=2)
+        assert config.position_columns == ("tags_0", "tags_1")
+        assert manager.contains("t", "tags", "green") == [0, 1]
+        assert manager.contains("t", "tags", "blue") == [1, 2]
+
+    def test_positions_are_columns(self):
+        sdb, manager = fresh()
+        manager.apply("t", "tags", ArrayStrategy.POSITIONAL, fixed_size=2)
+        result = sdb.db.execute("SELECT tags_0 FROM t WHERE _id = 0")
+        assert result.rows == [("red",)]
+
+    def test_oversized_array_rejected(self):
+        _sdb, manager = fresh()
+        with pytest.raises(ExecutionError):
+            manager.apply("t", "tags", ArrayStrategy.POSITIONAL, fixed_size=1)
+
+    def test_array_removed_from_reservoir(self):
+        sdb, manager = fresh()
+        manager.apply("t", "tags", ArrayStrategy.POSITIONAL, fixed_size=2)
+        table = sdb.db.table("t")
+        data_position = table.schema.position_of("data")
+        for _rid, row in table.scan():
+            assert sdb.extractor.extract_array(row[data_position], "tags") is None
+
+
+class TestElementTable:
+    def test_containment_after_apply(self):
+        sdb, manager = fresh()
+        config = manager.apply("t", "tags", ArrayStrategy.ELEMENT_TABLE)
+        assert config.element_table == "t__tags"
+        assert manager.contains("t", "tags", "green") == [0, 1]
+
+    def test_element_table_shape(self):
+        sdb, manager = fresh()
+        manager.apply("t", "tags", ArrayStrategy.ELEMENT_TABLE)
+        rows = sdb.db.execute(
+            "SELECT parent_id, idx, element FROM t__tags ORDER BY parent_id, idx"
+        ).rows
+        assert rows == [
+            (0, 0, "red"),
+            (0, 1, "green"),
+            (1, 0, "green"),
+            (1, 1, "blue"),
+            (2, 0, "blue"),
+        ]
+
+    def test_statistics_available_on_elements(self):
+        sdb, manager = fresh()
+        manager.apply("t", "tags", ArrayStrategy.ELEMENT_TABLE)
+        stats = sdb.db.stats("t__tags")
+        assert stats is not None
+        assert stats.columns["element"].n_distinct == 3
+
+
+class TestStrategyEquivalence:
+    def test_all_strategies_agree(self):
+        for strategy, kwargs in [
+            (ArrayStrategy.NATIVE, {}),
+            (ArrayStrategy.POSITIONAL, {"fixed_size": 2}),
+            (ArrayStrategy.ELEMENT_TABLE, {}),
+        ]:
+            _sdb, manager = fresh()
+            if strategy is not ArrayStrategy.NATIVE:
+                manager.apply("t", "tags", strategy, **kwargs)
+            assert manager.contains("t", "tags", "green") == [0, 1], strategy
+            assert manager.contains("t", "tags", "nope") == [], strategy

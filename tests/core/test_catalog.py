@@ -1,0 +1,115 @@
+"""Unit tests for the Sinew catalog (dictionary + per-table metadata)."""
+
+import pytest
+
+from repro.core.catalog import SinewCatalog
+from repro.rdbms.database import Database
+from repro.rdbms.errors import CatalogError, ConcurrencyError
+from repro.rdbms.types import SqlType
+
+
+@pytest.fixture()
+def catalog():
+    return SinewCatalog()
+
+
+class TestAttributeDictionary:
+    def test_get_or_create_is_idempotent(self, catalog):
+        first = catalog.attribute_id("url", SqlType.TEXT)
+        second = catalog.attribute_id("url", SqlType.TEXT)
+        assert first == second
+        assert len(catalog) == 1
+
+    def test_multi_typed_keys_get_distinct_attributes(self, catalog):
+        # "the combination of which we call an attribute" (section 3.2.1)
+        text_id = catalog.attribute_id("dyn1", SqlType.TEXT)
+        int_id = catalog.attribute_id("dyn1", SqlType.INTEGER)
+        assert text_id != int_id
+        assert {a.attr_id for a in catalog.attributes_named("dyn1")} == {
+            text_id,
+            int_id,
+        }
+
+    def test_lookup_without_create(self, catalog):
+        assert catalog.lookup_id("ghost", SqlType.TEXT) is None
+        catalog.attribute_id("real", SqlType.TEXT)
+        assert catalog.lookup_id("real", SqlType.TEXT) is not None
+        assert len(catalog) == 1
+
+    def test_attribute_metadata(self, catalog):
+        attr_id = catalog.attribute_id("hits", SqlType.INTEGER)
+        attribute = catalog.attribute(attr_id)
+        assert (attribute.key_name, attribute.key_type) == ("hits", SqlType.INTEGER)
+        assert catalog.type_of(attr_id) is SqlType.INTEGER
+
+    def test_unknown_id_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.attribute(999)
+
+    def test_ids_are_dense_and_increasing(self, catalog):
+        ids = [catalog.attribute_id(f"k{i}", SqlType.TEXT) for i in range(5)]
+        assert ids == [1, 2, 3, 4, 5]
+
+
+class TestTableCatalog:
+    def test_occurrence_counting_and_density(self, catalog):
+        attr_id = catalog.attribute_id("url", SqlType.TEXT)
+        catalog.record_occurrence("t", attr_id)
+        catalog.record_occurrence("t", attr_id)
+        table = catalog.table("t")
+        table.n_documents = 4
+        assert table.state(attr_id).count == 2
+        assert table.state(attr_id).density(4) == 0.5
+
+    def test_dirty_and_materialized_lists(self, catalog):
+        a = catalog.attribute_id("a", SqlType.TEXT)
+        b = catalog.attribute_id("b", SqlType.TEXT)
+        table = catalog.table("t")
+        table.state(a).materialized = True
+        table.state(b).dirty = True
+        assert [s.attr_id for s in table.materialized_columns()] == [a]
+        assert [s.attr_id for s in table.dirty_columns()] == [b]
+
+    def test_logical_columns_storage_labels(self, catalog):
+        a = catalog.attribute_id("a", SqlType.TEXT)
+        b = catalog.attribute_id("b", SqlType.INTEGER)
+        c = catalog.attribute_id("c", SqlType.REAL)
+        table = catalog.table("t")
+        table.state(a).materialized = True
+        state_b = table.state(b)
+        state_b.materialized = True
+        state_b.dirty = True
+        table.state(c)
+        view = {name: storage for name, _t, storage in catalog.logical_columns("t")}
+        assert view == {"a": "physical", "b": "dirty", "c": "virtual"}
+
+
+class TestLatch:
+    def test_exclusion(self, catalog):
+        with catalog.exclusive_latch("loader"):
+            with pytest.raises(ConcurrencyError):
+                with catalog.exclusive_latch("materializer"):
+                    pass
+        # released afterwards
+        with catalog.exclusive_latch("materializer"):
+            pass
+
+
+class TestRdbmsReflection:
+    def test_sync_to_rdbms(self, catalog):
+        db = Database("reflect")
+        a = catalog.attribute_id("url", SqlType.TEXT)
+        catalog.record_occurrence("web", a, count=3)
+        catalog.table("web").state(a).materialized = True
+        catalog.sync_to_rdbms(db)
+
+        attributes = db.execute("SELECT _id, key_name, key_type FROM _sinew_attributes")
+        assert attributes.rows == [(a, "url", "text")]
+        per_table = db.execute(
+            "SELECT _id, count, materialized, dirty FROM _sinew_catalog_web"
+        )
+        assert per_table.rows == [(a, 3, True, False)]
+
+        # re-sync refreshes rather than duplicating
+        catalog.sync_to_rdbms(db)
+        assert len(db.execute("SELECT _id FROM _sinew_attributes")) == 1

@@ -1,0 +1,94 @@
+"""Unit tests for document parsing, flattening, and type inference."""
+
+import pytest
+
+from repro.core.document import (
+    DocumentError,
+    document_bytes,
+    flatten,
+    infer_sql_type,
+    parse_document,
+    resolve_path,
+)
+from repro.rdbms.types import SqlType
+
+
+class TestParseDocument:
+    def test_json_string(self):
+        assert parse_document('{"a": 1}') == {"a": 1}
+
+    def test_mapping_copied(self):
+        original = {"a": 1}
+        parsed = parse_document(original)
+        parsed["b"] = 2
+        assert "b" not in original
+
+    def test_invalid_json(self):
+        with pytest.raises(DocumentError, match="invalid JSON"):
+            parse_document("{oops")
+
+    def test_non_object_root(self):
+        with pytest.raises(DocumentError, match="root"):
+            parse_document("[1, 2]")
+
+    def test_bad_key(self):
+        with pytest.raises(DocumentError):
+            parse_document({"": 1})
+
+    def test_wrong_type(self):
+        with pytest.raises(DocumentError):
+            parse_document(42)
+
+
+class TestInferSqlType:
+    def test_mapping(self):
+        assert infer_sql_type(True) is SqlType.BOOLEAN
+        assert infer_sql_type(1) is SqlType.INTEGER
+        assert infer_sql_type(1.5) is SqlType.REAL
+        assert infer_sql_type("x") is SqlType.TEXT
+        assert infer_sql_type({"a": 1}) is SqlType.BYTEA
+        assert infer_sql_type([1]) is SqlType.ARRAY
+
+    def test_null_rejected(self):
+        with pytest.raises(DocumentError):
+            infer_sql_type(None)
+
+
+class TestFlatten:
+    def test_flat_document(self):
+        assert dict(flatten({"a": 1, "b": "x"})) == {"a": 1, "b": "x"}
+
+    def test_nested_yields_parent_and_children(self):
+        flattened = dict(flatten({"user": {"id": 7, "geo": {"lat": 1.0}}}))
+        assert flattened["user"] == {"id": 7, "geo": {"lat": 1.0}}
+        assert flattened["user.id"] == 7
+        assert flattened["user.geo"] == {"lat": 1.0}
+        assert flattened["user.geo.lat"] == 1.0
+
+    def test_null_values_skipped(self):
+        assert dict(flatten({"a": None, "b": 1})) == {"b": 1}
+
+    def test_arrays_left_opaque(self):
+        flattened = dict(flatten({"arr": [{"x": 1}]}))
+        assert flattened == {"arr": [{"x": 1}]}
+
+
+class TestResolvePath:
+    def test_navigation(self):
+        doc = {"user": {"geo": {"lat": 1.5}}}
+        assert resolve_path(doc, "user.geo.lat") == 1.5
+        assert resolve_path(doc, "user.geo") == {"lat": 1.5}
+
+    def test_literal_dotted_key_wins(self):
+        doc = {"a.b": 1, "a": {"b": 2}}
+        assert resolve_path(doc, "a.b") == 1
+
+    def test_missing(self):
+        assert resolve_path({"a": 1}, "a.b") is None
+        assert resolve_path({"a": 1}, "z") is None
+        assert resolve_path({"a": "scalar"}, "a.b") is None
+
+
+class TestDocumentBytes:
+    def test_compact_json_size(self):
+        assert document_bytes({"a": 1}) == len(b'{"a":1}')

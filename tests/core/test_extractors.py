@@ -1,0 +1,192 @@
+"""Unit tests for reservoir extraction (the UDF layer)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.catalog import SinewCatalog
+from repro.core.extractors import ReservoirExtractor
+from repro.core.loader import SinewLoader
+from repro.rdbms.database import Database
+from repro.rdbms.types import SqlType
+
+
+@pytest.fixture()
+def env():
+    db = Database("ext")
+    db.create_table("t", [("_id", SqlType.INTEGER), ("data", SqlType.BYTEA)])
+    catalog = SinewCatalog()
+    loader = SinewLoader(db, catalog)
+    extractor = ReservoirExtractor(catalog)
+    return loader, extractor
+
+
+def serialize(loader, document):
+    return loader.serialize_document(document)
+
+
+class TestTypedExtraction:
+    def test_each_type(self, env):
+        loader, extractor = env
+        data = serialize(
+            loader, {"t": "x", "i": 3, "r": 1.5, "b": False, "a": [1, 2]}
+        )
+        assert extractor.extract_text(data, "t") == "x"
+        assert extractor.extract_int(data, "i") == 3
+        assert extractor.extract_real(data, "r") == 1.5
+        assert extractor.extract_bool(data, "b") is False
+        assert extractor.extract_array(data, "a") == [1, 2]
+
+    def test_type_mismatch_returns_null_not_error(self, env):
+        # the paper's selective typed extraction for multi-typed keys
+        loader, extractor = env
+        int_doc = serialize(loader, {"dyn": 5})
+        str_doc = serialize(loader, {"dyn": "five"})
+        assert extractor.extract_num(int_doc, "dyn") == 5
+        assert extractor.extract_num(str_doc, "dyn") is None
+        assert extractor.extract_text(str_doc, "dyn") == "five"
+        assert extractor.extract_text(int_doc, "dyn") is None
+
+    def test_extract_num_prefers_int_then_real(self, env):
+        loader, extractor = env
+        real_doc = serialize(loader, {"v": 1.5})
+        assert extractor.extract_num(real_doc, "v") == 1.5
+
+    def test_none_data(self, env):
+        _loader, extractor = env
+        assert extractor.extract_text(None, "k") is None
+        assert extractor.exists(None, "k") is False
+
+    def test_extract_any_downcasts(self, env):
+        loader, extractor = env
+        assert extractor.extract_any(serialize(loader, {"v": 5}), "v") == "5"
+        assert extractor.extract_any(serialize(loader, {"v": True}), "v") == "true"
+        assert extractor.extract_any(serialize(loader, {"v": "s"}), "v") == "s"
+        arr = extractor.extract_any(serialize(loader, {"v": [1, "a"]}), "v")
+        assert json.loads(arr) == [1, "a"]
+
+
+class TestNestedNavigation:
+    def test_two_levels(self, env):
+        loader, extractor = env
+        data = serialize(loader, {"user": {"geo": {"lat": 1.25}}})
+        assert extractor.extract_real(data, "user.geo.lat") == 1.25
+        assert extractor.exists(data, "user.geo.lat")
+        assert not extractor.exists(data, "user.geo.lon")
+
+    def test_missing_parent(self, env):
+        loader, extractor = env
+        data = serialize(loader, {"a": 1})
+        assert extractor.extract_text(data, "user.name") is None
+
+    def test_exists_any_type(self, env):
+        loader, extractor = env
+        data = serialize(loader, {"dyn": 5})
+        serialize(loader, {"dyn": "s"})  # register the text attribute too
+        assert extractor.exists(data, "dyn")
+
+
+class TestToDict:
+    def test_roundtrip(self, env):
+        loader, extractor = env
+        document = {
+            "a": 1,
+            "b": "x",
+            "user": {"id": 7, "geo": {"lat": 0.5}},
+            "tags": ["p", "q"],
+            "mixed": [1, {"k": "v"}],
+        }
+        data = serialize(loader, document)
+        assert extractor.to_dict(data) == document
+
+    def test_to_json_sorted(self, env):
+        loader, extractor = env
+        data = serialize(loader, {"b": 1, "a": 2})
+        assert extractor.to_json(data) == '{"a": 2, "b": 1}'
+        assert extractor.to_json(None) is None
+
+
+class TestPathMutation:
+    def test_set_top_level(self, env):
+        loader, extractor = env
+        data = serialize(loader, {"a": 1})
+        updated = extractor.set_path(data, "b", SqlType.TEXT, "new")
+        assert extractor.to_dict(updated) == {"a": 1, "b": "new"}
+
+    def test_set_nested(self, env):
+        loader, extractor = env
+        data = serialize(loader, {"user": {"id": 7}})
+        updated = extractor.set_path(data, "user.id", SqlType.INTEGER, 8)
+        assert extractor.to_dict(updated) == {"user": {"id": 8}}
+
+    def test_remove_nested(self, env):
+        loader, extractor = env
+        data = serialize(loader, {"user": {"id": 7, "lang": "en"}})
+        updated = extractor.remove_path(data, "user.id", SqlType.INTEGER)
+        assert extractor.to_dict(updated) == {"user": {"lang": "en"}}
+
+    def test_remove_missing_is_noop(self, env):
+        loader, extractor = env
+        data = serialize(loader, {"a": 1})
+        assert extractor.remove_path(data, "zz", SqlType.TEXT) == data
+
+    def test_set_none_clears(self, env):
+        loader, extractor = env
+        data = serialize(loader, {"a": 1, "b": 2})
+        updated = extractor.set_path(data, "a", SqlType.INTEGER, None)
+        assert extractor.to_dict(updated) == {"b": 2}
+
+
+_json_scalars = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.text(max_size=20),
+)
+
+_json_documents = st.recursive(
+    st.dictionaries(
+        st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=8
+        ),
+        _json_scalars,
+        max_size=6,
+    ),
+    lambda children: st.dictionaries(
+        st.text(alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=8),
+        st.one_of(_json_scalars, children, st.lists(_json_scalars, max_size=4)),
+        max_size=6,
+    ),
+    max_leaves=12,
+)
+
+
+class TestProperties:
+    @given(_json_documents)
+    @settings(max_examples=100, deadline=None)
+    def test_serialize_to_dict_roundtrip(self, document):
+        db = Database("prop")
+        db.create_table("t", [("_id", SqlType.INTEGER), ("data", SqlType.BYTEA)])
+        catalog = SinewCatalog()
+        loader = SinewLoader(db, catalog)
+        extractor = ReservoirExtractor(catalog)
+        data = loader.serialize_document(document)
+        assert extractor.to_dict(data) == document
+
+    @given(_json_documents)
+    @settings(max_examples=60, deadline=None)
+    def test_flattened_paths_all_extractable(self, document):
+        from repro.core.document import flatten, infer_sql_type
+
+        db = Database("prop2")
+        catalog = SinewCatalog()
+        loader = SinewLoader(db, catalog)
+        extractor = ReservoirExtractor(catalog)
+        data = loader.serialize_document(document)
+        for dotted, value in flatten(document):
+            if isinstance(value, (dict, list)):
+                continue
+            sql_type = infer_sql_type(value)
+            assert extractor.extract_typed(data, dotted, sql_type) == value

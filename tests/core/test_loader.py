@@ -1,0 +1,106 @@
+"""Unit tests for the Sinew bulk loader."""
+
+import pytest
+
+from repro.core import serializer
+from repro.core.catalog import SinewCatalog
+from repro.core.loader import ID_COLUMN, RESERVOIR_COLUMN, SinewLoader
+from repro.rdbms.database import Database
+from repro.rdbms.errors import ConcurrencyError
+from repro.rdbms.types import SqlType
+
+
+@pytest.fixture()
+def env():
+    db = Database("load")
+    db.create_table(
+        "t", [(ID_COLUMN, SqlType.INTEGER), (RESERVOIR_COLUMN, SqlType.BYTEA)]
+    )
+    catalog = SinewCatalog()
+    return db, catalog, SinewLoader(db, catalog)
+
+
+class TestSerializeDocument:
+    def test_nested_keys_use_full_dotted_names(self, env):
+        _db, catalog, loader = env
+        data = loader.serialize_document({"user": {"id": 7}})
+        parent = catalog.lookup_id("user", SqlType.BYTEA)
+        child = catalog.lookup_id("user.id", SqlType.INTEGER)
+        assert parent is not None and child is not None
+        sub = serializer.extract(data, parent, SqlType.BYTEA)
+        assert serializer.extract(sub, child, SqlType.INTEGER) == 7
+
+    def test_null_means_absent(self, env):
+        _db, catalog, loader = env
+        data = loader.serialize_document({"a": None, "b": 1})
+        assert serializer.attribute_count(data) == 1
+
+    def test_array_of_objects(self, env):
+        _db, catalog, loader = env
+        data = loader.serialize_document({"items": [{"x": 1}, {"x": 2}]})
+        attr = catalog.lookup_id("items", SqlType.ARRAY)
+        elements = serializer.extract(data, attr, SqlType.ARRAY)
+        assert len(elements) == 2
+        assert all(isinstance(e, bytes) for e in elements)
+
+
+class TestLoad:
+    def test_rows_land_in_reservoir_only(self, env):
+        db, catalog, loader = env
+        report = loader.load("t", [{"a": 1}, {"a": 2, "b": "x"}])
+        assert report.n_documents == 2
+        table = db.table("t")
+        for _rid, row in table.scan():
+            assert row[0] in (0, 1)  # _id assigned sequentially
+            assert isinstance(row[1], bytes)
+
+    def test_catalog_counts(self, env):
+        _db, catalog, loader = env
+        loader.load("t", [{"a": 1}, {"a": 2, "b": "x"}, {"b": "y"}])
+        table = catalog.table("t")
+        a_id = catalog.lookup_id("a", SqlType.INTEGER)
+        b_id = catalog.lookup_id("b", SqlType.TEXT)
+        assert table.state(a_id).count == 2
+        assert table.state(b_id).count == 2
+        assert table.n_documents == 3
+
+    def test_new_attribute_count_in_report(self, env):
+        _db, _catalog, loader = env
+        first = loader.load("t", [{"a": 1}])
+        assert first.new_attributes == 1
+        second = loader.load("t", [{"a": 2}])
+        assert second.new_attributes == 0
+
+    def test_incremental_ids(self, env):
+        db, _catalog, loader = env
+        loader.load("t", [{"a": 1}])
+        loader.load("t", [{"a": 2}])
+        ids = [row[0] for _rid, row in db.table("t").scan()]
+        assert ids == [0, 1]
+
+    def test_load_marks_materialized_columns_dirty(self, env):
+        _db, catalog, loader = env
+        loader.load("t", [{"a": 1}])
+        a_id = catalog.lookup_id("a", SqlType.INTEGER)
+        state = catalog.table("t").state(a_id)
+        state.materialized = True
+        state.dirty = False
+        report = loader.load("t", [{"a": 2}])
+        assert state.dirty is True
+        assert "a" in report.dirtied_columns
+
+    def test_json_strings_accepted(self, env):
+        _db, _catalog, loader = env
+        report = loader.load("t", ['{"a": 1}', '{"a": 2}'])
+        assert report.n_documents == 2
+
+    def test_loader_respects_latch(self, env):
+        _db, catalog, loader = env
+        with catalog.exclusive_latch("materializer"):
+            with pytest.raises(ConcurrencyError):
+                loader.load("t", [{"a": 1}])
+
+    def test_multi_typed_key_registers_two_attributes(self, env):
+        _db, catalog, loader = env
+        loader.load("t", [{"dyn": 1}, {"dyn": "x"}])
+        assert len(catalog.attributes_named("dyn")) == 2

@@ -1,0 +1,196 @@
+"""Unit tests for the query rewriter (logical -> physical SQL)."""
+
+import pytest
+
+from repro.core import SinewDB
+from repro.core.rewriter import QueryRewriter
+from repro.rdbms.errors import PlanningError
+from repro.rdbms.expressions import (
+    Between,
+    BinaryOp,
+    Coalesce,
+    ColumnRef,
+    FunctionCall,
+    Literal,
+)
+from repro.rdbms.sql.parser import parse
+from repro.rdbms.types import SqlType
+
+
+@pytest.fixture()
+def sdb():
+    instance = SinewDB("rw")
+    instance.create_collection("t")
+    instance.load(
+        "t",
+        [
+            {
+                "phys": f"p{i}",
+                "virt": f"v{i}",
+                "n": i,
+                "dyn": i if i % 2 else f"s{i}",
+                "user": {"lang": "en"},
+                "tags": ["a", "b"],
+                "flag": True,
+            }
+            for i in range(300)
+        ],
+    )
+    instance.materialize("t", "phys", SqlType.TEXT)
+    instance.run_materializer("t")
+    return instance
+
+
+def rewritten_items(sdb, sql):
+    statement = parse(sql)
+    return sdb._rewriter().rewrite_select(statement).items
+
+
+def rewritten_where(sdb, sql):
+    statement = parse(sql)
+    return sdb._rewriter().rewrite_select(statement).where
+
+
+class TestColumnResolution:
+    def test_clean_physical_passes_through(self, sdb):
+        items = rewritten_items(sdb, "SELECT phys FROM t")
+        assert items[0].expr == ColumnRef("t", "phys")
+
+    def test_virtual_becomes_extraction(self, sdb):
+        items = rewritten_items(sdb, "SELECT virt FROM t")
+        expr = items[0].expr
+        assert isinstance(expr, FunctionCall)
+        assert expr.name == "extract_key_text"
+        assert expr.args == (ColumnRef("t", "data"), Literal("virt"))
+        # output keeps the logical name
+        assert items[0].alias == "virt"
+
+    def test_dirty_column_coalesces(self, sdb):
+        sdb.materialize("t", "virt", SqlType.TEXT)
+        sdb.materializer_step("t", max_rows=10)
+        items = rewritten_items(sdb, "SELECT virt FROM t")
+        expr = items[0].expr
+        assert isinstance(expr, Coalesce)
+        assert isinstance(expr.args[0], ColumnRef)
+        assert isinstance(expr.args[1], FunctionCall)
+
+    def test_id_and_data_are_direct(self, sdb):
+        items = rewritten_items(sdb, "SELECT _id FROM t")
+        assert items[0].expr == ColumnRef("t", "_id")
+
+    def test_unknown_key_still_extracts(self, sdb):
+        items = rewritten_items(sdb, "SELECT never_seen FROM t")
+        assert isinstance(items[0].expr, FunctionCall)
+
+    def test_qualified_reference(self, sdb):
+        items = rewritten_items(sdb, "SELECT x.virt FROM t x")
+        expr = items[0].expr
+        assert expr.args[0] == ColumnRef("x", "data")
+
+
+class TestTypeContexts:
+    def test_numeric_literal_selects_numeric_extraction(self, sdb):
+        where = rewritten_where(sdb, "SELECT _id FROM t WHERE dyn > 5")
+        assert isinstance(where, BinaryOp)
+        assert where.left.name == "extract_key_num"
+
+    def test_string_literal_selects_text_extraction(self, sdb):
+        where = rewritten_where(sdb, "SELECT _id FROM t WHERE dyn = 'x'")
+        assert where.left.name == "extract_key_text"
+
+    def test_between_numeric(self, sdb):
+        where = rewritten_where(sdb, "SELECT _id FROM t WHERE dyn BETWEEN 1 AND 5")
+        assert isinstance(where, Between)
+        assert where.operand.name == "extract_key_num"
+
+    def test_like_selects_text(self, sdb):
+        where = rewritten_where(sdb, "SELECT _id FROM t WHERE dyn LIKE 'a%'")
+        assert where.operand.name == "extract_key_text"
+
+    def test_single_typed_key_uses_dominant_type(self, sdb):
+        items = rewritten_items(sdb, "SELECT n FROM t")
+        assert items[0].expr.name == "extract_key_num"
+
+    def test_multi_typed_key_projection_downcasts(self, sdb):
+        items = rewritten_items(sdb, "SELECT dyn FROM t")
+        assert items[0].expr.name == "extract_key_any"
+
+    def test_any_predicate_array_extraction(self, sdb):
+        where = rewritten_where(sdb, "SELECT _id FROM t WHERE 'a' = ANY(tags)")
+        assert where.haystack.name == "extract_key_array"
+
+    def test_aggregate_argument_numeric(self, sdb):
+        items = rewritten_items(sdb, "SELECT sum(n) FROM t")
+        call = items[0].expr
+        assert call.args[0].name == "extract_key_num"
+
+    def test_boolean_dominant_type(self, sdb):
+        items = rewritten_items(sdb, "SELECT flag FROM t")
+        assert items[0].expr.name == "extract_key_bool"
+
+
+class TestNestedRouting:
+    def test_dotted_key_from_reservoir(self, sdb):
+        items = rewritten_items(sdb, 'SELECT "user.lang" FROM t')
+        expr = items[0].expr
+        assert expr.args[0] == ColumnRef("t", "data")
+        assert expr.args[1] == Literal("user.lang")
+
+    def test_dotted_key_from_materialized_parent(self, sdb):
+        sdb.materialize("t", "user", SqlType.BYTEA)
+        sdb.run_materializer("t")
+        items = rewritten_items(sdb, 'SELECT "user.lang" FROM t')
+        expr = items[0].expr
+        assert expr.args[0] == ColumnRef("t", "user")
+
+    def test_dotted_key_dirty_parent_coalesces(self, sdb):
+        sdb.materialize("t", "user", SqlType.BYTEA)
+        sdb.materializer_step("t", max_rows=5)
+        items = rewritten_items(sdb, 'SELECT "user.lang" FROM t')
+        assert isinstance(items[0].expr, Coalesce)
+
+
+class TestJoinsAndMatches:
+    def test_join_of_two_sinew_tables(self, sdb):
+        sdb.create_collection("u")
+        sdb.load("u", [{"virt": f"v{i}"} for i in range(10)])
+        statement = parse("SELECT a._id FROM t a, u b WHERE a.virt = b.virt")
+        rewritten = sdb._rewriter().rewrite_select(statement)
+        left = rewritten.where.left
+        right = rewritten.where.right
+        assert left.args[0] == ColumnRef("a", "data")
+        assert right.args[0] == ColumnRef("b", "data")
+
+    def test_matches_rewrites_to_index_probe(self, sdb):
+        statement = parse("SELECT _id FROM t WHERE matches('*', 'hello')")
+        rewritten = sdb._rewriter().rewrite_select(statement)
+        call = rewritten.where
+        assert call.name == "sinew_matches"
+        assert call.args[0] == ColumnRef("t", "_id")
+
+    def test_matches_arity_checked(self, sdb):
+        statement = parse("SELECT _id FROM t WHERE matches('x')")
+        with pytest.raises(PlanningError):
+            sdb._rewriter().rewrite_select(statement)
+
+    def test_ambiguous_unqualified_key(self, sdb):
+        sdb.create_collection("u")
+        sdb.load("u", [{"virt": "x"}])
+        statement = parse("SELECT virt FROM t, u")
+        with pytest.raises(PlanningError, match="ambiguous"):
+            sdb._rewriter().rewrite_select(statement)
+
+
+class TestOtherStatements:
+    def test_update_where_rewritten(self, sdb):
+        statement = parse("UPDATE t SET virt = 'z' WHERE n = 3")
+        where = sdb._rewriter().rewrite_where(statement)
+        assert where.left.name == "extract_key_num"
+
+    def test_group_by_and_order_by_rewritten(self, sdb):
+        statement = parse(
+            "SELECT virt, count(*) FROM t GROUP BY virt ORDER BY virt"
+        )
+        rewritten = sdb._rewriter().rewrite_select(statement)
+        assert isinstance(rewritten.group_by[0], FunctionCall)
+        assert isinstance(rewritten.order_by[0].expr, FunctionCall)

@@ -1,0 +1,103 @@
+"""Unit tests for the schema analyzer's materialization policy."""
+
+import pytest
+
+from repro.core import SinewDB
+from repro.core.schema_analyzer import MaterializationPolicy
+from repro.core.sinew import SinewConfig
+from repro.rdbms.types import SqlType
+
+
+def sdb_with(documents, policy=None):
+    config = SinewConfig()
+    if policy is not None:
+        config.policy = policy
+    sdb = SinewDB("analyzer", config)
+    sdb.create_collection("t")
+    sdb.load("t", documents)
+    return sdb
+
+
+class TestPolicy:
+    def test_thresholds_are_conjunctive(self):
+        policy = MaterializationPolicy(density_threshold=0.6, cardinality_threshold=200)
+        assert policy.should_materialize(0.9, 500)
+        assert not policy.should_materialize(0.5, 500)  # sparse
+        assert not policy.should_materialize(0.9, 100)  # low cardinality
+        assert not policy.should_materialize(0.9, 200)  # strictly greater
+
+
+class TestAnalyzerDecisions:
+    def test_dense_high_cardinality_materialized(self):
+        documents = [{"k": f"value{i}", "lowcard": i % 3} for i in range(500)]
+        sdb = sdb_with(documents)
+        report = sdb.analyze_schema("t")
+        assert report.materialized_keys() == ["k"]
+
+    def test_sparse_key_stays_virtual(self):
+        documents = [
+            {"dense": f"d{i}", "rare": f"r{i}"} if i % 10 == 0 else {"dense": f"d{i}"}
+            for i in range(500)
+        ]
+        report = sdb_with(documents).analyze_schema("t")
+        assert "rare" not in report.materialized_keys()
+
+    def test_low_cardinality_dense_key_stays_virtual(self):
+        documents = [{"flag": i % 2 == 0, "k": f"v{i}"} for i in range(500)]
+        report = sdb_with(documents).analyze_schema("t")
+        assert "flag" not in report.materialized_keys()
+
+    def test_nested_keys_skipped_by_default(self):
+        documents = [{"user": {"id": i}} for i in range(500)]
+        report = sdb_with(documents).analyze_schema("t")
+        assert "user.id" not in report.materialized_keys()
+        # the parent object itself is a candidate
+        assert "user" in report.materialized_keys()
+
+    def test_nested_keys_candidates_when_enabled(self):
+        documents = [{"user": {"id": i}} for i in range(500)]
+        policy = MaterializationPolicy(include_nested=True)
+        report = sdb_with(documents, policy).analyze_schema("t")
+        assert "user.id" in report.materialized_keys()
+
+    def test_dematerialization_when_density_drops(self):
+        documents = [{"k": f"v{i}"} for i in range(400)]
+        sdb = sdb_with(documents)
+        sdb.settle("t")
+        assert any(
+            storage == "physical"
+            for key, _t, storage in sdb.logical_schema("t")
+            if key == "k"
+        )
+        # dilute the table with documents lacking 'k'
+        sdb.load("t", [{"other": i} for i in range(800)])
+        report = sdb.analyze_schema("t")
+        assert "k" in report.dematerialized_keys()
+
+    def test_analyzer_idempotent(self):
+        documents = [{"k": f"v{i}"} for i in range(400)]
+        sdb = sdb_with(documents)
+        first = sdb.analyze_schema("t")
+        assert first.decisions
+        second = sdb.analyze_schema("t")
+        assert not second.decisions
+
+    def test_empty_table_no_decisions(self):
+        sdb = SinewDB("empty")
+        sdb.create_collection("t")
+        assert sdb.analyze_schema("t").decisions == []
+
+    def test_multi_typed_key_density_split(self):
+        # each (key, type) attribute is evaluated separately: a 50/50 typed
+        # key has per-attribute density 0.5 < 0.6 and stays virtual
+        documents = [
+            {"dyn": f"value{i}"} if i % 2 else {"dyn": i} for i in range(600)
+        ]
+        report = sdb_with(documents).analyze_schema("t")
+        assert "dyn" not in report.materialized_keys()
+
+    def test_custom_thresholds(self):
+        documents = [{"k": f"v{i % 50}"} for i in range(300)]
+        lax = MaterializationPolicy(density_threshold=0.5, cardinality_threshold=10)
+        report = sdb_with(documents, lax).analyze_schema("t")
+        assert "k" in report.materialized_keys()

@@ -1,0 +1,103 @@
+"""Unit tests for the inverted text index."""
+
+import pytest
+
+from repro.core.text_index import InvertedTextIndex, tokenize
+
+
+@pytest.fixture()
+def index():
+    idx = InvertedTextIndex()
+    idx.index_document(0, {"title": "Hello World", "body": "databases are fun"})
+    idx.index_document(1, {"title": "world peace", "views": 100})
+    idx.index_document(2, {"title": "goodbye", "nested": {"deep": "hello again"}})
+    idx.index_document(3, {"tags": ["hello", "sql"], "views": 250})
+    return idx
+
+
+class TestTokenize:
+    def test_lowercase_alphanumeric(self):
+        assert tokenize("Hello, World! 42") == ["hello", "world", "42"]
+
+    def test_base32_values_survive_as_single_tokens(self):
+        # '=' is part of the token alphabet so NoBench's base32 values stay
+        # searchable as exact terms
+        assert tokenize("GBRDCMBQGA======") == ["gbrdcmbqga======"]
+
+
+class TestTermSearch:
+    def test_global_search(self, index):
+        assert index.search_term(None, "hello") == {0, 2, 3}
+        assert index.search_term("*", "world") == {0, 1}
+
+    def test_field_faceted_search(self, index):
+        assert index.search_term("title", "hello") == {0}
+        assert index.search_term("body", "hello") == set()
+
+    def test_nested_field_names_are_dotted(self, index):
+        assert index.search_term("nested.deep", "hello") == {2}
+
+    def test_array_elements_indexed(self, index):
+        assert index.search_term("tags", "sql") == {3}
+
+    def test_boolean_terms(self):
+        idx = InvertedTextIndex()
+        idx.index_document(0, {"flag": True})
+        assert idx.search_term("flag", "true") == {0}
+
+    def test_case_insensitive(self, index):
+        assert index.search_term(None, "HELLO") == {0, 2, 3}
+
+
+class TestPrefixFuzzyRange:
+    def test_prefix(self, index):
+        assert index.search_prefix(None, "wor") == {0, 1}
+        assert index.search_prefix("title", "good") == {2}
+
+    def test_fuzzy_one_edit(self, index):
+        assert 0 in index.search_fuzzy(None, "helo")  # deletion
+        assert 0 in index.search_fuzzy(None, "hellp")  # substitution
+        assert index.search_fuzzy(None, "xyzzy") == set()
+
+    def test_numeric_range(self, index):
+        assert index.search_range("views", 50, 150) == {1}
+        assert index.search_range("views", None, None) == {1, 3}
+        assert index.search_range("views", 300, None) == set()
+
+
+class TestMatchesLanguage:
+    def test_conjunction(self, index):
+        assert index.matches("*", "hello world") == {0}
+
+    def test_field_list(self, index):
+        assert index.matches("title,body", "hello") == {0}
+
+    def test_prefix_term(self, index):
+        assert index.matches("*", "wor*") == {0, 1}
+
+    def test_fuzzy_term(self, index):
+        assert 0 in index.matches("*", "helo~")
+
+    def test_regex_term(self, index):
+        assert index.matches("*", "/^good/") == {2}
+
+    def test_empty_result_short_circuits(self, index):
+        assert index.matches("*", "hello nonexistent") == set()
+
+
+class TestMaintenance:
+    def test_reindex_replaces(self, index):
+        index.index_document(0, {"title": "totally different"})
+        assert 0 not in index.search_term(None, "hello")
+        assert 0 in index.search_term("title", "different")
+
+    def test_remove_document(self, index):
+        index.remove_document(1)
+        assert index.search_term(None, "peace") == set()
+        assert index.search_range("views", None, None) == {3}
+        assert index.n_documents == 3
+
+    def test_unstructured_text(self, index):
+        index.index_text(9, "completely unstructured ramble")
+        assert index.search_term("_text", "ramble") == {9}
+        assert 9 in index.matches("*", "unstructured")

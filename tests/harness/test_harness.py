@@ -1,0 +1,96 @@
+"""Unit tests for the benchmark harness (timing, tables, scales)."""
+
+import pytest
+
+from repro.harness.scale import large_scale, small_scale
+from repro.harness.tables import format_table
+from repro.harness.timing import (
+    Measurement,
+    best_of,
+    measure,
+    mongo_modelled_io_seconds,
+)
+from repro.rdbms.cost import CostCounters, IoCostModel
+from repro.rdbms.errors import DiskFullError
+
+
+class TestMeasure:
+    def test_captures_result_and_time(self):
+        measurement = measure("demo", lambda: 42)
+        assert measurement.result == 42
+        assert measurement.failed is None
+        assert measurement.wall_seconds >= 0
+
+    def test_expected_failure_captured(self):
+        def boom():
+            raise DiskFullError(10, 5)
+
+        measurement = measure("demo", boom, expected_failures=(DiskFullError,))
+        assert measurement.failed == "DiskFullError"
+        assert measurement.cell() == "FAIL(DiskFullError)"
+
+    def test_unexpected_failure_propagates(self):
+        with pytest.raises(ValueError):
+            measure("demo", lambda: (_ for _ in ()).throw(ValueError("x")))
+
+    def test_counter_deltas_and_io_model(self):
+        counters = CostCounters()
+
+        def work():
+            counters.pages_read += 10
+
+        measurement = measure("demo", work, counters=counters, io_model=IoCostModel())
+        assert measurement.counter_deltas["pages_read"] == 10
+        assert measurement.modelled_io_seconds == pytest.approx(10 * 30e-6)
+        assert measurement.effective_seconds > measurement.wall_seconds
+
+    def test_best_of_returns_fastest_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            return len(calls)
+
+        measurement = best_of("demo", flaky, repeats=3)
+        assert measurement.failed is None
+        assert len(calls) == 3
+
+    def test_mongo_io_model(self):
+        assert mongo_modelled_io_seconds(275_000_000) == pytest.approx(1.0)
+
+
+class TestTables:
+    def test_format_alignment_and_floats(self):
+        text = format_table(
+            ["query", "Sinew"], [["q1", 0.12345], ["q10", "FAIL(X)"]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "0.1235" in text or "0.1234" in text
+        assert "FAIL(X)" in text
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # every row the same width
+
+    def test_none_renders_empty(self):
+        text = format_table(["a"], [[None]])
+        assert "None" not in text
+
+
+class TestScales:
+    def test_small_scale_is_memory_resident(self):
+        scale = small_scale()
+        assert scale.use_effective_time is False
+        assert scale.eav_headroom_bytes is None
+        assert scale.buffer_pool_pages * 8192 > 100 * 1024 * 1024
+
+    def test_large_scale_constrains_resources(self):
+        scale = large_scale()
+        assert scale.use_effective_time is True
+        assert scale.eav_headroom_bytes is not None
+        assert scale.n_records > small_scale().n_records
+
+    def test_repro_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert small_scale().n_records == 2000
+        monkeypatch.setenv("REPRO_SCALE", "10")
+        assert small_scale().n_records == 40000

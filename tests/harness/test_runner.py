@@ -1,0 +1,78 @@
+"""Tests for the benchmark runner (system building, measurement hooks)."""
+
+import pytest
+
+from repro.harness.runner import SystemRun, build_systems, result_rows, run_suite
+from repro.harness.scale import small_scale
+from repro.nobench import NoBenchGenerator
+
+
+@pytest.fixture(scope="module")
+def tiny_world():
+    scale = small_scale()
+    object.__setattr__(scale, "n_records", 600)
+    return build_systems(scale, NoBenchGenerator(600))
+
+
+class TestBuildSystems:
+    def test_all_four_by_default(self, tiny_world):
+        runs, _params = tiny_world
+        assert [run.name for run in runs] == ["Sinew", "MongoDB", "EAV", "PG JSON"]
+
+    def test_subset_selection(self):
+        scale = small_scale()
+        object.__setattr__(scale, "n_records", 300)
+        runs, _params = build_systems(
+            scale, NoBenchGenerator(300), systems=("Sinew", "PG JSON")
+        )
+        assert [run.name for run in runs] == ["Sinew", "PG JSON"]
+
+    def test_load_measurements_attached(self, tiny_world):
+        runs, _params = tiny_world
+        for run in runs:
+            assert run.load_measurement is not None
+            assert run.load_measurement.failed is None
+            assert run.load_measurement.wall_seconds > 0
+
+    def test_rdbms_systems_have_counters(self, tiny_world):
+        runs, _params = tiny_world
+        by_name = {run.name: run for run in runs}
+        assert by_name["Sinew"].counters is not None
+        assert by_name["EAV"].counters is not None
+        assert by_name["MongoDB"].mongo is not None
+
+
+class TestMeasurementHooks:
+    def test_mongo_measure_models_scan_io(self, tiny_world):
+        runs, _params = tiny_world
+        mongo = next(run for run in runs if run.name == "MongoDB")
+        measurement = mongo.measure("q1", lambda: mongo.adapter.q1())
+        assert measurement.modelled_io_seconds > 0
+
+    def test_rdbms_measure_collects_deltas(self, tiny_world):
+        runs, _params = tiny_world
+        sinew = next(run for run in runs if run.name == "Sinew")
+        measurement = sinew.measure("q1", lambda: sinew.adapter.q1())
+        assert measurement.counter_deltas["tuples_scanned"] > 0
+
+
+class TestSuiteAndRows:
+    def test_run_suite_shape(self, tiny_world):
+        runs, _params = tiny_world
+        results = run_suite(runs, ["q1", "q5"], repeats=1)
+        assert set(results) == {"q1", "q5"}
+        for per_system in results.values():
+            assert set(per_system) == {"Sinew", "MongoDB", "EAV", "PG JSON"}
+
+    def test_result_rows_render_failures(self, tiny_world):
+        runs, _params = tiny_world
+        results = run_suite(runs, ["q7"], repeats=1)
+        names = [run.name for run in runs]
+        rows = result_rows(results, names, use_effective=False)
+        pg_cell = rows[0][1 + names.index("PG JSON")]
+        assert pg_cell == "FAIL(TypeCastError)"
+
+    def test_update_runs_once(self, tiny_world):
+        runs, _params = tiny_world
+        results = run_suite(runs[:1], ["update"], repeats=3)
+        assert results["update"]["Sinew"].failed is None

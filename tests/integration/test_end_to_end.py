@@ -1,0 +1,158 @@
+"""Integration tests across subsystems: the full Sinew lifecycle, the plan
+flips behind Table 2, the dirty-COALESCE claim of section 3.1.4, and a
+miniature four-system NoBench run."""
+
+import pytest
+
+from repro.core import SinewDB
+from repro.harness import build_systems, run_suite, small_scale
+from repro.nobench import NoBenchGenerator
+from repro.rdbms.types import SqlType, type_from_name
+from repro.workloads import TABLE1_QUERIES, TABLE2_PHYSICAL_ATTRIBUTES, TwitterGenerator
+
+
+class TestSinewLifecycle:
+    """Load -> analyze -> materialize -> query -> evolve, end to end."""
+
+    def test_full_lifecycle(self):
+        sdb = SinewDB("lifecycle")
+        sdb.create_collection("events")
+        sdb.load(
+            "events",
+            [{"kind": f"k{i % 3}", "value": i, "meta": {"src": f"s{i}"}} for i in range(400)],
+        )
+        # 1. queries work fully virtually
+        assert sdb.query("SELECT count(*) FROM events WHERE value > 100").scalar() == 299
+        # 2. analyzer + materializer settle the hybrid schema
+        sdb.settle("events")
+        physical = {
+            key for key, _t, s in sdb.logical_schema("events") if s == "physical"
+        }
+        assert "value" in physical
+        # 3. same answers afterwards
+        assert sdb.query("SELECT count(*) FROM events WHERE value > 100").scalar() == 299
+        # 4. schema evolution: new keys appear without DDL
+        sdb.load("events", [{"kind": "k9", "brand_new_key": True, "value": 1000}])
+        assert sdb.query(
+            "SELECT count(*) FROM events WHERE brand_new_key = true"
+        ).scalar() == 1
+        # 5. and the materializer absorbs the new rows
+        sdb.run_materializer("events")
+        assert sdb.query("SELECT max(value) FROM events").scalar() == 1000
+
+    def test_documents_survive_arbitrary_settling(self):
+        sdb = SinewDB("roundtrip")
+        sdb.create_collection("t")
+        documents = [
+            {"a": i, "b": f"s{i}", "nested": {"x": i * 1.5}, "arr": [i, str(i)]}
+            for i in range(250)
+        ]
+        sdb.load("t", documents)
+        baseline = [doc for _id, doc in sdb.documents("t")]
+        sdb.settle("t")
+        assert [doc for _id, doc in sdb.documents("t")] == baseline
+
+
+class TestTable2PlanFlips:
+    """The optimizer-visibility experiment of paper Table 2."""
+
+    @pytest.fixture(scope="class")
+    def systems(self):
+        generator = TwitterGenerator(6000)
+
+        def build(materialize: bool) -> SinewDB:
+            sdb = SinewDB(f"t2_{materialize}")
+            sdb.create_collection("tweets")
+            sdb.create_collection("deletes")
+            sdb.load("tweets", generator.tweets())
+            sdb.load("deletes", generator.deletes(2000))
+            if materialize:
+                for key, type_name in TABLE2_PHYSICAL_ATTRIBUTES:
+                    table = "deletes" if key.startswith("delete.") else "tweets"
+                    sdb.materialize(table, key, type_from_name(type_name))
+                sdb.run_materializer("tweets")
+                sdb.run_materializer("deletes")
+            sdb.analyze()
+            return sdb
+
+        return build(False), build(True)
+
+    def test_t1_distinct_flips_hash_to_unique(self, systems):
+        virtual, physical = systems
+        virtual_plan = virtual.explain(TABLE1_QUERIES["T1"])
+        physical_plan = physical.explain(TABLE1_QUERIES["T1"])
+        assert "HashAggregate" in virtual_plan.splitlines()[0]
+        assert "Unique" in physical_plan.splitlines()[0]
+
+    def test_t2_group_by_estimates_flip(self, systems):
+        virtual, physical = systems
+        virtual_plan = virtual.explain(TABLE1_QUERIES["T2"])
+        physical_plan = physical.explain(TABLE1_QUERIES["T2"])
+        assert "rows=200" in virtual_plan  # the fixed UDF default
+        assert "rows=200" not in physical_plan
+
+    def test_t3_plans_differ(self, systems):
+        virtual, physical = systems
+        assert virtual.explain(TABLE1_QUERIES["T3"]) != physical.explain(
+            TABLE1_QUERIES["T3"]
+        )
+
+    def test_results_identical_across_conditions(self, systems):
+        virtual, physical = systems
+        for query_id in ("T1", "T2", "T3"):
+            virtual_rows = sorted(map(repr, virtual.query(TABLE1_QUERIES[query_id]).rows))
+            physical_rows = sorted(map(repr, physical.query(TABLE1_QUERIES[query_id]).rows))
+            assert virtual_rows == physical_rows, query_id
+
+
+class TestDirtyCoalesceOverhead:
+    """Section 3.1.4: queries during materialization stay correct and the
+    COALESCE overhead is bounded."""
+
+    def test_query_correct_at_every_materialization_stage(self):
+        sdb = SinewDB("stages")
+        sdb.create_collection("t")
+        sdb.load("t", [{"k": f"v{i}", "n": i} for i in range(300)])
+        sdb.materialize("t", "k", SqlType.TEXT)
+        expected = sdb.query("SELECT count(*) FROM t WHERE k IS NOT NULL").scalar()
+        while sdb.materializer.pending("t"):
+            sdb.materializer_step("t", max_rows=37)
+            assert (
+                sdb.query("SELECT count(*) FROM t WHERE k IS NOT NULL").scalar()
+                == expected
+            )
+
+
+class TestMiniFigure6:
+    """A four-system NoBench run at reduced scale: the orderings that
+    constitute the paper's headline claims."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        scale = small_scale()
+        object.__setattr__(scale, "n_records", 1500)
+        runs, _params = build_systems(scale, NoBenchGenerator(1500))
+        suite = run_suite(runs, ["q1", "q2", "q5", "q10"], repeats=2)
+        return {r.name: r for r in runs}, suite
+
+    def test_all_systems_loaded(self, results):
+        runs, _suite = results
+        assert set(runs) == {"Sinew", "MongoDB", "EAV", "PG JSON"}
+
+    def test_sinew_beats_pgjson_and_eav_on_projections(self, results):
+        _runs, suite = results
+        for query_id in ("q1", "q2"):
+            sinew = suite[query_id]["Sinew"].wall_seconds
+            assert suite[query_id]["PG JSON"].wall_seconds > sinew
+            assert suite[query_id]["EAV"].wall_seconds > sinew
+
+    def test_sinew_fastest_on_selection(self, results):
+        _runs, suite = results
+        times = {name: m.wall_seconds for name, m in suite["q5"].items()}
+        assert min(times, key=times.get) == "Sinew"
+
+    def test_no_failures_at_small_scale(self, results):
+        _runs, suite = results
+        for per_system in suite.values():
+            for measurement in per_system.values():
+                assert measurement.failed is None

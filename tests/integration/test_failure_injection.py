@@ -1,0 +1,103 @@
+"""Failure injection: errors mid-statement must leave no partial state.
+
+The RDBMS-backed systems claim transactional semantics (the paper's
+argument for Sinew over MongoDB in section 6.6); these tests inject
+failures part-way through multi-row statements and check atomicity.
+"""
+
+import pytest
+
+from repro.core import SinewDB
+from repro.rdbms.database import Database, DatabaseConfig
+from repro.rdbms.errors import DiskFullError, ExecutionError, TypeCastError
+from repro.rdbms.types import SqlType
+
+
+class TestRdbmsAtomicity:
+    def test_update_rolls_back_on_mid_statement_error(self):
+        db = Database("atomic")
+        db.execute("CREATE TABLE t (id integer, v integer)")
+        db.insert_rows("t", [(i, i) for i in range(10)])
+
+        calls = {"n": 0}
+
+        def explode_on_seventh(value):
+            calls["n"] += 1
+            if calls["n"] == 7:
+                raise ExecutionError("injected failure")
+            return value * 10
+
+        db.create_function("explode", explode_on_seventh, SqlType.INTEGER)
+        with pytest.raises(ExecutionError, match="injected"):
+            db.execute("UPDATE t SET v = explode(v)")
+        # nothing committed: all original values intact
+        assert db.execute("SELECT sum(v) FROM t").scalar() == sum(range(10))
+
+    def test_delete_rolls_back_on_error(self):
+        db = Database("atomic2")
+        db.execute("CREATE TABLE t (id integer)")
+        db.insert_rows("t", [(i,) for i in range(10)])
+        calls = {"n": 0}
+
+        def explode(value):
+            calls["n"] += 1
+            if calls["n"] > 5:
+                raise ExecutionError("boom")
+            return True
+
+        db.create_function("explode", explode, SqlType.BOOLEAN)
+        with pytest.raises(ExecutionError):
+            db.execute("DELETE FROM t WHERE explode(id)")
+        assert db.execute("SELECT count(*) FROM t").scalar() == 10
+
+    def test_insert_batch_rolls_back_on_disk_full(self):
+        db = Database("atomic3", DatabaseConfig(disk_budget_bytes=3 * 8192))
+        db.execute("CREATE TABLE t (v text)")
+        with pytest.raises(DiskFullError):
+            db.insert_rows("t", [("x" * 100,) for _ in range(10_000)])
+        # the failed batch left nothing behind
+        assert db.execute("SELECT count(*) FROM t").scalar() == 0
+
+    def test_cast_error_aborts_query_cleanly(self):
+        db = Database("atomic4")
+        db.execute("CREATE TABLE t (v text)")
+        db.insert_rows("t", [("1",), ("two",), ("3",)])
+        with pytest.raises(TypeCastError):
+            db.execute("SELECT v::integer FROM t")
+        # the table is still usable afterwards
+        assert db.execute("SELECT count(*) FROM t").scalar() == 3
+
+
+class TestSinewAtomicity:
+    def test_sinew_update_rolls_back_with_reservoir_writes(self):
+        sdb = SinewDB("sinatomic")
+        sdb.create_collection("t")
+        sdb.load("t", [{"k": f"v{i}", "n": i} for i in range(10)])
+
+        # make the WHERE predicate explode after matching a few rows by
+        # sabotaging the UDF registry's extraction function
+        original = sdb.extractor.extract_num
+        calls = {"n": 0}
+
+        def flaky(data, key):
+            calls["n"] += 1
+            if calls["n"] == 8:
+                raise ExecutionError("flaky extraction")
+            return original(data, key)
+
+        sdb.db.functions.register_scalar("extract_key_num", flaky, SqlType.REAL)
+        with pytest.raises(ExecutionError):
+            sdb.execute("UPDATE t SET k = 'DAMAGED' WHERE n >= 0")
+        sdb.db.functions.register_scalar(
+            "extract_key_num", original, SqlType.REAL
+        )
+        damaged = sdb.query("SELECT count(*) FROM t WHERE k = 'DAMAGED'").scalar()
+        assert damaged == 0
+
+    def test_wal_records_written_for_sinew_updates(self):
+        sdb = SinewDB("sinwal")
+        sdb.create_collection("t")
+        sdb.load("t", [{"k": "a"}, {"k": "b"}])
+        before = sdb.db.counters.wal_records
+        sdb.execute("UPDATE t SET k = 'z' WHERE k = 'a'")
+        assert sdb.db.counters.wal_records > before  # transactional overhead

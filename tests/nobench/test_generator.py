@@ -1,0 +1,143 @@
+"""Unit tests for the NoBench data generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.nobench.generator import (
+    ARRAY_LENGTH,
+    SPARSE_PER_RECORD,
+    NoBenchGenerator,
+    base32_string,
+)
+
+N = 4000
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return NoBenchGenerator(N, seed=42)
+
+
+@pytest.fixture(scope="module")
+def documents(generator):
+    return list(generator.documents())
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        first = list(NoBenchGenerator(100, seed=1).documents())
+        second = list(NoBenchGenerator(100, seed=1).documents())
+        assert first == second
+
+    def test_different_seed_different_data(self):
+        first = list(NoBenchGenerator(100, seed=1).documents())
+        second = list(NoBenchGenerator(100, seed=2).documents())
+        assert first != second
+
+    def test_params_deterministic(self, generator):
+        assert generator.params() == generator.params()
+
+
+class TestRecordShape:
+    def test_approximately_fifteen_keys(self, documents):
+        # 9 fixed + 10 sparse = 19 keys per record
+        assert all(len(doc) == 9 + SPARSE_PER_RECORD for doc in documents)
+
+    def test_fixed_keys_present(self, documents):
+        fixed = {"str1", "str2", "num", "bool", "dyn1", "dyn2",
+                 "nested_obj", "nested_arr", "thousandth"}
+        assert fixed <= set(documents[0])
+
+    def test_nested_obj_shape(self, documents):
+        nested = documents[0]["nested_obj"]
+        assert set(nested) == {"str", "num"}
+        assert isinstance(nested["str"], str)
+
+    def test_nested_arr_length(self, documents):
+        assert all(len(doc["nested_arr"]) == ARRAY_LENGTH for doc in documents)
+
+    def test_thousandth_invariant(self, documents):
+        assert all(doc["thousandth"] == doc["num"] % 1000 for doc in documents)
+
+
+class TestDistributions:
+    def test_num_is_a_permutation(self, documents):
+        nums = [doc["num"] for doc in documents]
+        assert sorted(nums) == list(range(N))
+
+    def test_str1_unique(self, documents):
+        assert len({doc["str1"] for doc in documents}) == N
+
+    def test_str2_low_cardinality(self, documents):
+        # must be below the 200 materialization threshold
+        assert len({doc["str2"] for doc in documents}) <= 100
+
+    def test_dyn1_mixed_types(self, documents):
+        kinds = Counter(type(doc["dyn1"]).__name__ for doc in documents)
+        assert set(kinds) == {"int", "str", "bool"}
+        for count in kinds.values():
+            assert count / N < 0.6  # each attribute below the density threshold
+
+    def test_sparse_keys_clustered(self, documents):
+        for doc in documents[:200]:
+            indexes = sorted(
+                int(key.split("_")[1]) for key in doc if key.startswith("sparse_")
+            )
+            assert len(indexes) == SPARSE_PER_RECORD
+            assert indexes[-1] - indexes[0] == SPARSE_PER_RECORD - 1
+            assert indexes[0] % SPARSE_PER_RECORD == 0
+
+    def test_each_sparse_key_about_one_percent(self, documents):
+        counts = Counter()
+        for doc in documents:
+            for key in doc:
+                if key.startswith("sparse_"):
+                    counts[key] += 1
+        densities = [count / N for count in counts.values()]
+        assert 0.001 < sum(densities) / len(densities) < 0.05
+
+    def test_nested_obj_str_references_str1_domain(self, generator, documents):
+        str1_values = {doc["str1"] for doc in documents}
+        hits = sum(1 for doc in documents[:500] if doc["nested_obj"]["str"] in str1_values)
+        assert hits == 500  # drawn from the str1 pool, so Q11 joins match
+
+
+class TestQueryParams:
+    def test_q5_value_exists(self, generator, documents):
+        params = generator.params()
+        assert any(doc["str1"] == params.q5_str1 for doc in documents)
+
+    def test_q6_selectivity_near_point_one_percent(self, generator, documents):
+        params = generator.params()
+        matched = sum(
+            1 for doc in documents if params.q6_low <= doc["num"] <= params.q6_high
+        )
+        assert matched == params.q6_high - params.q6_low + 1
+
+    def test_q9_matches_something(self, generator, documents):
+        params = generator.params()
+        matched = sum(
+            1 for doc in documents if doc.get(params.q9_key) == params.q9_value
+        )
+        assert matched >= 1
+
+    def test_update_selectivity_small(self, generator, documents):
+        params = generator.params()
+        matched = sum(
+            1
+            for doc in documents
+            if doc.get(params.update_where_key) == params.update_where_value
+        )
+        assert 1 <= matched <= max(3, N // 1000)
+
+    def test_q8_term_present(self, generator, documents):
+        params = generator.params()
+        assert any(params.q8_term in doc["nested_arr"] for doc in documents)
+
+    def test_base32_format(self):
+        value = base32_string(100)
+        assert value.isupper() or "=" in value
+        import base64
+
+        assert base64.b32decode(value) == b"100"

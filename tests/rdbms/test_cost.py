@@ -1,0 +1,95 @@
+"""Tests for the cost counters, I/O model, and disk budget."""
+
+import pytest
+
+from repro.rdbms.cost import CostCounters, DiskBudget, IoCostModel
+from repro.rdbms.errors import DiskFullError
+
+
+class TestCostCounters:
+    def test_reset(self):
+        counters = CostCounters(pages_read=5, udf_calls=3)
+        counters.reset()
+        assert counters.pages_read == 0 and counters.udf_calls == 0
+
+    def test_snapshot_and_diff(self):
+        counters = CostCounters()
+        before = counters.snapshot()
+        counters.pages_read += 7
+        counters.wal_records += 2
+        delta = counters.diff(before)
+        assert delta["pages_read"] == 7
+        assert delta["wal_records"] == 2
+        assert delta["tuples_scanned"] == 0
+
+    def test_snapshot_is_immutable_copy(self):
+        counters = CostCounters()
+        snapshot = counters.snapshot()
+        counters.pages_read += 1
+        assert snapshot["pages_read"] == 0
+
+    def test_addition(self):
+        a = CostCounters(pages_read=1, spill_bytes=10)
+        b = CostCounters(pages_read=2, udf_calls=5)
+        merged = a + b
+        assert merged.pages_read == 3
+        assert merged.spill_bytes == 10
+        assert merged.udf_calls == 5
+
+
+class TestIoCostModel:
+    def test_modelled_seconds(self):
+        model = IoCostModel(
+            page_read_seconds=1e-3, page_write_seconds=2e-3, wal_sync_seconds=5e-3
+        )
+        counters = CostCounters(pages_read=10, pages_written=5, wal_records=2)
+        assert model.modelled_io_seconds(counters) == pytest.approx(
+            10e-3 + 10e-3 + 10e-3
+        )
+
+    def test_zero_counters_zero_io(self):
+        assert IoCostModel().modelled_io_seconds(CostCounters()) == 0.0
+
+
+class TestDiskBudget:
+    def test_unlimited_never_raises(self):
+        budget = DiskBudget(None)
+        budget.charge(10**12)
+        assert budget.used_bytes == 10**12
+
+    def test_charge_over_budget_raises(self):
+        budget = DiskBudget(100)
+        budget.charge(60)
+        with pytest.raises(DiskFullError) as info:
+            budget.charge(60)
+        assert info.value.used_bytes == 120
+        assert info.value.budget_bytes == 100
+
+    def test_release_recovers_headroom(self):
+        budget = DiskBudget(100)
+        budget.charge(90)
+        budget.release(50)
+        budget.charge(50)  # fits again
+        assert budget.used_bytes == 90
+
+    def test_release_floors_at_zero(self):
+        budget = DiskBudget(100)
+        budget.release(999)
+        assert budget.used_bytes == 0
+
+    def test_high_water_mark(self):
+        budget = DiskBudget(None)
+        budget.charge(70)
+        budget.release(50)
+        budget.charge(10)
+        assert budget.high_water_bytes == 70
+        assert budget.used_bytes == 30
+
+    def test_budget_can_be_tightened_after_use(self):
+        # the harness sets budgets post-load (free-disk headroom model)
+        budget = DiskBudget(None)
+        budget.charge(500)
+        budget.budget_bytes = budget.used_bytes + 100
+        budget.charge(100)
+        with pytest.raises(DiskFullError):
+            budget.charge(1)

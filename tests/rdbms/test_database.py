@@ -1,0 +1,101 @@
+"""Tests for the Database facade: DDL, catalog errors, result helpers."""
+
+import pytest
+
+from repro.rdbms.database import Database, QueryResult
+from repro.rdbms.errors import CatalogError, TransactionError
+from repro.rdbms.types import SqlType
+
+
+@pytest.fixture()
+def db():
+    return Database("facade")
+
+
+class TestDdl:
+    def test_create_and_drop(self, db):
+        db.execute("CREATE TABLE t (a integer)")
+        assert db.has_table("t")
+        db.execute("DROP TABLE t")
+        assert not db.has_table("t")
+
+    def test_create_duplicate_rejected(self, db):
+        db.execute("CREATE TABLE t (a integer)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE t (a integer)")
+        db.execute("CREATE TABLE IF NOT EXISTS t (a integer)")  # no error
+
+    def test_drop_missing(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE ghost")
+        db.execute("DROP TABLE IF EXISTS ghost")  # no error
+
+    def test_alter_add_drop_column(self, db):
+        db.execute("CREATE TABLE t (a integer)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.execute("ALTER TABLE t ADD COLUMN b text")
+        assert db.execute("SELECT b FROM t").rows == [(None,)]
+        db.execute("UPDATE t SET b = 'x'")
+        db.execute("ALTER TABLE t DROP COLUMN a")
+        assert db.execute("SELECT * FROM t").rows == [("x",)]
+
+    def test_programmatic_create(self, db):
+        db.create_table("p", [("x", SqlType.INTEGER), ("y", SqlType.TEXT)])
+        assert db.table("p").schema.names() == ["x", "y"]
+
+
+class TestFunctions:
+    def test_create_function_and_call(self, db):
+        db.execute("CREATE TABLE t (a integer)")
+        db.insert_rows("t", [(1,), (2,)])
+        db.create_function("double_it", lambda v: None if v is None else v * 2, SqlType.INTEGER)
+        result = db.execute("SELECT double_it(a) FROM t")
+        assert result.column(0) == [2, 4]
+
+    def test_unknown_function(self, db):
+        db.execute("CREATE TABLE t (a integer)")
+        db.insert_rows("t", [(1,)])
+        with pytest.raises(CatalogError, match="no such function"):
+            db.execute("SELECT ghost(a) FROM t")
+
+
+class TestResults:
+    def test_scalar_and_column(self):
+        result = QueryResult(columns=["a", "b"], rows=[(1, "x"), (2, "y")])
+        assert result.scalar() == 1
+        assert result.column("b") == ["x", "y"]
+        assert result.column(0) == [1, 2]
+        assert len(result) == 2
+        assert list(result) == [(1, "x"), (2, "y")]
+
+    def test_empty_scalar(self):
+        assert QueryResult().scalar() is None
+
+
+class TestTransactionErrors:
+    def test_commit_without_begin(self, db):
+        with pytest.raises(TransactionError):
+            db.execute("COMMIT")
+
+    def test_nested_begin_rejected(self, db):
+        db.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            db.execute("BEGIN")
+        db.execute("ROLLBACK")
+
+
+class TestIntrospection:
+    def test_total_table_bytes(self, db):
+        db.execute("CREATE TABLE t (a text)")
+        assert db.total_table_bytes() == 0
+        db.insert_rows("t", [("hello",)] * 10)
+        assert db.total_table_bytes() == db.table("t").total_bytes > 0
+
+    def test_stats_lifecycle(self, db):
+        db.execute("CREATE TABLE t (a integer)")
+        assert db.stats("t") is None
+        db.insert_rows("t", [(i,) for i in range(10)])
+        db.execute("ANALYZE t")
+        assert db.stats("t").row_count == 10
+        db.execute("DROP TABLE t")
+        assert db.stats("t") is None

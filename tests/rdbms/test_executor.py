@@ -1,0 +1,208 @@
+"""End-to-end SQL execution tests (parser -> planner -> executor)."""
+
+import pytest
+
+from repro.rdbms.database import Database, DatabaseConfig
+from repro.rdbms.errors import DiskFullError, ExecutionError
+
+
+@pytest.fixture()
+def db():
+    database = Database("exec")
+    database.execute("CREATE TABLE emp (id integer, dept text, salary integer, boss integer)")
+    rows = [
+        (1, "eng", 100, None),
+        (2, "eng", 80, 1),
+        (3, "sales", 60, 1),
+        (4, "sales", 70, 3),
+        (5, "hr", None, 1),
+    ]
+    database.insert_rows("emp", rows)
+    database.execute("CREATE TABLE dept (name text, floor integer)")
+    database.insert_rows("dept", [("eng", 2), ("sales", 1), ("ops", 3)])
+    database.analyze()
+    return database
+
+
+class TestSelect:
+    def test_projection_and_filter(self, db):
+        result = db.execute("SELECT id FROM emp WHERE salary > 65")
+        assert sorted(row[0] for row in result.rows) == [1, 2, 4]
+
+    def test_null_never_matches(self, db):
+        result = db.execute("SELECT id FROM emp WHERE salary < 1000000")
+        assert 5 not in [row[0] for row in result.rows]
+
+    def test_expressions_in_projection(self, db):
+        result = db.execute("SELECT id, salary * 2 FROM emp WHERE id = 1")
+        assert result.rows == [(1, 200)]
+
+    def test_order_by_asc_desc_nulls_last(self, db):
+        ascending = db.execute("SELECT id FROM emp ORDER BY salary").column(0)
+        assert ascending == [3, 4, 2, 1, 5]  # NULL sorts last
+        descending = db.execute("SELECT id FROM emp ORDER BY salary DESC").column(0)
+        assert descending[:4] == [1, 2, 4, 3]
+
+    def test_order_by_text_desc(self, db):
+        labels = db.execute("SELECT DISTINCT dept FROM emp ORDER BY dept DESC").column(0)
+        assert labels == ["sales", "hr", "eng"]
+
+    def test_limit(self, db):
+        result = db.execute("SELECT id FROM emp ORDER BY id LIMIT 2")
+        assert result.column(0) == [1, 2]
+
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT dept FROM emp")
+        assert sorted(result.column(0)) == ["eng", "hr", "sales"]
+
+    def test_in_and_between(self, db):
+        result = db.execute("SELECT id FROM emp WHERE dept IN ('eng', 'hr')")
+        assert sorted(result.column(0)) == [1, 2, 5]
+        result = db.execute("SELECT id FROM emp WHERE salary BETWEEN 60 AND 80")
+        assert sorted(result.column(0)) == [2, 3, 4]
+
+    def test_star(self, db):
+        result = db.execute("SELECT * FROM dept")
+        assert result.columns == ["name", "floor"]
+        assert len(result.rows) == 3
+
+
+class TestAggregates:
+    def test_global_aggregates(self, db):
+        result = db.execute(
+            "SELECT count(*), count(salary), sum(salary), min(salary), max(salary), avg(salary) FROM emp"
+        )
+        assert result.rows == [(5, 4, 310, 60, 100, 77.5)]
+
+    def test_group_by(self, db):
+        result = db.execute(
+            "SELECT dept, count(*), sum(salary) FROM emp GROUP BY dept"
+        )
+        by_dept = {row[0]: (row[1], row[2]) for row in result.rows}
+        assert by_dept == {"eng": (2, 180), "sales": (2, 130), "hr": (1, None)}
+
+    def test_count_distinct(self, db):
+        result = db.execute("SELECT count(DISTINCT dept) FROM emp")
+        assert result.scalar() == 3
+
+    def test_having(self, db):
+        result = db.execute(
+            "SELECT dept FROM emp GROUP BY dept HAVING count(*) > 1"
+        )
+        assert sorted(result.column(0)) == ["eng", "sales"]
+
+    def test_group_by_expression(self, db):
+        result = db.execute(
+            "SELECT salary % 2, count(*) FROM emp WHERE salary IS NOT NULL "
+            "GROUP BY salary % 2"
+        )
+        assert dict(result.rows) == {0: 4}
+
+    def test_aggregate_of_expression(self, db):
+        result = db.execute("SELECT sum(salary + 1) FROM emp")
+        assert result.scalar() == 314
+
+
+class TestJoins:
+    def test_equi_join(self, db):
+        result = db.execute(
+            "SELECT e.id, d.floor FROM emp e, dept d WHERE e.dept = d.name"
+        )
+        assert sorted(result.rows) == [(1, 2), (2, 2), (3, 1), (4, 1)]
+
+    def test_join_keyword_syntax(self, db):
+        result = db.execute(
+            "SELECT e.id FROM emp e JOIN dept d ON e.dept = d.name WHERE d.floor = 2"
+        )
+        assert sorted(result.column(0)) == [1, 2]
+
+    def test_self_join(self, db):
+        result = db.execute(
+            "SELECT a.id, b.id FROM emp a, emp b WHERE a.boss = b.id"
+        )
+        assert sorted(result.rows) == [(2, 1), (3, 1), (4, 3), (5, 1)]
+
+    def test_three_way_join(self, db):
+        result = db.execute(
+            "SELECT a.id FROM emp a, emp b, dept d "
+            "WHERE a.boss = b.id AND b.dept = d.name AND d.floor = 2"
+        )
+        assert sorted(result.column(0)) == [2, 3, 5]
+
+    def test_join_null_keys_dropped(self, db):
+        # employee 1 has NULL boss: never matches
+        result = db.execute("SELECT a.id FROM emp a, emp b WHERE a.boss = b.id")
+        assert 1 not in result.column(0)
+
+    def test_cartesian(self, db):
+        result = db.execute("SELECT e.id FROM emp e, dept d")
+        assert len(result.rows) == 15
+
+
+class TestDml:
+    def test_update_with_expression(self, db):
+        db.execute("UPDATE emp SET salary = salary + 10 WHERE dept = 'eng'")
+        result = db.execute("SELECT sum(salary) FROM emp WHERE dept = 'eng'")
+        assert result.scalar() == 200
+
+    def test_update_reads_pre_image(self, db):
+        # swap-like update must evaluate RHS against the old row
+        db.execute("UPDATE emp SET salary = boss, boss = salary WHERE id = 2")
+        result = db.execute("SELECT salary, boss FROM emp WHERE id = 2")
+        assert result.rows == [(1, 80)]
+
+    def test_delete(self, db):
+        deleted = db.execute("DELETE FROM emp WHERE dept = 'sales'")
+        assert deleted.rowcount == 2
+        assert db.execute("SELECT count(*) FROM emp").scalar() == 3
+
+    def test_delete_all(self, db):
+        db.execute("DELETE FROM emp")
+        assert db.execute("SELECT count(*) FROM emp").scalar() == 0
+
+    def test_insert_via_sql(self, db):
+        db.execute("INSERT INTO dept VALUES ('legal', 4)")
+        assert db.execute("SELECT count(*) FROM dept").scalar() == 4
+
+    def test_insert_arity_mismatch(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("INSERT INTO dept VALUES ('legal')")
+
+
+class TestTransactionsViaSql:
+    def test_rollback_undoes_changes(self, db):
+        db.execute("BEGIN")
+        db.execute("UPDATE emp SET salary = 0")
+        db.execute("INSERT INTO dept VALUES ('x', 9)")
+        db.execute("ROLLBACK")
+        assert db.execute("SELECT sum(salary) FROM emp").scalar() == 310
+        assert db.execute("SELECT count(*) FROM dept").scalar() == 3
+
+    def test_commit_persists(self, db):
+        db.execute("BEGIN")
+        db.execute("DELETE FROM emp WHERE id = 5")
+        db.execute("COMMIT")
+        assert db.execute("SELECT count(*) FROM emp").scalar() == 4
+
+
+class TestSpillAccounting:
+    def test_sort_spill_charges_disk(self):
+        database = Database(
+            "spill", DatabaseConfig(work_mem_bytes=4096, disk_budget_bytes=None)
+        )
+        database.execute("CREATE TABLE t (id integer, payload text)")
+        database.insert_rows("t", [(i, "x" * 100) for i in range(2000)])
+        database.execute("SELECT id FROM t ORDER BY payload")
+        assert database.counters.spill_bytes > 0
+
+    def test_disk_budget_kills_big_sort(self):
+        database = Database(
+            "spill2",
+            DatabaseConfig(work_mem_bytes=4096, disk_budget_bytes=600_000),
+        )
+        database.execute("CREATE TABLE t (id integer, payload text)")
+        database.insert_rows("t", [(i, "x" * 100) for i in range(2000)])
+        with pytest.raises(DiskFullError):
+            database.execute(
+                "SELECT a.id FROM t a, t b WHERE a.payload = b.payload ORDER BY a.id"
+            )

@@ -1,0 +1,203 @@
+"""Unit tests for expression evaluation (three-valued logic)."""
+
+import pytest
+
+from repro.rdbms.errors import ExecutionError, TypeCastError
+from repro.rdbms.expressions import (
+    SchemaResolver,
+    compile_expr,
+    contains_function_call,
+    like_to_regex,
+    referenced_columns,
+)
+from repro.rdbms.functions import FunctionRegistry
+from repro.rdbms.sql.parser import parse_expression
+from repro.rdbms.types import SqlType
+
+SCHEMA = [(None, "a"), (None, "b"), (None, "s"), (None, "arr"), (None, "flag")]
+
+
+def evaluate(sql: str, row: tuple):
+    registry = FunctionRegistry()
+    resolver = SchemaResolver(SCHEMA, registry)
+    return compile_expr(parse_expression(sql), resolver)(row)
+
+
+class TestComparisons:
+    def test_basic(self):
+        assert evaluate("a < b", (1, 2, None, None, None)) is True
+        assert evaluate("a >= b", (3, 2, None, None, None)) is True
+        assert evaluate("a = b", (2, 2, None, None, None)) is True
+        assert evaluate("a <> b", (2, 2, None, None, None)) is False
+
+    def test_null_propagates(self):
+        assert evaluate("a < b", (None, 2, None, None, None)) is None
+        assert evaluate("a = b", (1, None, None, None, None)) is None
+
+    def test_cross_type_numeric_ok(self):
+        assert evaluate("a = b", (1, 1.0, None, None, None)) is True
+
+    def test_cross_type_string_number_bracketed(self):
+        # typed bracketing: '5' is not 5 for equality; ordering is UNKNOWN
+        assert evaluate("a = s", (5, None, "5", None, None)) is False
+        assert evaluate("a < s", (5, None, "5", None, None)) is None
+
+
+class TestLogic:
+    def test_kleene_and(self):
+        assert evaluate("a = 1 AND b = 2", (1, 2, None, None, None)) is True
+        assert evaluate("a = 1 AND b = 2", (0, 2, None, None, None)) is False
+        # FALSE AND UNKNOWN = FALSE
+        assert evaluate("a = 1 AND b = 2", (0, None, None, None, None)) is False
+        # TRUE AND UNKNOWN = UNKNOWN
+        assert evaluate("a = 1 AND b = 2", (1, None, None, None, None)) is None
+
+    def test_kleene_or(self):
+        assert evaluate("a = 1 OR b = 2", (0, None, None, None, None)) is None
+        assert evaluate("a = 1 OR b = 2", (1, None, None, None, None)) is True
+
+    def test_not(self):
+        assert evaluate("NOT a = 1", (1, 0, None, None, None)) is False
+        assert evaluate("NOT a = 1", (None, 0, None, None, None)) is None
+
+
+class TestArithmetic:
+    def test_operations(self):
+        assert evaluate("a + b * 2", (1, 3, None, None, None)) == 7
+        assert evaluate("a - b", (1, 3, None, None, None)) == -2
+        assert evaluate("a % b", (7, 3, None, None, None)) == 1
+
+    def test_integer_division_stays_exact(self):
+        assert evaluate("a / b", (6, 3, None, None, None)) == 2
+        assert evaluate("a / b", (7, 2, None, None, None)) == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            evaluate("a / b", (1, 0, None, None, None))
+
+    def test_null_propagates(self):
+        assert evaluate("a + b", (None, 1, None, None, None)) is None
+
+    def test_concat(self):
+        assert evaluate("s || s", (None, None, "ab", None, None)) == "abab"
+
+    def test_non_numeric_operand_raises(self):
+        with pytest.raises(ExecutionError):
+            evaluate("s + a", (1, None, "x", None, None))
+
+
+class TestPredicates:
+    def test_between(self):
+        assert evaluate("a BETWEEN 1 AND 3", (2, None, None, None, None)) is True
+        assert evaluate("a BETWEEN 1 AND 3", (4, None, None, None, None)) is False
+        assert evaluate("a NOT BETWEEN 1 AND 3", (4, None, None, None, None)) is True
+        assert evaluate("a BETWEEN 1 AND 3", (None, None, None, None, None)) is None
+
+    def test_in_list(self):
+        assert evaluate("a IN (1, 2)", (2, None, None, None, None)) is True
+        assert evaluate("a IN (1, 2)", (3, None, None, None, None)) is False
+        assert evaluate("a NOT IN (1, 2)", (3, None, None, None, None)) is True
+        # NULL in the list makes a non-match UNKNOWN
+        assert evaluate("a IN (1, NULL)", (3, None, None, None, None)) is None
+
+    def test_like(self):
+        row = (None, None, "hello world", None, None)
+        assert evaluate("s LIKE 'hello%'", row) is True
+        assert evaluate("s LIKE '%world'", row) is True
+        assert evaluate("s LIKE 'h_llo%'", row) is True
+        assert evaluate("s NOT LIKE 'bye%'", row) is True
+        assert evaluate("s LIKE 'hello'", row) is False
+
+    def test_like_escapes_regex_chars(self):
+        assert evaluate("s LIKE 'a.c'", (None, None, "abc", None, None)) is False
+        assert evaluate("s LIKE 'a.c'", (None, None, "a.c", None, None)) is True
+
+    def test_is_null(self):
+        assert evaluate("s IS NULL", (None, None, None, None, None)) is True
+        assert evaluate("s IS NOT NULL", (None, None, "x", None, None)) is True
+
+    def test_any_predicate(self):
+        row = (None, None, None, ["x", "y"], None)
+        assert evaluate("'x' = ANY(arr)", row) is True
+        assert evaluate("'z' = ANY(arr)", row) is False
+        assert evaluate("'z' = ANY(arr)", (None, None, None, None, None)) is None
+
+
+class TestCoalesceAndCast:
+    def test_coalesce_picks_first_non_null(self):
+        assert evaluate("COALESCE(s, 'fallback')", (None, None, None, None, None)) == (
+            "fallback"
+        )
+        assert evaluate("COALESCE(s, 'fallback')", (None, None, "v", None, None)) == "v"
+
+    def test_coalesce_is_lazy(self):
+        registry = FunctionRegistry()
+        calls = []
+
+        def expensive(value):
+            calls.append(1)
+            return "expensive"
+
+        registry.register_scalar("expensive", expensive, SqlType.TEXT)
+        resolver = SchemaResolver(SCHEMA, registry)
+        fn = compile_expr(parse_expression("COALESCE(s, expensive(s))"), resolver)
+        assert fn((None, None, "present", None, None)) == "present"
+        assert calls == []  # the UDF never ran
+
+    def test_cast(self):
+        assert evaluate("s::integer", (None, None, "42", None, None)) == 42
+        with pytest.raises(TypeCastError):
+            evaluate("s::integer", (None, None, "forty-two", None, None))
+
+
+class TestHelpers:
+    def test_contains_function_call(self):
+        assert contains_function_call(parse_expression("f(a) > 1"))
+        assert not contains_function_call(parse_expression("a > 1"))
+
+    def test_referenced_columns(self):
+        refs = referenced_columns(parse_expression("a + t.b * 2"))
+        assert [(r.table, r.name) for r in refs] == [(None, "a"), ("t", "b")]
+
+    def test_like_to_regex(self):
+        assert like_to_regex("a%b_").match("aXXbY")
+        assert not like_to_regex("a%b_").match("aXXb")
+
+    def test_resolver_ambiguity(self):
+        resolver = SchemaResolver([("t1", "x"), ("t2", "x")], FunctionRegistry())
+        with pytest.raises(ExecutionError, match="ambiguous"):
+            compile_expr(parse_expression("x = 1"), resolver)
+
+    def test_resolver_qualified(self):
+        resolver = SchemaResolver([("t1", "x"), ("t2", "x")], FunctionRegistry())
+        fn = compile_expr(parse_expression("t2.x"), resolver)
+        assert fn((1, 2)) == 2
+
+    def test_resolver_missing(self):
+        resolver = SchemaResolver([("t1", "x")], FunctionRegistry())
+        with pytest.raises(ExecutionError, match="no such column"):
+            compile_expr(parse_expression("zzz"), resolver)
+
+
+class TestUdfCounting:
+    def test_udf_calls_counted(self):
+        from repro.rdbms.cost import CostCounters
+
+        counters = CostCounters()
+        registry = FunctionRegistry(counters)
+        registry.register_scalar("f", lambda v: v, SqlType.TEXT)
+        resolver = SchemaResolver(SCHEMA, registry)
+        fn = compile_expr(parse_expression("f(s)"), resolver)
+        for _ in range(5):
+            fn((None, None, "x", None, None))
+        assert counters.udf_calls == 5
+
+    def test_builtins_not_counted(self):
+        from repro.rdbms.cost import CostCounters
+
+        counters = CostCounters()
+        registry = FunctionRegistry(counters)
+        resolver = SchemaResolver(SCHEMA, registry)
+        fn = compile_expr(parse_expression("length(s)"), resolver)
+        fn((None, None, "x", None, None))
+        assert counters.udf_calls == 0

@@ -1,0 +1,85 @@
+"""Unit tests for the scalar/aggregate function registry."""
+
+import pytest
+
+from repro.rdbms.cost import CostCounters
+from repro.rdbms.errors import CatalogError, ExecutionError
+from repro.rdbms.functions import FunctionRegistry
+from repro.rdbms.types import SqlType
+
+
+@pytest.fixture()
+def registry():
+    return FunctionRegistry(CostCounters())
+
+
+class TestScalars:
+    def test_builtins_present(self, registry):
+        assert registry.scalar("length").fn("abc") == 3
+        assert registry.scalar("length").fn([1, 2]) == 2
+        assert registry.scalar("abs").fn(-3) == 3
+        assert registry.scalar("lower").fn("ABC") == "abc"
+        assert registry.scalar("upper").fn("abc") == "ABC"
+        assert registry.scalar("round").fn(2.567, 1) == 2.6
+
+    def test_builtins_null_safe(self, registry):
+        for name in ("length", "abs", "lower", "upper", "sqrt"):
+            assert registry.scalar(name).fn(None) is None
+
+    def test_sqrt_negative_raises(self, registry):
+        with pytest.raises(ExecutionError):
+            registry.scalar("sqrt").fn(-1)
+
+    def test_array_length_type_checked(self, registry):
+        assert registry.scalar("array_length").fn([1, 2, 3]) == 3
+        with pytest.raises(ExecutionError):
+            registry.scalar("array_length").fn("not-an-array")
+
+    def test_register_and_lookup_case_insensitive(self, registry):
+        registry.register_scalar("MyFn", lambda v: v, SqlType.TEXT)
+        assert registry.has_scalar("myfn")
+        assert registry.scalar("MYFN").name == "myfn"
+
+    def test_unknown_scalar(self, registry):
+        with pytest.raises(CatalogError):
+            registry.scalar("ghost")
+
+    def test_user_functions_count_as_udf(self, registry):
+        implementation = registry.register_scalar("f", lambda v: v, SqlType.TEXT)
+        assert implementation.counts_as_udf
+        assert not registry.scalar("length").counts_as_udf
+
+
+class TestAggregates:
+    def run_aggregate(self, registry, name, values):
+        aggregate = registry.aggregate(name)
+        state = aggregate.init()
+        for value in values:
+            if value is None and aggregate.skip_nulls:
+                continue
+            state = aggregate.step(state, value)
+        return aggregate.final(state)
+
+    def test_count(self, registry):
+        assert self.run_aggregate(registry, "count", [1, 2, 3]) == 3
+        assert self.run_aggregate(registry, "count", []) == 0
+
+    def test_sum(self, registry):
+        assert self.run_aggregate(registry, "sum", [1, 2, 3]) == 6
+        assert self.run_aggregate(registry, "sum", []) is None
+
+    def test_min_max(self, registry):
+        assert self.run_aggregate(registry, "min", [3, 1, 2]) == 1
+        assert self.run_aggregate(registry, "max", ["a", "c", "b"]) == "c"
+
+    def test_avg(self, registry):
+        assert self.run_aggregate(registry, "avg", [1, 2, 3, 4]) == 2.5
+        assert self.run_aggregate(registry, "avg", []) is None
+
+    def test_is_aggregate(self, registry):
+        assert registry.is_aggregate("COUNT")
+        assert not registry.is_aggregate("length")
+
+    def test_unknown_aggregate(self, registry):
+        with pytest.raises(CatalogError):
+            registry.aggregate("median")

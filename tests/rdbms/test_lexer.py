@@ -1,0 +1,69 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.rdbms.errors import SqlSyntaxError
+from repro.rdbms.sql.lexer import TokenType, tokenize
+
+
+def kinds(sql: str) -> list[tuple[TokenType, str]]:
+    return [(t.type, t.value) for t in tokenize(sql) if t.type is not TokenType.EOF]
+
+
+class TestBasics:
+    def test_keywords_are_case_folded(self):
+        assert kinds("SELECT Select select")[0] == (TokenType.KEYWORD, "select")
+        assert all(value == "select" for _t, value in kinds("SELECT Select select"))
+
+    def test_identifiers_fold_but_quoted_preserve(self):
+        tokens = kinds('MyTable "User.Id"')
+        assert tokens[0] == (TokenType.IDENT, "mytable")
+        assert tokens[1] == (TokenType.QIDENT, "User.Id")
+
+    def test_quoted_identifier_keeps_dots(self):
+        tokens = kinds('"delete.status.id_str"')
+        assert tokens == [(TokenType.QIDENT, "delete.status.id_str")]
+
+    def test_numbers(self):
+        assert kinds("1 2.5 1e3 1.5e-2 .5") == [
+            (TokenType.NUMBER, "1"),
+            (TokenType.NUMBER, "2.5"),
+            (TokenType.NUMBER, "1e3"),
+            (TokenType.NUMBER, "1.5e-2"),
+            (TokenType.NUMBER, ".5"),
+        ]
+
+    def test_strings_with_escaped_quotes(self):
+        tokens = kinds("'it''s'")
+        assert tokens == [(TokenType.STRING, "it's")]
+
+    def test_operators_longest_match(self):
+        values = [value for _t, value in kinds("a <> b <= c >= d != e :: f || g")]
+        assert "<>" in values and "<=" in values and ">=" in values
+        assert "!=" in values and "::" in values and "||" in values
+
+    def test_comments_are_skipped(self):
+        tokens = kinds("SELECT 1 -- trailing comment\n + 2")
+        assert (TokenType.NUMBER, "2") in tokens
+
+    def test_punct(self):
+        assert kinds("(a, b);")[0] == (TokenType.PUNCT, "(")
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('"oops')
+
+    def test_empty_quoted_identifier(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize('""')
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            tokenize("SELECT @")
+        assert info.value.position == 7

@@ -1,0 +1,251 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.rdbms.errors import SqlSyntaxError
+from repro.rdbms.expressions import (
+    AnyPredicate,
+    Between,
+    BinaryOp,
+    Cast,
+    Coalesce,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.rdbms.sql.ast import (
+    AlterTableStatement,
+    AnalyzeStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    ExplainStatement,
+    InsertStatement,
+    SelectStatement,
+    UpdateStatement,
+)
+from repro.rdbms.sql.parser import parse, parse_expression
+from repro.rdbms.types import SqlType
+
+
+class TestSelect:
+    def test_minimal(self):
+        statement = parse("SELECT a FROM t")
+        assert isinstance(statement, SelectStatement)
+        assert statement.items[0].expr == ColumnRef(None, "a")
+        assert statement.from_tables[0].name == "t"
+
+    def test_star_and_qualified_star(self):
+        statement = parse("SELECT *, t.* FROM t")
+        assert statement.items[0].expr == Star()
+        assert statement.items[1].expr == Star("t")
+
+    def test_aliases(self):
+        statement = parse("SELECT a AS x, b y FROM t AS u")
+        assert statement.items[0].alias == "x"
+        assert statement.items[1].alias == "y"
+        assert statement.from_tables[0].alias == "u"
+        assert statement.from_tables[0].binding == "u"
+
+    def test_quoted_identifier_column(self):
+        statement = parse('SELECT "user.id" FROM tweets')
+        assert statement.items[0].expr == ColumnRef(None, "user.id")
+
+    def test_qualified_quoted_column(self):
+        statement = parse('SELECT t1."user.lang" FROM tweets t1')
+        assert statement.items[0].expr == ColumnRef("t1", "user.lang")
+
+    def test_comma_join_merges_predicates(self):
+        statement = parse(
+            "SELECT a FROM t1, t2 WHERE t1.x = t2.y AND t1.z > 3"
+        )
+        assert len(statement.from_tables) == 2
+        assert isinstance(statement.where, BinaryOp)
+
+    def test_explicit_join_on(self):
+        statement = parse("SELECT a FROM t1 JOIN t2 ON t1.x = t2.y WHERE t1.z = 1")
+        assert len(statement.from_tables) == 2
+        # the ON condition is folded into WHERE as a conjunct
+        assert isinstance(statement.where, BinaryOp)
+        assert statement.where.op == "AND"
+
+    def test_inner_join_keyword(self):
+        statement = parse("SELECT a FROM t1 INNER JOIN t2 ON t1.x = t2.y")
+        assert len(statement.from_tables) == 2
+
+    def test_group_by_having_order_limit(self):
+        statement = parse(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2 "
+            "ORDER BY a DESC LIMIT 5"
+        )
+        assert statement.group_by == (ColumnRef(None, "a"),)
+        assert statement.having is not None
+        assert statement.order_by[0].ascending is False
+        assert statement.limit == 5
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct is True
+
+    def test_trailing_semicolon_ok(self):
+        parse("SELECT a FROM t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t garbage extra")
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_precedence_logic(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "OR"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "AND"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, UnaryOp) and expr.op == "NOT"
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 10")
+        assert expr == Between(ColumnRef(None, "x"), Literal(1), Literal(10))
+
+    def test_not_between(self):
+        expr = parse_expression("x NOT BETWEEN 1 AND 10")
+        assert isinstance(expr, Between) and expr.negated
+
+    def test_in_list(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expr, InList) and len(expr.items) == 3
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'a%'")
+        assert isinstance(expr, Like)
+
+    def test_is_null_and_is_not_null(self):
+        assert parse_expression("x IS NULL") == IsNull(ColumnRef(None, "x"))
+        assert parse_expression("x IS NOT NULL") == IsNull(
+            ColumnRef(None, "x"), negated=True
+        )
+
+    def test_any_predicate(self):
+        expr = parse_expression("'tag' = ANY(nested_arr)")
+        assert expr == AnyPredicate(Literal("tag"), ColumnRef(None, "nested_arr"))
+
+    def test_coalesce(self):
+        expr = parse_expression("COALESCE(a, extract_key_text(data, 'a'))")
+        assert isinstance(expr, Coalesce)
+        assert isinstance(expr.args[1], FunctionCall)
+
+    def test_cast_and_double_colon(self):
+        assert parse_expression("CAST(x AS integer)") == Cast(
+            ColumnRef(None, "x"), SqlType.INTEGER
+        )
+        assert parse_expression("x::text") == Cast(ColumnRef(None, "x"), SqlType.TEXT)
+
+    def test_function_distinct_and_star(self):
+        expr = parse_expression("count(DISTINCT a)")
+        assert isinstance(expr, FunctionCall) and expr.distinct
+        expr = parse_expression("count(*)")
+        assert expr.args == (Star(),)
+
+    def test_literals(self):
+        assert parse_expression("NULL") == Literal(None)
+        assert parse_expression("true") == Literal(True)
+        assert parse_expression("false") == Literal(False)
+        assert parse_expression("1.5") == Literal(1.5)
+        assert parse_expression("'x'") == Literal("x")
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x")
+        assert isinstance(expr, UnaryOp) and expr.op == "-"
+
+    def test_parenthesized(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "*"
+
+
+class TestDml:
+    def test_insert_values(self):
+        statement = parse("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(statement, InsertStatement)
+        assert statement.columns is None
+        assert len(statement.rows) == 2
+
+    def test_insert_with_columns(self):
+        statement = parse("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert statement.columns == ("a", "b")
+
+    def test_update(self):
+        statement = parse("UPDATE t SET a = 1, b = 'x' WHERE c > 0")
+        assert isinstance(statement, UpdateStatement)
+        assert len(statement.assignments) == 2
+        assert statement.where is not None
+
+    def test_update_quoted_column(self):
+        statement = parse("UPDATE test SET sparse_588 = 'DUMMY' "
+                          "WHERE sparse_589 = 'GBRDCMBQGA======'")
+        assert statement.assignments[0][0] == "sparse_588"
+
+    def test_delete(self):
+        statement = parse("DELETE FROM t WHERE a = 1")
+        assert isinstance(statement, DeleteStatement)
+
+
+class TestDdl:
+    def test_create_table(self):
+        statement = parse(
+            "CREATE TABLE t (a integer, b text, c double precision, d bool)"
+        )
+        assert isinstance(statement, CreateTableStatement)
+        types = [c.sql_type for c in statement.columns]
+        assert types == [SqlType.INTEGER, SqlType.TEXT, SqlType.REAL, SqlType.BOOLEAN]
+
+    def test_create_table_if_not_exists(self):
+        assert parse("CREATE TABLE IF NOT EXISTS t (a int)").if_not_exists
+
+    def test_drop_table(self):
+        statement = parse("DROP TABLE IF EXISTS t")
+        assert isinstance(statement, DropTableStatement) and statement.if_exists
+
+    def test_alter_add_and_drop(self):
+        add = parse("ALTER TABLE t ADD COLUMN x real")
+        assert isinstance(add, AlterTableStatement)
+        assert (add.action, add.column_name, add.sql_type) == ("add", "x", SqlType.REAL)
+        drop = parse("ALTER TABLE t DROP COLUMN x")
+        assert (drop.action, drop.column_name) == ("drop", "x")
+
+    def test_analyze(self):
+        assert isinstance(parse("ANALYZE"), AnalyzeStatement)
+        assert parse("ANALYZE t").table == "t"
+
+    def test_explain(self):
+        statement = parse("EXPLAIN SELECT a FROM t")
+        assert isinstance(statement, ExplainStatement)
+        assert isinstance(statement.inner, SelectStatement)
+
+
+class TestErrors:
+    def test_unknown_statement(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("FROBNICATE t")
+
+    def test_missing_from_table_name(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM WHERE x = 1")
+
+    def test_bad_expression(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("1 +")
+
+    def test_non_keyword_start(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("42")

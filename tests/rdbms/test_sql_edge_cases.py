@@ -1,0 +1,111 @@
+"""SQL edge cases across parser + planner + executor."""
+
+import pytest
+
+from repro.rdbms.database import Database
+from repro.rdbms.errors import PlanningError, SqlSyntaxError
+
+
+@pytest.fixture()
+def db():
+    database = Database("edge")
+    database.execute("CREATE TABLE t (a integer, b text, c real)")
+    database.insert_rows(
+        "t",
+        [(1, "x", 1.5), (2, "y", 2.5), (3, "x", None), (None, "z", 0.5)],
+    )
+    database.analyze()
+    return database
+
+
+class TestMultiKeyClauses:
+    def test_order_by_two_keys(self, db):
+        result = db.execute("SELECT b, a FROM t ORDER BY b, a DESC")
+        assert result.rows == [
+            ("x", 3), ("x", 1), ("y", 2), ("z", None),
+        ]
+
+    def test_group_by_two_keys(self, db):
+        result = db.execute("SELECT b, a, count(*) FROM t GROUP BY b, a")
+        assert len(result.rows) == 4
+
+    def test_having_on_aggregate_expression(self, db):
+        result = db.execute(
+            "SELECT b, count(*) FROM t GROUP BY b HAVING count(*) >= 2"
+        )
+        assert result.rows == [("x", 2)]
+
+
+class TestNullSemantics:
+    def test_where_null_comparison_excludes(self, db):
+        assert db.execute("SELECT count(*) FROM t WHERE a > 0").scalar() == 3
+        assert db.execute("SELECT count(*) FROM t WHERE a IS NULL").scalar() == 1
+
+    def test_aggregate_skips_nulls_count_star_does_not(self, db):
+        result = db.execute("SELECT count(*), count(a), count(c) FROM t")
+        assert result.rows == [(4, 3, 3)]
+
+    def test_group_by_null_key_forms_group(self, db):
+        result = db.execute("SELECT a, count(*) FROM t GROUP BY a")
+        assert (None, 1) in result.rows
+
+
+class TestExpressionsInClauses:
+    def test_arithmetic_in_where(self, db):
+        result = db.execute("SELECT a FROM t WHERE a * 2 + 1 = 5")
+        assert result.rows == [(2,)]
+
+    def test_function_in_projection_and_where(self, db):
+        result = db.execute("SELECT upper(b) FROM t WHERE length(b) = 1 AND a = 1")
+        assert result.rows == [("X",)]
+
+    def test_insert_with_expressions(self, db):
+        db.execute("INSERT INTO t VALUES (2 + 2, 'w' || 'w', 1.0 / 4)")
+        result = db.execute("SELECT a, b, c FROM t WHERE b = 'ww'")
+        assert result.rows == [(4, "ww", 0.25)]
+
+    def test_between_on_real(self, db):
+        result = db.execute("SELECT a FROM t WHERE c BETWEEN 1.0 AND 2.0")
+        assert result.rows == [(1,)]
+
+    def test_concat_with_null_is_null(self, db):
+        result = db.execute("SELECT b || NULL FROM t WHERE a = 1")
+        assert result.rows == [(None,)]
+
+
+class TestUnsupportedSyntax:
+    def test_subquery_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT a FROM t WHERE a IN (SELECT a FROM t)")
+
+    def test_select_without_from(self, db):
+        with pytest.raises((PlanningError, SqlSyntaxError)):
+            db.execute("SELECT 1")
+
+    def test_window_function_rejected(self, db):
+        with pytest.raises(SqlSyntaxError):
+            db.execute("SELECT a, row_number() OVER () FROM t")
+
+
+class TestAliases:
+    def test_table_alias_everywhere(self, db):
+        result = db.execute("SELECT x.a FROM t AS x WHERE x.b = 'y'")
+        assert result.rows == [(2,)]
+
+    def test_output_alias_in_order_by(self, db):
+        result = db.execute("SELECT a * 10 AS score FROM t WHERE a IS NOT NULL ORDER BY score DESC")
+        assert result.column("score") == [30, 20, 10]
+
+    def test_duplicate_binding_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.execute("SELECT 1 FROM t x, t x")
+
+
+class TestDistinctVariants:
+    def test_distinct_multi_column(self, db):
+        # rows: (x,F), (y,F), (x,F), (z,T) -> three distinct pairs
+        result = db.execute("SELECT DISTINCT b, a IS NULL FROM t")
+        assert sorted(result.rows) == [("x", False), ("y", False), ("z", True)]
+
+    def test_count_distinct_expression(self, db):
+        assert db.execute("SELECT count(DISTINCT b) FROM t").scalar() == 3

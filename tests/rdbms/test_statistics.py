@@ -1,0 +1,172 @@
+"""Unit tests for ANALYZE statistics and selectivity estimation."""
+
+import pytest
+
+from repro.rdbms.cost import CostCounters, DiskBudget
+from repro.rdbms.expressions import ColumnRef
+from repro.rdbms.sql.parser import parse_expression
+from repro.rdbms.statistics import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    DEFAULT_UDF_PREDICATE_ROWS,
+    SelectivityEstimator,
+    analyze_table,
+)
+from repro.rdbms.storage import BufferPool, Column, HeapTable, Schema
+from repro.rdbms.types import SqlType
+
+N_ROWS = 1000
+
+
+@pytest.fixture(scope="module")
+def stats():
+    counters = CostCounters()
+    table = HeapTable(
+        "t",
+        Schema(
+            [
+                Column("id", SqlType.INTEGER),
+                Column("bucket", SqlType.INTEGER),
+                Column("label", SqlType.TEXT),
+                Column("maybe", SqlType.TEXT),
+            ]
+        ),
+        counters,
+        BufferPool(256, counters),
+        DiskBudget(),
+    )
+    for i in range(N_ROWS):
+        table.insert(
+            (
+                i,
+                i % 10,
+                f"label{i % 4}",
+                "present" if i % 5 == 0 else None,
+            )
+        )
+    return analyze_table(table)
+
+
+def estimator_for(stats, total_rows=N_ROWS):
+    def lookup(ref: ColumnRef):
+        return stats.columns.get(ref.name)
+
+    return SelectivityEstimator(lookup, total_rows)
+
+
+class TestAnalyze:
+    def test_row_count(self, stats):
+        assert stats.row_count == N_ROWS
+
+    def test_n_distinct(self, stats):
+        assert stats.columns["id"].n_distinct == N_ROWS
+        assert stats.columns["bucket"].n_distinct == 10
+        assert stats.columns["label"].n_distinct == 4
+
+    def test_null_frac(self, stats):
+        assert stats.columns["maybe"].null_frac == pytest.approx(0.8)
+        assert stats.columns["id"].null_frac == 0.0
+
+    def test_mcv_frequencies(self, stats):
+        mcv = stats.columns["bucket"].mcv
+        assert pytest.approx(sum(mcv.values()), abs=0.01) == 1.0
+        assert all(pytest.approx(f, abs=0.01) == 0.1 for f in mcv.values())
+
+    def test_histogram_and_bounds(self, stats):
+        column = stats.columns["id"]
+        assert column.min_value == 0
+        assert column.max_value == N_ROWS - 1
+        assert column.has_histogram
+
+    def test_empty_table(self):
+        counters = CostCounters()
+        table = HeapTable(
+            "e",
+            Schema([Column("x", SqlType.INTEGER)]),
+            counters,
+            BufferPool(8, counters),
+            DiskBudget(),
+        )
+        empty = analyze_table(table)
+        assert empty.row_count == 0
+        assert empty.columns["x"].n_distinct == 0
+
+
+class TestSelectivity:
+    def test_equality_uses_mcv(self, stats):
+        estimator = estimator_for(stats)
+        selectivity = estimator.estimate(parse_expression("bucket = 3"))
+        assert selectivity == pytest.approx(0.1, abs=0.02)
+
+    def test_equality_unique_column(self, stats):
+        estimator = estimator_for(stats)
+        selectivity = estimator.estimate(parse_expression("id = 17"))
+        assert selectivity <= 0.01
+
+    def test_range_via_histogram(self, stats):
+        estimator = estimator_for(stats)
+        half = estimator.estimate(parse_expression("id < 500"))
+        assert half == pytest.approx(0.5, abs=0.05)
+        narrow = estimator.estimate(parse_expression("id BETWEEN 100 AND 199"))
+        assert narrow == pytest.approx(0.1, abs=0.05)
+
+    def test_flipped_comparison(self, stats):
+        estimator = estimator_for(stats)
+        selectivity = estimator.estimate(parse_expression("500 > id"))
+        assert selectivity == pytest.approx(0.5, abs=0.05)
+
+    def test_is_null_uses_null_frac(self, stats):
+        estimator = estimator_for(stats)
+        assert estimator.estimate(parse_expression("maybe IS NULL")) == pytest.approx(
+            0.8, abs=0.01
+        )
+        assert estimator.estimate(
+            parse_expression("maybe IS NOT NULL")
+        ) == pytest.approx(0.2, abs=0.01)
+
+    def test_and_multiplies_or_adds(self, stats):
+        estimator = estimator_for(stats)
+        conjunction = estimator.estimate(parse_expression("bucket = 3 AND label = 'label1'"))
+        assert conjunction == pytest.approx(0.1 * 0.25, abs=0.01)
+        disjunction = estimator.estimate(parse_expression("bucket = 3 OR bucket = 4"))
+        assert 0.15 < disjunction < 0.25
+
+    def test_not_inverts(self, stats):
+        estimator = estimator_for(stats)
+        assert estimator.estimate(
+            parse_expression("NOT bucket = 3")
+        ) == pytest.approx(0.9, abs=0.02)
+
+    def test_unknown_column_defaults(self, stats):
+        estimator = estimator_for(stats)
+        assert (
+            estimator.estimate(parse_expression("mystery = 1"))
+            == DEFAULT_EQ_SELECTIVITY
+        )
+        assert (
+            estimator.estimate(parse_expression("mystery > 1"))
+            == DEFAULT_RANGE_SELECTIVITY
+        )
+
+
+class TestUdfDefault:
+    """The paper's core Table 2 mechanism: predicates behind UDFs get a
+    fixed row estimate, whatever their true selectivity."""
+
+    def test_udf_predicate_fixed_rows(self, stats):
+        estimator = estimator_for(stats)
+        predicate = parse_expression("extract_key_num(data, 'num') = 3")
+        expected = DEFAULT_UDF_PREDICATE_ROWS / N_ROWS
+        assert estimator.estimate(predicate) == pytest.approx(expected)
+
+    def test_udf_range_same_default(self, stats):
+        estimator = estimator_for(stats)
+        narrow = parse_expression("extract_key_num(data, 'num') BETWEEN 1 AND 2")
+        wide = parse_expression("extract_key_num(data, 'num') BETWEEN 1 AND 900")
+        # identical estimates regardless of the true range width
+        assert estimator.estimate(narrow) == estimator.estimate(wide)
+
+    def test_small_table_clamps_to_one(self, stats):
+        estimator = estimator_for(stats, total_rows=50)
+        predicate = parse_expression("f(x) = 1")
+        assert estimator.estimate(predicate) == 1.0

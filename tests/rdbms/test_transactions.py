@@ -1,0 +1,103 @@
+"""Unit tests for WAL and transactions."""
+
+import pytest
+
+from repro.rdbms.cost import CostCounters
+from repro.rdbms.errors import TransactionError
+from repro.rdbms.transactions import (
+    TransactionManager,
+    TxnState,
+    WalRecordType,
+)
+
+
+def make_manager() -> tuple[TransactionManager, CostCounters]:
+    counters = CostCounters()
+    return TransactionManager(counters), counters
+
+
+class TestWal:
+    def test_lsn_monotonic(self):
+        manager, _counters = make_manager()
+        txn = manager.begin()
+        txn.log_insert("t", 0, 10, undo=lambda: None)
+        txn.log_insert("t", 1, 10, undo=lambda: None)
+        manager.finish(txn)
+        lsns = [record.lsn for record in manager.wal.records]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == len(lsns)
+
+    def test_record_types_for_committed_txn(self):
+        manager, _counters = make_manager()
+        txn = manager.begin()
+        txn.log_update("t", 3, 20, undo=lambda: None)
+        manager.finish(txn)
+        types = [record.record_type for record in manager.wal.records_for(txn.txn_id)]
+        assert types == [
+            WalRecordType.BEGIN,
+            WalRecordType.UPDATE,
+            WalRecordType.COMMIT,
+        ]
+
+    def test_wal_counters(self):
+        manager, counters = make_manager()
+        txn = manager.begin()
+        txn.log_insert("t", 0, 100, undo=lambda: None)
+        manager.finish(txn)
+        assert counters.wal_records == 3  # BEGIN, INSERT, COMMIT
+        assert counters.wal_bytes > 100
+
+
+class TestTransactionLifecycle:
+    def test_abort_runs_undo_in_reverse(self):
+        manager, _counters = make_manager()
+        order: list[int] = []
+        txn = manager.begin()
+        txn.log_insert("t", 0, 1, undo=lambda: order.append(0))
+        txn.log_insert("t", 1, 1, undo=lambda: order.append(1))
+        txn.log_insert("t", 2, 1, undo=lambda: order.append(2))
+        manager.finish(txn, commit=False)
+        assert order == [2, 1, 0]
+        assert txn.state is TxnState.ABORTED
+
+    def test_commit_discards_undo(self):
+        manager, _counters = make_manager()
+        called = []
+        txn = manager.begin()
+        txn.log_delete("t", 0, 1, undo=lambda: called.append(1))
+        manager.finish(txn, commit=True)
+        assert called == []
+        assert txn.state is TxnState.COMMITTED
+
+    def test_double_commit_rejected(self):
+        manager, _counters = make_manager()
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_log_after_commit_rejected(self):
+        manager, _counters = make_manager()
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.log_insert("t", 0, 1, undo=lambda: None)
+
+
+class TestAutocommit:
+    def test_commits_on_clean_exit(self):
+        manager, _counters = make_manager()
+        with manager.autocommit() as txn:
+            txn.log_insert("t", 0, 1, undo=lambda: None)
+        assert txn.state is TxnState.COMMITTED
+        assert not manager.active
+
+    def test_rolls_back_on_exception(self):
+        manager, _counters = make_manager()
+        undone = []
+        with pytest.raises(ValueError):
+            with manager.autocommit() as txn:
+                txn.log_insert("t", 0, 1, undo=lambda: undone.append(1))
+                raise ValueError("boom")
+        assert undone == [1]
+        assert txn.state is TxnState.ABORTED

@@ -1,0 +1,142 @@
+"""Unit tests for the SQL type system."""
+
+import math
+
+import pytest
+
+from repro.rdbms.errors import TypeCastError
+from repro.rdbms.types import (
+    NullStorageModel,
+    SqlType,
+    cast_value,
+    infer_type,
+    is_instance_of,
+    null_overhead_bytes,
+    type_from_name,
+    value_size,
+)
+
+
+class TestTypeFromName:
+    def test_canonical_names(self):
+        assert type_from_name("text") is SqlType.TEXT
+        assert type_from_name("integer") is SqlType.INTEGER
+        assert type_from_name("real") is SqlType.REAL
+        assert type_from_name("boolean") is SqlType.BOOLEAN
+        assert type_from_name("bytea") is SqlType.BYTEA
+
+    def test_aliases(self):
+        assert type_from_name("int") is SqlType.INTEGER
+        assert type_from_name("bigint") is SqlType.INTEGER
+        assert type_from_name("double precision") is SqlType.REAL
+        assert type_from_name("varchar") is SqlType.TEXT
+        assert type_from_name("bool") is SqlType.BOOLEAN
+        assert type_from_name("jsonb") is SqlType.JSON
+
+    def test_case_insensitive(self):
+        assert type_from_name("TEXT") is SqlType.TEXT
+        assert type_from_name("Integer") is SqlType.INTEGER
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TypeCastError):
+            type_from_name("frobnicate")
+
+
+class TestInferType:
+    def test_bool_before_int(self):
+        # bool is a subclass of int in Python; the loader must not confuse them
+        assert infer_type(True) is SqlType.BOOLEAN
+        assert infer_type(1) is SqlType.INTEGER
+
+    def test_scalars(self):
+        assert infer_type(3.5) is SqlType.REAL
+        assert infer_type("x") is SqlType.TEXT
+        assert infer_type(b"x") is SqlType.BYTEA
+
+    def test_containers(self):
+        assert infer_type([1, 2]) is SqlType.ARRAY
+        assert infer_type({"a": 1}) is SqlType.BYTEA
+
+    def test_null_raises(self):
+        with pytest.raises(TypeCastError):
+            infer_type(None)
+
+    def test_is_instance_of(self):
+        assert is_instance_of(5, SqlType.INTEGER)
+        assert not is_instance_of(5, SqlType.TEXT)
+        assert not is_instance_of(None, SqlType.TEXT)
+
+
+class TestCasts:
+    def test_null_passes_through_every_cast(self):
+        for target in SqlType:
+            assert cast_value(None, target) is None
+
+    def test_text_casts(self):
+        assert cast_value(12, SqlType.TEXT) == "12"
+        assert cast_value(True, SqlType.TEXT) == "true"
+        assert cast_value("abc", SqlType.TEXT) == "abc"
+
+    def test_integer_from_string(self):
+        assert cast_value("42", SqlType.INTEGER) == 42
+        assert cast_value(" 42 ", SqlType.INTEGER) == 42
+
+    def test_integer_malformed_string_raises_like_postgres(self):
+        with pytest.raises(TypeCastError, match="invalid input syntax"):
+            cast_value("twenty", SqlType.INTEGER)
+
+    def test_integer_from_nan_raises(self):
+        with pytest.raises(TypeCastError):
+            cast_value(math.nan, SqlType.INTEGER)
+
+    def test_real_casts(self):
+        assert cast_value("2.5", SqlType.REAL) == 2.5
+        assert cast_value(3, SqlType.REAL) == 3.0
+        with pytest.raises(TypeCastError):
+            cast_value("abc", SqlType.REAL)
+
+    def test_boolean_literals(self):
+        for literal in ("t", "true", "YES", "on", "1"):
+            assert cast_value(literal, SqlType.BOOLEAN) is True
+        for literal in ("f", "false", "NO", "off", "0"):
+            assert cast_value(literal, SqlType.BOOLEAN) is False
+        with pytest.raises(TypeCastError):
+            cast_value("maybe", SqlType.BOOLEAN)
+
+    def test_boolean_from_int(self):
+        assert cast_value(1, SqlType.BOOLEAN) is True
+        assert cast_value(0, SqlType.BOOLEAN) is False
+        with pytest.raises(TypeCastError):
+            cast_value(7, SqlType.BOOLEAN)
+
+    def test_array_cast(self):
+        assert cast_value((1, 2), SqlType.ARRAY) == [1, 2]
+        with pytest.raises(TypeCastError):
+            cast_value("nope", SqlType.ARRAY)
+
+
+class TestSizeAccounting:
+    def test_fixed_width_values(self):
+        assert value_size(5, SqlType.INTEGER) == 8
+        assert value_size(5.0, SqlType.REAL) == 8
+        assert value_size(True, SqlType.BOOLEAN) == 1
+
+    def test_varlena_values(self):
+        assert value_size("abcd", SqlType.TEXT) == 4 + 4
+        assert value_size(b"abc", SqlType.BYTEA) == 4 + 3
+
+    def test_null_is_free(self):
+        assert value_size(None, SqlType.TEXT) == 0
+
+    def test_array_size_includes_elements(self):
+        small = value_size([1], SqlType.ARRAY)
+        large = value_size([1, 2, 3], SqlType.ARRAY)
+        assert large > small
+
+    def test_null_overhead_models(self):
+        # InnoDB-style: 2 bytes per attribute (the paper's 300-bytes-per-
+        # 150-attribute-tweet arithmetic); Postgres-style: 1 bit.
+        assert null_overhead_bytes(150, NullStorageModel.PER_ATTRIBUTE) == 300
+        assert null_overhead_bytes(150, NullStorageModel.BITMAP) == 19
+        assert null_overhead_bytes(8, NullStorageModel.BITMAP) == 1
+        assert null_overhead_bytes(9, NullStorageModel.BITMAP) == 2

@@ -1,0 +1,92 @@
+"""Unit tests for the Twitter-shaped workload generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.document import flatten
+from repro.workloads.twitter import (
+    APPENDIX_B_QUERIES,
+    TABLE1_QUERIES,
+    TABLE2_PHYSICAL_ATTRIBUTES,
+    TwitterGenerator,
+)
+
+N = 3000
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TwitterGenerator(N)
+
+
+@pytest.fixture(scope="module")
+def tweets(generator):
+    return list(generator.tweets())
+
+
+class TestShape:
+    def test_deterministic(self):
+        assert list(TwitterGenerator(50).tweets()) == list(TwitterGenerator(50).tweets())
+
+    def test_core_fields_dense(self, tweets):
+        for tweet in tweets[:100]:
+            assert {"id_str", "text", "retweet_count", "user"} <= set(tweet)
+            assert {"id", "screen_name", "lang", "friends_count"} <= set(tweet["user"])
+
+    def test_unique_tweet_ids(self, tweets):
+        assert len({t["id_str"] for t in tweets}) == N
+
+    def test_flattened_attribute_count_past_150(self, tweets):
+        keys = set()
+        for tweet in tweets:
+            keys.update(key for key, _v in flatten(tweet))
+        # "upwards of 150 optional attributes" in the fully flattened view
+        assert len(keys) >= 45  # scaled-down shape: dozens of distinct paths
+
+    def test_reply_density_about_30_percent(self, tweets):
+        n_replies = sum(1 for t in tweets if "in_reply_to_screen_name" in t)
+        assert 0.2 < n_replies / N < 0.4
+
+    def test_sparsity_spectrum(self, tweets):
+        counts = Counter()
+        for tweet in tweets:
+            for key in tweet:
+                counts[key] += 1
+        densities = sorted(count / N for count in counts.values())
+        assert densities[0] < 0.02  # sub-1% tail fields exist
+        assert densities[-1] == 1.0  # and fully dense core fields
+
+    def test_msa_language_rare_but_present(self, tweets):
+        langs = Counter(t["user"]["lang"] for t in tweets)
+        assert 0 < langs["msa"] / N < 0.05
+        assert langs["en"] > langs["msa"]
+
+
+class TestDeletes:
+    def test_reference_real_tweets_and_users(self, generator, tweets):
+        tweet_ids = {t["id_str"] for t in tweets}
+        for record in generator.deletes(200):
+            status = record["delete"]["status"]
+            assert status["id_str"] in tweet_ids
+            assert 0 <= status["user_id"] < generator.n_users
+
+
+class TestQueryCatalog:
+    def test_table1_queries_parse(self):
+        from repro.rdbms.sql.parser import parse
+
+        for sql in TABLE1_QUERIES.values():
+            parse(sql)
+
+    def test_appendix_b_queries_parse(self):
+        from repro.rdbms.sql.parser import parse
+
+        for sql in APPENDIX_B_QUERIES.values():
+            parse(sql)
+
+    def test_physical_attribute_list_types_resolve(self):
+        from repro.rdbms.types import type_from_name
+
+        for _key, type_name in TABLE2_PHYSICAL_ATTRIBUTES:
+            type_from_name(type_name)
