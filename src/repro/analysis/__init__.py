@@ -1,0 +1,35 @@
+"""Static analysis for Sinew: semantic analyzer, linter, integrity checks.
+
+The pipeline is parse -> **analyze** -> rewrite -> plan (see DESIGN.md).
+This package holds everything between the parser and the rewriter:
+
+* :mod:`.diagnostics` -- the :class:`Diagnostic` record and the ``SNW###``
+  code taxonomy shared by all passes;
+* :mod:`.analyzer` -- the semantic analyzer and catalog-aware query linter
+  (``analyze(sql, catalog=...)``);
+* :mod:`.checker` -- the ``CHECK``-style catalog/storage invariant audit
+  (``IntegrityChecker``), surfaced as ``SinewDB.check()`` and the shell's
+  ``\\check`` meta-command.
+"""
+
+from .analyzer import AnalysisResult, SemanticAnalyzer, analyze
+from .checker import CheckReport, IntegrityChecker, validate_document
+from .diagnostics import (
+    Diagnostic,
+    Severity,
+    render_diagnostic,
+    render_report,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "CheckReport",
+    "Diagnostic",
+    "IntegrityChecker",
+    "SemanticAnalyzer",
+    "Severity",
+    "analyze",
+    "render_diagnostic",
+    "render_report",
+    "validate_document",
+]

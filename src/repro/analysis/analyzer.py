@@ -1,0 +1,800 @@
+"""Semantic analyzer and catalog-aware query linter (pre-planning pass).
+
+Sits between the parser and the rewriter/planner (DESIGN.md: parse ->
+**analyze** -> rewrite -> plan).  The analyzer walks the *logical* AST and
+checks it against the hybrid logical schema -- physical and virtual columns
+from the :class:`~repro.core.catalog.SinewCatalog` plus ordinary RDBMS
+tables -- producing structured :class:`~repro.analysis.diagnostics.Diagnostic`
+records instead of ad-hoc mid-planning exceptions:
+
+* **errors** (SNW1xx) block execution: unknown tables/columns/functions,
+  ambiguous references, aggregate misuse, arity and arithmetic-type faults;
+* **warnings** (SNW2xx) ride along with the result: they use the catalog's
+  per-attribute type counts to spot extractions that are *provably NULL*
+  (e.g. a numeric comparison on a key that is 100% text), unknown keys, and
+  multi-typed downcasts.
+
+Provably-NULL predicates are additionally reported through
+``AnalysisResult.null_predicates`` so the rewriter can prune them -- a
+correctness signal that doubles as a performance win (no extraction UDF
+calls for a predicate that can never be true).
+
+The proof obligation for pruning is strict: the operand must be a pure
+virtual-column extraction (no materialized or dirty attribute of that key),
+the expected extraction type must come from literal context exactly as the
+rewriter derives it, and the catalog must show **zero** occurrences of any
+compatible type.  Counts never under-count (deletes leave them stale-high),
+so ``count == 0`` is a sound proof that extraction yields NULL on every
+row, which makes ``Literal(None)`` an *exact* replacement under SQL's
+three-valued logic -- in WHERE, under NOT, under AND/OR alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from ..rdbms.expressions import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FunctionCall,
+    InList,
+    Like,
+    Literal,
+)
+from ..rdbms.functions import FunctionRegistry
+from ..rdbms.sql.ast import (
+    DeleteStatement,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from ..rdbms.sql.parser import parse
+from ..rdbms.types import SqlType
+from . import diagnostics as d
+from .diagnostics import Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.catalog import SinewCatalog, TableCatalog
+    from ..rdbms.database import Database
+
+#: Column names present on every Sinew table regardless of the catalog.
+_ID_COLUMN = "_id"
+_RESERVOIR_COLUMN = "data"
+
+_COMPARISON_OPS = frozenset({"=", "<>", "!=", "<", "<=", ">", ">="})
+_ARITHMETIC_OPS = frozenset({"+", "-", "*", "/", "%"})
+_NUMERIC_TYPES = frozenset({SqlType.INTEGER, SqlType.REAL})
+
+#: Which stored attribute types a typed extraction can return non-NULL for
+#: (mirrors ``EXTRACT_FUNCTION_FOR_TYPE``: numeric extraction reads INTEGER
+#: and REAL attributes, every other extraction reads exactly its own type).
+_COMPATIBLE_TYPES = {
+    SqlType.INTEGER: _NUMERIC_TYPES,
+    SqlType.REAL: _NUMERIC_TYPES,
+    SqlType.TEXT: frozenset({SqlType.TEXT}),
+    SqlType.BOOLEAN: frozenset({SqlType.BOOLEAN}),
+    SqlType.ARRAY: frozenset({SqlType.ARRAY}),
+    SqlType.BYTEA: frozenset({SqlType.BYTEA}),
+}
+
+#: (min, max) argument counts for functions with fixed arity; ``None`` max
+#: means variadic.  Names absent here are not arity-checked.
+_ARITY: dict[str, tuple[int, int | None]] = {
+    "length": (1, 1),
+    "abs": (1, 1),
+    "lower": (1, 1),
+    "upper": (1, 1),
+    "sqrt": (1, 1),
+    "round": (1, 2),
+    "array_length": (1, 1),
+    "matches": (2, 2),
+    "sinew_matches": (3, 3),
+    "sinew_exists": (2, 2),
+    "sinew_to_json": (1, 1),
+    "sinew_check": (1, 1),
+    "count": (1, 1),
+    "sum": (1, 1),
+    "min": (1, 1),
+    "max": (1, 1),
+    "avg": (1, 1),
+}
+
+#: Functions that are not in the default registry but are resolvable once a
+#: SinewDB wires its UDFs (or, for ``matches``, rewritten away entirely).
+_SINEW_FUNCTIONS = frozenset(
+    {
+        "matches",
+        "sinew_matches",
+        "sinew_exists",
+        "sinew_to_json",
+        "sinew_check",
+        "extract_key_text",
+        "extract_key_int",
+        "extract_key_real",
+        "extract_key_num",
+        "extract_key_bool",
+        "extract_key_array",
+        "extract_key_doc",
+        "extract_key_any",
+    }
+)
+
+
+@dataclass
+class _Binding:
+    """One resolved table instance in a FROM clause."""
+
+    binding: str
+    table_name: str
+    kind: str  # "sinew" | "plain"
+    table_catalog: "TableCatalog | None" = None
+    #: plain-table column name -> declared type
+    schema_types: dict[str, SqlType] | None = None
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Outcome of analyzing one statement."""
+
+    statement: Statement
+    diagnostics: tuple[Diagnostic, ...]
+    #: predicate subtrees (by object identity within ``statement``) that are
+    #: provably NULL on every row; the rewriter may replace each with
+    #: ``Literal(None)`` without changing any result.
+    null_predicates: tuple[Expr, ...] = ()
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(diag for diag in self.diagnostics if diag.is_error)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(diag for diag in self.diagnostics if not diag.is_error)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def null_predicate_ids(self) -> frozenset[int]:
+        return frozenset(id(expr) for expr in self.null_predicates)
+
+
+def analyze(
+    sql_or_statement: str | Statement,
+    catalog: "SinewCatalog | None" = None,
+    collections: Iterable[str] = (),
+    db: "Database | None" = None,
+    functions: FunctionRegistry | None = None,
+) -> AnalysisResult:
+    """Analyze one SQL statement (or pre-parsed AST) against the catalog."""
+    analyzer = SemanticAnalyzer(
+        catalog=catalog, collections=collections, db=db, functions=functions
+    )
+    return analyzer.analyze(sql_or_statement)
+
+
+class SemanticAnalyzer:
+    """Checks parsed statements against the hybrid logical schema."""
+
+    def __init__(
+        self,
+        catalog: "SinewCatalog | None" = None,
+        collections: Iterable[str] = (),
+        db: "Database | None" = None,
+        functions: FunctionRegistry | None = None,
+    ):
+        self.catalog = catalog
+        self.collections = set(collections)
+        self.db = db
+        if functions is not None:
+            self.functions = functions
+        elif db is not None:
+            self.functions = db.functions
+        else:
+            self.functions = FunctionRegistry()
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+
+    def analyze(self, sql_or_statement: str | Statement) -> AnalysisResult:
+        statement = (
+            parse(sql_or_statement)
+            if isinstance(sql_or_statement, str)
+            else sql_or_statement
+        )
+        walk = _StatementWalk(self)
+        if isinstance(statement, SelectStatement):
+            walk.select(statement)
+        elif isinstance(statement, UpdateStatement):
+            walk.update(statement)
+        elif isinstance(statement, DeleteStatement):
+            walk.delete(statement)
+        return AnalysisResult(
+            statement=statement,
+            diagnostics=tuple(walk.diagnostics),
+            null_predicates=tuple(walk.null_predicates),
+        )
+
+    # ------------------------------------------------------------------
+    # binding construction
+    # ------------------------------------------------------------------
+
+    def _make_binding(self, table_name: str, binding: str) -> _Binding | None:
+        if table_name in self.collections:
+            table_catalog = (
+                self.catalog.tables.get(table_name) if self.catalog else None
+            )
+            return _Binding(binding, table_name, "sinew", table_catalog)
+        if self.db is not None and self.db.has_table(table_name):
+            schema = self.db.table(table_name).schema
+            types = {column.name: column.sql_type for column in schema}
+            return _Binding(binding, table_name, "plain", None, types)
+        return None
+
+
+class _StatementWalk:
+    """Per-statement analysis state (diagnostics + prunable predicates)."""
+
+    def __init__(self, analyzer: SemanticAnalyzer):
+        self.a = analyzer
+        self.diagnostics: list[Diagnostic] = []
+        self.null_predicates: list[Expr] = []
+        self._reported_spans: set[tuple[str, tuple[int, int] | None]] = set()
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def select(self, statement: SelectStatement) -> None:
+        bindings, resolvable = self._bind_tables(
+            [(ref.name, ref.alias or ref.name, ref.span) for ref in statement.from_tables]
+        )
+        aliases = {item.alias for item in statement.items if item.alias}
+        alias_exprs = {
+            item.alias: item.expr for item in statement.items if item.alias
+        }
+
+        for item in statement.items:
+            self._check_functions(item.expr, clause="select")
+            if resolvable:
+                self._check_columns(item.expr, bindings, aliases=frozenset())
+                self._lint_projection(item.expr, bindings)
+        for clause, expr in (
+            ("where", statement.where),
+            ("having", statement.having),
+        ):
+            if expr is None:
+                continue
+            self._check_functions(expr, clause=clause)
+            if resolvable:
+                self._check_columns(expr, bindings, aliases=frozenset(aliases))
+                self._lint_predicates(expr, bindings)
+        for expr in statement.group_by:
+            self._check_functions(expr, clause="group_by")
+            if resolvable:
+                self._check_columns(expr, bindings, aliases=frozenset(aliases))
+        for item in statement.order_by:
+            self._check_functions(item.expr, clause="order_by")
+            if resolvable:
+                self._check_columns(
+                    item.expr, bindings, aliases=frozenset(aliases)
+                )
+        if resolvable:
+            self._check_grouping(statement, bindings, alias_exprs)
+
+    def update(self, statement: UpdateStatement) -> None:
+        bindings, resolvable = self._bind_tables(
+            [(statement.table, statement.table, None)]
+        )
+        binding = bindings.get(statement.table)
+        for column_name, value_expr in statement.assignments:
+            self._check_functions(value_expr, clause="update")
+            if resolvable:
+                self._check_columns(value_expr, bindings, aliases=frozenset())
+            # Assigning to an unseen key on a Sinew table *creates* the
+            # attribute (evolving schema), so only plain tables get an
+            # unknown-column error here.
+            if (
+                binding is not None
+                and binding.kind == "plain"
+                and column_name not in (binding.schema_types or {})
+            ):
+                self._error(
+                    d.UNKNOWN_COLUMN,
+                    f"no such column: {column_name!r}",
+                    None,
+                )
+        self._where_clause(statement.where, bindings, resolvable)
+
+    def delete(self, statement: DeleteStatement) -> None:
+        bindings, resolvable = self._bind_tables(
+            [(statement.table, statement.table, None)]
+        )
+        self._where_clause(statement.where, bindings, resolvable)
+
+    def _where_clause(self, where, bindings, resolvable) -> None:
+        if where is None:
+            return
+        self._check_functions(where, clause="where")
+        if resolvable:
+            self._check_columns(where, bindings, aliases=frozenset())
+            self._lint_predicates(where, bindings)
+
+    # ------------------------------------------------------------------
+    # table binding
+    # ------------------------------------------------------------------
+
+    def _bind_tables(
+        self, refs: list[tuple[str, str, tuple[int, int] | None]]
+    ) -> tuple[dict[str, _Binding], bool]:
+        bindings: dict[str, _Binding] = {}
+        resolvable = True
+        for table_name, binding_name, span in refs:
+            binding = self.a._make_binding(table_name, binding_name)
+            if binding is None:
+                if self.a.catalog is None and self.a.db is None:
+                    # nothing to resolve against; stay silent
+                    resolvable = False
+                    continue
+                self._error(
+                    d.UNKNOWN_TABLE,
+                    f"no such table or collection: {table_name!r}",
+                    span,
+                )
+                resolvable = False
+                continue
+            bindings[binding_name] = binding
+        return bindings, resolvable and bool(bindings)
+
+    # ------------------------------------------------------------------
+    # function checks (SNW104/105/106/108/109)
+    # ------------------------------------------------------------------
+
+    def _check_functions(self, expr: Expr, clause: str) -> None:
+        self._walk_functions(expr, clause, in_aggregate=False)
+
+    def _walk_functions(self, expr: Expr, clause: str, in_aggregate: bool) -> None:
+        if isinstance(expr, FunctionCall):
+            name = expr.name.lower()
+            is_aggregate = self.a.functions.is_aggregate(name)
+            known = (
+                is_aggregate
+                or self.a.functions.has_scalar(name)
+                or name in _SINEW_FUNCTIONS
+            )
+            if not known:
+                self._error(
+                    d.UNKNOWN_FUNCTION, f"no such function: {expr.name}()", expr.span
+                )
+            elif name in _ARITY:
+                low, high = _ARITY[name]
+                n_args = len(expr.args)
+                if n_args < low or (high is not None and n_args > high):
+                    wanted = (
+                        f"{low}" if high == low else f"{low}..{high or 'n'}"
+                    )
+                    self._error(
+                        d.WRONG_ARG_COUNT,
+                        f"{expr.name}() takes {wanted} argument(s), got {n_args}",
+                        expr.span,
+                    )
+            if is_aggregate:
+                if clause == "where":
+                    self._error(
+                        d.AGGREGATE_IN_WHERE,
+                        f"aggregate {expr.name}() is not allowed in WHERE",
+                        expr.span,
+                        hint="use HAVING",
+                    )
+                if in_aggregate:
+                    self._error(
+                        d.NESTED_AGGREGATE,
+                        f"aggregate {expr.name}() cannot be nested inside "
+                        "another aggregate",
+                        expr.span,
+                    )
+                in_aggregate = True
+        if isinstance(expr, BinaryOp) and expr.op in _ARITHMETIC_OPS:
+            for side in (expr.left, expr.right):
+                literal_type = _literal_type(side)
+                if literal_type is not None and literal_type not in _NUMERIC_TYPES:
+                    self._error(
+                        d.NON_NUMERIC_ARITHMETIC,
+                        f"operator {expr.op!r} requires numeric operands, "
+                        f"got a {literal_type.value} literal",
+                        side.span or expr.span,
+                    )
+        if (
+            isinstance(expr, BinaryOp)
+            and expr.op in _COMPARISON_OPS
+            and isinstance(expr.left, Literal)
+            and isinstance(expr.right, Literal)
+        ):
+            left_type = _literal_type(expr.left)
+            right_type = _literal_type(expr.right)
+            if (
+                left_type is not None
+                and right_type is not None
+                and not _types_comparable(left_type, right_type)
+            ):
+                self._warning(
+                    d.INCOMPATIBLE_COMPARISON,
+                    f"comparison between {left_type.value} and "
+                    f"{right_type.value} is never true",
+                    expr.span,
+                )
+        for child in expr.children():
+            self._walk_functions(child, clause, in_aggregate)
+
+    # ------------------------------------------------------------------
+    # column resolution (SNW102/103/201)
+    # ------------------------------------------------------------------
+
+    def _check_columns(
+        self,
+        expr: Expr,
+        bindings: dict[str, _Binding],
+        aliases: frozenset[str],
+    ) -> None:
+        for node in expr.walk():
+            if isinstance(node, ColumnRef):
+                self._resolve(node, bindings, aliases, report=True)
+
+    def _resolve(
+        self,
+        ref: ColumnRef,
+        bindings: dict[str, _Binding],
+        aliases: frozenset[str],
+        report: bool = False,
+    ) -> _Binding | None:
+        """Owning binding of a column reference (mirrors the rewriter)."""
+        if ref.table is not None:
+            binding = bindings.get(ref.table)
+            if binding is None:
+                if report:
+                    self._error(
+                        d.UNKNOWN_TABLE,
+                        f"unknown table alias: {ref.table!r}",
+                        ref.span,
+                    )
+                return None
+            if not self._is_member(ref.name, binding) and report:
+                self._report_missing(ref, binding)
+            return binding
+        if ref.name in aliases:
+            return None  # reference to a SELECT-list output alias
+        owners = [
+            binding
+            for binding in bindings.values()
+            if self._is_member(ref.name, binding)
+        ]
+        if len(owners) > 1:
+            if report:
+                self._error(
+                    d.AMBIGUOUS_COLUMN,
+                    f"ambiguous column reference: {ref.name!r}",
+                    ref.span,
+                    hint="qualify with a table alias",
+                )
+            return None
+        if owners:
+            return owners[0]
+        sinew_bindings = [b for b in bindings.values() if b.kind == "sinew"]
+        if len(bindings) == 1 and sinew_bindings:
+            # Unknown key on the only Sinew table: legal (extraction yields
+            # NULL for every row), but worth a warning.
+            if report:
+                self._report_missing(ref, sinew_bindings[0])
+            return sinew_bindings[0]
+        if bindings and report:
+            self._error(d.UNKNOWN_COLUMN, f"no such column: {ref.name!r}", ref.span)
+        return None
+
+    def _report_missing(self, ref: ColumnRef, binding: _Binding) -> None:
+        if binding.kind == "plain":
+            self._error(d.UNKNOWN_COLUMN, f"no such column: {ref.name!r}", ref.span)
+            return
+        self._warning(
+            d.UNKNOWN_KEY_NULL,
+            f"key {ref.name!r} has never been seen in collection "
+            f"{binding.table_name!r}; extraction yields NULL on every row",
+            ref.span,
+        )
+
+    def _is_member(self, name: str, binding: _Binding) -> bool:
+        if binding.kind == "plain":
+            return name in (binding.schema_types or {})
+        if name in (_ID_COLUMN, _RESERVOIR_COLUMN):
+            return True
+        if self.a.catalog is None or binding.table_catalog is None:
+            return False
+        for attribute in self.a.catalog.attributes_named(name):
+            if attribute.attr_id in binding.table_catalog.columns:
+                return True
+        return any(
+            state.physical_name == name
+            for state in binding.table_catalog.columns.values()
+        )
+
+    # ------------------------------------------------------------------
+    # grouping validation (SNW107)
+    # ------------------------------------------------------------------
+
+    def _check_grouping(
+        self,
+        statement: SelectStatement,
+        bindings: dict[str, _Binding],
+        alias_exprs: dict[str, Expr],
+    ) -> None:
+        has_aggregate = any(
+            self._contains_aggregate(item.expr) for item in statement.items
+        )
+        if not statement.group_by and not has_aggregate:
+            return
+        group_exprs = [
+            alias_exprs.get(expr.name, expr)
+            if isinstance(expr, ColumnRef) and expr.table is None
+            else expr
+            for expr in statement.group_by
+        ]
+        for item in statement.items:
+            for ref in self._ungrouped_refs(item.expr, group_exprs, bindings):
+                self._error(
+                    d.UNGROUPED_COLUMN,
+                    f"column {ref} must appear in GROUP BY or an aggregate",
+                    ref.span,
+                )
+
+    def _ungrouped_refs(
+        self,
+        expr: Expr,
+        group_exprs: list[Expr],
+        bindings: dict[str, _Binding],
+    ) -> Iterator[ColumnRef]:
+        """ColumnRefs not covered by a group key or an aggregate call.
+
+        Mirrors the planner's subtree-substitution semantics: descend
+        top-down, stopping at any node that equals a grouping expression or
+        is an aggregate invocation.
+        """
+        if any(self._same_grouping(expr, g, bindings) for g in group_exprs):
+            return
+        if isinstance(expr, FunctionCall) and self.a.functions.is_aggregate(
+            expr.name
+        ):
+            return
+        if isinstance(expr, ColumnRef):
+            yield expr
+            return
+        for child in expr.children():
+            yield from self._ungrouped_refs(child, group_exprs, bindings)
+
+    def _same_grouping(
+        self, expr: Expr, group: Expr, bindings: dict[str, _Binding]
+    ) -> bool:
+        if expr == group:
+            return True
+        # qualified vs. unqualified spellings of the same resolved column
+        if isinstance(expr, ColumnRef) and isinstance(group, ColumnRef):
+            if expr.name != group.name:
+                return False
+            empty = frozenset()
+            return self._resolve(expr, bindings, empty) is self._resolve(
+                group, bindings, empty
+            )
+        return False
+
+    def _contains_aggregate(self, expr: Expr) -> bool:
+        return any(
+            isinstance(node, FunctionCall)
+            and self.a.functions.is_aggregate(node.name)
+            for node in expr.walk()
+        )
+
+    # ------------------------------------------------------------------
+    # catalog-aware linting (SNW201/202/203) + prunable predicates
+    # ------------------------------------------------------------------
+
+    def _lint_projection(self, expr: Expr, bindings: dict[str, _Binding]) -> None:
+        """Warn on bare projections of multi-typed keys (downcast to text)."""
+        if not isinstance(expr, ColumnRef):
+            return
+        binding = self._resolve(expr, bindings, frozenset())
+        if binding is None or binding.kind != "sinew":
+            return
+        observed = self._observed_types(expr.name, binding)
+        if observed is not None and len(observed) > 1:
+            spelled = ", ".join(sorted(t.value for t in observed))
+            self._warning(
+                d.MULTI_TYPED_DOWNCAST,
+                f"key {expr.name!r} is multi-typed ({spelled}); bare "
+                "projection downcasts every value to text (extract_key_any)",
+                expr.span,
+            )
+
+    def _lint_predicates(self, expr: Expr, bindings: dict[str, _Binding]) -> None:
+        for node in expr.walk():
+            self._lint_one_predicate(node, bindings)
+
+    def _lint_one_predicate(
+        self, node: Expr, bindings: dict[str, _Binding]
+    ) -> None:
+        """Check one comparison-shaped predicate for provable NULL-ness.
+
+        The expected extraction type is derived exactly the way the
+        rewriter derives it (from literal context), so the verdict applies
+        to the extraction call the rewriter will actually emit.
+        """
+        candidates: list[tuple[ColumnRef, SqlType | None, bool]] = []
+        if isinstance(node, BinaryOp) and node.op in _COMPARISON_OPS:
+            pure = isinstance(node.left, Literal) or isinstance(node.right, Literal)
+            if isinstance(node.left, ColumnRef):
+                candidates.append((node.left, _literal_type(node.right), pure))
+            if isinstance(node.right, ColumnRef):
+                candidates.append((node.right, _literal_type(node.left), pure))
+        elif isinstance(node, Between) and isinstance(node.operand, ColumnRef):
+            expected = _literal_type(node.low) or _literal_type(node.high)
+            pure = isinstance(node.low, Literal) and isinstance(node.high, Literal)
+            candidates.append((node.operand, expected, pure))
+        elif isinstance(node, Like) and isinstance(node.operand, ColumnRef):
+            pure = isinstance(node.pattern, Literal)
+            candidates.append((node.operand, SqlType.TEXT, pure))
+        elif isinstance(node, InList) and isinstance(node.operand, ColumnRef):
+            expected = None
+            for item in node.items:
+                expected = _literal_type(item)
+                if expected is not None:
+                    break
+            pure = all(isinstance(item, Literal) for item in node.items)
+            candidates.append((node.operand, expected, pure))
+        else:
+            return
+
+        for ref, expected, pure in candidates:
+            binding = self._resolve(ref, bindings, frozenset())
+            verdict = self._extraction_verdict(ref, binding, expected)
+            if verdict is None:
+                continue
+            code, message = verdict
+            if code == d.PROVABLY_NULL_EXTRACTION:
+                self._warning(
+                    code,
+                    message,
+                    ref.span or node.span,
+                    hint="predicate can never be true; it will be pruned"
+                    if pure
+                    else "predicate can never be true",
+                )
+            if pure:
+                self.null_predicates.append(node)
+
+    def _extraction_verdict(
+        self,
+        ref: ColumnRef,
+        binding: _Binding | None,
+        expected: SqlType | None,
+    ) -> tuple[str, str] | None:
+        """(code, message) when extraction of ``ref`` is provably NULL."""
+        if (
+            binding is None
+            or binding.kind != "sinew"
+            or binding.table_catalog is None
+            or self.a.catalog is None
+        ):
+            return None
+        if ref.name in (_ID_COLUMN, _RESERVOIR_COLUMN):
+            return None
+        catalog = self.a.catalog
+        table_catalog = binding.table_catalog
+        # a reference spelled as a mangled physical column name is physical
+        if any(
+            state.physical_name == ref.name and state.materialized
+            for state in table_catalog.columns.values()
+        ):
+            return None
+        attributes = [
+            attribute
+            for attribute in catalog.attributes_named(ref.name)
+            if attribute.attr_id in table_catalog.columns
+        ]
+        states = [table_catalog.columns[a.attr_id] for a in attributes]
+        if any(state.materialized or state.dirty for state in states):
+            return None  # value may live in a physical column: unprovable
+        if not attributes:
+            # unknown key: SNW201 already reported by column resolution,
+            # but the comparison is still provably NULL (prunable)
+            return (
+                d.UNKNOWN_KEY_NULL,
+                f"key {ref.name!r} has never been seen; comparison is NULL",
+            )
+        if expected is None:
+            return None
+        compatible = _COMPATIBLE_TYPES.get(expected)
+        if compatible is None:
+            return None
+        live = sum(
+            table_catalog.columns[a.attr_id].count
+            for a in attributes
+            if a.key_type in compatible
+        )
+        if live > 0:
+            return None
+        observed = {
+            a.key_type.value
+            for a in attributes
+            if table_catalog.columns[a.attr_id].count > 0
+        }
+        stored = ", ".join(sorted(observed)) or "nothing"
+        wanted = "numeric" if expected in _NUMERIC_TYPES else expected.value
+        return (
+            d.PROVABLY_NULL_EXTRACTION,
+            f"{wanted} comparison on key {ref.name!r} is provably NULL: "
+            f"the catalog has only {stored} values for it",
+        )
+
+    def _observed_types(
+        self, key_name: str, binding: _Binding
+    ) -> set[SqlType] | None:
+        """Types with at least one stored occurrence, or None if physical."""
+        if self.a.catalog is None or binding.table_catalog is None:
+            return None
+        observed: set[SqlType] = set()
+        for attribute in self.a.catalog.attributes_named(key_name):
+            state = binding.table_catalog.columns.get(attribute.attr_id)
+            if state is None:
+                continue
+            if state.materialized or state.dirty:
+                return None
+            if state.count > 0:
+                observed.add(attribute.key_type)
+        return observed
+
+    # ------------------------------------------------------------------
+    # reporting helpers
+    # ------------------------------------------------------------------
+
+    def _error(self, code, message, span, hint=None) -> None:
+        self._emit(d.error(code, message, span, hint))
+
+    def _warning(self, code, message, span, hint=None) -> None:
+        self._emit(d.warning(code, message, span, hint))
+
+    def _emit(self, diagnostic: Diagnostic) -> None:
+        key = (diagnostic.code, diagnostic.span)
+        if key in self._reported_spans:
+            return
+        self._reported_spans.add(key)
+        self.diagnostics.append(diagnostic)
+
+
+def _literal_type(expr: Expr) -> SqlType | None:
+    """SQL type of a non-NULL literal (the rewriter's context rule)."""
+    if not isinstance(expr, Literal) or expr.value is None:
+        return None
+    value = expr.value
+    if isinstance(value, bool):
+        return SqlType.BOOLEAN
+    if isinstance(value, int):
+        return SqlType.INTEGER
+    if isinstance(value, float):
+        return SqlType.REAL
+    if isinstance(value, str):
+        return SqlType.TEXT
+    return None
+
+
+def _types_comparable(left: SqlType, right: SqlType) -> bool:
+    if left in _NUMERIC_TYPES and right in _NUMERIC_TYPES:
+        return True
+    return left is right
+
+
+__all__ = [
+    "AnalysisResult",
+    "SemanticAnalyzer",
+    "analyze",
+]

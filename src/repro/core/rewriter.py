@@ -87,10 +87,16 @@ class QueryRewriter:
         catalog: SinewCatalog,
         sinew_tables: dict[str, HeapTable],
         use_text_index: bool = False,
+        null_predicates: frozenset[int] | None = None,
     ):
         self.catalog = catalog
         self.sinew_tables = sinew_tables
         self.use_text_index = use_text_index
+        #: ``id()``s of predicate subtrees the semantic analyzer proved are
+        #: NULL on every row (SNW201/SNW202); each is replaced by
+        #: ``Literal(None)``, which is exact under three-valued logic and
+        #: saves the per-row extraction UDF calls the predicate would cost.
+        self.null_predicates = null_predicates or frozenset()
 
     # ------------------------------------------------------------------
     # statements
@@ -191,6 +197,9 @@ class QueryRewriter:
         bindings: dict[str, _Binding],
         expected: SqlType | None,
     ) -> Expr:
+        if self.null_predicates and id(expr) in self.null_predicates:
+            return Literal(None)
+
         if isinstance(expr, Literal) or isinstance(expr, Star):
             return expr
 

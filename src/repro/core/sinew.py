@@ -22,8 +22,10 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping
 
+from ..analysis.analyzer import AnalysisResult, SemanticAnalyzer
+from ..analysis.checker import CheckReport, IntegrityChecker, validate_document
 from ..rdbms.database import Database, DatabaseConfig, QueryResult
-from ..rdbms.errors import CatalogError, PlanningError
+from ..rdbms.errors import CatalogError, PlanningError, SemanticError
 from ..rdbms.expressions import Star
 from ..rdbms.sql.ast import (
     DeleteStatement,
@@ -56,6 +58,10 @@ class SinewConfig:
     #: section 4.3: automatically prefilter equality predicates on virtual
     #: text columns through the inverted index (requires enable_text_index)
     rewrite_predicates_with_index: bool = False
+    #: run the semantic analyzer before rewriting: errors (SNW1xx) block
+    #: execution, warnings (SNW2xx) attach to the result, and provably-NULL
+    #: predicates are pruned before they cost extraction UDF calls
+    analyze_queries: bool = True
 
 
 class SinewDB:
@@ -78,6 +84,11 @@ class SinewDB:
         # it stays out of the udf_calls extraction counter
         self.db.create_function(
             "sinew_matches", self._sinew_matches, SqlType.BOOLEAN, counts_as_udf=False
+        )
+        # per-row structural audit of one serialized document; a header
+        # probe, not extraction work, so it stays out of udf_calls
+        self.db.create_function(
+            "sinew_check", self._sinew_check, SqlType.TEXT, counts_as_udf=False
         )
 
     # ------------------------------------------------------------------
@@ -199,19 +210,23 @@ class SinewDB:
         if isinstance(statement, UpdateStatement) and statement.table in self._collections:
             return self._execute_update(statement)
         if isinstance(statement, DeleteStatement) and statement.table in self._collections:
-            where = self._rewriter().rewrite_where(statement)
+            analysis = self._analyze(statement)
+            null_ids = analysis.null_predicate_ids() if analysis else None
+            where = self._rewriter(null_ids).rewrite_where(statement)
             result = self.db.execute_statement(
                 DeleteStatement(statement.table, where)
             )
             self._matches_cache.clear()
-            return result
+            return self._attach_diagnostics(result, analysis)
         if isinstance(statement, SelectStatement):
             return self._execute_select(statement)
         return self.db.execute_statement(statement)
 
     # -- SELECT ----------------------------------------------------------
 
-    def _rewriter(self) -> QueryRewriter:
+    def _rewriter(
+        self, null_predicates: frozenset[int] | None = None
+    ) -> QueryRewriter:
         tables = {name: self.db.table(name) for name in self._collections}
         return QueryRewriter(
             self.catalog,
@@ -220,14 +235,45 @@ class SinewDB:
                 self.config.rewrite_predicates_with_index
                 and self.text_index is not None
             ),
+            null_predicates=null_predicates,
         )
 
+    def _analyze(self, statement) -> AnalysisResult | None:
+        """Semantic analysis before rewriting (parse -> analyze -> rewrite).
+
+        Errors raise :class:`SemanticError`; the result (with its warnings
+        and prunable provably-NULL predicates) is returned for the caller
+        to thread through rewriting and attach to the query result.
+        """
+        if not self.config.analyze_queries:
+            return None
+        analysis = SemanticAnalyzer(
+            catalog=self.catalog,
+            collections=self._collections,
+            db=self.db,
+        ).analyze(statement)
+        if not analysis.ok:
+            raise SemanticError(analysis.diagnostics)
+        return analysis
+
+    @staticmethod
+    def _attach_diagnostics(
+        result: QueryResult, analysis: AnalysisResult | None
+    ) -> QueryResult:
+        if analysis is not None and analysis.warnings:
+            result.diagnostics = analysis.warnings
+        return result
+
     def _execute_select(self, statement: SelectStatement) -> QueryResult:
-        rewritten = self._rewriter().rewrite_select(statement)
+        analysis = self._analyze(statement)
+        null_ids = analysis.null_predicate_ids() if analysis else None
+        rewritten = self._rewriter(null_ids).rewrite_select(statement)
         star_bindings = self._star_bindings(rewritten)
         if not star_bindings:
-            return self.db.execute_statement(rewritten)
-        return self._execute_star_select(rewritten, star_bindings)
+            result = self.db.execute_statement(rewritten)
+        else:
+            result = self._execute_star_select(rewritten, star_bindings)
+        return self._attach_diagnostics(result, analysis)
 
     def _star_bindings(self, statement: SelectStatement) -> list[str]:
         """Bindings of Sinew tables covered by ``*`` items (in order)."""
@@ -421,7 +467,9 @@ class SinewDB:
         table_name = statement.table
         table = self.db.table(table_name)
         table_catalog = self.catalog.table(table_name)
-        rewriter = self._rewriter()
+        analysis = self._analyze(statement)
+        null_ids = analysis.null_predicate_ids() if analysis else None
+        rewriter = self._rewriter(null_ids)
         where = rewriter.rewrite_where(statement)
 
         physical_assignments: list[tuple[str, Any]] = []
@@ -502,7 +550,7 @@ class SinewDB:
                     self.text_index.index_document(tuple(new_row)[id_position], doc)
                 updated += 1
         self._matches_cache.clear()
-        return QueryResult(rowcount=updated)
+        return self._attach_diagnostics(QueryResult(rowcount=updated), analysis)
 
     def _document_of_row(self, table, row: tuple) -> dict[str, Any]:
         data_position = table.schema.position_of(RESERVOIR_COLUMN)
@@ -532,6 +580,13 @@ class SinewDB:
         for _rid, row in table.scan():
             yield row[id_position], self._document_of_row(table, row)
 
+    def _sinew_check(self, data: Any) -> str:
+        """The UDF behind ``sinew_check(data)``: per-document audit."""
+        if data is None:
+            return "no reservoir document"
+        problem = validate_document(data)
+        return "ok" if problem is None else problem
+
     def _sinew_matches(self, doc_id: int, keys: str, query: str) -> bool:
         """The UDF behind ``matches()``: membership in the index result."""
         if self.text_index is None:
@@ -551,6 +606,30 @@ class SinewDB:
     def analyze(self, table_name: str | None = None) -> None:
         """Refresh RDBMS optimizer statistics (physical columns only)."""
         self.db.analyze(table_name)
+
+    def check(self, table_name: str | None = None) -> list[CheckReport]:
+        """``CHECK``-style catalog/storage integrity audit (``\\check``).
+
+        Scans one collection (or all of them) and reports every violated
+        invariant as an SNW3xx diagnostic: occurrence counts vs. stored
+        rows, reservoir residue under clean materialized columns,
+        serialization-header well-formedness, unknown attribute ids, and
+        catalog row counts vs. the heap.
+        """
+        if table_name is not None:
+            self._require_collection(table_name)
+            names = [table_name]
+        else:
+            names = self.collections()
+        return IntegrityChecker(self.db, self.catalog).check(names)
+
+    def lint(self, sql: str) -> AnalysisResult:
+        """Analyze a query without executing it (the shell's ``\\lint``)."""
+        return SemanticAnalyzer(
+            catalog=self.catalog,
+            collections=self._collections,
+            db=self.db,
+        ).analyze(sql)
 
     def storage_bytes(self, table_name: str) -> int:
         """Modelled on-disk size of a collection (Table 3 metric)."""

@@ -82,11 +82,14 @@ class QueryResult:
         rows: list[tuple] | None = None,
         rowcount: int = 0,
         plan_text: str | None = None,
+        diagnostics: tuple = (),
     ):
         self.columns = columns or []
         self.rows = rows or []
         self.rowcount = rowcount if rowcount else len(self.rows)
         self.plan_text = plan_text
+        #: analysis warnings attached by the semantic analyzer (Sinew layer)
+        self.diagnostics = tuple(diagnostics)
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)

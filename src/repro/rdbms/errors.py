@@ -9,23 +9,50 @@ for the paper's failure modes to be reproducible:
 * ``DiskFullError`` corresponds to running out of scratch/table space, which
   is what terminates NoBench Q8/Q9/Q11 on the EAV baseline and Q11 on
   MongoDB (paper sections 6.4 and 6.5).
+
+Every error carries a uniform optional ``position`` (character offset into
+the SQL text) and ``context`` (a short clause naming what was being done),
+rendered consistently by ``__str__``.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..analysis.diagnostics import Diagnostic
+
 
 class DatabaseError(Exception):
-    """Base class for every error raised by the engine."""
+    """Base class for every error raised by the engine.
+
+    ``position`` is a character offset into the offending SQL text (or None
+    when no source location applies); ``context`` is a short human-readable
+    clause describing the operation that failed.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        position: int | None = None,
+        context: str | None = None,
+    ):
+        super().__init__(message)
+        self.message = message
+        self.position = position
+        self.context = context
+
+    def __str__(self) -> str:
+        text = self.message
+        if self.position is not None:
+            text = f"{text} (at position {self.position})"
+        if self.context:
+            text = f"{text} [{self.context}]"
+        return text
 
 
 class SqlSyntaxError(DatabaseError):
     """The SQL text could not be tokenized or parsed."""
-
-    def __init__(self, message: str, position: int | None = None):
-        self.position = position
-        if position is not None:
-            message = f"{message} (at position {position})"
-        super().__init__(message)
 
 
 class CatalogError(DatabaseError):
@@ -48,6 +75,29 @@ class ExecutionError(DatabaseError):
 
 class PlanningError(DatabaseError):
     """The planner could not produce a plan for a (parsed) statement."""
+
+
+class SemanticError(PlanningError):
+    """The semantic analyzer rejected a statement before planning.
+
+    Subclasses :class:`PlanningError` so existing ``except PlanningError``
+    call sites keep working; carries the full list of structured
+    :class:`~repro.analysis.diagnostics.Diagnostic` records (errors *and*
+    warnings) that the analysis pass produced.
+    """
+
+    def __init__(self, diagnostics: Sequence["Diagnostic"]):
+        self.diagnostics = tuple(diagnostics)
+        errors = [d for d in self.diagnostics if d.is_error]
+        first = errors[0] if errors else self.diagnostics[0]
+        message = f"{first.code}: {first.message}"
+        if len(errors) > 1:
+            message += f" (+{len(errors) - 1} more)"
+        super().__init__(
+            message,
+            position=first.span[0] if first.span else None,
+            context="semantic analysis",
+        )
 
 
 class DiskFullError(DatabaseError):

@@ -36,7 +36,17 @@ CompiledExpr = Callable[[Row], Any]
 
 
 class Expr:
-    """Base class for expression AST nodes."""
+    """Base class for expression AST nodes.
+
+    Every concrete node carries an optional ``span`` -- the ``(start, end)``
+    character range it covers in the original SQL text -- populated by the
+    parser and consumed by diagnostics.  Spans are excluded from equality
+    and repr so that structurally identical expressions from different
+    source locations still compare equal (the planner's subtree-replacement
+    machinery depends on that).
+    """
+
+    span: tuple[int, int] | None = None
 
     def children(self) -> Iterator["Expr"]:
         return iter(())
@@ -53,6 +63,7 @@ class Literal(Expr):
     """A constant value (string, number, boolean, or NULL)."""
 
     value: Any
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         if self.value is None:
@@ -77,6 +88,7 @@ class ColumnRef(Expr):
 
     table: str | None
     name: str
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         quoted = f'"{self.name}"' if _needs_quotes(self.name) else self.name
@@ -88,6 +100,7 @@ class Star(Expr):
     """``*`` or ``alias.*`` in a SELECT list."""
 
     table: str | None = None
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"{self.table}.*" if self.table else "*"
@@ -100,6 +113,7 @@ class BinaryOp(Expr):
     op: str
     left: Expr
     right: Expr
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
     def children(self) -> Iterator[Expr]:
         yield self.left
@@ -115,6 +129,7 @@ class UnaryOp(Expr):
 
     op: str
     operand: Expr
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
     def children(self) -> Iterator[Expr]:
         yield self.operand
@@ -129,6 +144,7 @@ class IsNull(Expr):
 
     operand: Expr
     negated: bool = False
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
     def children(self) -> Iterator[Expr]:
         yield self.operand
@@ -151,6 +167,7 @@ class Between(Expr):
     low: Expr
     high: Expr
     negated: bool = False
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
     def children(self) -> Iterator[Expr]:
         yield self.operand
@@ -169,6 +186,7 @@ class InList(Expr):
     operand: Expr
     items: tuple[Expr, ...]
     negated: bool = False
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
     def children(self) -> Iterator[Expr]:
         yield self.operand
@@ -186,6 +204,7 @@ class Like(Expr):
     operand: Expr
     pattern: Expr
     negated: bool = False
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
     def children(self) -> Iterator[Expr]:
         yield self.operand
@@ -206,6 +225,7 @@ class FunctionCall(Expr):
     name: str
     args: tuple[Expr, ...]
     distinct: bool = False
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
     def children(self) -> Iterator[Expr]:
         yield from self.args
@@ -221,6 +241,7 @@ class Coalesce(Expr):
     """``COALESCE(a, b, ...)`` with lazy argument evaluation."""
 
     args: tuple[Expr, ...]
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
     def children(self) -> Iterator[Expr]:
         yield from self.args
@@ -235,6 +256,7 @@ class Cast(Expr):
 
     operand: Expr
     target: SqlType
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
     def children(self) -> Iterator[Expr]:
         yield self.operand
@@ -249,6 +271,7 @@ class AnyPredicate(Expr):
 
     needle: Expr
     haystack: Expr
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
     def children(self) -> Iterator[Expr]:
         yield self.needle

@@ -146,7 +146,10 @@ class Planner:
         relations: dict[str, _Relation] = {}
         for ref in from_tables:
             if ref.name not in self.tables:
-                raise CatalogError(f"no such table: {ref.name!r}")
+                raise CatalogError(
+                    f"no such table: {ref.name!r}",
+                    position=ref.span[0] if ref.span else None,
+                )
             if ref.binding in relations:
                 raise PlanningError(f"duplicate table binding: {ref.binding!r}")
             relations[ref.binding] = _Relation(
@@ -160,11 +163,17 @@ class Planner:
         """The set of relations an expression touches (validates references)."""
         bindings: set[str] = set()
         for ref in referenced_columns(expr):
+            position = ref.span[0] if ref.span else None
             if ref.table is not None:
                 if ref.table not in relations:
-                    raise CatalogError(f"unknown table alias: {ref.table!r}")
+                    raise CatalogError(
+                        f"unknown table alias: {ref.table!r}", position=position
+                    )
                 if ref.name not in relations[ref.table].table.schema:
-                    raise CatalogError(f"no such column: {ref.table}.{ref.name}")
+                    raise CatalogError(
+                        f"no such column: {ref.table}.{ref.name}",
+                        position=position,
+                    )
                 bindings.add(ref.table)
                 continue
             owners = [
@@ -173,9 +182,11 @@ class Planner:
                 if ref.name in relation.table.schema
             ]
             if not owners:
-                raise CatalogError(f"no such column: {ref.name!r}")
+                raise CatalogError(f"no such column: {ref.name!r}", position=position)
             if len(owners) > 1:
-                raise PlanningError(f"ambiguous column reference: {ref.name!r}")
+                raise PlanningError(
+                    f"ambiguous column reference: {ref.name!r}", position=position
+                )
             bindings.add(owners[0])
         return bindings
 

@@ -21,6 +21,7 @@ class TableRef:
 
     name: str
     alias: str | None = None
+    span: tuple[int, int] | None = field(default=None, compare=False, repr=False)
 
     @property
     def binding(self) -> str:

@@ -61,12 +61,19 @@ _PUNCT = "(),.;"
 class Token:
     type: TokenType
     value: str
-    position: int
+    position: int  # offset of the token's first character in the SQL text
+    end: int = -1  # offset one past the token's last character
 
     def matches(self, token_type: TokenType, value: str | None = None) -> bool:
         if self.type is not token_type:
             return False
         return value is None or self.value == value
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """``(start, end)`` character span of this token in the source."""
+        end = self.end if self.end >= 0 else self.position + len(self.value)
+        return (self.position, end)
 
 
 def tokenize(sql: str) -> list[Token]:
@@ -84,16 +91,19 @@ def tokenize(sql: str) -> list[Token]:
             i = n if newline == -1 else newline + 1
             continue
         if ch == "'":
+            start = i
             value, i = _read_string(sql, i)
-            tokens.append(Token(TokenType.STRING, value, i))
+            tokens.append(Token(TokenType.STRING, value, start, i))
             continue
         if ch == '"':
+            start = i
             value, i = _read_quoted_identifier(sql, i)
-            tokens.append(Token(TokenType.QIDENT, value, i))
+            tokens.append(Token(TokenType.QIDENT, value, start, i))
             continue
         if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start = i
             value, i = _read_number(sql, i)
-            tokens.append(Token(TokenType.NUMBER, value, i))
+            tokens.append(Token(TokenType.NUMBER, value, start, i))
             continue
         if ch.isalpha() or ch == "_":
             start = i
@@ -101,7 +111,7 @@ def tokenize(sql: str) -> list[Token]:
                 i += 1
             word = sql[start:i].lower()
             token_type = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
-            tokens.append(Token(token_type, word, start))
+            tokens.append(Token(token_type, word, start, i))
             continue
         matched_operator = None
         for operator in _OPERATORS:
@@ -109,15 +119,16 @@ def tokenize(sql: str) -> list[Token]:
                 matched_operator = operator
                 break
         if matched_operator is not None:
-            tokens.append(Token(TokenType.OPERATOR, matched_operator, i))
-            i += len(matched_operator)
+            end = i + len(matched_operator)
+            tokens.append(Token(TokenType.OPERATOR, matched_operator, i, end))
+            i = end
             continue
         if ch in _PUNCT:
-            tokens.append(Token(TokenType.PUNCT, ch, i))
+            tokens.append(Token(TokenType.PUNCT, ch, i, i + 1))
             i += 1
             continue
         raise SqlSyntaxError(f"unexpected character {ch!r}", position=i)
-    tokens.append(Token(TokenType.EOF, "", n))
+    tokens.append(Token(TokenType.EOF, "", n, n))
     return tokens
 
 

@@ -51,6 +51,15 @@ from .lexer import Token, TokenType, tokenize
 
 _COMPARISON_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
 
+Span = tuple[int, int]
+
+
+def _merge_spans(left: Span | None, right: Span | None) -> Span | None:
+    """Smallest span covering both operands (None when either is unknown)."""
+    if left is None or right is None:
+        return left or right
+    return (min(left[0], right[0]), max(left[1], right[1]))
+
 
 def parse(sql: str) -> Statement:
     """Parse one SQL statement (a trailing semicolon is allowed)."""
@@ -81,6 +90,13 @@ class _Parser:
         if token.type is not TokenType.EOF:
             self.position += 1
         return token
+
+    def _prev_end(self) -> int:
+        """End offset of the most recently consumed token."""
+        return self.tokens[max(self.position - 1, 0)].span[1]
+
+    def _span_from(self, start: int) -> Span:
+        return (start, self._prev_end())
 
     def accept(self, token_type: TokenType, value: str | None = None) -> Token | None:
         if self.peek().matches(token_type, value):
@@ -220,17 +236,18 @@ class _Parser:
     def _parse_select_item(self) -> SelectItem:
         # "*" and "alias.*"
         if self.peek().matches(TokenType.OPERATOR, "*"):
-            self.advance()
-            return SelectItem(Star())
+            token = self.advance()
+            return SelectItem(Star(span=token.span))
         if (
             self.peek().type in (TokenType.IDENT, TokenType.QIDENT)
             and self.peek(1).matches(TokenType.PUNCT, ".")
             and self.peek(2).matches(TokenType.OPERATOR, "*")
         ):
+            start = self.peek().position
             qualifier = self.advance().value
             self.advance()
             self.advance()
-            return SelectItem(Star(qualifier))
+            return SelectItem(Star(qualifier, span=self._span_from(start)))
         expr = self.parse_expr()
         alias: str | None = None
         if self.accept_keyword("as"):
@@ -249,13 +266,14 @@ class _Parser:
         return OrderItem(expr, ascending)
 
     def _parse_table_ref(self) -> TableRef:
+        start = self.peek().position
         name = self._parse_identifier("table name")
         alias: str | None = None
         if self.accept_keyword("as"):
             alias = self._parse_identifier("table alias")
         elif self.peek().type in (TokenType.IDENT, TokenType.QIDENT):
             alias = self.advance().value
-        return TableRef(name, alias)
+        return TableRef(name, alias, span=self._span_from(start))
 
     def _parse_insert(self) -> InsertStatement:
         self.expect_keyword("insert")
@@ -396,18 +414,22 @@ class _Parser:
     def _parse_or(self) -> Expr:
         left = self._parse_and()
         while self.accept_keyword("or"):
-            left = BinaryOp("OR", left, self._parse_and())
+            right = self._parse_and()
+            left = BinaryOp("OR", left, right, span=_merge_spans(left.span, right.span))
         return left
 
     def _parse_and(self) -> Expr:
         left = self._parse_not()
         while self.accept_keyword("and"):
-            left = BinaryOp("AND", left, self._parse_not())
+            right = self._parse_not()
+            left = BinaryOp("AND", left, right, span=_merge_spans(left.span, right.span))
         return left
 
     def _parse_not(self) -> Expr:
-        if self.accept_keyword("not"):
-            return UnaryOp("NOT", self._parse_not())
+        if self.peek().matches(TokenType.KEYWORD, "not"):
+            start = self.advance().position
+            operand = self._parse_not()
+            return UnaryOp("NOT", operand, span=self._span_from(start))
         return self._parse_predicate()
 
     def _parse_predicate(self) -> Expr:
@@ -420,15 +442,22 @@ class _Parser:
                     self.expect(TokenType.PUNCT, "(")
                     haystack = self.parse_expr()
                     self.expect(TokenType.PUNCT, ")")
-                    left = AnyPredicate(left, haystack)
+                    span = (
+                        self._span_from(left.span[0]) if left.span else None
+                    )
+                    left = AnyPredicate(left, haystack, span=span)
                 else:
-                    left = BinaryOp(op, left, self._parse_additive())
+                    right = self._parse_additive()
+                    left = BinaryOp(
+                        op, left, right, span=_merge_spans(left.span, right.span)
+                    )
                 continue
             if token.matches(TokenType.KEYWORD, "is"):
                 self.advance()
                 negated = bool(self.accept_keyword("not"))
                 self.expect_keyword("null")
-                left = IsNull(left, negated)
+                span = self._span_from(left.span[0]) if left.span else None
+                left = IsNull(left, negated, span=span)
                 continue
             negated = False
             if token.matches(TokenType.KEYWORD, "not"):
@@ -448,7 +477,8 @@ class _Parser:
                 low = self._parse_additive()
                 self.expect_keyword("and")
                 high = self._parse_additive()
-                left = Between(left, low, high, negated)
+                span = self._span_from(left.span[0]) if left.span else None
+                left = Between(left, low, high, negated, span=span)
                 continue
             if token.matches(TokenType.KEYWORD, "in"):
                 self.advance()
@@ -457,11 +487,14 @@ class _Parser:
                 while self.accept(TokenType.PUNCT, ","):
                     items.append(self.parse_expr())
                 self.expect(TokenType.PUNCT, ")")
-                left = InList(left, tuple(items), negated)
+                span = self._span_from(left.span[0]) if left.span else None
+                left = InList(left, tuple(items), negated, span=span)
                 continue
             if token.matches(TokenType.KEYWORD, "like"):
                 self.advance()
-                left = Like(left, self._parse_additive(), negated)
+                pattern = self._parse_additive()
+                span = self._span_from(left.span[0]) if left.span else None
+                left = Like(left, pattern, negated, span=span)
                 continue
             break
         return left
@@ -472,7 +505,10 @@ class _Parser:
             token = self.peek()
             if token.type is TokenType.OPERATOR and token.value in ("+", "-", "||"):
                 op = self.advance().value
-                left = BinaryOp(op, left, self._parse_multiplicative())
+                right = self._parse_multiplicative()
+                left = BinaryOp(
+                    op, left, right, span=_merge_spans(left.span, right.span)
+                )
             else:
                 return left
 
@@ -482,15 +518,19 @@ class _Parser:
             token = self.peek()
             if token.type is TokenType.OPERATOR and token.value in ("*", "/", "%"):
                 op = self.advance().value
-                left = BinaryOp(op, left, self._parse_unary())
+                right = self._parse_unary()
+                left = BinaryOp(
+                    op, left, right, span=_merge_spans(left.span, right.span)
+                )
             else:
                 return left
 
     def _parse_unary(self) -> Expr:
         token = self.peek()
         if token.matches(TokenType.OPERATOR, "-"):
-            self.advance()
-            return UnaryOp("-", self._parse_unary())
+            start = self.advance().position
+            operand = self._parse_unary()
+            return UnaryOp("-", operand, span=self._span_from(start))
         if token.matches(TokenType.OPERATOR, "+"):
             self.advance()
             return self._parse_unary()
@@ -501,7 +541,9 @@ class _Parser:
         while self.accept(TokenType.OPERATOR, "::"):
             from ..expressions import Cast
 
-            expr = Cast(expr, self._parse_type_name())
+            target = self._parse_type_name()
+            span = self._span_from(expr.span[0]) if expr.span else None
+            expr = Cast(expr, target, span=span)
         return expr
 
     def _parse_primary(self) -> Expr:
@@ -511,23 +553,23 @@ class _Parser:
             self.advance()
             text = token.value
             if "." in text or "e" in text or "E" in text:
-                return Literal(float(text))
-            return Literal(int(text))
+                return Literal(float(text), span=token.span)
+            return Literal(int(text), span=token.span)
 
         if token.type is TokenType.STRING:
             self.advance()
-            return Literal(token.value)
+            return Literal(token.value, span=token.span)
 
         if token.type is TokenType.KEYWORD:
             if token.value == "null":
                 self.advance()
-                return Literal(None)
+                return Literal(None, span=token.span)
             if token.value == "true":
                 self.advance()
-                return Literal(True)
+                return Literal(True, span=token.span)
             if token.value == "false":
                 self.advance()
-                return Literal(False)
+                return Literal(False, span=token.span)
             if token.value == "cast":
                 self.advance()
                 self.expect(TokenType.PUNCT, "(")
@@ -537,7 +579,7 @@ class _Parser:
                 self.expect(TokenType.PUNCT, ")")
                 from ..expressions import Cast
 
-                return Cast(inner, target)
+                return Cast(inner, target, span=self._span_from(token.position))
             if token.value == "coalesce":
                 self.advance()
                 self.expect(TokenType.PUNCT, "(")
@@ -545,7 +587,7 @@ class _Parser:
                 while self.accept(TokenType.PUNCT, ","):
                     args.append(self.parse_expr())
                 self.expect(TokenType.PUNCT, ")")
-                return Coalesce(tuple(args))
+                return Coalesce(tuple(args), span=self._span_from(token.position))
             raise SqlSyntaxError(
                 f"unexpected keyword {token.value!r} in expression",
                 position=token.position,
@@ -561,22 +603,29 @@ class _Parser:
                 distinct = self.accept_keyword("distinct")
                 args: list[Expr] = []
                 if self.peek().matches(TokenType.OPERATOR, "*"):
-                    self.advance()
-                    args.append(Star())
+                    star_token = self.advance()
+                    args.append(Star(span=star_token.span))
                 elif not self.peek().matches(TokenType.PUNCT, ")"):
                     args.append(self.parse_expr())
                     while self.accept(TokenType.PUNCT, ","):
                         args.append(self.parse_expr())
                 self.expect(TokenType.PUNCT, ")")
-                return FunctionCall(name, tuple(args), distinct=distinct)
+                return FunctionCall(
+                    name,
+                    tuple(args),
+                    distinct=distinct,
+                    span=self._span_from(token.position),
+                )
             # qualified column reference?
             if self.peek().matches(TokenType.PUNCT, "."):
                 follower = self.peek(1)
                 if follower.type in (TokenType.IDENT, TokenType.QIDENT):
                     self.advance()
                     column = self.advance().value
-                    return ColumnRef(name, column)
-            return ColumnRef(None, name)
+                    return ColumnRef(
+                        name, column, span=self._span_from(token.position)
+                    )
+            return ColumnRef(None, name, span=token.span)
 
         if token.matches(TokenType.PUNCT, "("):
             self.advance()

@@ -11,10 +11,16 @@ Meta-commands
 ``\\load NAME FILE`` bulk-load a JSON-lines file into a collection
 ``\\d [NAME]``       list collections, or show one logical schema
 ``\\explain SQL``    show the rewritten physical plan
+``\\lint SQL``       semantic analysis only: diagnostics, no execution
+``\\check [NAME]``   catalog/storage integrity audit (SNW3xx findings)
 ``\\settle NAME``    run the schema analyzer + column materializer
 ``\\catalog``        reflect + dump the attribute dictionary
 ``\\q``              quit
 ==================  ====================================================
+
+Semantic errors print with a caret underline pointing into the query;
+analyzer warnings (unknown keys, provably-NULL predicates, multi-typed
+downcasts) print after the result rows.
 """
 
 from __future__ import annotations
@@ -23,9 +29,10 @@ import json
 import sys
 from typing import Iterable, TextIO
 
+from .analysis.diagnostics import render_report
 from .core import SinewConfig, SinewDB
 from .harness.tables import format_table
-from .rdbms.errors import DatabaseError
+from .rdbms.errors import DatabaseError, SemanticError
 
 
 class SinewShell:
@@ -65,7 +72,11 @@ class SinewShell:
         print(text, file=self.out)
 
     def _sql(self, sql: str) -> None:
-        result = self.sdb.query(sql)
+        try:
+            result = self.sdb.query(sql)
+        except SemanticError as error:
+            self._print(render_report(error.diagnostics, sql))
+            return
         if result.columns:
             rows = [list(row) for row in result.rows[:100]]
             self._print(format_table(result.columns, rows))
@@ -73,6 +84,8 @@ class SinewShell:
             self._print(f"({len(result.rows)} rows){suffix}")
         else:
             self._print(f"OK ({result.rowcount} rows affected)")
+        for diagnostic in result.diagnostics:
+            self._print(str(diagnostic))
 
     def _meta(self, line: str) -> None:
         parts = line.split()
@@ -103,6 +116,26 @@ class SinewShell:
                 return
             self._print(self.sdb.explain(sql))
             return
+        if command == "\\lint":
+            sql = line[len("\\lint") :].strip()
+            if not sql:
+                self._print("usage: \\lint SELECT ...")
+                return
+            analysis = self.sdb.lint(sql)
+            if analysis.diagnostics:
+                self._print(render_report(analysis.diagnostics, sql))
+            else:
+                self._print("no diagnostics")
+            return
+        if command == "\\check":
+            reports = self.sdb.check(arguments[0] if arguments else None)
+            for report in reports:
+                self._print(str(report))
+                for finding in report.findings:
+                    self._print("  " + str(finding))
+            if not reports:
+                self._print("no collections to check")
+            return
         if command == "\\settle":
             self._require(arguments, 1, "\\settle NAME")
             report = self.sdb.analyze_schema(arguments[0])
@@ -121,7 +154,10 @@ class SinewShell:
             )
             self._print(format_table(["id", "key", "type"], [list(r) for r in result]))
             return
-        self._print(f"unknown meta-command {command!r}; try \\d, \\c, \\load, \\q")
+        self._print(
+            f"unknown meta-command {command!r}; "
+            "try \\d, \\c, \\load, \\lint, \\check, \\q"
+        )
 
     def _require(self, arguments: list[str], n: int, usage: str) -> None:
         if len(arguments) != n:

@@ -194,3 +194,60 @@ class TestOtherStatements:
         rewritten = sdb._rewriter().rewrite_select(statement)
         assert isinstance(rewritten.group_by[0], FunctionCall)
         assert isinstance(rewritten.order_by[0].expr, FunctionCall)
+
+
+class TestMultiTypedNullSemantics:
+    """Execution-level NULL behaviour of multi-typed keys (section 3.2.2).
+
+    ``dyn`` holds an integer on odd ``_id`` rows and a string on even
+    ones: a typed extraction returns NULL for rows of the other type, so
+    predicates silently select only the type-compatible subset -- the
+    behaviour the Postgres JSON baseline cannot express.
+    """
+
+    def test_numeric_context_selects_only_numeric_rows(self, sdb):
+        # dyn is an integer exactly on odd n
+        rows = sdb.query("SELECT n FROM t WHERE dyn >= 0").rows
+        assert len(rows) == 150
+        assert all(value % 2 == 1 for (value,) in rows)
+
+    def test_text_context_selects_only_text_rows(self, sdb):
+        rows = sdb.query("SELECT dyn FROM t WHERE dyn LIKE 's%'").rows
+        assert len(rows) == 150
+        assert all(isinstance(value, str) for (value,) in rows)
+
+    def test_text_equality_finds_single_row(self, sdb):
+        rows = sdb.query("SELECT n FROM t WHERE dyn = 's2'").rows
+        assert rows == [(2,)]
+
+    def test_numeric_and_text_subsets_partition_the_table(self, sdb):
+        numeric = sdb.query("SELECT _id FROM t WHERE dyn >= 0").rows
+        text = sdb.query("SELECT _id FROM t WHERE dyn LIKE '%'").rows
+        assert len(numeric) + len(text) == 300
+        assert not set(numeric) & set(text)
+
+    def test_is_null_sees_extract_key_any(self, sdb):
+        # every row has *some* dyn value, so the untyped extraction is
+        # never NULL even though each typed extraction is NULL somewhere
+        rows = sdb.query("SELECT _id FROM t WHERE dyn IS NULL").rows
+        assert rows == []
+
+    def test_bare_projection_downcasts_to_text(self, sdb):
+        values = sdb.query("SELECT dyn FROM t").column(0)
+        assert len(values) == 300
+        assert all(isinstance(value, str) for value in values)
+
+    def test_dominant_type_is_per_table_not_global(self, sdb):
+        # the global dictionary knows k as both int and text (one per
+        # collection), but each table's dominant type only counts its own
+        # occurrences, so neither projection falls back to extract_key_any
+        sdb.create_collection("mono")
+        sdb.load("mono", [{"k": 1}, {"k": 2}])
+        sdb.create_collection("other")
+        sdb.load("other", [{"k": "text"}])
+        items = rewritten_items(sdb, "SELECT k FROM mono")
+        assert items[0].expr.name == "extract_key_num"
+        items = rewritten_items(sdb, "SELECT k FROM other")
+        assert items[0].expr.name == "extract_key_text"
+        # text context on the all-integer table extracts NULL on every row
+        assert sdb.query("SELECT k FROM mono WHERE k LIKE '%'").rows == []

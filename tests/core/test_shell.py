@@ -117,3 +117,60 @@ class TestSqlAndErrors:
         sh.sdb.load("t", [{"a": i} for i in range(150)])
         sh.run_line("SELECT a FROM t")
         assert "first 100 shown" in output_of(out)
+
+
+class TestAnalysisCommands:
+    def test_lint_reports_diagnostics(self, shell):
+        sh, out, _tmp = shell
+        sh.run(["\\c t"])
+        sh.sdb.load("t", [{"a": 1}])
+        sh.run_line("\\lint SELECT missing_key FROM t")
+        text = output_of(out)
+        assert "SNW201" in text
+        assert "^" in text  # caret underline
+
+    def test_lint_clean_query(self, shell):
+        sh, out, _tmp = shell
+        sh.run(["\\c t"])
+        sh.sdb.load("t", [{"a": 1}])
+        sh.run_line("\\lint SELECT a FROM t")
+        assert "no diagnostics" in output_of(out)
+
+    def test_semantic_error_renders_with_caret(self, shell):
+        sh, out, _tmp = shell
+        sh.run(["\\c t"])
+        sh.sdb.load("t", [{"a": 1}])
+        sh.run_line("SELECT frobnicate(a) FROM t")
+        text = output_of(out)
+        assert "SNW104" in text
+        assert "^" in text
+
+    def test_warning_printed_after_rows(self, shell):
+        sh, out, _tmp = shell
+        sh.run(["\\c t"])
+        sh.sdb.load("t", [{"a": 1}])
+        sh.run_line("SELECT missing_key FROM t")
+        text = output_of(out)
+        assert "(1 rows)" in text
+        assert "SNW201" in text
+
+    def test_check_clean_table(self, shell):
+        sh, out, _tmp = shell
+        sh.run(["\\c t"])
+        sh.sdb.load("t", [{"a": 1}])
+        sh.run_line("\\check")
+        assert "check 't': 1 row(s) scanned, ok" in output_of(out)
+
+    def test_check_reports_seeded_corruption(self, shell):
+        sh, out, _tmp = shell
+        sh.run(["\\c t"])
+        sh.sdb.load("t", [{"a": 1}, {"a": 2}])
+        sh.sdb.catalog.table("t").n_documents += 3
+        sh.run_line("\\check t")
+        text = output_of(out)
+        assert "SNW305" in text
+
+    def test_check_without_collections(self, shell):
+        sh, out, _tmp = shell
+        sh.run_line("\\check")
+        assert "no collections to check" in output_of(out)

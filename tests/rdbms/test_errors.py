@@ -1,0 +1,77 @@
+"""Tests for the uniform error hierarchy (position/context formatting)."""
+
+import pytest
+
+from repro.analysis.diagnostics import Severity, error, warning
+from repro.rdbms.errors import (
+    CatalogError,
+    ConcurrencyError,
+    DatabaseError,
+    DiskFullError,
+    ExecutionError,
+    PlanningError,
+    SemanticError,
+    SqlSyntaxError,
+    TransactionError,
+    TypeCastError,
+)
+
+ALL_ERRORS = [
+    CatalogError,
+    ConcurrencyError,
+    DatabaseError,
+    ExecutionError,
+    PlanningError,
+    SqlSyntaxError,
+    TransactionError,
+    TypeCastError,
+]
+
+
+class TestUniformFields:
+    @pytest.mark.parametrize("cls", ALL_ERRORS)
+    def test_accepts_position_and_context(self, cls):
+        exc = cls("boom", position=4, context="while testing")
+        assert exc.position == 4
+        assert exc.context == "while testing"
+        assert str(exc) == "boom (at position 4) [while testing]"
+
+    @pytest.mark.parametrize("cls", ALL_ERRORS)
+    def test_plain_message_unchanged(self, cls):
+        assert str(cls("boom")) == "boom"
+        assert cls("boom").position is None
+
+    def test_position_only(self):
+        assert str(SqlSyntaxError("bad token", position=7)) == (
+            "bad token (at position 7)"
+        )
+
+    def test_disk_full_keeps_budget_fields(self):
+        exc = DiskFullError(used_bytes=10, budget_bytes=5)
+        assert exc.used_bytes == 10
+        assert exc.budget_bytes == 5
+        assert "10 bytes used" in str(exc)
+
+
+class TestSemanticError:
+    def test_first_error_drives_message_and_position(self):
+        diagnostics = (
+            warning("SNW201", "later warning", span=(30, 35)),
+            error("SNW104", "no such function: f()", span=(7, 10)),
+            error("SNW102", "no such column: 'x'", span=(12, 13)),
+        )
+        exc = SemanticError(diagnostics)
+        assert exc.diagnostics == diagnostics
+        assert exc.position == 7
+        assert "SNW104" in str(exc)
+        assert "+1 more" in str(exc)
+
+    def test_is_planning_error(self):
+        exc = SemanticError((error("SNW101", "no such table", span=(0, 1)),))
+        assert isinstance(exc, PlanningError)
+        assert isinstance(exc, DatabaseError)
+
+    def test_severity_helpers(self):
+        diag = error("SNW101", "x")
+        assert diag.severity is Severity.ERROR
+        assert diag.is_error

@@ -67,3 +67,27 @@ class TestErrors:
         with pytest.raises(SqlSyntaxError) as info:
             tokenize("SELECT @")
         assert info.value.position == 7
+
+
+class TestTokenSpans:
+    def test_every_token_spans_its_source_text(self):
+        sql = "SELECT a, \"q.k\" FROM t WHERE b >= 'x y' AND n = 1.5"
+        for token in tokenize(sql)[:-1]:
+            start, end = token.span
+            assert 0 <= start < end <= len(sql)
+            if token.type in (TokenType.STRING, TokenType.QIDENT):
+                # quoted forms: the span covers the quotes too
+                assert sql[start] in "'\""
+                assert sql[end - 1] in "'\""
+            else:
+                assert sql[start:end].lower() == token.value
+
+    def test_eof_token_span(self):
+        tokens = tokenize("SELECT 1")
+        assert tokens[-1].span == (8, 8)
+
+    def test_string_span_starts_at_quote(self):
+        sql = "SELECT 'hello'"
+        token = tokenize(sql)[1]
+        assert token.span == (7, 14)
+        assert token.position == 7

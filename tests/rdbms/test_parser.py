@@ -249,3 +249,35 @@ class TestErrors:
     def test_non_keyword_start(self):
         with pytest.raises(SqlSyntaxError):
             parse("42")
+
+
+class TestExpressionSpans:
+    def test_comparison_span_covers_predicate(self):
+        sql = "SELECT url FROM t WHERE hits > 20"
+        statement = parse(sql)
+        start, end = statement.where.span
+        assert sql[start:end] == "hits > 20"
+
+    def test_column_ref_span(self):
+        sql = "SELECT url FROM t"
+        statement = parse(sql)
+        start, end = statement.items[0].expr.span
+        assert sql[start:end] == "url"
+
+    def test_function_call_span(self):
+        sql = "SELECT length(url) FROM t"
+        statement = parse(sql)
+        start, end = statement.items[0].expr.span
+        assert sql[start:end] == "length(url)"
+
+    def test_table_ref_span(self):
+        sql = "SELECT a FROM long_table_name"
+        statement = parse(sql)
+        start, end = statement.from_tables[0].span
+        assert sql[start:end] == "long_table_name"
+
+    def test_spans_do_not_affect_equality(self):
+        with_span = parse("SELECT a FROM t WHERE a = 1")
+        spaced = parse("SELECT  a  FROM t WHERE  a  =  1")
+        assert with_span.where == spaced.where
+        assert hash(with_span.where) == hash(spaced.where)
