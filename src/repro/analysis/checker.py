@@ -19,8 +19,11 @@ this module audits the whole set after the fact, the way a relational
   impossible under correct maintenance -- is an error;
 * **SNW302** a column marked materialized-and-clean has no residue left in
   the reservoir (the mover removes values as it copies them out);
-* **SNW306** a column marked materialized has its physical column present
-  in the table schema;
+* **SNW306** a column marked materialized *and clean* has its physical
+  column present in the table schema (a **dirty** materialized column
+  without one is a legal mid-flight state: the materializer allocates the
+  physical column in its first step, and until the dirty bit clears every
+  query goes through the ``COALESCE(physical, extract(...))`` fallback);
 * **SNW305** the catalog's document count agrees with the number of live
   heap rows (same stale-high rule as SNW301).
 
@@ -37,6 +40,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
+from ..rdbms.types import SqlType
 from . import diagnostics as d
 from .diagnostics import Diagnostic, Severity
 
@@ -123,6 +127,21 @@ def _document_attribute_ids(data: bytes) -> tuple[int, ...]:
     return struct.unpack_from(f"<{n}I", data, 4) if n else ()
 
 
+def _document_attributes(data: bytes) -> Iterable[tuple[int, bytes]]:
+    """Yield ``(attr_id, raw_value)`` for every top-level attribute.
+
+    Assumes the header already passed :func:`validate_document`.
+    """
+    (n,) = _U32.unpack_from(data, 0)
+    if not n:
+        return
+    ids = struct.unpack_from(f"<{n}I", data, 4)
+    offsets = struct.unpack_from(f"<{n + 1}I", data, 4 + 4 * n)
+    body = 4 + 4 * n + 4 * (n + 1)
+    for index, attr_id in enumerate(ids):
+        yield attr_id, bytes(data[body + offsets[index]: body + offsets[index + 1]])
+
+
 class IntegrityChecker:
     """Audits one or more Sinew tables against the catalog."""
 
@@ -193,30 +212,76 @@ class _CheckRun:
                     f"row {rid}: {problem}",
                 )
             else:
-                for attr_id in _document_attribute_ids(bytes(data)):
-                    if attr_id in known_ids:
-                        reservoir_counts[attr_id] += 1
-                    else:
-                        self._emit(
-                            d.UNKNOWN_ATTR_ID,
-                            Severity.ERROR,
-                            f"row {rid}: document references attribute id "
-                            f"{attr_id}, which is not in the global "
-                            "dictionary",
-                        )
+                self._count_reservoir(
+                    bytes(data), rid, known_ids, reservoir_counts
+                )
             for attr_id, position in physical_positions.items():
-                if row[position] is not None:
-                    physical_counts[attr_id] += 1
+                cell = row[position]
+                if cell is None:
+                    continue
+                physical_counts[attr_id] += 1
+                # a materialized nested document still carries its
+                # sub-attributes inside the moved bytes -- count them too
+                if (
+                    attr_id in known_ids
+                    and checker.catalog.attribute(attr_id).key_type
+                    is SqlType.BYTEA
+                    and isinstance(cell, (bytes, bytearray))
+                    and validate_document(cell) is None
+                ):
+                    self._count_reservoir(
+                        bytes(cell), rid, known_ids, reservoir_counts
+                    )
 
         self._check_states(
-            states, known_ids, reservoir_counts, physical_counts
+            states,
+            known_ids,
+            reservoir_counts,
+            physical_counts,
+            physical_positions,
         )
         self._check_rowcount(table_catalog)
 
     # ------------------------------------------------------------------
 
+    def _count_reservoir(
+        self,
+        data: bytes,
+        rid: int,
+        known_ids: set[int],
+        reservoir_counts: Counter[int],
+    ) -> None:
+        """Tally attribute occurrences, descending into nested documents.
+
+        The loader counts sub-attributes of nested objects (their dotted
+        key names live in the global dictionary), so the audit must count
+        them the same way or every nested key would read as stale-high.
+        """
+        catalog = self.checker.catalog
+        for attr_id, raw in _document_attributes(data):
+            if attr_id not in known_ids:
+                self._emit(
+                    d.UNKNOWN_ATTR_ID,
+                    Severity.ERROR,
+                    f"row {rid}: document references attribute id "
+                    f"{attr_id}, which is not in the global "
+                    "dictionary",
+                )
+                continue
+            reservoir_counts[attr_id] += 1
+            if (
+                catalog.attribute(attr_id).key_type is SqlType.BYTEA
+                and validate_document(raw) is None
+            ):
+                self._count_reservoir(raw, rid, known_ids, reservoir_counts)
+
     def _check_states(
-        self, states, known_ids, reservoir_counts, physical_counts
+        self,
+        states,
+        known_ids,
+        reservoir_counts,
+        physical_counts,
+        physical_positions,
     ) -> None:
         catalog = self.checker.catalog
         for state in states:
@@ -231,13 +296,17 @@ class _CheckRun:
             attribute = catalog.attribute(state.attr_id)
             label = f"{attribute.key_name!r} ({attribute.key_type.value})"
 
-            if state.materialized and state.attr_id not in physical_counts:
+            if (
+                state.materialized
+                and not state.dirty
+                and state.attr_id not in physical_positions
+            ):
                 self._emit(
                     d.MISSING_PHYSICAL_COLUMN,
                     Severity.ERROR,
-                    f"column {label} is marked materialized but its physical "
-                    f"column {state.physical_name!r} is not in the table "
-                    "schema",
+                    f"column {label} is marked materialized and clean but "
+                    f"its physical column {state.physical_name!r} is not in "
+                    "the table schema",
                 )
             if (
                 state.materialized

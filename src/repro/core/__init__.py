@@ -7,6 +7,7 @@ The pieces map one-to-one onto Figure 1 of the paper:
 * :mod:`repro.core.loader` -- bulk loader (section 3.2.1)
 * :mod:`repro.core.schema_analyzer` -- materialization policy (3.1.3)
 * :mod:`repro.core.materializer` -- incremental column moves (3.1.4)
+* :mod:`repro.core.background` -- the background materializer daemon (3.1.4)
 * :mod:`repro.core.rewriter` -- logical-to-physical SQL rewriting (3.2.2)
 * :mod:`repro.core.text_index` -- inverted index / matches() (4.3)
 * :mod:`repro.core.arrays` -- array storage strategies (4.2)
@@ -14,6 +15,7 @@ The pieces map one-to-one onto Figure 1 of the paper:
 """
 
 from .arrays import ArrayConfig, ArrayStorageManager, ArrayStrategy
+from .background import DaemonStatus, MaterializerDaemon, RecoveryReport
 from .catalog import Attribute, ColumnState, SinewCatalog, TableCatalog
 from .document import DocumentError, flatten, infer_sql_type, parse_document
 from .extractors import ReservoirExtractor
@@ -38,7 +40,10 @@ __all__ = [
     "Attribute",
     "ColumnMaterializer",
     "ColumnState",
+    "DaemonStatus",
     "DocumentError",
+    "MaterializerDaemon",
+    "RecoveryReport",
     "InvertedTextIndex",
     "LoadReport",
     "MaterializationPolicy",

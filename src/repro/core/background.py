@@ -1,0 +1,330 @@
+"""The background materializer daemon (paper sections 3.1.4 and 5).
+
+The paper describes column materialization as an *incremental,
+interruptible background process* that runs concurrently with the loader,
+serialized only by the catalog latch.  :class:`MaterializerDaemon` is that
+process: a worker thread that repeatedly takes bounded
+:meth:`~repro.core.materializer.ColumnMaterializer.step` slices over every
+collection with dirty columns, blocking on the latch so foreground loads
+and the daemon take turns instead of failing.
+
+Lifecycle
+---------
+``idle -> running <-> paused -> stopped`` via :meth:`start`, :meth:`pause`,
+:meth:`resume`, :meth:`stop`.  Any exception escaping the work loop moves
+the daemon to ``crashed`` (recorded in ``last_error``) *without cleanup*:
+whatever the catalog and heap held at that instant is the state recovery
+must cope with -- exactly how tests exercise crash safety through the
+fault-injection points (:mod:`repro.testing.faults`).
+
+Crash recovery
+--------------
+Restarting a crashed daemon first runs :meth:`recover`: every collection is
+re-scanned for ``dirty`` columns, their per-column progress cursors
+(persisted in the table catalog as
+:attr:`~repro.core.catalog.ColumnState.cursor`) are validated (a cursor
+beyond the current row horizon is reset so the column is conservatively
+re-scanned), and materialization resumes *mid-column*.  Recovery relies on
+two invariants maintained by the materializer and loader:
+
+1. every row move is atomic and removes the value from its source side, so
+   re-examining an already-moved row is a no-op;
+2. the dirty bit is cleared only after the cursor reaches the row horizon
+   under the latch, so a crash anywhere earlier leaves the column dirty and
+   the ``COALESCE(physical, extract(...))`` rewrite still answers queries
+   correctly.
+
+Together these make every crash point idempotent: re-running ``step``
+converges to the same clean state the uninterrupted run would have reached.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..rdbms.errors import ConcurrencyError
+from .catalog import SinewCatalog
+from .materializer import ColumnMaterializer
+
+#: Row budget of one materializer slice; small enough to yield the latch
+#: to a waiting loader frequently.
+DEFAULT_STEP_ROWS = 256
+
+#: How long the worker sleeps when no collection has dirty columns.
+DEFAULT_IDLE_SLEEP = 0.02
+
+
+@dataclass
+class DaemonStatus:
+    """Point-in-time snapshot of the daemon (``\\daemon`` / ``status()``)."""
+
+    state: str
+    steps: int
+    rows_examined: int
+    rows_moved: int
+    columns_completed: int
+    latch_waits: int
+    latch_timeouts: int
+    recoveries: int
+    last_error: str | None
+    backlog: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def idle(self) -> bool:
+        """True when no dirty columns remain anywhere."""
+        return not self.backlog
+
+    def lines(self) -> list[str]:
+        """Human-readable rendering (the shell's ``\\daemon`` output)."""
+        backlog = (
+            ", ".join(f"{t}({n})" for t, n in sorted(self.backlog.items()))
+            or "(empty)"
+        )
+        return [
+            f"state:        {self.state}",
+            f"steps:        {self.steps}",
+            f"rows moved:   {self.rows_moved} (examined {self.rows_examined})",
+            f"columns done: {self.columns_completed}",
+            f"latch waits:  {self.latch_waits} ({self.latch_timeouts} timeout(s))",
+            f"recoveries:   {self.recoveries}",
+            f"backlog:      {backlog}",
+            f"last error:   {self.last_error or '(none)'}",
+        ]
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`MaterializerDaemon.recover` found and fixed."""
+
+    dirty_columns: int = 0
+    cursors_clamped: int = 0
+    tables: list[str] = field(default_factory=list)
+
+
+class MaterializerDaemon:
+    """Worker thread driving :class:`ColumnMaterializer` incrementally."""
+
+    def __init__(
+        self,
+        materializer: ColumnMaterializer,
+        catalog: SinewCatalog,
+        collections: Callable[[], Iterable[str]],
+        *,
+        step_rows: int = DEFAULT_STEP_ROWS,
+        idle_sleep: float = DEFAULT_IDLE_SLEEP,
+    ):
+        self.materializer = materializer
+        self.catalog = catalog
+        self.collections = collections
+        self.step_rows = step_rows
+        self.idle_sleep = idle_sleep
+        #: optional FaultInjector; fires the ``daemon.*`` points
+        self.faults = None
+
+        self._thread: threading.Thread | None = None
+        self._stop_requested = threading.Event()
+        self._pause_requested = threading.Event()
+        self._wake = threading.Event()
+        self._lock = threading.Lock()
+
+        self.state = "idle"
+        self.steps = 0
+        self.rows_examined = 0
+        self.rows_moved = 0
+        self.columns_completed = 0
+        self.latch_timeouts = 0
+        self.recoveries = 0
+        self.last_error: str | None = None
+
+    # ------------------------------------------------------------------
+    # controls
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start (or restart) the worker thread.
+
+        Restarting after a crash runs :meth:`recover` first, resuming any
+        mid-column materialization from its persisted cursor.
+        """
+        if self.is_alive():
+            raise ConcurrencyError("materializer daemon is already running")
+        if self.state == "crashed":
+            self.recover()
+        self._stop_requested.clear()
+        self._wake.set()
+        # honour a pause requested before start: the worker comes up parked
+        self.state = "paused" if self._pause_requested.is_set() else "running"
+        self._thread = threading.Thread(
+            target=self._run, name="sinew-materializer", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Ask the worker to finish its current slice and exit."""
+        self._stop_requested.set()
+        self._wake.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            if thread.is_alive():  # pragma: no cover - defensive
+                raise ConcurrencyError("materializer daemon did not stop in time")
+        if self.state not in ("crashed",):
+            self.state = "stopped"
+
+    def pause(self) -> None:
+        """Suspend work after the current slice (the latch is not held
+        between slices, so a paused daemon never blocks the loader)."""
+        self._pause_requested.set()
+        if self.state == "running":
+            self.state = "paused"
+
+    def resume(self) -> None:
+        self._pause_requested.clear()
+        self._wake.set()
+        if self.state == "paused":
+            self.state = "running"
+
+    def kick(self) -> None:
+        """Wake an idle worker (called after loads dirty new columns)."""
+        self._wake.set()
+
+    def is_alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Re-scan dirty columns and validate their progress cursors.
+
+        Idempotent and cheap (catalog-only): cursors past the current row
+        horizon are reset for a conservative full re-scan, stale cursors on
+        clean columns are cleared, and
+        every dirty column is counted so the restarted worker knows its
+        backlog.  The actual data repair is the normal ``step`` loop --
+        see the module docstring for why resuming is always safe.
+        """
+        report = RecoveryReport()
+        for table_name in list(self.collections()):
+            table = self.materializer.db.table(table_name)
+            horizon = table.allocated_rids
+            touched = False
+            for state in self.catalog.table(table_name).columns.values():
+                if state.dirty:
+                    report.dirty_columns += 1
+                    touched = True
+                    if state.cursor > horizon:
+                        # a cursor beyond the row horizon can no longer be
+                        # trusted: conservatively re-scan from the start
+                        # (row moves are idempotent, so this is always safe)
+                        state.cursor = 0
+                        report.cursors_clamped += 1
+                elif state.cursor:
+                    state.cursor = 0
+                    report.cursors_clamped += 1
+            if touched:
+                report.tables.append(table_name)
+        with self._lock:
+            self.recoveries += 1
+            self.last_error = None
+        return report
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+
+    def backlog(self) -> dict[str, int]:
+        """Dirty-column count per collection (empty when fully settled)."""
+        out: dict[str, int] = {}
+        for table_name in list(self.collections()):
+            n = len(self.catalog.table(table_name).dirty_columns())
+            if n:
+                out[table_name] = n
+        return out
+
+    def status(self) -> DaemonStatus:
+        with self._lock:
+            return DaemonStatus(
+                state=self.state,
+                steps=self.steps,
+                rows_examined=self.rows_examined,
+                rows_moved=self.rows_moved,
+                columns_completed=self.columns_completed,
+                latch_waits=self.catalog.latch_stats.waits,
+                latch_timeouts=self.latch_timeouts,
+                recoveries=self.recoveries,
+                last_error=self.last_error,
+                backlog=self.backlog(),
+            )
+
+    def wait_until_idle(self, timeout: float = 10.0) -> bool:
+        """Block until no dirty columns remain (or the daemon dies).
+
+        Returns True when the backlog drained; False on timeout or crash.
+        Intended for tests and synchronization points like shutdown.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if not self.backlog():
+                return True
+            if not self.is_alive():
+                return False
+            time.sleep(0.005)
+        return False
+
+    # ------------------------------------------------------------------
+    # the worker loop
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            while not self._stop_requested.is_set():
+                if self._pause_requested.is_set():
+                    self._wake.wait(0.05)
+                    self._wake.clear()
+                    continue
+                worked = self._sweep()
+                if not worked and not self._stop_requested.is_set():
+                    self._wake.wait(self.idle_sleep)
+                    self._wake.clear()
+        except BaseException as error:  # crash: freeze state, no cleanup
+            with self._lock:
+                self.state = "crashed"
+                self.last_error = f"{type(error).__name__}: {error}"
+            return
+        with self._lock:
+            if self.state != "crashed":
+                self.state = "stopped"
+
+    def _sweep(self) -> bool:
+        """One pass over every collection; returns True if progress was made."""
+        worked = False
+        for table_name in list(self.collections()):
+            if self._stop_requested.is_set() or self._pause_requested.is_set():
+                break
+            if not self.catalog.table(table_name).dirty_columns():
+                continue
+            if self.faults is not None:
+                self.faults.fire("daemon.before_step", table=table_name)
+            try:
+                report = self.materializer.step(table_name, self.step_rows)
+            except ConcurrencyError:
+                # Latch timeout: the loader is busy; yield and retry later.
+                with self._lock:
+                    self.latch_timeouts += 1
+                continue
+            with self._lock:
+                self.steps += 1
+                self.rows_examined += report.rows_examined
+                self.rows_moved += report.rows_moved
+                self.columns_completed += len(report.columns_completed)
+            if self.faults is not None:
+                self.faults.fire("daemon.after_step", table=table_name)
+            worked = worked or bool(
+                report.rows_examined or report.columns_completed
+            )
+        return worked

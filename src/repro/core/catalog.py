@@ -20,12 +20,31 @@ latch in the catalog" -- section 3.1.4).
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
 from ..rdbms.errors import CatalogError, ConcurrencyError
 from ..rdbms.types import SqlType
+
+#: Default bound on how long a blocking latch acquisition may wait before
+#: giving up with a clear :class:`ConcurrencyError` (seconds).
+DEFAULT_LATCH_TIMEOUT = 10.0
+
+
+@dataclass
+class LatchStats:
+    """Accounting for the loader/materializer latch (``\\daemon`` surface)."""
+
+    acquisitions: int = 0
+    #: acquisitions that found the latch held and had to block
+    waits: int = 0
+    wait_seconds: float = 0.0
+    #: blocking acquisitions that gave up after their timeout
+    timeouts: int = 0
+    #: non-blocking acquisitions that failed immediately
+    contentions: int = 0
 
 
 @dataclass(frozen=True)
@@ -48,6 +67,11 @@ class ColumnState:
     #: physical column name once materialized (usually the key name; may be
     #: suffixed on a name/type collision).
     physical_name: str | None = None
+    #: materializer progress cursor: next rid to examine while this column
+    #: is dirty.  Lives in the catalog (not the materializer) so a crashed
+    #: materialization resumes mid-column on restart (section 3.1.4's
+    #: interruptible background process).
+    cursor: int = 0
     #: queries that referenced this attribute since the last analyzer pass
     #: (the "query patterns" input of section 3.1.3; the rewriter maintains
     #: it, the analyzer consumes and resets it).
@@ -90,6 +114,9 @@ class SinewCatalog:
         self._next_id = 1
         self.tables: dict[str, TableCatalog] = {}
         self._latch = threading.Lock()
+        self.latch_stats = LatchStats()
+        #: owner label while the latch is held (status/debugging surface)
+        self.latch_owner: str | None = None
 
     # ------------------------------------------------------------------
     # global attribute dictionary
@@ -175,17 +202,51 @@ class SinewCatalog:
     # ------------------------------------------------------------------
 
     @contextmanager
-    def exclusive_latch(self, owner: str):
-        """Mutual exclusion between the loader and the materializer."""
+    def exclusive_latch(
+        self,
+        owner: str,
+        *,
+        blocking: bool = True,
+        timeout: float = DEFAULT_LATCH_TIMEOUT,
+    ):
+        """Mutual exclusion between the loader and the materializer.
+
+        By default acquisition **waits** (bounded by ``timeout`` seconds)
+        when the other of loader/materializer holds the latch -- the paper's
+        concurrent-but-mutually-exclusive protocol.  ``blocking=False``
+        keeps the old fail-fast mode (raise immediately on contention),
+        which tests use to assert the exclusion itself.
+
+        Raises :class:`ConcurrencyError` on contention (non-blocking) or on
+        timeout (blocking); the latch is *always* released on exception
+        unwind inside the body, so a crash while holding it can never wedge
+        the system.
+        """
         acquired = self._latch.acquire(blocking=False)
         if not acquired:
-            raise ConcurrencyError(
-                f"catalog latch is held; {owner} must wait for the other of "
-                "loader/materializer to finish"
-            )
+            if not blocking:
+                self.latch_stats.contentions += 1
+                raise ConcurrencyError(
+                    f"catalog latch is held by {self.latch_owner or 'unknown'}; "
+                    f"{owner} must wait for the other of loader/materializer "
+                    "to finish"
+                )
+            self.latch_stats.waits += 1
+            started = time.monotonic()
+            acquired = self._latch.acquire(timeout=timeout)
+            self.latch_stats.wait_seconds += time.monotonic() - started
+            if not acquired:
+                self.latch_stats.timeouts += 1
+                raise ConcurrencyError(
+                    f"{owner} timed out after {timeout:.3f}s waiting for the "
+                    f"catalog latch (held by {self.latch_owner or 'unknown'})"
+                )
+        self.latch_stats.acquisitions += 1
+        self.latch_owner = owner
         try:
             yield
         finally:
+            self.latch_owner = None
             self._latch.release()
 
     # ------------------------------------------------------------------
@@ -227,12 +288,19 @@ class SinewCatalog:
                         ("count", T.INTEGER),
                         ("materialized", T.BOOLEAN),
                         ("dirty", T.BOOLEAN),
+                        ("cursor", T.INTEGER),
                     ],
                 )
             db.insert_rows(
                 reflected,
                 [
-                    (state.attr_id, state.count, state.materialized, state.dirty)
+                    (
+                        state.attr_id,
+                        state.count,
+                        state.materialized,
+                        state.dirty,
+                        state.cursor,
+                    )
                     for state in table.columns.values()
                 ],
             )

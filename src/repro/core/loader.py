@@ -13,7 +13,18 @@ A load is two steps:
    their physical columns in the background.
 
 The loader takes the catalog latch, so it can never run concurrently with
-the materializer (section 3.1.4).
+the materializer (section 3.1.4); acquisition *blocks* (bounded by
+``latch_timeout``) so a loader arriving while the background materializer
+holds the latch waits its turn instead of failing.
+
+Crash safety: catalog mutations (dirty flags, occurrence counts, the
+document count) are published **before** the heap insert, and counts are
+allowed to run stale-high (`SNW301`/`SNW305` treat that as a warning).  A
+crash at any of the ``loader.*`` / ``storage.write_row`` injection points
+therefore leaves `SinewDB.check()` free of errors: either the rows are
+absent and the catalog over-counts (warning), or the rows are present and
+every affected materialized column is already marked dirty, so queries
+fall back to the ``COALESCE(physical, extract(...))`` path.
 """
 
 from __future__ import annotations
@@ -24,7 +35,7 @@ from typing import Any, Iterable, Mapping
 from ..rdbms.database import Database
 from ..rdbms.types import SqlType
 from . import serializer
-from .catalog import SinewCatalog
+from .catalog import DEFAULT_LATCH_TIMEOUT, SinewCatalog
 from .document import infer_sql_type, parse_document
 
 #: Fixed physical columns every Sinew table starts with.
@@ -48,6 +59,11 @@ class SinewLoader:
     def __init__(self, db: Database, catalog: SinewCatalog):
         self.db = db
         self.catalog = catalog
+        #: optional FaultInjector (duck-typed); see repro.testing.faults
+        self.faults = None
+        #: latch acquisition mode: wait (bounded) for the materializer
+        self.latch_blocking = True
+        self.latch_timeout = DEFAULT_LATCH_TIMEOUT
 
     def serialize_document(
         self,
@@ -87,6 +103,8 @@ class SinewLoader:
         for element in values:
             if isinstance(element, dict):
                 out.append(self.serialize_document(element, prefix=f"{dotted}."))
+            elif isinstance(element, (list, tuple)):
+                out.append(self._normalise_array(element, dotted))
             else:
                 out.append(element)
         return out
@@ -110,7 +128,9 @@ class SinewLoader:
         data_position = schema.position_of(RESERVOIR_COLUMN)
         attributes_before = len(self.catalog)
 
-        with self.catalog.exclusive_latch("loader"):
+        with self.catalog.exclusive_latch(
+            "loader", blocking=self.latch_blocking, timeout=self.latch_timeout
+        ):
             rows: list[tuple] = []
             counts: dict[int, int] = {}
             next_id = table_catalog.n_documents
@@ -124,14 +144,13 @@ class SinewLoader:
                 next_id += 1
                 report.n_documents += 1
                 report.serialized_bytes += len(serialized)
-            for attr_id, occurrences in counts.items():
-                table_catalog.state(attr_id).count += occurrences
-            self.db.insert_rows(table_name, rows)
-            table_catalog.n_documents = next_id
 
-            # Newly loaded values live only in the reservoir: every
-            # materialized column is now dirty until the materializer
-            # catches up (section 3.2.1).
+            # Crash-safe ordering: publish every catalog mutation *before*
+            # touching the heap.  Newly loaded values live only in the
+            # reservoir, so every materialized column must be dirty by the
+            # time its rows are visible (section 3.2.1); counts and the
+            # document tally may only ever run stale-HIGH after a crash,
+            # which the integrity checker treats as a warning, not an error.
             if report.n_documents:
                 for state in table_catalog.materialized_columns():
                     if not state.dirty:
@@ -139,6 +158,15 @@ class SinewLoader:
                     report.dirtied_columns.append(
                         self.catalog.attribute(state.attr_id).key_name
                     )
+            for attr_id, occurrences in counts.items():
+                table_catalog.state(attr_id).count += occurrences
+            table_catalog.n_documents = next_id
+
+            if self.faults is not None:
+                self.faults.fire("loader.before_insert", table=table_name)
+            self.db.insert_rows(table_name, rows)
+            if self.faults is not None:
+                self.faults.fire("loader.after_insert", table=table_name)
 
         report.new_attributes = len(self.catalog) - attributes_before
         return report

@@ -14,7 +14,17 @@ over from the paper:
   transaction.
 * **Mutual exclusion with the loader** -- via the catalog latch, so that
   once the row cursor reaches the end of the table every value is in its
-  correct location and the dirty bit can be cleared.
+  correct location and the dirty bit can be cleared.  Acquisition blocks
+  (bounded) by default so the materializer and a concurrent loader take
+  turns instead of failing.
+* **Crash safety** -- the per-column progress cursor lives in the catalog
+  (:attr:`~repro.core.catalog.ColumnState.cursor`) and is advanced only
+  *after* each row move commits, so a crash at any instant leaves a state
+  from which re-running ``step`` converges: re-examining an already-moved
+  row is a no-op (the value is no longer on the source side).  The named
+  ``materializer.*`` fault-injection points (see
+  :mod:`repro.testing.faults`) let tests kill the process between any two
+  of these transitions.
 """
 
 from __future__ import annotations
@@ -25,7 +35,7 @@ from ..rdbms.database import Database
 from ..rdbms.errors import CatalogError
 from ..rdbms.storage import Column
 from ..rdbms.types import SqlType
-from .catalog import ColumnState, SinewCatalog
+from .catalog import DEFAULT_LATCH_TIMEOUT, ColumnState, SinewCatalog
 from .extractors import ReservoirExtractor
 from .loader import ID_COLUMN, RESERVOIR_COLUMN
 
@@ -46,8 +56,12 @@ class ColumnMaterializer:
         self.db = db
         self.catalog = catalog
         self.extractor = extractor
-        #: Resume cursors: (table, attr_id) -> next rid to examine.
-        self._cursors: dict[tuple[str, int], int] = {}
+        #: optional FaultInjector (duck-typed); tests attach one to crash
+        #: the process at the ``materializer.*`` injection points
+        self.faults = None
+        #: latch acquisition mode for :meth:`step`
+        self.latch_blocking = True
+        self.latch_timeout = DEFAULT_LATCH_TIMEOUT
 
     # ------------------------------------------------------------------
     # public API
@@ -66,7 +80,12 @@ class ColumnMaterializer:
         Returns a report; when no dirty column remains the report is empty.
         """
         report = MaterializerReport()
-        with self.catalog.exclusive_latch("materializer"):
+        with self.catalog.exclusive_latch(
+            "materializer",
+            blocking=self.latch_blocking,
+            timeout=self.latch_timeout,
+        ):
+            self._fire("materializer.before_step", table=table_name)
             budget = max_rows
             for state in self.pending(table_name):
                 if budget <= 0:
@@ -112,13 +131,14 @@ class ColumnMaterializer:
                     "no physical column"
                 )
             # Dematerialization finished earlier and column was dropped.
+            state.physical_name = None
+            state.cursor = 0
             state.dirty = False
             return 0
 
         data_position = table.schema.position_of(RESERVOIR_COLUMN)
         column_position = table.schema.position_of(physical_name)
-        cursor_key = (table_name, state.attr_id)
-        cursor = self._cursors.get(cursor_key, 0)
+        cursor = min(state.cursor, self._max_rid(table))
         examined = 0
         n_rids = self._max_rid(table)
 
@@ -126,21 +146,30 @@ class ColumnMaterializer:
             row = table.fetch(cursor)
             examined += 1
             if row is not None:
+                self._fire(
+                    "materializer.before_row_move",
+                    table=table_name, key=attribute.key_name, rid=cursor,
+                )
                 moved = self._move_row_value(
                     table, cursor, row, state, attribute.key_type,
                     data_position, column_position,
                 )
                 if moved:
                     report.rows_moved += 1
+                self._fire(
+                    "materializer.after_row_move",
+                    table=table_name, key=attribute.key_name, rid=cursor,
+                )
             cursor += 1
-        self._cursors[cursor_key] = cursor
+            # Persist progress after every committed row move so a crash
+            # resumes mid-column instead of restarting it.
+            state.cursor = cursor
         report.rows_examined += examined
 
         if cursor >= n_rids:
             # Cursor reached the end under the latch: the column is clean.
             self._finish_column(table_name, state, attribute.key_name)
             report.columns_completed.append(attribute.key_name)
-            del self._cursors[cursor_key]
         return examined
 
     def _move_row_value(
@@ -153,32 +182,62 @@ class ColumnMaterializer:
         data_position: int,
         column_position: int,
     ) -> bool:
-        """Move one row's value to its correct location (atomic update)."""
+        """Move one row's value to its correct location (atomic update).
+
+        A dotted key whose ancestor object is itself materialized (section
+        4.2: a nested object stored as its own serialized column) may live
+        in that ancestor's physical cell rather than the reservoir, so the
+        move sources from -- and returns values to -- whichever side holds
+        the parent document for this row.
+        """
         attribute = self.catalog.attribute(state.attr_id)
         data = row[data_position]
+        host_position = self._ancestor_cell_position(table, attribute.key_name)
+        new_row = list(row)
         if state.materialized:
-            if data is None:
-                return False
-            value = self.extractor.extract_typed(data, attribute.key_name, key_type)
-            if value is None:
-                return False
-            new_data = self.extractor.remove_path(data, attribute.key_name, key_type)
-            new_row = list(row)
-            new_row[data_position] = new_data
+            value = None
+            if data is not None:
+                value = self.extractor.extract_typed(
+                    data, attribute.key_name, key_type
+                )
+            if value is not None:
+                new_row[data_position] = self.extractor.remove_path(
+                    data, attribute.key_name, key_type
+                )
+            else:
+                # not in the reservoir: the parent object may already have
+                # moved to its own physical column for this row
+                cell = row[host_position] if host_position is not None else None
+                if cell is None:
+                    return False
+                value = self.extractor.extract_typed(
+                    cell, attribute.key_name, key_type
+                )
+                if value is None:
+                    return False
+                new_row[host_position] = self.extractor.remove_path(
+                    cell, attribute.key_name, key_type
+                )
             new_row[column_position] = value
         else:
             value = row[column_position]
             if value is None:
                 return False
-            if data is None:
-                from . import serializer
+            cell = row[host_position] if host_position is not None else None
+            if cell is not None:
+                # the parent document lives in its physical column for this
+                # row; returning the value there keeps the nesting intact
+                new_row[host_position] = self.extractor.set_path(
+                    cell, attribute.key_name, key_type, value
+                )
+            else:
+                if data is None:
+                    from . import serializer
 
-                data = serializer.serialize([])
-            new_data = self.extractor.set_path(
-                data, attribute.key_name, key_type, value
-            )
-            new_row = list(row)
-            new_row[data_position] = new_data
+                    data = serializer.serialize([])
+                new_row[data_position] = self.extractor.set_path(
+                    data, attribute.key_name, key_type, value
+                )
             new_row[column_position] = None
         with self.db.txn_manager.autocommit() as txn:
             old = table.update(rid, tuple(new_row))
@@ -190,31 +249,73 @@ class ColumnMaterializer:
             )
         return True
 
+    def _ancestor_cell_position(self, table, key: str) -> int | None:
+        """Schema position of the nearest materialized ancestor's physical
+        column, or None when no ancestor object of ``key`` is materialized."""
+        if "." not in key:
+            return None
+        table_catalog = self.catalog.table(table.name)
+        parts = key.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:split])
+            parent_id = self.catalog.lookup_id(prefix, SqlType.BYTEA)
+            if parent_id is None:
+                continue
+            parent = table_catalog.columns.get(parent_id)
+            if (
+                parent is not None
+                and parent.materialized
+                and parent.physical_name
+                and parent.physical_name in table.schema
+            ):
+                return table.schema.position_of(parent.physical_name)
+        return None
+
     def _finish_column(self, table_name: str, state: ColumnState, key_name: str) -> None:
-        state.dirty = False
+        """Clear the dirty bit (and drop the source column when dematerializing).
+
+        Ordered so that a crash between any two statements leaves a state
+        ``step`` converges from: the dirty bit is cleared *last*, after the
+        physical side is consistent.
+        """
+        self._fire(
+            "materializer.before_clear_dirty", table=table_name, key=key_name
+        )
         if not state.materialized and state.physical_name:
             # Dematerialization complete: drop the now-empty physical column.
             self.db.table(table_name).drop_column(state.physical_name)
             state.physical_name = None
+        state.cursor = 0
+        state.dirty = False
 
     def _ensure_physical_column(self, table_name: str, state: ColumnState) -> None:
-        """ALTER TABLE ADD COLUMN for a newly materialized attribute."""
+        """ALTER TABLE ADD COLUMN for a newly materialized attribute.
+
+        Idempotent: the chosen name is recorded in the catalog *before* the
+        column is added, so a crash in between re-runs the ADD (not the
+        name allocation) on recovery.
+        """
         table = self.db.table(table_name)
-        if state.physical_name and state.physical_name in table.schema:
-            return
-        attribute = self.catalog.attribute(state.attr_id)
-        name = attribute.key_name
-        if name in (ID_COLUMN, RESERVOIR_COLUMN) or name in table.schema:
-            name = f"{name}__{attribute.key_type.value}"
-        if name in table.schema:
-            raise CatalogError(f"cannot allocate physical column name for {name!r}")
-        column_type = (
-            SqlType.BYTEA
-            if attribute.key_type is SqlType.BYTEA
-            else attribute.key_type
-        )
-        table.add_column(Column(name, column_type))
-        state.physical_name = name
+        if state.physical_name is None:
+            attribute = self.catalog.attribute(state.attr_id)
+            name = attribute.key_name
+            if name in (ID_COLUMN, RESERVOIR_COLUMN) or name in table.schema:
+                name = f"{name}__{attribute.key_type.value}"
+            if name in table.schema:
+                raise CatalogError(f"cannot allocate physical column name for {name!r}")
+            state.physical_name = name
+        if state.physical_name not in table.schema:
+            attribute = self.catalog.attribute(state.attr_id)
+            column_type = (
+                SqlType.BYTEA
+                if attribute.key_type is SqlType.BYTEA
+                else attribute.key_type
+            )
+            table.add_column(Column(state.physical_name, column_type))
+
+    def _fire(self, point: str, **context) -> None:
+        if self.faults is not None:
+            self.faults.fire(point, **context)
 
     @staticmethod
     def _max_rid(table) -> int:

@@ -35,6 +35,7 @@ from ..rdbms.sql.ast import (
 )
 from ..rdbms.sql.parser import parse
 from ..rdbms.types import SqlType
+from .background import DEFAULT_IDLE_SLEEP, DEFAULT_STEP_ROWS, MaterializerDaemon
 from .catalog import SinewCatalog
 from .extractors import ReservoirExtractor, register_extraction_udfs
 from .loader import ID_COLUMN, RESERVOIR_COLUMN, LoadReport, SinewLoader
@@ -62,6 +63,11 @@ class SinewConfig:
     #: execution, warnings (SNW2xx) attach to the result, and provably-NULL
     #: predicates are pruned before they cost extraction UDF calls
     analyze_queries: bool = True
+    #: row budget of one background-materializer slice (section 3.1.4);
+    #: smaller values yield the catalog latch to the loader more often
+    daemon_step_rows: int = DEFAULT_STEP_ROWS
+    #: how long the idle daemon sleeps between backlog checks (seconds)
+    daemon_idle_sleep: float = DEFAULT_IDLE_SLEEP
 
 
 class SinewDB:
@@ -77,6 +83,14 @@ class SinewDB:
         self.analyzer = SchemaAnalyzer(self.db, self.catalog, self.config.policy)
         self.materializer = ColumnMaterializer(self.db, self.catalog, self.extractor)
         self._collections: set[str] = set()
+        self.daemon = MaterializerDaemon(
+            self.materializer,
+            self.catalog,
+            self.collections,
+            step_rows=self.config.daemon_step_rows,
+            idle_sleep=self.config.daemon_idle_sleep,
+        )
+        self.faults = None
         self.text_index = InvertedTextIndex() if self.config.enable_text_index else None
         self._matches_cache: dict[tuple[str, str], set[int]] = {}
         register_extraction_udfs(self.db, self.extractor)
@@ -125,6 +139,8 @@ class SinewDB:
             for offset, document in enumerate(documents):
                 self.text_index.index_document(base + offset, parse_document(document))
         self._matches_cache.clear()
+        # a load dirties every materialized column: wake the daemon
+        self.daemon.kick()
         return report
 
     # ------------------------------------------------------------------
@@ -176,6 +192,63 @@ class SinewDB:
         """Analyzer + materializer + statistics refresh, in one call."""
         self.analyze_schema(table_name)
         self.run_materializer(table_name)
+
+    # ------------------------------------------------------------------
+    # background daemon (the paper's concurrent materialization process)
+    # ------------------------------------------------------------------
+
+    def start_daemon(self) -> None:
+        """Run the column materializer on a background worker thread.
+
+        Restarting after a crash performs cursor recovery first (see
+        :class:`~repro.core.background.MaterializerDaemon`).
+        """
+        self.daemon.start()
+
+    def stop_daemon(self) -> None:
+        self.daemon.stop()
+
+    def status(self) -> dict[str, Any]:
+        """One-call health snapshot: collections, daemon, latch.
+
+        The daemon block carries the section 3.1.4 observables (rows
+        moved, steps, latch waits, last error); the latch block exposes
+        the loader/materializer contention counters.
+        """
+        from dataclasses import asdict
+
+        collections = {}
+        for name in self.collections():
+            table_catalog = self.catalog.table(name)
+            collections[name] = {
+                "documents": table_catalog.n_documents,
+                "attributes": len(table_catalog.columns),
+                "materialized": len(table_catalog.materialized_columns()),
+                "dirty": len(table_catalog.dirty_columns()),
+            }
+        latch = self.catalog.latch_stats
+        return {
+            "name": self.name,
+            "collections": collections,
+            "daemon": asdict(self.daemon.status()),
+            "latch": {
+                "acquisitions": latch.acquisitions,
+                "waits": latch.waits,
+                "wait_seconds": latch.wait_seconds,
+                "timeouts": latch.timeouts,
+                "contentions": latch.contentions,
+                "holder": self.catalog.latch_owner,
+            },
+        }
+
+    def attach_faults(self, injector: Any) -> None:
+        """Thread a :class:`~repro.testing.faults.FaultInjector` through the
+        loader, materializer, daemon, and storage engine (None detaches)."""
+        self.faults = injector
+        self.loader.faults = injector
+        self.materializer.faults = injector
+        self.daemon.faults = injector
+        self.db.attach_faults(injector)
 
     def logical_schema(self, table_name: str) -> list[tuple[str, SqlType, str]]:
         """The user-facing universal relation: (key, type, storage) rows."""

@@ -126,6 +126,8 @@ class Database:
         self.tables: dict[str, HeapTable] = {}
         self.table_stats: dict[str, TableStats] = {}
         self._session_txn: Transaction | None = None
+        #: optional FaultInjector threaded into every heap table
+        self._faults = None
 
     # ------------------------------------------------------------------
     # DDL / catalog
@@ -144,8 +146,16 @@ class Database:
             self.disk,
             null_model=self.config.null_model,
         )
+        table.faults = self._faults
         self.tables[name] = table
         return table
+
+    def attach_faults(self, injector) -> None:
+        """Thread a fault injector (see :mod:`repro.testing.faults`) into
+        every existing and future heap table; ``None`` detaches."""
+        self._faults = injector
+        for table in self.tables.values():
+            table.faults = injector
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         if name not in self.tables:

@@ -204,6 +204,10 @@ class HeapTable:
         self._rid_directory: list[tuple[int, int]] = []  # rid -> (page, slot)
         self.live_rows = 0
         self.total_bytes = 0
+        #: optional FaultInjector (duck-typed, see repro.testing.faults);
+        #: fires "storage.write_row" *before* a row write mutates the page,
+        #: so an injected crash never leaves a half-applied write.
+        self.faults = None
 
     # -- size accounting ----------------------------------------------------
 
@@ -221,6 +225,8 @@ class HeapTable:
 
     def insert(self, row: tuple) -> int:
         """Append a row, returning its row id."""
+        if self.faults is not None:
+            self.faults.fire("storage.write_row", table=self.name, op="insert")
         if len(row) != len(self.schema):
             raise ExecutionError(
                 f"row arity {len(row)} does not match schema arity "
@@ -241,6 +247,8 @@ class HeapTable:
 
     def update(self, rid: int, row: tuple) -> tuple:
         """Replace the row at ``rid`` in place; returns the old row."""
+        if self.faults is not None:
+            self.faults.fire("storage.write_row", table=self.name, op="update")
         page_no, slot_no = self._locate(rid)
         page = self.pages[page_no]
         old = page.slots[slot_no]

@@ -14,6 +14,8 @@ Meta-commands
 ``\\lint SQL``       semantic analysis only: diagnostics, no execution
 ``\\check [NAME]``   catalog/storage integrity audit (SNW3xx findings)
 ``\\settle NAME``    run the schema analyzer + column materializer
+``\\daemon [CMD]``   background materializer: status (default), start,
+                    stop, pause, resume
 ``\\catalog``        reflect + dump the attribute dictionary
 ``\\q``              quit
 ==================  ====================================================
@@ -146,6 +148,9 @@ class SinewShell:
                 f"{moved.rows_moved} values moved"
             )
             return
+        if command == "\\daemon":
+            self._daemon(arguments)
+            return
         if command == "\\catalog":
             self.sdb.sync_catalog()
             result = self.sdb.db.execute(
@@ -156,8 +161,34 @@ class SinewShell:
             return
         self._print(
             f"unknown meta-command {command!r}; "
-            "try \\d, \\c, \\load, \\lint, \\check, \\q"
+            "try \\d, \\c, \\load, \\lint, \\check, \\daemon, \\q"
         )
+
+    def _daemon(self, arguments: list[str]) -> None:
+        """``\\daemon [start|stop|pause|resume|status]`` -- default status."""
+        daemon = self.sdb.daemon
+        action = arguments[0] if arguments else "status"
+        if action == "start":
+            daemon.start()
+            self._print("daemon started")
+            return
+        if action == "stop":
+            daemon.stop()
+            self._print("daemon stopped")
+            return
+        if action == "pause":
+            daemon.pause()
+            self._print("daemon paused")
+            return
+        if action == "resume":
+            daemon.resume()
+            self._print("daemon resumed")
+            return
+        if action != "status":
+            self._print("usage: \\daemon [start|stop|pause|resume|status]")
+            return
+        for line in daemon.status().lines():
+            self._print(line)
 
     def _require(self, arguments: list[str], n: int, usage: str) -> None:
         if len(arguments) != n:

@@ -1,0 +1,15 @@
+"""Test-support subsystems (fault injection, deterministic schedules).
+
+Production code never imports this package at module load time; the
+components hold an optional ``faults`` attribute (duck-typed, default
+``None``) that tests populate with a :class:`~repro.testing.faults.FaultInjector`.
+"""
+
+from .faults import (  # noqa: F401
+    DaemonKilled,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    known_points,
+    register_point,
+)

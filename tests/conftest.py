@@ -1,0 +1,29 @@
+"""Shared test configuration: hypothesis profiles and the ``slow`` lane.
+
+Two lanes (mirrored in ``.github/workflows/ci.yml``):
+
+* the **default lane** excludes ``@pytest.mark.slow`` (see ``addopts`` in
+  pyproject.toml), so the tier-1 run stays fast and deterministic;
+* the **stress lane** runs ``pytest -m slow`` with the pinned ``ci``
+  hypothesis profile (``HYPOTHESIS_PROFILE=ci``): derandomized, fixed
+  example counts, no deadline -- identical example sequences on every run.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.register_profile("dev", deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis is an optional test dep
+    pass

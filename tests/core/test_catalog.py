@@ -85,14 +85,45 @@ class TestTableCatalog:
 
 
 class TestLatch:
-    def test_exclusion(self, catalog):
+    def test_exclusion_non_blocking(self, catalog):
         with catalog.exclusive_latch("loader"):
             with pytest.raises(ConcurrencyError):
-                with catalog.exclusive_latch("materializer"):
+                with catalog.exclusive_latch("materializer", blocking=False):
                     pass
         # released afterwards
         with catalog.exclusive_latch("materializer"):
             pass
+
+    def test_blocking_acquisition_times_out_with_clear_error(self, catalog):
+        with catalog.exclusive_latch("loader"):
+            with pytest.raises(ConcurrencyError, match="timed out.*loader"):
+                with catalog.exclusive_latch(
+                    "materializer", blocking=True, timeout=0.05
+                ):
+                    pass
+        assert catalog.latch_stats.timeouts == 1
+        assert catalog.latch_stats.waits == 1
+
+    def test_blocking_acquisition_waits_for_release(self, catalog):
+        import threading
+
+        release = threading.Event()
+        entered = threading.Event()
+
+        def holder():
+            with catalog.exclusive_latch("materializer"):
+                entered.set()
+                release.wait(5.0)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        assert entered.wait(5.0)
+        release.set()  # holder releases while we are blocked below
+        with catalog.exclusive_latch("loader", blocking=True, timeout=5.0):
+            pass
+        thread.join(5.0)
+        assert catalog.latch_stats.timeouts == 0
+        assert catalog.latch_owner is None
 
 
 class TestRdbmsReflection:

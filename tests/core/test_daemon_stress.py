@@ -1,0 +1,140 @@
+"""Concurrency stress: loader thread vs. daemon under injected crashes.
+
+A foreground loader thread streams batches while the background daemon
+materializes, with a *seeded* pseudo-random kill schedule armed across the
+daemon/materializer/loader injection points.  A controller restarts the
+daemon every time a kill lands (exercising :meth:`MaterializerDaemon.recover`
+end to end).  At the end:
+
+* ``SinewDB.check()`` reports no errors,
+* every confirmed batch is present exactly once (row counts match), and
+* SQL answers equal the storage-level ground truth.
+
+Deterministic per seed; run with ``pytest -m slow``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import SinewConfig, SinewDB
+from repro.rdbms.types import SqlType
+from repro.testing.faults import FaultInjector, InjectedFault
+
+pytestmark = pytest.mark.slow
+
+BATCHES = 24
+BATCH_SIZE = 8
+
+#: kill points for the seeded schedule.  ``loader.after_insert`` is armed
+#: too: its rows land *before* the fault, which the loader must account for.
+POOL = [
+    "daemon.before_step",
+    "daemon.after_step",
+    "materializer.before_step",
+    "materializer.before_row_move",
+    "materializer.after_row_move",
+    "materializer.before_clear_dirty",
+    "loader.before_insert",
+    "loader.after_insert",
+]
+
+
+def _batch(index):
+    return [
+        {"uid": index * BATCH_SIZE + i, "tag": f"b{index}", "n": i}
+        for i in range(BATCH_SIZE)
+    ]
+
+
+class _Loader(threading.Thread):
+    """Streams batches; retries batches whose insert provably rolled back."""
+
+    def __init__(self, sdb):
+        super().__init__(name="stress-loader")
+        self.sdb = sdb
+        self.confirmed = []  # uids that are durably in the heap
+        self.errors = []
+
+    def run(self):
+        try:
+            for index in range(BATCHES):
+                batch = _batch(index)
+                for _attempt in range(4):
+                    try:
+                        self.sdb.load("t", batch)
+                    except InjectedFault as fault:
+                        if fault.point == "loader.after_insert":
+                            # the heap write completed before the fault
+                            self.confirmed.extend(d["uid"] for d in batch)
+                            break
+                        continue  # rolled back: retry the same batch
+                    else:
+                        self.confirmed.extend(d["uid"] for d in batch)
+                        break
+                time.sleep(0.001)
+        except BaseException as error:  # pragma: no cover - surfaced below
+            self.errors.append(error)
+
+
+@pytest.mark.parametrize("seed", [11, 1234, 987654])
+def test_loader_and_daemon_survive_seeded_kill_schedule(seed):
+    sdb = SinewDB(
+        f"stress{seed}",
+        SinewConfig(daemon_step_rows=5, daemon_idle_sleep=0.001),
+    )
+    sdb.create_collection("t")
+    sdb.load("t", _batch(999))  # settled baseline rows (uids >= 7992)
+    sdb.materialize("t", "uid", SqlType.INTEGER)
+    sdb.materialize("t", "tag", SqlType.TEXT)
+    sdb.run_materializer("t")
+
+    injector = FaultInjector()
+    sdb.attach_faults(injector)
+    injector.schedule_from_seed(seed, POOL, n_faults=8, max_at=40)
+
+    loader = _Loader(sdb)
+    sdb.start_daemon()
+    loader.start()
+
+    restarts = 0
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if sdb.daemon.state == "crashed" and not sdb.daemon.is_alive():
+            restarts += 1
+            sdb.start_daemon()  # runs recover() first
+        if not loader.is_alive() and not sdb.daemon.backlog():
+            break
+        time.sleep(0.005)
+    loader.join(10)
+    assert not loader.is_alive(), "loader thread hung"
+    assert not loader.errors, loader.errors
+    # final drain: keep restarting until the backlog empties (late kills
+    # from the schedule may still land here)
+    drain_deadline = time.monotonic() + 30
+    while not sdb.daemon.wait_until_idle(20.0):
+        assert sdb.daemon.state == "crashed", "backlog stuck without a crash"
+        assert time.monotonic() < drain_deadline, "drain never converged"
+        sdb.start_daemon()
+        restarts += 1
+    sdb.stop_daemon()
+
+    # -- invariants -----------------------------------------------------
+    for report in sdb.check():
+        assert not report.errors, [str(f) for f in report.errors]
+    assert not sdb.catalog.table("t").dirty_columns()
+    assert sdb.daemon.recoveries == restarts
+
+    truth = sorted(doc["uid"] for _id, doc in sdb.documents("t"))
+    assert len(truth) == len(set(truth)), "duplicate rows after retries"
+    confirmed = sorted(loader.confirmed)
+    assert set(confirmed) <= set(truth), "confirmed batch lost"
+    baseline_uids = {d["uid"] for d in _batch(999)}
+    issued = {d["uid"] for i in range(BATCHES) for d in _batch(i)}
+    assert set(truth) <= issued | baseline_uids, "unknown rows appeared"
+
+    via_sql = sorted(
+        row[0] for row in sdb.query("SELECT uid FROM t").rows
+    )
+    assert via_sql == truth, "SQL answers diverge from storage ground truth"

@@ -1,0 +1,184 @@
+"""Differential fuzzing: SinewDB vs. the Postgres-JSON baseline.
+
+A seeded corpus of random documents is loaded into four stores -- the
+pgjson baseline plus three Sinew layouts (all-virtual, fully materialized,
+and dirty mid-materialization) -- and random predicates are executed
+against all four.  Whatever the physical layout, the answer multiset must
+be identical: column storage, the COALESCE rewrite for dirty columns, and
+the serialized reservoir are pure optimizations (paper section 3.1).
+
+Runs in the stress lane (``pytest -m slow``).
+"""
+
+import random
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import example, given, settings, strategies as st
+
+from repro.baselines.pgjson import PgJsonStore
+from repro.core import SinewDB
+from repro.rdbms.types import SqlType
+
+pytestmark = pytest.mark.slow
+
+# ---------------------------------------------------------------------------
+# the document corpus: fixed key pool, stable types, seeded randomness
+# ---------------------------------------------------------------------------
+
+TEXT_POOL = ["alpha", "beta", "gamma", "delta"]
+
+
+def _make_doc(rng):
+    doc = {}
+    if rng.random() < 0.9:
+        doc["a"] = rng.randint(0, 50)
+    if rng.random() < 0.7:
+        doc["s"] = rng.choice(TEXT_POOL)
+    if rng.random() < 0.6:
+        doc["flag"] = rng.random() < 0.5
+    if rng.random() < 0.5:
+        doc["c"] = round(rng.uniform(-5.0, 5.0), 3)
+    if rng.random() < 0.5:
+        doc["nested"] = {"k": rng.randint(0, 20)}
+    return doc
+
+
+_RNG = random.Random(20260806)
+DOCS = [_make_doc(_RNG) for _ in range(120)]
+
+
+@pytest.fixture(scope="module")
+def stores():
+    pg = PgJsonStore()
+    pg.create_collection("t")
+    pg.load("t", DOCS)
+
+    virtual = SinewDB("fuzz_virtual")
+    virtual.create_collection("t")
+    virtual.load("t", DOCS)
+
+    settled = SinewDB("fuzz_settled")
+    settled.create_collection("t")
+    settled.load("t", DOCS)
+    settled.materialize("t", "a", SqlType.INTEGER)
+    settled.materialize("t", "s", SqlType.TEXT)
+    settled.materialize("t", "flag", SqlType.BOOLEAN)
+    settled.materialize("t", "nested.k", SqlType.INTEGER)
+    settled.run_materializer("t")
+
+    dirty = SinewDB("fuzz_dirty")
+    dirty.create_collection("t")
+    dirty.load("t", DOCS)
+    dirty.materialize("t", "a", SqlType.INTEGER)
+    dirty.materialize("t", "s", SqlType.TEXT)
+    dirty.materializer_step("t", max_rows=len(DOCS) // 3)  # mid-move
+
+    return pg, {"virtual": virtual, "settled": settled, "dirty": dirty}
+
+
+# ---------------------------------------------------------------------------
+# the predicate generator: (sinew_sql, pgjson_sql) pairs
+# ---------------------------------------------------------------------------
+
+_COMPARISONS = st.sampled_from(["=", "<>", "<", "<=", ">", ">="])
+
+
+@st.composite
+def predicates(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        kind = draw(
+            st.sampled_from(["int", "real", "text", "flag", "nested", "null"])
+        )
+        if kind == "int":
+            op = draw(_COMPARISONS)
+            value = draw(st.integers(min_value=-5, max_value=55))
+            return f"a {op} {value}", f"json_get_num(data, 'a') {op} {value}"
+        if kind == "real":
+            op = draw(_COMPARISONS)
+            value = round(draw(st.floats(min_value=-6, max_value=6)), 2)
+            return f"c {op} {value}", f"json_get_num(data, 'c') {op} {value}"
+        if kind == "text":
+            value = draw(st.sampled_from(TEXT_POOL + ["mauve"]))
+            op = draw(st.sampled_from(["=", "<>"]))
+            return f"s {op} '{value}'", f"json_get_text(data, 's') {op} '{value}'"
+        if kind == "flag":
+            literal = draw(st.sampled_from(["true", "false"]))
+            return (
+                f"flag = {literal}",
+                f"json_get_bool(data, 'flag') = {literal}",
+            )
+        if kind == "nested":
+            op = draw(_COMPARISONS)
+            value = draw(st.integers(min_value=-2, max_value=22))
+            return (
+                f'"nested.k" {op} {value}',
+                f"json_get_num(data, 'nested.k') {op} {value}",
+            )
+        # null / existence checks (absence == SQL NULL on both engines)
+        key = draw(st.sampled_from(["a", "s", "c", "flag"]))
+        if draw(st.booleans()):
+            return f"{key} IS NULL", f"NOT json_exists(data, '{key}')"
+        return f"{key} IS NOT NULL", f"json_exists(data, '{key}')"
+    left = draw(predicates(depth=depth - 1))
+    combinator = draw(st.sampled_from(["AND", "OR", "NOT"]))
+    if combinator == "NOT":
+        return f"NOT ({left[0]})", f"NOT ({left[1]})"
+    right = draw(predicates(depth=depth - 1))
+    return (
+        f"({left[0]}) {combinator} ({right[0]})",
+        f"({left[1]}) {combinator} ({right[1]})",
+    )
+
+
+def _normalize(rows):
+    """Numbers compare as floats (json_get_num always yields REAL)."""
+    out = []
+    for row in rows:
+        out.append(
+            tuple(
+                float(cell)
+                if isinstance(cell, (int, float)) and not isinstance(cell, bool)
+                else cell
+                for cell in row
+            )
+        )
+    return sorted(out, key=repr)
+
+
+@given(predicate=predicates())
+@example(predicate=("a > 10", "json_get_num(data, 'a') > 10"))
+@example(predicate=("s IS NULL", "NOT json_exists(data, 's')"))
+@example(
+    predicate=(
+        '("nested.k" >= 5) AND (flag = true)',
+        "(json_get_num(data, 'nested.k') >= 5) AND (json_get_bool(data, 'flag') = true)",
+    )
+)
+@settings(max_examples=120, deadline=None)
+def test_all_layouts_agree_with_pgjson(stores, predicate):
+    sinew_pred, pg_pred = predicate
+    pg, layouts = stores
+    expected = _normalize(
+        pg.query(
+            "SELECT json_get_num(data, 'a'), json_get_text(data, 's') "
+            f"FROM t WHERE {pg_pred}"
+        ).rows
+    )
+    for layout, sdb in layouts.items():
+        got = _normalize(
+            sdb.query(f"SELECT a, s FROM t WHERE {sinew_pred}").rows
+        )
+        assert got == expected, (
+            f"layout {layout!r} diverged from pgjson on: {sinew_pred}"
+        )
+
+
+def test_corpus_is_nontrivial():
+    """Guard: the seeded corpus exercises presence *and* absence."""
+    assert any("a" not in d for d in DOCS)
+    assert any("nested" in d for d in DOCS)
+    assert any("flag" in d and d["flag"] for d in DOCS)
+    assert 100 <= len(DOCS) <= 200

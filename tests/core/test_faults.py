@@ -1,0 +1,118 @@
+"""Unit tests for the fault-injection layer (repro.testing.faults)."""
+
+import pytest
+
+from repro.testing.faults import (
+    DaemonKilled,
+    FaultInjector,
+    InjectedFault,
+    known_points,
+    register_point,
+)
+
+
+class TestRegistry:
+    def test_known_points_cover_all_layers(self):
+        points = known_points()
+        assert {p.split(".")[0] for p in points} >= {
+            "loader", "materializer", "daemon", "storage",
+        }
+        assert "materializer.before_clear_dirty" in points
+        assert "loader.after_insert" in points
+        assert "storage.write_row" in points
+
+    def test_plan_rejects_unknown_point(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            FaultInjector().plan("materializer.no_such_point")
+
+    def test_fire_rejects_unknown_point(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            FaultInjector().fire("not.a.point")
+
+    def test_register_point_extends_registry(self):
+        name = register_point("daemon.test_only_point")
+        assert name in known_points()
+        injector = FaultInjector()
+        injector.plan(name)
+        with pytest.raises(InjectedFault):
+            injector.fire(name)
+
+
+class TestTriggering:
+    def test_raise_on_nth_hit_only(self):
+        injector = FaultInjector()
+        injector.plan("daemon.before_step", "raise", at=3)
+        injector.fire("daemon.before_step")
+        injector.fire("daemon.before_step")
+        with pytest.raises(InjectedFault) as error:
+            injector.fire("daemon.before_step")
+        assert error.value.point == "daemon.before_step"
+        # one-shot by default: the 4th hit passes
+        injector.fire("daemon.before_step")
+        assert injector.hits["daemon.before_step"] == 4
+        assert injector.fired("daemon.before_step") == 1
+
+    def test_kill_action_raises_daemon_killed(self):
+        injector = FaultInjector()
+        injector.kill_at("materializer.before_row_move")
+        with pytest.raises(DaemonKilled):
+            injector.fire("materializer.before_row_move")
+
+    def test_every_hit_window(self):
+        injector = FaultInjector()
+        injector.plan("loader.before_insert", at=2, count=2)
+        injector.fire("loader.before_insert")
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                injector.fire("loader.before_insert")
+        injector.fire("loader.before_insert")  # window exhausted
+
+    def test_where_filter_counts_only_matching_context(self):
+        injector = FaultInjector()
+        injector.plan("storage.write_row", at=2, where={"table": "t"})
+        injector.fire("storage.write_row", table="other")
+        injector.fire("storage.write_row", table="t")
+        injector.fire("storage.write_row", table="other")
+        with pytest.raises(InjectedFault):
+            injector.fire("storage.write_row", table="t")
+
+    def test_custom_exception_type(self):
+        class Boom(RuntimeError):
+            pass
+
+        injector = FaultInjector()
+        injector.plan("loader.after_insert", exception=Boom)
+        with pytest.raises(Boom):
+            injector.fire("loader.after_insert")
+
+    def test_delay_action_sleeps_without_raising(self):
+        injector = FaultInjector()
+        injector.plan("daemon.after_step", "delay", delay=0.001, count=None)
+        injector.fire("daemon.after_step")
+        injector.fire("daemon.after_step")
+        assert injector.fired("daemon.after_step") == 2
+
+    def test_reset_disarms_everything(self):
+        injector = FaultInjector()
+        injector.plan("daemon.before_step")
+        injector.reset()
+        injector.fire("daemon.before_step")
+        assert injector.fired() == 0
+        assert not injector.pending()
+
+
+class TestSeededSchedules:
+    def test_same_seed_same_schedule(self):
+        a = FaultInjector().schedule_from_seed(1234, n_faults=5)
+        b = FaultInjector().schedule_from_seed(1234, n_faults=5)
+        assert [(p.point, p.at) for p in a] == [(p.point, p.at) for p in b]
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector().schedule_from_seed(1, n_faults=8)
+        b = FaultInjector().schedule_from_seed(2, n_faults=8)
+        assert [(p.point, p.at) for p in a] != [(p.point, p.at) for p in b]
+
+    def test_schedule_respects_point_pool(self):
+        pool = ["daemon.before_step", "daemon.after_step"]
+        plans = FaultInjector().schedule_from_seed(7, pool, n_faults=6)
+        assert all(p.point in pool for p in plans)

@@ -96,9 +96,13 @@ class TestLoad:
 
     def test_loader_respects_latch(self, env):
         _db, catalog, loader = env
+        loader.latch_timeout = 0.05  # wait (bounded), then a clear error
         with catalog.exclusive_latch("materializer"):
-            with pytest.raises(ConcurrencyError):
+            with pytest.raises(ConcurrencyError, match="timed out"):
                 loader.load("t", [{"a": 1}])
+        assert catalog.latch_stats.timeouts == 1
+        # latch free again: the same load goes through
+        assert loader.load("t", [{"a": 1}]).n_documents == 1
 
     def test_multi_typed_key_registers_two_attributes(self, env):
         _db, catalog, loader = env

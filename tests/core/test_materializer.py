@@ -155,10 +155,59 @@ class TestNestedMaterialization:
         result = sdb.query('SELECT "user.id" FROM t WHERE n = 9')
         assert result.rows == [(9,)]
 
+    def test_materialize_child_after_parent(self, sdb):
+        # the child value lives in the parent's physical cell by then, so
+        # the mover must source from there instead of the reservoir
+        truth = [doc for _id, doc in sdb.documents("t")]
+        sdb.materialize("t", "user", SqlType.BYTEA)
+        sdb.run_materializer("t")
+        sdb.materialize("t", "user.id", SqlType.INTEGER)
+        report = sdb.run_materializer("t")
+        assert report.rows_moved == N_DOCS
+        result = sdb.query('SELECT "user.id" FROM t WHERE n = 9')
+        assert result.rows == [(9,)]
+        assert not any(report.findings for report in sdb.check("t"))
+        assert [doc for _id, doc in sdb.documents("t")] == truth
+
+    def test_child_query_correct_while_move_from_parent_cell_in_flight(self, sdb):
+        sdb.materialize("t", "user", SqlType.BYTEA)
+        sdb.run_materializer("t")
+        sdb.materialize("t", "user.id", SqlType.INTEGER)
+        expected = sorted(range(N_DOCS))
+        while sdb.materializer.pending("t"):
+            sdb.materializer_step("t", max_rows=7)
+            rows = sdb.query('SELECT "user.id" FROM t').column(0)
+            assert sorted(rows) == expected
+
+    def test_dematerialize_child_returns_value_to_parent_cell(self, sdb):
+        sdb.materialize("t", "user", SqlType.BYTEA)
+        sdb.run_materializer("t")
+        sdb.materialize("t", "user.id", SqlType.INTEGER)
+        sdb.run_materializer("t")
+        sdb.dematerialize("t", "user.id", SqlType.INTEGER)
+        report = sdb.run_materializer("t")
+        assert report.rows_moved == N_DOCS
+        assert "user.id" not in sdb.db.table("t").schema
+        result = sdb.query('SELECT "user.id" FROM t WHERE n = 9')
+        assert result.rows == [(9,)]
+        assert not any(report.findings for report in sdb.check("t"))
+        assert [doc for _id, doc in sdb.documents("t")] == [
+            doc for doc in ({"k": f"v{i}", "n": i, "user": {"id": i}, "sparse": i}
+                            if i % 2 == 0
+                            else {"k": f"v{i}", "n": i, "user": {"id": i}}
+                            for i in range(N_DOCS))
+        ]
+
 
 class TestLatchInteraction:
     def test_materializer_blocked_by_loader_latch(self, sdb):
         sdb.materialize("t", "k", SqlType.TEXT)
+        sdb.materializer.latch_timeout = 0.05
         with sdb.catalog.exclusive_latch("loader"):
-            with pytest.raises(ConcurrencyError):
+            with pytest.raises(ConcurrencyError, match="timed out"):
+                sdb.materializer_step("t")
+        # fail-fast mode still available for exclusion checks
+        sdb.materializer.latch_blocking = False
+        with sdb.catalog.exclusive_latch("loader"):
+            with pytest.raises(ConcurrencyError, match="must wait"):
                 sdb.materializer_step("t")

@@ -77,6 +77,36 @@ class TestMetaCommands:
         sh.run_line("\\frobnicate")
         assert "unknown meta-command" in output_of(out)
 
+    def test_daemon_status_default(self, shell):
+        sh, out, _tmp = shell
+        sh.run_line("\\daemon")
+        text = output_of(out)
+        assert "state:        idle" in text
+        assert "backlog:      (empty)" in text
+        assert "last error:   (none)" in text
+
+    def test_daemon_start_stop_settles_backlog(self, shell):
+        from repro.rdbms.types import SqlType
+
+        sh, out, _tmp = shell
+        sh.run(["\\c t"])
+        sh.sdb.load("t", [{"a": i} for i in range(20)])
+        sh.sdb.materialize("t", "a", SqlType.INTEGER)
+        sh.run_line("\\daemon start")
+        assert "daemon started" in output_of(out)
+        assert sh.sdb.daemon.wait_until_idle(10.0)
+        sh.run_line("\\daemon stop")
+        sh.run_line("\\daemon status")
+        text = output_of(out)
+        assert "daemon stopped" in text
+        assert "state:        stopped" in text
+        assert "rows moved:   20" in text
+
+    def test_daemon_usage_hint(self, shell):
+        sh, out, _tmp = shell
+        sh.run_line("\\daemon frob")
+        assert "usage: \\daemon" in output_of(out)
+
 
 class TestSqlAndErrors:
     def test_select_renders_table(self, shell):

@@ -129,10 +129,12 @@ class TestMiniFigure6:
 
     @pytest.fixture(scope="class")
     def results(self):
+        # 3000 records and best-of-5: below this scale the per-query gaps
+        # are a few ms and scheduler noise can flip the orderings
         scale = small_scale()
-        object.__setattr__(scale, "n_records", 1500)
-        runs, _params = build_systems(scale, NoBenchGenerator(1500))
-        suite = run_suite(runs, ["q1", "q2", "q5", "q10"], repeats=2)
+        object.__setattr__(scale, "n_records", 3000)
+        runs, _params = build_systems(scale, NoBenchGenerator(3000))
+        suite = run_suite(runs, ["q1", "q2", "q5", "q10"], repeats=5)
         return {r.name: r for r in runs}, suite
 
     def test_all_systems_loaded(self, results):
