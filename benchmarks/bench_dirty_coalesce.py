@@ -22,7 +22,7 @@ from repro.harness import format_table
 from repro.nobench import NoBenchGenerator
 from repro.rdbms.types import SqlType
 
-from conftest import write_report
+from conftest import read_json, write_json, write_report
 
 N_RECORDS = max(500, int(6000 * float(os.environ.get("REPRO_SCALE", "1.0"))))
 
@@ -70,6 +70,23 @@ def report(systems):
         [state, f"{seconds:.4f}"] for state, seconds in times.items()
     ]
     rows.append(["dirty vs physical", f"{slowdown_vs_physical * 100:+.1f}%"])
+    extraction = {}
+    for state, sdb in systems.items():
+        extraction[state] = {
+            "cached": dict(sdb.query(QUERY).exec_stats),
+            "uncached": dict(
+                sdb.query(QUERY, use_extraction_cache=False).exec_stats
+            ),
+        }
+    write_json(
+        "dirty_coalesce",
+        {
+            "n_records": N_RECORDS,
+            "sql": QUERY,
+            "seconds": times,
+            "extraction": extraction,
+        },
+    )
     write_report(
         "dirty_coalesce",
         format_table(
@@ -89,6 +106,19 @@ def test_dirty_results_correct(systems):
         state: sdb.query(QUERY).scalar() for state, sdb in systems.items()
     }
     assert counts["virtual"] == counts["dirty"] == counts["physical"] == N_RECORDS
+
+
+def test_counters_emitted_in_json(report):
+    payload = read_json("dirty_coalesce")
+    for state in ("virtual", "dirty", "physical"):
+        for side in ("cached", "uncached"):
+            stats = payload["extraction"][state][side]
+            for counter in ("header_decodes", "header_cache_hits", "udf_calls"):
+                assert counter in stats
+    # the physical state never touches the reservoir for this query
+    assert payload["extraction"]["physical"]["cached"]["header_decodes"] == 0
+    # the dirty state must extract for the unmoved half, on either path
+    assert payload["extraction"]["dirty"]["cached"]["udf_calls"] > 0
 
 
 def test_dirty_between_endpoints(systems):

@@ -10,6 +10,12 @@ query processing.
 A pure-Python UDF call costs relatively more than a compiled one, so the
 reproduction target here is the *trend* (small, and shrinking as fixed
 query costs grow), with the measured ratios reported side by side.
+
+A third "mixed" system exercises the per-query decode cache on a
+multi-key query (three virtual columns plus one dirty column): with the
+cache, each row's reservoir header parses exactly once per query; without
+it, once per extraction site.  Timings, extraction counters, and the
+cached-vs-uncached comparison land in ``results/tableB_virtual_overhead.json``.
 """
 
 from __future__ import annotations
@@ -23,7 +29,7 @@ from repro.harness import format_table
 from repro.rdbms.types import SqlType
 from repro.workloads import APPENDIX_B_QUERIES, TwitterGenerator
 
-from conftest import write_report
+from conftest import write_json, write_report
 
 N_TWEETS = max(500, int(6000 * float(os.environ.get("REPRO_SCALE", "1.0"))))
 
@@ -33,6 +39,11 @@ APPENDIX_B_ATTRIBUTES = [
     ("user.friends_count", SqlType.INTEGER),
     ("id_str", SqlType.TEXT),
 ]
+
+#: The decode-cache showcase: >= 3 virtual top-level columns plus one dirty
+#: column, all touching the same reservoir value per row.
+MULTIKEY_QUERY = "SELECT id_str, text, favorite_count, source FROM tweets"
+MULTIKEY_DIRTY_KEY = ("source", SqlType.TEXT)
 
 
 def build(materialize: bool) -> SinewDB:
@@ -47,21 +58,33 @@ def build(materialize: bool) -> SinewDB:
     return sdb
 
 
+def build_mixed() -> SinewDB:
+    """Three virtual keys plus one half-materialized (dirty) column."""
+    sdb = SinewDB("tableB_mixed")
+    sdb.create_collection("tweets")
+    sdb.load("tweets", TwitterGenerator(N_TWEETS).tweets())
+    key, sql_type = MULTIKEY_DIRTY_KEY
+    sdb.materialize("tweets", key, sql_type)
+    sdb.materializer_step("tweets", max_rows=N_TWEETS // 2)
+    sdb.analyze()
+    return sdb
+
+
 @pytest.fixture(scope="module")
 def systems():
-    return {"virtual": build(False), "physical": build(True)}
+    return {"virtual": build(False), "physical": build(True), "mixed": build_mixed()}
 
 
 @pytest.fixture(scope="module", autouse=True)
 def report(systems):
-    import time
-
     rows = []
+    json_payload: dict = {"n_tweets": N_TWEETS, "queries": {}, "multikey": {}}
     for query_id, sql in APPENDIX_B_QUERIES.items():
         times = {}
+        counters = {}
         for condition in ("virtual", "physical"):
             sdb = systems[condition]
-            sdb.query(sql)  # warm
+            counters[condition] = dict(sdb.query(sql).exec_stats)  # warm
             best = min(
                 _timed(lambda: sdb.query(sql)) for _ in range(3)
             )
@@ -75,6 +98,35 @@ def report(systems):
                 f"{overhead:+.1f}%",
             ]
         )
+        json_payload["queries"][query_id] = {
+            "sql": sql,
+            "seconds": times,
+            "extraction": counters,
+        }
+
+    # the multi-key decode-amortization comparison (cached vs uncached)
+    mixed = systems["mixed"]
+    cached = mixed.query(MULTIKEY_QUERY)
+    uncached = mixed.query(MULTIKEY_QUERY, use_extraction_cache=False)
+    json_payload["multikey"] = {
+        "sql": MULTIKEY_QUERY,
+        "rows": len(cached.rows),
+        "cached": dict(cached.exec_stats),
+        "uncached": dict(uncached.exec_stats),
+        "decodes_per_row_cached": cached.exec_stats["header_decodes"]
+        / max(1, len(cached.rows)),
+        "decodes_per_row_uncached": uncached.exec_stats["header_decodes"]
+        / max(1, len(uncached.rows)),
+    }
+    rows.append(
+        [
+            "multikey decode/row",
+            f"{json_payload['multikey']['decodes_per_row_cached']:.1f} cached",
+            f"{json_payload['multikey']['decodes_per_row_uncached']:.1f} uncached",
+            "",
+        ]
+    )
+    write_json("tableB_virtual_overhead", json_payload)
     write_report(
         "tableB_virtual_overhead",
         format_table(
@@ -102,6 +154,40 @@ def test_results_identical(systems):
             virtual_rows = sorted(map(repr, virtual_rows))
             physical_rows = sorted(map(repr, physical_rows))
         assert len(virtual_rows) == len(physical_rows)
+
+
+def test_multikey_single_decode(systems):
+    """Acceptance: >= 3 virtual + 1 dirty column -> 1 header decode per row
+    with the cache, >= 3 without, and identical results either way."""
+    mixed = systems["mixed"]
+    cached = mixed.query(MULTIKEY_QUERY)
+    uncached = mixed.query(MULTIKEY_QUERY, use_extraction_cache=False)
+    assert cached.rows == uncached.rows
+    n = len(cached.rows)
+    assert n == N_TWEETS
+    assert cached.exec_stats["header_decodes"] == n
+    assert uncached.exec_stats["header_decodes"] >= 3 * n
+    assert cached.exec_stats["header_cache_hits"] > 0
+    assert uncached.exec_stats["header_cache_hits"] == 0
+
+
+def test_explain_analyze_reports_counters(systems):
+    text = systems["mixed"].explain_analyze(MULTIKEY_QUERY)
+    assert "actual rows=" in text
+    assert "header_decodes=" in text
+    assert "Execution time:" in text
+
+
+def test_counters_emitted_in_json(report):
+    from conftest import read_json
+
+    payload = read_json("tableB_virtual_overhead")
+    multikey = payload["multikey"]
+    for side in ("cached", "uncached"):
+        for counter in ("header_decodes", "header_cache_hits", "udf_calls"):
+            assert counter in multikey[side]
+    assert multikey["decodes_per_row_cached"] <= 1.0
+    assert multikey["decodes_per_row_uncached"] >= 3.0
 
 
 @pytest.mark.parametrize("query_id", list(APPENDIX_B_QUERIES))

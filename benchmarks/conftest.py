@@ -15,6 +15,7 @@ dataset proportionally.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -30,6 +31,18 @@ def write_report(name: str, text: str) -> pathlib.Path:
     print()
     print(text)
     return path
+
+
+def write_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist machine-readable results (timings + extraction counters)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_json(name: str) -> dict:
+    return json.loads((RESULTS_DIR / f"{name}.json").read_text())
 
 
 @pytest.fixture(scope="session")

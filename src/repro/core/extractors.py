@@ -25,12 +25,19 @@ the longest nested-document prefix and recurses.
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any, Callable
 
 from ..rdbms.database import Database
 from ..rdbms.types import SqlType
 from . import serializer
 from .catalog import SinewCatalog
+from .extraction_context import ExtractionContext
+from .serializer import DecodedHeader
+
+
+def _found(value: Any) -> bool:
+    return value is not None
 
 
 class ReservoirExtractor:
@@ -38,6 +45,53 @@ class ReservoirExtractor:
 
     def __init__(self, catalog: SinewCatalog):
         self.catalog = catalog
+        # per-thread stack of query-scoped decode caches: queries on the
+        # main thread never share state with the materializer daemon, and
+        # nested query execution (UDFs issuing queries) stays balanced
+        self._local = threading.local()
+        # key -> its nested-document prefixes, longest first; pure string
+        # derivation, so sharing across threads/queries is safe
+        self._prefixes: dict[str, tuple[str, ...]] = {}
+
+    # -- query-scoped decode cache (FunctionRegistry listener hooks) ---------
+
+    def begin_query(self, execution_context: Any) -> None:
+        """Install a fresh :class:`ExtractionContext` for one query."""
+        local = self._local
+        stack = getattr(local, "stack", None)
+        if stack is None:
+            stack = local.stack = []
+        stack.append(
+            ExtractionContext(
+                stats=getattr(execution_context, "extract_stats", None),
+                enabled=getattr(execution_context, "use_extraction_cache", True),
+            )
+        )
+        # mirror of stack[-1]: one getattr on the hot path instead of two
+        local.top = stack[-1]
+
+    def end_query(self, execution_context: Any) -> None:
+        local = self._local
+        stack = getattr(local, "stack", None)
+        if stack:
+            stack.pop()
+        local.top = stack[-1] if stack else None
+
+    def _context(self) -> ExtractionContext | None:
+        return getattr(self._local, "top", None)
+
+    def _header(self, data: bytes) -> DecodedHeader:
+        context = getattr(self._local, "top", None)
+        if context is not None:
+            return context.header(data)
+        # no active query (direct use, materializer thread): plain decode
+        return DecodedHeader(data)
+
+    def _subdocument(self, header: DecodedHeader, parent_id: int) -> bytes | None:
+        context = getattr(self._local, "top", None)
+        if context is not None:
+            return context.subdocument(header, parent_id)
+        return header.extract(parent_id, SqlType.BYTEA)
 
     # -- core navigation ----------------------------------------------------
 
@@ -51,39 +105,66 @@ class ReservoirExtractor:
         """
         if data is None:
             return None
+        header = self._header(data)
         if "." in key:
             # dotted keys almost always live inside a nested document;
             # navigate the parent chain first, then fall back to a literal
             # dotted key stored at this level
             value = self._descend(
-                data, key, lambda sub: self.extract_typed(sub, key, sql_type)
+                header, key, lambda sub: self.extract_typed(sub, key, sql_type)
             )
             if value is not None:
                 return value
         attr_id = self.catalog.lookup_id(key, sql_type)
         if attr_id is None:
             return None
-        return serializer.extract(data, attr_id, sql_type)
+        return header.extract(attr_id, sql_type)
 
-    def _descend(self, data: bytes, key: str, continuation: Callable[[bytes], Any]) -> Any:
-        """Navigate into the longest nested-document prefix of ``key``."""
-        parts = key.split(".")
-        for split in range(len(parts) - 1, 0, -1):
-            prefix = ".".join(parts[:split])
-            parent_id = self.catalog.lookup_id(prefix, SqlType.BYTEA)
-            if parent_id is not None and serializer.has_attribute(data, parent_id):
-                sub_document = serializer.extract(data, parent_id, SqlType.BYTEA)
-                return continuation(sub_document)
+    def _descend(
+        self,
+        header: DecodedHeader,
+        key: str,
+        continuation: Callable[[bytes], Any],
+        found: Callable[[Any], bool] = _found,
+    ) -> Any:
+        """Navigate nested-document prefixes of ``key``, longest first.
+
+        A miss inside one prefix (``found`` rejects the continuation's
+        result) keeps trying *shorter* prefixes: the key may live directly
+        in a shallower cell -- e.g. a literal ``"b.c"`` key inside ``a``'s
+        document coexisting with a materialized ``a.b`` sub-document --
+        so the longest prefix must not short-circuit navigation.
+        """
+        prefixes = self._prefixes.get(key)
+        if prefixes is None:
+            parts = key.split(".")
+            prefixes = self._prefixes[key] = tuple(
+                ".".join(parts[:split]) for split in range(len(parts) - 1, 0, -1)
+            )
+        lookup_id = self.catalog.lookup_id
+        for prefix in prefixes:
+            parent_id = lookup_id(prefix, SqlType.BYTEA)
+            if parent_id is None or not header.has(parent_id):
+                continue
+            sub_document = self._subdocument(header, parent_id)
+            if sub_document is None:
+                continue
+            value = continuation(sub_document)
+            if found(value):
+                return value
         return None
 
     def exists(self, data: bytes | None, key: str) -> bool:
         """Key-existence check (any type) without decoding the value."""
         if data is None:
             return False
+        header = self._header(data)
         for attribute in self.catalog.attributes_named(key):
-            if serializer.has_attribute(data, attribute.attr_id):
+            if header.has(attribute.attr_id):
                 return True
-        result = self._descend(data, key, lambda sub: self.exists(sub, key))
+        result = self._descend(
+            header, key, lambda sub: self.exists(sub, key), found=bool
+        )
         return bool(result)
 
     # -- typed entry points (the registered UDFs) ---------------------------
@@ -117,23 +198,34 @@ class ReservoirExtractor:
         """Untyped extraction; non-text values are downcast to text."""
         if data is None:
             return None
+        header = self._header(data)
         for attribute in self.catalog.attributes_named(key):
-            if serializer.has_attribute(data, attribute.attr_id):
-                value = serializer.extract(data, attribute.attr_id, attribute.key_type)
-                return self._downcast(value, attribute.key_type)
-        return self._descend(data, key, lambda sub: self.extract_any(sub, key))
+            if header.has(attribute.attr_id):
+                value = header.extract(attribute.attr_id, attribute.key_type)
+                return self._downcast(value, attribute.key_type, attribute.key_name)
+        return self._descend(header, key, lambda sub: self.extract_any(sub, key))
 
-    def _downcast(self, value: Any, sql_type: SqlType) -> str | None:
+    def _downcast(
+        self, value: Any, sql_type: SqlType, key_name: str = ""
+    ) -> str | None:
+        """Downcast a non-text value to its JSON text rendering.
+
+        Containers reconstruct under ``key_name``'s dotted prefix (nested
+        attributes are stored under full dotted names) and render as
+        canonical JSON, matching what the pgjson baseline's
+        ``json_get_text`` produces for the same value.
+        """
         if value is None:
             return None
         if sql_type is SqlType.TEXT:
             return value
         if sql_type is SqlType.BOOLEAN:
             return "true" if value else "false"
+        prefix = key_name + "." if key_name else ""
         if sql_type is SqlType.BYTEA:
-            return json.dumps(self.to_dict(value), sort_keys=True)
+            return json.dumps(self.to_dict(value, prefix=prefix), sort_keys=True)
         if sql_type is SqlType.ARRAY:
-            return json.dumps(self._array_to_plain(value))
+            return json.dumps(self._array_to_plain(value, prefix=prefix))
         return str(value)
 
     # -- whole-document reconstruction ---------------------------------------
@@ -256,3 +348,5 @@ def register_extraction_udfs(db: Database, extractor: ReservoirExtractor) -> Non
     db.create_function("extract_key_any", extractor.extract_any, SqlType.TEXT)
     db.create_function("sinew_exists", extractor.exists, SqlType.BOOLEAN)
     db.create_function("sinew_to_json", extractor.to_json, SqlType.TEXT)
+    # scope the extractor's decoded-header cache to each query's lifetime
+    db.functions.register_query_listener(extractor)

@@ -288,6 +288,17 @@ class ColumnMaterializer:
         state.cursor = 0
         state.dirty = False
 
+    def prepare_column(self, table_name: str, state: ColumnState) -> None:
+        """Allocate the physical column for a column about to be marked.
+
+        Callers mark a column for materialization by flipping its dirty
+        bit; the physical column must exist *before* that flip becomes
+        visible, or a query planned in the gap sees ``physical_name`` unset,
+        omits the COALESCE bridge, and loses any value the background
+        materializer moves before the scan reaches its row.
+        """
+        self._ensure_physical_column(table_name, state)
+
     def _ensure_physical_column(self, table_name: str, state: ColumnState) -> None:
         """ALTER TABLE ADD COLUMN for a newly materialized attribute.
 

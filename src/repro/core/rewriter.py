@@ -92,6 +92,14 @@ class QueryRewriter:
         self.catalog = catalog
         self.sinew_tables = sinew_tables
         self.use_text_index = use_text_index
+        #: binding -> distinct keys the rewritten statement extracts per
+        #: row of that binding; tags multi-key queries so the executor can
+        #: size its decoded-header cache expectations (EXPLAIN ANALYZE
+        #: reports the hint alongside the decode counters)
+        self.extraction_keys: dict[str, set[str]] = {}
+        #: how many COALESCE(physical, extract(...)) bridges were emitted
+        #: for dirty columns -- each one is an extra extraction site
+        self.coalesce_bridges = 0
         #: ``id()``s of predicate subtrees the semantic analyzer proved are
         #: NULL on every row (SNW201/SNW202); each is replaced by
         #: ``Literal(None)``, which is exact under three-valued logic and
@@ -391,14 +399,28 @@ class QueryRewriter:
             state.access_count += 1
         if ref.name in (ID_COLUMN, RESERVOIR_COLUMN):
             return ColumnRef(binding.binding, ref.name)
-        if state is not None and state.materialized and state.physical_name:
+        if (
+            state is not None
+            and state.physical_name
+            and state.physical_name in binding.table.schema
+        ):
             physical = ColumnRef(binding.binding, state.physical_name)
-            if not state.dirty:
+            if state.materialized and not state.dirty:
                 return physical
+            # dirty in either direction (materializing *or* dematerializing):
+            # each row's value lives on exactly one side of the move, so the
+            # bridge must consult both
+            self.coalesce_bridges += 1
             return Coalesce(
                 (physical, self._extraction(binding, attribute_name, expected))
             )
         return self._extraction(binding, ref.name, expected)
+
+    def max_extraction_keys(self) -> int:
+        """Max distinct extracted keys over any one binding (0 when none)."""
+        if not self.extraction_keys:
+            return 0
+        return max(len(keys) for keys in self.extraction_keys.values())
 
     def _owning_binding(
         self, ref: ColumnRef, bindings: dict[str, _Binding]
@@ -458,6 +480,7 @@ class QueryRewriter:
         """
         if expected is None:
             expected = self._dominant_type(key_name, binding)
+        self.extraction_keys.setdefault(binding.binding, set()).add(key_name)
         function = EXTRACT_FUNCTION_FOR_TYPE.get(expected, "extract_key_any")
         reservoir_call = FunctionCall(
             function,
@@ -470,15 +493,24 @@ class QueryRewriter:
             if parent_id is None:
                 continue
             state = binding.table_catalog.columns.get(parent_id)
-            if state is None or not state.materialized or not state.physical_name:
+            if (
+                state is None
+                or not state.physical_name
+                or state.physical_name not in binding.table.schema
+            ):
                 continue
             physical_call = FunctionCall(
                 function,
                 (ColumnRef(binding.binding, state.physical_name), Literal(key_name)),
             )
             if state.dirty:
+                # mid-move either way: the parent document may sit on
+                # either side for any given row
+                self.coalesce_bridges += 1
                 return Coalesce((physical_call, reservoir_call))
-            return physical_call
+            if state.materialized:
+                return physical_call
+            continue
         return reservoir_call
 
     def _dominant_type(self, key_name: str, binding: _Binding) -> SqlType | None:

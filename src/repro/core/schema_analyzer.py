@@ -114,10 +114,15 @@ class SchemaAnalyzer:
         db: Database,
         catalog: SinewCatalog,
         policy: MaterializationPolicy | None = None,
+        prepare_column=None,
     ):
         self.db = db
         self.catalog = catalog
         self.policy = policy or MaterializationPolicy()
+        #: optional hook (table_name, state) that allocates the physical
+        #: column *before* the dirty flag becomes visible, so no query can
+        #: plan against a dirty column whose physical side does not exist
+        self.prepare_column = prepare_column
 
     def analyze(self, table_name: str) -> AnalyzerReport:
         """One analyzer pass over ``table_name``."""
@@ -143,6 +148,8 @@ class SchemaAnalyzer:
             hot = self.policy.is_hot(state.access_count)
             wants_physical = by_policy or hot
             if wants_physical and not state.materialized:
+                if self.prepare_column is not None:
+                    self.prepare_column(table_name, state)
                 state.materialized = True
                 state.dirty = True
                 report.decisions.append(

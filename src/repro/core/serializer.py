@@ -182,6 +182,64 @@ def serialize(attributes: Sequence[tuple[int, SqlType, Any]]) -> bytes:
     return bytes(header) + b"".join(encoded)
 
 
+class DecodedHeader:
+    """A fully parsed document header: ids, offsets, and the body base.
+
+    Parsing the header once and reusing it across key lookups is what the
+    per-query extraction cache amortises; each lookup is then a single
+    binary search plus one slice decode, with no re-unpacking.
+    """
+
+    __slots__ = ("data", "n", "ids", "offsets", "body_base")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        n = _U32.unpack_from(data, 0)[0]
+        self.n = n
+        if n:
+            self.ids = struct.unpack_from(f"<{n}I", data, 4)
+            offsets_base = 4 + 4 * n
+            self.offsets = struct.unpack_from(f"<{n + 1}I", data, offsets_base)
+            self.body_base = offsets_base + 4 * (n + 1)
+        else:
+            self.ids = ()
+            self.offsets = (0,)
+            self.body_base = 8
+
+    def position_of(self, attr_id: int) -> int:
+        """Binary-search position of ``attr_id`` in the id run, or -1."""
+        position = bisect_left(self.ids, attr_id)
+        if position < self.n and self.ids[position] == attr_id:
+            return position
+        return -1
+
+    def has(self, attr_id: int) -> bool:
+        return self.position_of(attr_id) >= 0
+
+    def raw(self, position: int) -> bytes:
+        start = self.body_base + self.offsets[position]
+        end = self.body_base + self.offsets[position + 1]
+        return self.data[start:end]
+
+    def extract(self, attr_id: int, sql_type: SqlType) -> Any:
+        # open-coded position_of + raw: this is the per-row hot path
+        ids = self.ids
+        position = bisect_left(ids, attr_id)
+        if position >= self.n or ids[position] != attr_id:
+            return None
+        base = self.body_base
+        offsets = self.offsets
+        return decode_value(
+            self.data[base + offsets[position] : base + offsets[position + 1]],
+            sql_type,
+        )
+
+
+def decode_header(data: bytes) -> DecodedHeader:
+    """Parse a document header once, for repeated key lookups."""
+    return DecodedHeader(data)
+
+
 def attribute_count(data: bytes) -> int:
     return _U32.unpack_from(data, 0)[0]
 

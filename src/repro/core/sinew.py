@@ -68,6 +68,10 @@ class SinewConfig:
     daemon_step_rows: int = DEFAULT_STEP_ROWS
     #: how long the idle daemon sleeps between backlog checks (seconds)
     daemon_idle_sleep: float = DEFAULT_IDLE_SLEEP
+    #: per-query decoded-document cursor cache: parse each row's reservoir
+    #: header at most once per query no matter how many virtual columns,
+    #: predicates, or COALESCE bridges touch it (DESIGN.md section 8)
+    enable_extraction_cache: bool = True
 
 
 class SinewDB:
@@ -82,6 +86,7 @@ class SinewDB:
         self.loader = SinewLoader(self.db, self.catalog)
         self.analyzer = SchemaAnalyzer(self.db, self.catalog, self.config.policy)
         self.materializer = ColumnMaterializer(self.db, self.catalog, self.extractor)
+        self.analyzer.prepare_column = self.materializer.prepare_column
         self._collections: set[str] = set()
         self.daemon = MaterializerDaemon(
             self.materializer,
@@ -164,6 +169,10 @@ class SinewDB:
             raise CatalogError(f"unknown attribute: {key_name!r} ({key_type})")
         state = self.catalog.table(table_name).state(attr_id)
         if not state.materialized:
+            # column first, flags second: once dirty is visible the daemon
+            # may start moving rows, and the rewriter must already be able
+            # to emit the COALESCE bridge over the physical column
+            self.materializer.prepare_column(table_name, state)
             state.materialized = True
             state.dirty = True
 
@@ -259,12 +268,36 @@ class SinewDB:
     # querying
     # ------------------------------------------------------------------
 
-    def query(self, sql: str) -> QueryResult:
-        """Run a standard SQL query against the logical schema."""
+    def query(
+        self,
+        sql: str,
+        *,
+        explain_analyze: bool = False,
+        use_extraction_cache: bool | None = None,
+    ) -> QueryResult:
+        """Run a standard SQL query against the logical schema.
+
+        ``explain_analyze=True`` executes the query under instrumentation:
+        the result's ``plan_text`` carries per-node actual rows and wall
+        time plus the extraction counters, and ``exec_stats`` is always
+        populated.  ``use_extraction_cache`` overrides the config default
+        for this one query (the uncached path exists for verification).
+        """
         statement = parse(sql)
         if not isinstance(statement, SelectStatement):
             return self.execute(sql)
-        return self._execute_select(statement)
+        return self._execute_select(
+            statement,
+            explain_analyze=explain_analyze,
+            use_extraction_cache=use_extraction_cache,
+        )
+
+    def explain_analyze(self, sql: str) -> str:
+        """Execute a SELECT and return its EXPLAIN ANALYZE text."""
+        statement = parse(sql)
+        if not isinstance(statement, SelectStatement):
+            raise PlanningError("EXPLAIN ANALYZE supports only SELECT statements")
+        return self._execute_select(statement, explain_analyze=True).plan_text
 
     def explain(self, sql: str) -> str:
         """EXPLAIN of the *rewritten* query (what the RDBMS actually sees)."""
@@ -337,15 +370,32 @@ class SinewDB:
             result.diagnostics = analysis.warnings
         return result
 
-    def _execute_select(self, statement: SelectStatement) -> QueryResult:
+    def _execute_select(
+        self,
+        statement: SelectStatement,
+        *,
+        explain_analyze: bool = False,
+        use_extraction_cache: bool | None = None,
+    ) -> QueryResult:
         analysis = self._analyze(statement)
         null_ids = analysis.null_predicate_ids() if analysis else None
-        rewritten = self._rewriter(null_ids).rewrite_select(statement)
+        rewriter = self._rewriter(null_ids)
+        rewritten = rewriter.rewrite_select(statement)
+        if use_extraction_cache is None:
+            use_extraction_cache = self.config.enable_extraction_cache
+        # the multi-key tag: only meaningful when one reservoir binding
+        # feeds more than one extraction site
+        keys_per_row = rewriter.max_extraction_keys()
+        options = dict(
+            analyze=explain_analyze,
+            extraction_hint=keys_per_row if keys_per_row > 1 else None,
+            use_extraction_cache=use_extraction_cache,
+        )
         star_bindings = self._star_bindings(rewritten)
         if not star_bindings:
-            result = self.db.execute_statement(rewritten)
+            result = self.db.execute_statement(rewritten, **options)
         else:
-            result = self._execute_star_select(rewritten, star_bindings)
+            result = self._execute_star_select(rewritten, star_bindings, options)
         return self._attach_diagnostics(result, analysis)
 
     def _star_bindings(self, statement: SelectStatement) -> list[str]:
@@ -375,7 +425,10 @@ class SinewDB:
         return covered
 
     def _execute_star_select(
-        self, statement: SelectStatement, star_bindings: list[str]
+        self,
+        statement: SelectStatement,
+        star_bindings: list[str],
+        options: dict[str, Any] | None = None,
     ) -> QueryResult:
         """Execute a SELECT containing ``*`` over Sinew tables.
 
@@ -441,7 +494,7 @@ class SinewDB:
             limit=statement.limit,
             distinct=statement.distinct,
         )
-        raw = self.db.execute_statement(inner)
+        raw = self.db.execute_statement(inner, **(options or {}))
 
         single_star = sum(1 for step in program if step[0] == "doc") == 1
         columns: list[str] = []
@@ -460,7 +513,12 @@ class SinewDB:
                 else:
                     out.append(raw_row[step[1]])
             rows.append(tuple(out))
-        return QueryResult(columns=columns, rows=rows, plan_text=raw.plan_text)
+        return QueryResult(
+            columns=columns,
+            rows=rows,
+            plan_text=raw.plan_text,
+            exec_stats=raw.exec_stats,
+        )
 
     def _assemble_document(
         self,
@@ -478,7 +536,9 @@ class SinewDB:
             if key_type is SqlType.BYTEA:
                 value = self.extractor.to_dict(value, prefix=key_name + ".")
             elif key_type is SqlType.ARRAY:
-                value = self.extractor._array_to_plain(value)
+                # object elements were serialized under the array key's
+                # dotted prefix; strip it when rebuilding them
+                value = self.extractor._array_to_plain(value, prefix=key_name + ".")
             self._insert_path(document, key_name, value)
         return document
 

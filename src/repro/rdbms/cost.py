@@ -53,6 +53,37 @@ class CostCounters:
 
 
 @dataclass
+class ExtractionStats:
+    """Per-query extraction-pipeline counters (EXPLAIN ANALYZE surface).
+
+    Populated by the reservoir extractor's per-query decode cache: a
+    *decode* is one full header parse of a serialized document, a *hit*
+    is a repeat access served from the cache without re-parsing.  The
+    ``udf_calls`` field is the per-query delta of the engine-wide
+    :class:`CostCounters` counter, filled in by the database facade.
+    """
+
+    udf_calls: int = 0
+    header_decodes: int = 0
+    header_cache_hits: int = 0
+    subdoc_decodes: int = 0
+    subdoc_cache_hits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    def summary(self) -> str:
+        """One-line rendering used as the EXPLAIN ANALYZE footer."""
+        return (
+            f"Extraction: udf_calls={self.udf_calls} "
+            f"header_decodes={self.header_decodes} "
+            f"cache_hits={self.header_cache_hits} "
+            f"subdoc_decodes={self.subdoc_decodes} "
+            f"subdoc_cache_hits={self.subdoc_cache_hits}"
+        )
+
+
+@dataclass
 class IoCostModel:
     """Latency model used to convert counters into modelled time.
 

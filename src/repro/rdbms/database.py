@@ -83,6 +83,7 @@ class QueryResult:
         rowcount: int = 0,
         plan_text: str | None = None,
         diagnostics: tuple = (),
+        exec_stats: dict[str, Any] | None = None,
     ):
         self.columns = columns or []
         self.rows = rows or []
@@ -90,6 +91,9 @@ class QueryResult:
         self.plan_text = plan_text
         #: analysis warnings attached by the semantic analyzer (Sinew layer)
         self.diagnostics = tuple(diagnostics)
+        #: per-query execution counters (extraction decodes/cache hits,
+        #: udf calls, wall time); empty for non-SELECT statements
+        self.exec_stats = exec_stats or {}
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
@@ -205,9 +209,21 @@ class Database:
         """Parse and execute one SQL statement."""
         return self.execute_statement(parse(sql))
 
-    def execute_statement(self, statement: Statement) -> QueryResult:
+    def execute_statement(
+        self,
+        statement: Statement,
+        *,
+        analyze: bool = False,
+        extraction_hint: int | None = None,
+        use_extraction_cache: bool = True,
+    ) -> QueryResult:
         if isinstance(statement, SelectStatement):
-            return self._execute_select(statement)
+            return self._execute_select(
+                statement,
+                analyze=analyze,
+                extraction_hint=extraction_hint,
+                use_extraction_cache=use_extraction_cache,
+            )
         if isinstance(statement, ExplainStatement):
             plan = self._plan(statement.inner)
             return QueryResult(plan_text=plan.explain())
@@ -258,16 +274,61 @@ class Database:
         )
         return planner.plan_select(statement)
 
-    def _execute_select(self, statement: SelectStatement) -> QueryResult:
+    def _execute_select(
+        self,
+        statement: SelectStatement,
+        *,
+        analyze: bool = False,
+        extraction_hint: int | None = None,
+        use_extraction_cache: bool = True,
+    ) -> QueryResult:
         plan = self._plan(statement)
-        context = self.execution_context()
-        rows = list(plan.rows(context))
+        context = self.execution_context(
+            analyze=analyze,
+            extraction_hint=extraction_hint,
+            use_extraction_cache=use_extraction_cache,
+        )
+        udf_calls_before = self.counters.udf_calls
+        started = time.perf_counter()
+        self.functions.begin_query(context)
+        try:
+            rows = list(plan.run(context))
+        finally:
+            self.functions.end_query(context)
+        elapsed = time.perf_counter() - started
+        context.extract_stats.udf_calls = self.counters.udf_calls - udf_calls_before
         columns = [name for _qualifier, name in plan.output_columns]
-        return QueryResult(columns=columns, rows=rows, plan_text=plan.explain())
+        exec_stats: dict[str, Any] = dict(context.extract_stats.as_dict())
+        exec_stats["execution_seconds"] = elapsed
+        exec_stats["rows"] = len(rows)
+        if analyze:
+            plan_text = self._render_analyze(plan, context, elapsed, len(rows))
+        else:
+            plan_text = plan.explain()
+        return QueryResult(
+            columns=columns, rows=rows, plan_text=plan_text, exec_stats=exec_stats
+        )
 
-    def execution_context(self) -> ExecutionContext:
+    @staticmethod
+    def _render_analyze(
+        plan: PlanNode, context: ExecutionContext, elapsed: float, n_rows: int
+    ) -> str:
+        lines = plan.explain_analyze_lines(context)
+        lines.append(context.extract_stats.summary())
+        if context.extraction_hint:
+            lines.append(
+                f"Extraction keys per row: {context.extraction_hint} (multi-key)"
+            )
+        lines.append(f"Execution time: {elapsed * 1000:.3f} ms ({n_rows} rows)")
+        return "\n".join(lines)
+
+    def execution_context(self, **options: Any) -> ExecutionContext:
         return ExecutionContext(
-            self.counters, self.functions, self.disk, self.config.work_mem_bytes
+            self.counters,
+            self.functions,
+            self.disk,
+            self.config.work_mem_bytes,
+            **options,
         )
 
     # -- DML --------------------------------------------------------------

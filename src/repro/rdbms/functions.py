@@ -150,6 +150,28 @@ class FunctionRegistry:
         self.counters = counters
         self._scalars: dict[str, ScalarFunction] = _builtin_scalars()
         self._aggregates: dict[str, AggregateFunction] = dict(_BUILTIN_AGGREGATES)
+        self._query_listeners: list[Any] = []
+
+    # -- query lifecycle -----------------------------------------------------
+
+    def register_query_listener(self, listener: Any) -> None:
+        """Subscribe to query begin/end notifications.
+
+        Listeners expose ``begin_query(execution_context)`` and
+        ``end_query(execution_context)``; the reservoir extractor uses this
+        to scope its decoded-header cache to one query without the engine
+        knowing anything about Sinew's layers.
+        """
+        if listener not in self._query_listeners:
+            self._query_listeners.append(listener)
+
+    def begin_query(self, execution_context: Any) -> None:
+        for listener in self._query_listeners:
+            listener.begin_query(execution_context)
+
+    def end_query(self, execution_context: Any) -> None:
+        for listener in self._query_listeners:
+            listener.end_query(execution_context)
 
     # -- scalar -------------------------------------------------------------
 

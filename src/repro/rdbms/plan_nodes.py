@@ -21,10 +21,11 @@ Q11, exactly as reported in paper sections 6.4-6.5.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
-from .cost import CostCounters, DiskBudget
+from .cost import CostCounters, DiskBudget, ExtractionStats
 from .errors import ExecutionError
 from .expressions import (
     CompiledExpr,
@@ -56,11 +57,36 @@ class ExecutionContext:
         functions: FunctionRegistry,
         disk: DiskBudget,
         work_mem_bytes: int,
+        *,
+        analyze: bool = False,
+        use_extraction_cache: bool = True,
+        extraction_hint: int | None = None,
     ):
         self.counters = counters
         self.functions = functions
         self.disk = disk
         self.work_mem_bytes = work_mem_bytes
+        #: EXPLAIN ANALYZE mode: operators record per-node row counts and
+        #: inclusive wall time into :attr:`node_stats` (keyed by ``id(node)``)
+        self.analyze = analyze
+        self.node_stats: dict[int, NodeStats] = {}
+        #: per-query extraction counters, shared with the reservoir
+        #: extractor's decode cache for the lifetime of this query
+        self.extract_stats = ExtractionStats()
+        #: whether the extractor may cache decoded headers for this query
+        self.use_extraction_cache = use_extraction_cache
+        #: rewriter hint: max distinct keys extracted per row (multi-key
+        #: queries are the ones the decode cache pays off on)
+        self.extraction_hint = extraction_hint
+
+
+@dataclass
+class NodeStats:
+    """EXPLAIN ANALYZE measurements for one plan node."""
+
+    rows: int = 0
+    seconds: float = 0.0
+    loops: int = 0
 
 
 class PlanNode:
@@ -77,6 +103,38 @@ class PlanNode:
     def rows(self, context: ExecutionContext) -> Iterator[Row]:
         raise NotImplementedError
 
+    def run(self, context: ExecutionContext) -> Iterator[Row]:
+        """Execute this node, recording EXPLAIN ANALYZE stats when asked.
+
+        Internal plan edges call ``child.run(context)`` rather than
+        ``child.rows(context)`` so instrumentation wraps every operator.
+        Outside ANALYZE mode this is the raw row iterator -- no wrapper
+        generator frame sits between operators on the normal path.
+        """
+        if not context.analyze:
+            return self.rows(context)
+        return self._run_instrumented(context)
+
+    def _run_instrumented(self, context: ExecutionContext) -> Iterator[Row]:
+        """ANALYZE-mode execution: per-node row counts and inclusive wall
+        time (a parent's clock keeps running while it pulls from its
+        children, matching PostgreSQL's actual-time semantics)."""
+        stats = context.node_stats.get(id(self))
+        if stats is None:
+            stats = context.node_stats[id(self)] = NodeStats()
+        stats.loops += 1
+        iterator = self.rows(context)
+        while True:
+            started = time.perf_counter()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                stats.seconds += time.perf_counter() - started
+                return
+            stats.seconds += time.perf_counter() - started
+            stats.rows += 1
+            yield row
+
     def node_label(self) -> str:
         raise NotImplementedError
 
@@ -90,6 +148,26 @@ class PlanNode:
 
     def explain(self) -> str:
         return "\n".join(self.explain_lines())
+
+    def explain_analyze_lines(
+        self, context: ExecutionContext, depth: int = 0
+    ) -> list[str]:
+        """EXPLAIN ANALYZE rendering: estimates plus measured actuals."""
+        prefix = "" if depth == 0 else "  " * depth + "->  "
+        stats = context.node_stats.get(id(self))
+        if stats is None:
+            actual = "(never executed)"
+        else:
+            actual = (
+                f"(actual rows={stats.rows} loops={stats.loops} "
+                f"time={stats.seconds * 1000:.3f} ms)"
+            )
+        lines = [
+            f"{prefix}{self.node_label()}  (rows={int(self.est_rows)})  {actual}"
+        ]
+        for child in self.children():
+            lines.extend(child.explain_analyze_lines(context, depth + 1))
+        return lines
 
     def resolver(self, functions: FunctionRegistry) -> SchemaResolver:
         return SchemaResolver(self.output_columns, functions)
@@ -140,7 +218,7 @@ class Filter(PlanNode):
 
     def rows(self, context: ExecutionContext) -> Iterator[Row]:
         compiled = compile_expr(self.predicate, self.resolver(context.functions))
-        for row in self.child.rows(context):
+        for row in self.child.run(context):
             if compiled(row) is True:
                 yield row
 
@@ -182,7 +260,7 @@ class Project(PlanNode):
     def rows(self, context: ExecutionContext) -> Iterator[Row]:
         resolver = self.child.resolver(context.functions)
         compiled = [compile_expr(e, resolver) for e in self.expressions]
-        for row in self.child.rows(context):
+        for row in self.child.run(context):
             yield tuple(fn(row) for fn in compiled)
 
     def node_label(self) -> str:
@@ -206,7 +284,7 @@ class Limit(PlanNode):
 
     def rows(self, context: ExecutionContext) -> Iterator[Row]:
         produced = 0
-        for row in self.child.rows(context):
+        for row in self.child.run(context):
             if produced >= self.limit:
                 return
             produced += 1
@@ -216,55 +294,53 @@ class Limit(PlanNode):
         return f"Limit {self.limit}"
 
 
-def _sort_key_fn(
-    compiled_keys: list[tuple[CompiledExpr, bool]],
-) -> Callable[[Row], tuple]:
-    """Build a total-order sort key with NULLS LAST semantics.
+def _encode_sort_value(value: Any) -> tuple:
+    """Total-order encoding of one sort-key value.
 
-    Values of mixed types within a key are bucketed by type name first so
-    ``sorted`` never raises; this mirrors a type-bracketed collation.
+    Values of mixed types are bucketed by a type rank first so ``sorted``
+    never raises (a type-bracketed collation); containers are encoded
+    recursively so arrays holding NULLs or mixed types compare safely too.
     """
+    if isinstance(value, bool):
+        return (1, "bool", int(value))
+    if isinstance(value, (int, float)):
+        return (0, "num", float(value))
+    if isinstance(value, str):
+        return (2, "str", value)
+    if isinstance(value, bytes):
+        return (3, "bytes", value)
+    if isinstance(value, (list, tuple)):
+        return (
+            4,
+            "array",
+            tuple(
+                (5, "null", 0) if element is None else _encode_sort_value(element)
+                for element in value
+            ),
+        )
+    return (6, type(value).__name__, repr(value))
 
-    def key(row: Row) -> tuple:
-        parts: list[Any] = []
-        for fn, ascending in compiled_keys:
+
+def sort_rows(
+    buffered: list[Row], compiled_keys: list[tuple[CompiledExpr, bool]]
+) -> None:
+    """In-place multi-key sort with explicit NULL placement.
+
+    NULLs sort *last* ascending and *first* descending (PostgreSQL's
+    defaults).  One stable pass per key, applied last-key-first, gives
+    per-key direction without any comparison-inverting wrapper -- the NULL
+    flag leads the key tuple, so ``reverse=True`` flips it along with the
+    value.
+    """
+    for fn, ascending in reversed(compiled_keys):
+
+        def key(row: Row, fn=fn) -> tuple:
             value = fn(row)
             if value is None:
-                parts.append((2, "", 0))
-                continue
-            if isinstance(value, bool):
-                rank, normalised = 1, (str(type(value).__name__), int(value))
-            elif isinstance(value, (int, float)):
-                rank, normalised = 0, ("num", float(value))
-            else:
-                rank, normalised = 1, (type(value).__name__, value)
-            if not ascending:
-                if isinstance(normalised[1], float):
-                    normalised = (normalised[0], -normalised[1])
-                    parts.append((rank, normalised[0], normalised[1]))
-                    continue
-                # descending over non-numeric: negate via reversed rank trick
-                parts.append((-rank, _Reversed(normalised[0]), _Reversed(normalised[1])))
-                continue
-            parts.append((rank, normalised[0], normalised[1]))
-        return tuple(parts)
+                return (1, ())
+            return (0, _encode_sort_value(value))
 
-    return key
-
-
-class _Reversed:
-    """Wrapper inverting comparison order (for DESC over strings)."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: Any):
-        self.value = value
-
-    def __lt__(self, other: "_Reversed") -> bool:
-        return other.value < self.value
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _Reversed) and other.value == self.value
+        buffered.sort(key=key, reverse=not ascending)
 
 
 class Sort(PlanNode):
@@ -287,11 +363,11 @@ class Sort(PlanNode):
     def rows(self, context: ExecutionContext) -> Iterator[Row]:
         resolver = self.child.resolver(context.functions)
         compiled = [(compile_expr(e, resolver), asc) for e, asc in self.keys]
-        buffered = list(self.child.rows(context))
+        buffered = list(self.child.run(context))
         spilled = charge_spill(
             context, len(buffered), self.child.est_row_bytes
         )
-        buffered.sort(key=_sort_key_fn(compiled))
+        sort_rows(buffered, compiled)
         release_spill(context, spilled)
         yield from buffered
 
@@ -338,7 +414,7 @@ class Unique(PlanNode):
     def rows(self, context: ExecutionContext) -> Iterator[Row]:
         previous: Row | None = None
         first = True
-        for row in self.child.rows(context):
+        for row in self.child.run(context):
             if first or row != previous:
                 yield row
             previous = row
@@ -427,7 +503,7 @@ class HashAggregate(_AggregateBase):
         groups: dict[tuple, list] = {}
         distinct_sets: dict[tuple, list[set]] = {}
         n_buffered = 0
-        for row in self.child.rows(context):
+        for row in self.child.run(context):
             key = tuple(fn(row) for fn in group_fns)
             if key not in groups:
                 groups[key] = [
@@ -460,7 +536,7 @@ class GroupAggregate(_AggregateBase):
         current_key: tuple | None = None
         states: list | None = None
         distinct_seen: list[set] = []
-        for row in self.child.rows(context):
+        for row in self.child.run(context):
             key = tuple(fn(row) for fn in group_fns)
             if key != current_key:
                 if states is not None:
@@ -507,7 +583,7 @@ class NestedLoopJoin(PlanNode):
         return (self.outer, self.inner)
 
     def rows(self, context: ExecutionContext) -> Iterator[Row]:
-        inner_rows = list(self.inner.rows(context))
+        inner_rows = list(self.inner.run(context))
         spilled = charge_spill(context, len(inner_rows), self.inner.est_row_bytes)
         try:
             compiled = (
@@ -515,7 +591,7 @@ class NestedLoopJoin(PlanNode):
                 if self.condition is not None
                 else None
             )
-            for outer_row in self.outer.rows(context):
+            for outer_row in self.outer.run(context):
                 for inner_row in inner_rows:
                     combined = outer_row + inner_row
                     if compiled is None or compiled(combined) is True:
@@ -561,7 +637,7 @@ class HashJoin(PlanNode):
         inner_key_fns = [compile_expr(e, inner_resolver) for e in self.inner_keys]
         table: dict[tuple, list[Row]] = {}
         n_inner = 0
-        for row in self.inner.rows(context):
+        for row in self.inner.run(context):
             key = tuple(fn(row) for fn in inner_key_fns)
             if any(part is None for part in key):
                 continue
@@ -576,7 +652,7 @@ class HashJoin(PlanNode):
                 if self.residual is not None
                 else None
             )
-            for outer_row in self.outer.rows(context):
+            for outer_row in self.outer.run(context):
                 key = tuple(fn(outer_row) for fn in outer_key_fns)
                 if any(part is None for part in key):
                     continue
@@ -638,11 +714,11 @@ class MergeJoin(PlanNode):
             return tuple(fn(row) for fn in fns)
 
         outer_rows = [
-            r for r in self.outer.rows(context)
+            r for r in self.outer.run(context)
             if not any(v is None for v in key_of(r, outer_key_fns))
         ]
         inner_rows = [
-            r for r in self.inner.rows(context)
+            r for r in self.inner.run(context)
             if not any(v is None for v in key_of(r, inner_key_fns))
         ]
         i = j = 0

@@ -45,6 +45,11 @@ class SqlType(enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
+    # members are singletons, so the C-level identity hash is correct and
+    # keeps catalog lookups keyed on (name, type) off the Python-level
+    # Enum.__hash__ (visible in extraction hot-path profiles)
+    __hash__ = object.__hash__
+
 
 #: Types on which ordered comparison (<, BETWEEN, ORDER BY) makes sense.
 ORDERED_TYPES = frozenset({SqlType.TEXT, SqlType.INTEGER, SqlType.REAL})

@@ -11,6 +11,8 @@ Meta-commands
 ``\\load NAME FILE`` bulk-load a JSON-lines file into a collection
 ``\\d [NAME]``       list collections, or show one logical schema
 ``\\explain SQL``    show the rewritten physical plan
+``\\analyze SQL``    execute with EXPLAIN ANALYZE instrumentation: per-node
+                    actual rows and wall time plus extraction counters
 ``\\lint SQL``       semantic analysis only: diagnostics, no execution
 ``\\check [NAME]``   catalog/storage integrity audit (SNW3xx findings)
 ``\\settle NAME``    run the schema analyzer + column materializer
@@ -118,6 +120,18 @@ class SinewShell:
                 return
             self._print(self.sdb.explain(sql))
             return
+        if command == "\\analyze":
+            sql = line[len("\\analyze") :].strip()
+            if not sql:
+                self._print("usage: \\analyze SELECT ...")
+                return
+            try:
+                result = self.sdb.query(sql, explain_analyze=True)
+            except SemanticError as error:
+                self._print(render_report(error.diagnostics, sql))
+                return
+            self._print(result.plan_text or "")
+            return
         if command == "\\lint":
             sql = line[len("\\lint") :].strip()
             if not sql:
@@ -161,7 +175,7 @@ class SinewShell:
             return
         self._print(
             f"unknown meta-command {command!r}; "
-            "try \\d, \\c, \\load, \\lint, \\check, \\daemon, \\q"
+            "try \\d, \\c, \\load, \\lint, \\analyze, \\check, \\daemon, \\q"
         )
 
     def _daemon(self, arguments: list[str]) -> None:

@@ -176,6 +176,32 @@ def test_all_layouts_agree_with_pgjson(stores, predicate):
         )
 
 
+@pytest.mark.parametrize("key", ["a", "s", "c", "flag", "nested", "nested.k", "missing"])
+def test_extract_key_any_matches_pgjson_text(stores, key):
+    """The untyped downcast renders every type exactly like json_get_text.
+
+    Virtual layout only: the settled/dirty layouts have moved some keys
+    out of the reservoir, so raw ``data`` extraction is not comparable
+    there by design.
+    """
+    import json as json_module
+
+    pg, layouts = stores
+    expected = pg.query(
+        f"SELECT json_get_text(data, '{key}') FROM t ORDER BY id"
+    ).column(0)
+    got = layouts["virtual"].db.execute(
+        f"SELECT extract_key_any(data, '{key}') FROM t ORDER BY _id"
+    ).column(0)
+    assert len(got) == len(expected)
+    for ours, theirs in zip(got, expected):
+        if theirs is not None and theirs.lstrip()[:1] in ("{", "["):
+            # containers: canonical key order may differ, values must not
+            assert json_module.loads(ours) == json_module.loads(theirs)
+        else:
+            assert ours == theirs, f"key {key!r}: {ours!r} != {theirs!r}"
+
+
 def test_corpus_is_nontrivial():
     """Guard: the seeded corpus exercises presence *and* absence."""
     assert any("a" not in d for d in DOCS)

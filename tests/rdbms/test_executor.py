@@ -37,11 +37,12 @@ class TestSelect:
         result = db.execute("SELECT id, salary * 2 FROM emp WHERE id = 1")
         assert result.rows == [(1, 200)]
 
-    def test_order_by_asc_desc_nulls_last(self, db):
+    def test_order_by_asc_desc_null_placement(self, db):
+        # PostgreSQL defaults: NULLS LAST ascending, NULLS FIRST descending
         ascending = db.execute("SELECT id FROM emp ORDER BY salary").column(0)
         assert ascending == [3, 4, 2, 1, 5]  # NULL sorts last
         descending = db.execute("SELECT id FROM emp ORDER BY salary DESC").column(0)
-        assert descending[:4] == [1, 2, 4, 3]
+        assert descending == [5, 1, 2, 4, 3]  # NULL sorts first
 
     def test_order_by_text_desc(self, db):
         labels = db.execute("SELECT DISTINCT dept FROM emp ORDER BY dept DESC").column(0)

@@ -92,9 +92,11 @@ class TestSortUnique:
         assert groups == ["a", "a", "b", "b", None]
 
     def test_sort_descending(self, people):
+        # DESC places NULLs first (PostgreSQL default), then values
         node = Sort(SeqScan(people, "p"), [(ColumnRef("p", "score"), False)])
         scores = [row[2] for row in node.rows(context())]
-        assert scores[:4] == [50, 30, 20, 10]
+        assert scores[0] is None
+        assert scores[1:] == [50, 30, 20, 10]
 
     def test_sort_mixed_type_key_does_not_crash(self):
         table = make_table("m", [("v", SqlType.TEXT)], [(1,), ("x",), (2.5,), (None,)])
