@@ -84,6 +84,25 @@ class ColumnState:
         return self.count / n_documents
 
 
+def column_state_payload(table_name: str, state: "ColumnState") -> dict:
+    """WAL CATALOG payload capturing one column's full state.
+
+    Logged by everything that flips materialization flags (the analyzer,
+    ``SinewDB.materialize``/``dematerialize``, the materializer's
+    finish path) so recovery replays the flips in log order.
+    """
+    return {
+        "op": "state",
+        "table": table_name,
+        "attr_id": state.attr_id,
+        "count": state.count,
+        "materialized": state.materialized,
+        "dirty": state.dirty,
+        "physical_name": state.physical_name,
+        "cursor": state.cursor,
+    }
+
+
 @dataclass
 class TableCatalog:
     """All catalog state for one Sinew table."""
@@ -138,6 +157,30 @@ class SinewCatalog:
             self._by_id[attribute.attr_id] = attribute
             self._by_name.setdefault(key_name, []).append(attribute)
         return attribute.attr_id
+
+    def ensure_attribute(self, attr_id: int, key_name: str, key_type: SqlType) -> None:
+        """Install an attribute under a *forced* id (WAL/checkpoint replay).
+
+        Serialized documents store attribute ids, so recovery must rebuild
+        the dictionary with the exact ids the log recorded -- a drifted id
+        would silently rebind every stored key.  Raises on a conflicting
+        existing binding.
+        """
+        existing = self._by_id.get(attr_id)
+        if existing is not None:
+            if (existing.key_name, existing.key_type) != (key_name, key_type):
+                raise CatalogError(
+                    f"attribute id {attr_id} is already bound to "
+                    f"{existing.key_name!r} ({existing.key_type}), cannot "
+                    f"rebind to {key_name!r} ({key_type})"
+                )
+            return
+        attribute = Attribute(attr_id, key_name, key_type)
+        self._attributes[(key_name, key_type)] = attribute
+        self._by_id[attr_id] = attribute
+        self._by_name.setdefault(key_name, []).append(attribute)
+        if attr_id >= self._next_id:
+            self._next_id = attr_id + 1
 
     def lookup_id(self, key_name: str, key_type: SqlType) -> int | None:
         """Id of an existing attribute, or None (read-only lookup)."""
@@ -196,6 +239,65 @@ class SinewCatalog:
                 storage = "virtual"
             out.append((attribute.key_name, attribute.key_type, storage))
         return out
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Checkpoint image of the dictionary + every per-table catalog."""
+        return {
+            "attributes": [
+                (a.attr_id, a.key_name, a.key_type.value)
+                for a in self._by_id.values()
+            ],
+            "next_id": self._next_id,
+            "tables": {
+                name: {
+                    "n_documents": table.n_documents,
+                    "columns": [
+                        (
+                            s.attr_id,
+                            s.count,
+                            s.materialized,
+                            s.dirty,
+                            s.physical_name,
+                            s.cursor,
+                            s.access_count,
+                        )
+                        for s in table.columns.values()
+                    ],
+                }
+                for name, table in self.tables.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild a fresh catalog from a checkpoint image."""
+        for attr_id, key_name, type_value in state["attributes"]:
+            self.ensure_attribute(attr_id, key_name, SqlType(type_value))
+        self._next_id = max(self._next_id, state["next_id"])
+        for name, table_state in state["tables"].items():
+            table = self.table(name)
+            table.n_documents = table_state["n_documents"]
+            for (
+                attr_id,
+                count,
+                materialized,
+                dirty,
+                physical_name,
+                cursor,
+                access_count,
+            ) in table_state["columns"]:
+                table.columns[attr_id] = ColumnState(
+                    attr_id,
+                    count=count,
+                    materialized=materialized,
+                    dirty=dirty,
+                    physical_name=physical_name,
+                    cursor=cursor,
+                    access_count=access_count,
+                )
 
     # ------------------------------------------------------------------
     # loader / materializer latch
@@ -263,7 +365,7 @@ class SinewCatalog:
         from ..rdbms.types import SqlType as T
 
         if db.has_table("_sinew_attributes"):
-            db.table("_sinew_attributes").truncate()
+            db.truncate_table("_sinew_attributes")
         else:
             db.create_table(
                 "_sinew_attributes",
@@ -279,7 +381,7 @@ class SinewCatalog:
         for table_name, table in self.tables.items():
             reflected = f"_sinew_catalog_{table_name}"
             if db.has_table(reflected):
-                db.table(reflected).truncate()
+                db.truncate_table(reflected)
             else:
                 db.create_table(
                     reflected,

@@ -151,20 +151,42 @@ class SinewLoader:
             # time its rows are visible (section 3.2.1); counts and the
             # document tally may only ever run stale-HIGH after a crash,
             # which the integrity checker treats as a warning, not an error.
-            if report.n_documents:
-                for state in table_catalog.materialized_columns():
-                    if not state.dirty:
-                        state.dirty = True
-                    report.dirtied_columns.append(
-                        self.catalog.attribute(state.attr_id).key_name
-                    )
-            for attr_id, occurrences in counts.items():
-                table_catalog.state(attr_id).count += occurrences
-            table_catalog.n_documents = next_id
-
-            if self.faults is not None:
-                self.faults.fire("loader.before_insert", table=table_name)
-            self.db.insert_rows(table_name, rows)
+            # On disk the batch is one WAL transaction: the catalog delta
+            # and the heap rows replay together or not at all.
+            with self.db._dml_txn() as txn:
+                dirtied_ids: list[int] = []
+                if report.n_documents:
+                    for state in table_catalog.materialized_columns():
+                        if not state.dirty:
+                            state.dirty = True
+                        dirtied_ids.append(state.attr_id)
+                        report.dirtied_columns.append(
+                            self.catalog.attribute(state.attr_id).key_name
+                        )
+                for attr_id, occurrences in counts.items():
+                    table_catalog.state(attr_id).count += occurrences
+                table_catalog.n_documents = next_id
+                self.db.log_catalog(
+                    {
+                        "op": "load",
+                        "table": table_name,
+                        "attrs": [
+                            (
+                                attr_id,
+                                self.catalog.attribute(attr_id).key_name,
+                                self.catalog.attribute(attr_id).key_type.value,
+                            )
+                            for attr_id in counts
+                        ],
+                        "counts": counts,
+                        "dirtied": dirtied_ids,
+                        "n_documents": next_id,
+                    },
+                    txn=txn,
+                )
+                if self.faults is not None:
+                    self.faults.fire("loader.before_insert", table=table_name)
+                self.db.insert_rows(table_name, rows, txn=txn)
             if self.faults is not None:
                 self.faults.fire("loader.after_insert", table=table_name)
 

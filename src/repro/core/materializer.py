@@ -33,9 +33,13 @@ from dataclasses import dataclass, field
 
 from ..rdbms.database import Database
 from ..rdbms.errors import CatalogError
-from ..rdbms.storage import Column
 from ..rdbms.types import SqlType
-from .catalog import DEFAULT_LATCH_TIMEOUT, ColumnState, SinewCatalog
+from .catalog import (
+    DEFAULT_LATCH_TIMEOUT,
+    ColumnState,
+    SinewCatalog,
+    column_state_payload,
+)
 from .extractors import ReservoirExtractor
 from .loader import ID_COLUMN, RESERVOIR_COLUMN
 
@@ -134,6 +138,7 @@ class ColumnMaterializer:
             state.physical_name = None
             state.cursor = 0
             state.dirty = False
+            self.db.log_catalog(column_state_payload(table_name, state))
             return 0
 
         data_position = table.schema.position_of(RESERVOIR_COLUMN)
@@ -240,12 +245,26 @@ class ColumnMaterializer:
                 )
             new_row[column_position] = None
         with self.db.txn_manager.autocommit() as txn:
-            old = table.update(rid, tuple(new_row))
+            replacement = tuple(new_row)
+            old = table.update(rid, replacement)
             txn.log_update(
                 table.name,
                 rid,
-                table.tuple_bytes(tuple(new_row)),
+                table.tuple_bytes(replacement),
                 undo=lambda rid=rid, old=old: table.update(rid, old),
+                payload=replacement,
+            )
+            # The progress cursor rides in the same transaction as the row
+            # move, so a recovered database resumes from exactly the rows
+            # whose moves became durable.
+            self.db.log_catalog(
+                {
+                    "op": "cursor",
+                    "table": table.name,
+                    "attr_id": state.attr_id,
+                    "cursor": rid + 1,
+                },
+                txn=txn,
             )
         return True
 
@@ -283,10 +302,11 @@ class ColumnMaterializer:
         )
         if not state.materialized and state.physical_name:
             # Dematerialization complete: drop the now-empty physical column.
-            self.db.table(table_name).drop_column(state.physical_name)
+            self.db.alter_drop_column(table_name, state.physical_name)
             state.physical_name = None
         state.cursor = 0
         state.dirty = False
+        self.db.log_catalog(column_state_payload(table_name, state))
 
     def prepare_column(self, table_name: str, state: ColumnState) -> None:
         """Allocate the physical column for a column about to be marked.
@@ -322,7 +342,7 @@ class ColumnMaterializer:
                 if attribute.key_type is SqlType.BYTEA
                 else attribute.key_type
             )
-            table.add_column(Column(state.physical_name, column_type))
+            self.db.alter_add_column(table_name, state.physical_name, column_type)
 
     def _fire(self, point: str, **context) -> None:
         if self.faults is not None:

@@ -26,7 +26,7 @@ from typing import Iterable
 from ..rdbms.database import Database
 from ..rdbms.types import SqlType
 from . import serializer
-from .catalog import ColumnState, SinewCatalog
+from .catalog import ColumnState, SinewCatalog, column_state_payload
 from .loader import RESERVOIR_COLUMN
 
 #: Tracking more distinct values than this is pointless: the policy only
@@ -152,6 +152,7 @@ class SchemaAnalyzer:
                     self.prepare_column(table_name, state)
                 state.materialized = True
                 state.dirty = True
+                self.db.log_catalog(column_state_payload(table_name, state))
                 report.decisions.append(
                     AnalyzerDecision(
                         attribute.key_name,
@@ -165,6 +166,7 @@ class SchemaAnalyzer:
             elif not wants_physical and state.materialized:
                 state.materialized = False
                 state.dirty = True
+                self.db.log_catalog(column_state_payload(table_name, state))
                 report.decisions.append(
                     AnalyzerDecision(
                         attribute.key_name,

@@ -20,12 +20,14 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Iterable, Iterator, Mapping
 
 from ..analysis.analyzer import AnalysisResult, SemanticAnalyzer
 from ..analysis.checker import CheckReport, IntegrityChecker, validate_document
 from ..rdbms.database import Database, DatabaseConfig, QueryResult
 from ..rdbms.errors import CatalogError, PlanningError, SemanticError
+from ..rdbms.transactions import CheckpointInfo
 from ..rdbms.expressions import Star
 from ..rdbms.sql.ast import (
     DeleteStatement,
@@ -36,7 +38,7 @@ from ..rdbms.sql.ast import (
 from ..rdbms.sql.parser import parse
 from ..rdbms.types import SqlType
 from .background import DEFAULT_IDLE_SLEEP, DEFAULT_STEP_ROWS, MaterializerDaemon
-from .catalog import SinewCatalog
+from .catalog import SinewCatalog, column_state_payload
 from .extractors import ReservoirExtractor, register_extraction_udfs
 from .loader import ID_COLUMN, RESERVOIR_COLUMN, LoadReport, SinewLoader
 from .materializer import ColumnMaterializer, MaterializerReport
@@ -77,10 +79,18 @@ class SinewConfig:
 class SinewDB:
     """A Sinew instance: SQL over multi-structured data, no schema needed."""
 
-    def __init__(self, name: str = "sinew", config: SinewConfig | None = None):
+    def __init__(
+        self,
+        name: str = "sinew",
+        config: SinewConfig | None = None,
+        *,
+        path: str | Path | None = None,
+    ):
         self.name = name
         self.config = config or SinewConfig()
-        self.db = Database(name, self.config.database)
+        # recovery is deferred so the Sinew catalog hooks below exist before
+        # any WAL CATALOG record needs them
+        self.db = Database(name, self.config.database, path=path, defer_recovery=True)
         self.catalog = SinewCatalog()
         self.extractor = ReservoirExtractor(self.catalog)
         self.loader = SinewLoader(self.db, self.catalog)
@@ -109,6 +119,124 @@ class SinewDB:
         self.db.create_function(
             "sinew_check", self._sinew_check, SqlType.TEXT, counts_as_udf=False
         )
+        #: recovery stats from the last reopen (None = fresh database)
+        self.last_recovery: dict[str, Any] | None = None
+        if path is not None:
+            self._recover_from_disk()
+
+    # ------------------------------------------------------------------
+    # durability lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        name: str = "sinew",
+        config: SinewConfig | None = None,
+    ) -> "SinewDB":
+        """Open (or create) a durable Sinew instance rooted at ``path``.
+
+        On an existing directory this replays the WAL from the last
+        checkpoint: committed transactions are redone, uncommitted tails
+        discarded, and a torn final record truncated.  The recovered
+        instance resumes exactly where the crashed one stopped -- including
+        mid-flight column materialization (see :meth:`start_daemon`).
+        """
+        return cls(name, config, path=path)
+
+    def close(self) -> None:
+        """Checkpoint and shut down cleanly (stops the daemon first).
+
+        A closed database reopens without any WAL replay; killing the
+        process *without* calling close is also safe -- that is what the
+        WAL is for -- it just makes the next open do recovery work.
+        """
+        if self.daemon.is_alive():
+            self.daemon.stop()
+        if self.db.path is not None and self.db.wal.active:
+            self.checkpoint()
+        self.db.close(checkpoint=False)
+
+    def checkpoint(self) -> CheckpointInfo:
+        """Snapshot heap + catalog and truncate dead WAL segments.
+
+        Takes the catalog latch, so the materializer daemon is quiesced for
+        the duration -- the snapshot is a transactionally consistent cut.
+        """
+        with self.catalog.exclusive_latch("checkpointer"):
+            return self.db.checkpoint(
+                extra={
+                    "catalog": self.catalog.snapshot_state(),
+                    "collections": sorted(self._collections),
+                }
+            )
+
+    def _recover_from_disk(self) -> None:
+        stats = self.db.recover(
+            extra_restore=self._restore_checkpoint_extra,
+            catalog_apply=self._apply_catalog_record,
+        )
+        self.last_recovery = stats
+        had_state = stats is not None and (
+            stats["had_checkpoint"] or stats["frames_decoded"]
+        )
+        if not had_state:
+            return
+        # Validate materializer cursors against the recovered row horizon
+        # so a restarted daemon resumes mid-column (never past the end).
+        self.daemon.recover()
+        if self.text_index is not None:
+            # the inverted index is in-memory-only: rebuild it from the
+            # recovered documents
+            for table_name in self.collections():
+                for doc_id, document in self.documents(table_name):
+                    self.text_index.index_document(doc_id, document)
+
+    def _restore_checkpoint_extra(self, extra: Any) -> None:
+        """Rebuild the Sinew catalog from the checkpoint's ``extra`` blob."""
+        if not extra:
+            return
+        self.catalog.restore_state(extra["catalog"])
+        self._collections.update(extra["collections"])
+
+    def _apply_catalog_record(self, payload: Mapping[str, Any]) -> None:
+        """Redo one committed CATALOG WAL record (see the emitting sites:
+        loader batches, column-state flips, cursor advances, UPDATE count
+        corrections, collection DDL)."""
+        op = payload.get("op")
+        if op == "load":
+            for attr_id, key_name, type_value in payload["attrs"]:
+                self.catalog.ensure_attribute(attr_id, key_name, SqlType(type_value))
+            table_catalog = self.catalog.table(payload["table"])
+            for attr_id, occurrences in payload["counts"].items():
+                table_catalog.state(attr_id).count += occurrences
+            for attr_id in payload["dirtied"]:
+                table_catalog.state(attr_id).dirty = True
+            table_catalog.n_documents = payload["n_documents"]
+        elif op == "state":
+            state = self.catalog.table(payload["table"]).state(payload["attr_id"])
+            state.count = payload["count"]
+            state.materialized = payload["materialized"]
+            state.dirty = payload["dirty"]
+            state.physical_name = payload["physical_name"]
+            state.cursor = payload["cursor"]
+        elif op == "cursor":
+            state = self.catalog.table(payload["table"]).state(payload["attr_id"])
+            state.cursor = payload["cursor"]
+        elif op == "counts":
+            for attr_id, key_name, type_value in payload.get("attrs", ()):
+                self.catalog.ensure_attribute(attr_id, key_name, SqlType(type_value))
+            table_catalog = self.catalog.table(payload["table"])
+            for attr_id, count in payload["counts"].items():
+                table_catalog.state(attr_id).count = count
+        elif op == "collection":
+            if payload["action"] == "add":
+                self.catalog.table(payload["table"])
+                self._collections.add(payload["table"])
+            else:
+                self.catalog.tables.pop(payload["table"], None)
+                self._collections.discard(payload["table"])
 
     # ------------------------------------------------------------------
     # collections and loading
@@ -121,11 +249,17 @@ class SinewDB:
         )
         self.catalog.table(table_name)
         self._collections.add(table_name)
+        self.db.log_catalog(
+            {"op": "collection", "action": "add", "table": table_name}
+        )
 
     def drop_collection(self, table_name: str) -> None:
         self.db.drop_table(table_name)
         self.catalog.tables.pop(table_name, None)
         self._collections.discard(table_name)
+        self.db.log_catalog(
+            {"op": "collection", "action": "drop", "table": table_name}
+        )
 
     def collections(self) -> list[str]:
         return sorted(self._collections)
@@ -175,6 +309,7 @@ class SinewDB:
             self.materializer.prepare_column(table_name, state)
             state.materialized = True
             state.dirty = True
+            self.db.log_catalog(column_state_payload(table_name, state))
 
     def dematerialize(self, table_name: str, key_name: str, key_type: SqlType) -> None:
         """Explicitly mark a materialized attribute to move back."""
@@ -186,6 +321,7 @@ class SinewDB:
         if state.materialized:
             state.materialized = False
             state.dirty = True
+            self.db.log_catalog(column_state_payload(table_name, state))
 
     def materializer_step(self, table_name: str, max_rows: int = 1000) -> MaterializerReport:
         """One incremental materializer slice (the background process)."""
@@ -248,6 +384,7 @@ class SinewDB:
                 "contentions": latch.contentions,
                 "holder": self.catalog.latch_owner,
             },
+            "wal": self.db.wal_status(),
         }
 
     def attach_faults(self, injector: Any) -> None:
@@ -644,6 +781,7 @@ class SinewDB:
         id_position = table.schema.position_of(ID_COLUMN)
 
         updated = 0
+        touched_attrs: dict[int, tuple[str, str]] = {}
         with self.db.txn_manager.autocommit() as txn:
             matches: list[tuple[int, tuple]] = []
             for rid, row in table.scan():
@@ -666,22 +804,43 @@ class SinewDB:
                         )
                         data = self.extractor.set_path(data, key_name, sql_type, value)
                         attr_id = self.catalog.attribute_id(key_name, sql_type)
+                        touched_attrs[attr_id] = (key_name, sql_type.value)
                         if value is not None and not had_value:
                             table_catalog.state(attr_id).count += 1
                         elif value is None and had_value:
                             table_catalog.state(attr_id).count -= 1
                     new_row[data_position] = data
-                old = table.update(rid, tuple(new_row))
+                replacement = tuple(new_row)
+                old = table.update(rid, replacement)
                 txn.log_update(
                     table_name,
                     rid,
-                    table.tuple_bytes(tuple(new_row)),
+                    table.tuple_bytes(replacement),
                     undo=lambda rid=rid, old=old: table.update(rid, old),
+                    payload=replacement,
                 )
                 if self.text_index is not None:
-                    doc = self._document_of_row(table, tuple(new_row))
-                    self.text_index.index_document(tuple(new_row)[id_position], doc)
+                    doc = self._document_of_row(table, replacement)
+                    self.text_index.index_document(replacement[id_position], doc)
                 updated += 1
+            if touched_attrs:
+                # absolute post-statement counts: replay sets them verbatim,
+                # so the redo is idempotent no matter the per-row history
+                self.db.log_catalog(
+                    {
+                        "op": "counts",
+                        "table": table_name,
+                        "attrs": [
+                            (attr_id, key_name, type_value)
+                            for attr_id, (key_name, type_value) in touched_attrs.items()
+                        ],
+                        "counts": {
+                            attr_id: table_catalog.state(attr_id).count
+                            for attr_id in touched_attrs
+                        },
+                    },
+                    txn=txn,
+                )
         self._matches_cache.clear()
         return self._attach_diagnostics(QueryResult(rowcount=updated), analysis)
 

@@ -26,6 +26,8 @@ class CostCounters:
     udf_calls: int = 0
     wal_records: int = 0
     wal_bytes: int = 0
+    wal_fsyncs: int = 0
+    checkpoints: int = 0
     spill_bytes: int = 0
     index_lookups: int = 0
 

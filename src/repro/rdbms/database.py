@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Iterator, Sequence
 
 from .cost import CostCounters, DiskBudget, IoCostModel
@@ -25,6 +26,7 @@ from .errors import (
     CatalogError,
     ExecutionError,
     PlanningError,
+    RecoveryError,
     TransactionError,
 )
 from .expressions import ColumnRef, Expr, SchemaResolver, compile_expr
@@ -50,8 +52,24 @@ from .sql.ast import (
 from .sql.parser import parse
 from .statistics import TableStats, analyze_table
 from .storage import BufferPool, Column, HeapTable, Schema
-from .transactions import Transaction, TransactionManager
+from .transactions import (
+    DEFAULT_SEGMENT_BYTES,
+    Checkpointer,
+    CheckpointInfo,
+    Transaction,
+    TransactionManager,
+    WalRecord,
+    WalRecordType,
+    WriteAheadLog,
+    scan_wal,
+)
 from .types import NullStorageModel, SqlType
+
+#: Transaction id used for WAL records outside any user transaction (DDL
+#: and standalone catalog deltas).  The engine has no DDL rollback -- an
+#: ALTER inside an aborted session transaction stays applied -- so replay
+#: treats this id as always committed, which reproduces that semantics.
+DDL_TXN_ID = 0
 
 #: Default work_mem, deliberately small so hash/sort strategy crossovers
 #: happen at benchmark scale (PostgreSQL's default is 4 MB at paper scale).
@@ -71,6 +89,10 @@ class DatabaseConfig:
     null_model: NullStorageModel = NullStorageModel.BITMAP
     disk_budget_bytes: int | None = None
     io_model: IoCostModel = field(default_factory=IoCostModel)
+    #: durable-WAL tunables (only used when the database has a ``path``)
+    wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    #: fsync once per this many commits (group commit); 1 = every commit
+    wal_group_commit: int = 1
 
 
 class QueryResult:
@@ -119,23 +141,86 @@ class QueryResult:
 class Database:
     """An embedded relational database instance."""
 
-    def __init__(self, name: str = "db", config: DatabaseConfig | None = None):
+    def __init__(
+        self,
+        name: str = "db",
+        config: DatabaseConfig | None = None,
+        *,
+        path: str | Path | None = None,
+        defer_recovery: bool = False,
+    ):
         self.name = name
         self.config = config or DatabaseConfig()
         self.counters = CostCounters()
         self.disk = DiskBudget(self.config.disk_budget_bytes)
         self.buffer_pool = BufferPool(self.config.buffer_pool_pages, self.counters)
         self.functions = FunctionRegistry(self.counters)
-        self.txn_manager = TransactionManager(self.counters)
+        #: durability root (``<path>/wal/*.wal`` + ``<path>/checkpoint.bin``);
+        #: None keeps the engine fully in-memory (the historical behaviour)
+        self.path = Path(path) if path is not None else None
+        self.checkpointer: Checkpointer | None = None
+        wal: WriteAheadLog | None = None
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+            wal = WriteAheadLog(
+                self.counters,
+                self.path / "wal",
+                segment_bytes=self.config.wal_segment_bytes,
+                group_commit_every=self.config.wal_group_commit,
+            )
+            self.checkpointer = Checkpointer(self.path, self.counters)
+        self.txn_manager = TransactionManager(self.counters, wal)
         self.tables: dict[str, HeapTable] = {}
         self.table_stats: dict[str, TableStats] = {}
         self._session_txn: Transaction | None = None
         #: optional FaultInjector threaded into every heap table
         self._faults = None
+        #: True while recovery replays WAL records (suppresses re-logging)
+        self._replaying = False
+        #: stats dict from the last :meth:`recover` (None = fresh start)
+        self.last_recovery: dict[str, Any] | None = None
+        if self.path is not None and not defer_recovery:
+            self.recover()
 
     # ------------------------------------------------------------------
     # DDL / catalog
     # ------------------------------------------------------------------
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        return self.txn_manager.wal
+
+    def _log_ddl(
+        self,
+        record_type: WalRecordType,
+        table: str | None = None,
+        payload: Any = None,
+    ) -> None:
+        """Log a DDL redo record (durable mode only; no-op during replay).
+
+        DDL is logged under :data:`DDL_TXN_ID` rather than the session
+        transaction because the engine has no DDL undo -- schema changes
+        survive a rollback, so replay must apply them unconditionally.
+        """
+        if self._replaying or not self.wal.durable:
+            return
+        self.wal.append(DDL_TXN_ID, record_type, table=table, payload=payload)
+
+    def log_catalog(self, payload: Any, txn: Transaction | None = None) -> None:
+        """Log an upper-layer catalog delta (Sinew's catalog publishes its
+        state changes through this so recovery replays them in log order).
+
+        With ``txn`` the record belongs to that transaction (discarded on
+        crash-before-commit, exactly like the data it describes); without
+        one it is logged as always-committed, for state flips that happen
+        outside any data transaction (analyzer decisions, collection DDL).
+        """
+        if self._replaying or not self.wal.durable:
+            return
+        if txn is not None:
+            txn.log_catalog(payload)
+        else:
+            self.wal.append(DDL_TXN_ID, WalRecordType.CATALOG, payload=payload)
 
     def create_table(self, name: str, columns: Sequence[tuple[str, SqlType]]) -> HeapTable:
         """Create a heap table (programmatic form of CREATE TABLE)."""
@@ -152,14 +237,23 @@ class Database:
         )
         table.faults = self._faults
         self.tables[name] = table
+        self._log_ddl(
+            WalRecordType.CREATE_TABLE,
+            name,
+            payload=[(c_name, c_type.value) for c_name, c_type in columns],
+        )
         return table
 
     def attach_faults(self, injector) -> None:
         """Thread a fault injector (see :mod:`repro.testing.faults`) into
-        every existing and future heap table; ``None`` detaches."""
+        every existing and future heap table, the WAL, and the
+        checkpointer; ``None`` detaches."""
         self._faults = injector
         for table in self.tables.values():
             table.faults = injector
+        self.wal.faults = injector
+        if self.checkpointer is not None:
+            self.checkpointer.faults = injector
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         if name not in self.tables:
@@ -169,6 +263,24 @@ class Database:
         self.tables[name].truncate()
         del self.tables[name]
         self.table_stats.pop(name, None)
+        self._log_ddl(WalRecordType.DROP_TABLE, name)
+
+    def alter_add_column(self, table_name: str, column_name: str, sql_type: SqlType) -> None:
+        """ADD COLUMN with WAL logging (used by ALTER and the materializer)."""
+        self.table(table_name).add_column(Column(column_name, sql_type))
+        self._log_ddl(
+            WalRecordType.ADD_COLUMN, table_name, payload=(column_name, sql_type.value)
+        )
+
+    def alter_drop_column(self, table_name: str, column_name: str) -> None:
+        """DROP COLUMN with WAL logging (used by ALTER and the materializer)."""
+        self.table(table_name).drop_column(column_name)
+        self._log_ddl(WalRecordType.DROP_COLUMN, table_name, payload=column_name)
+
+    def truncate_table(self, table_name: str) -> None:
+        """TRUNCATE with WAL logging (used by catalog reflection)."""
+        self.table(table_name).truncate()
+        self._log_ddl(WalRecordType.TRUNCATE, table_name)
 
     def table(self, name: str) -> HeapTable:
         if name not in self.tables:
@@ -347,18 +459,33 @@ class Database:
                 self._insert_row(table, row, txn)
         return QueryResult(rowcount=len(rows_to_insert))
 
-    def insert_rows(self, table_name: str, rows: Sequence[tuple]) -> int:
-        """Bulk append (used by loaders); one transaction for the batch."""
+    def insert_rows(
+        self, table_name: str, rows: Sequence[tuple], txn: Transaction | None = None
+    ) -> int:
+        """Bulk append (used by loaders); one transaction for the batch.
+
+        Pass ``txn`` to make the batch part of a caller-managed transaction
+        (the Sinew loader does, so its catalog delta and heap rows commit
+        atomically).
+        """
         table = self.table(table_name)
-        with self._dml_txn() as txn:
+        if txn is not None:
             for row in rows:
                 self._insert_row(table, tuple(row), txn)
+        else:
+            with self._dml_txn() as dml:
+                for row in rows:
+                    self._insert_row(table, tuple(row), dml)
         return len(rows)
 
     def _insert_row(self, table: HeapTable, row: tuple, txn: Transaction) -> int:
         rid = table.insert(row)
         txn.log_insert(
-            table.name, rid, table.tuple_bytes(row), undo=lambda: table.delete(rid)
+            table.name,
+            rid,
+            table.tuple_bytes(row),
+            undo=lambda: table.delete(rid),
+            payload=row,
         )
         return rid
 
@@ -407,12 +534,14 @@ class Database:
                 new_row = list(row)
                 for position, value_fn in assignments:
                     new_row[position] = value_fn(row)
-                old = table.update(rid, tuple(new_row))
+                replacement = tuple(new_row)
+                old = table.update(rid, replacement)
                 txn.log_update(
                     table.name,
                     rid,
-                    table.tuple_bytes(tuple(new_row)),
+                    table.tuple_bytes(replacement),
                     undo=lambda rid=rid, old=old: table.update(rid, old),
+                    payload=replacement,
                 )
                 updated += 1
         return QueryResult(rowcount=updated)
@@ -459,15 +588,244 @@ class Database:
         return QueryResult()
 
     def _execute_alter(self, statement: AlterTableStatement) -> QueryResult:
-        table = self.table(statement.table)
         if statement.action == "add":
             assert statement.sql_type is not None
-            table.add_column(Column(statement.column_name, statement.sql_type))
+            self.alter_add_column(
+                statement.table, statement.column_name, statement.sql_type
+            )
         elif statement.action == "drop":
-            table.drop_column(statement.column_name)
+            self.alter_drop_column(statement.table, statement.column_name)
         else:  # pragma: no cover - parser prevents this
             raise PlanningError(f"unknown ALTER action {statement.action!r}")
         return QueryResult()
+
+    # ------------------------------------------------------------------
+    # durability: recovery, checkpointing, lifecycle
+    # ------------------------------------------------------------------
+
+    def recover(
+        self,
+        extra_restore: Callable[[Any], None] | None = None,
+        catalog_apply: Callable[[Any], None] | None = None,
+    ) -> dict[str, Any] | None:
+        """Rebuild state from disk: checkpoint image + WAL redo.
+
+        Protocol (ARIES redo-only -- undo is unnecessary because rollbacks
+        apply compensating heap writes at runtime and uncommitted work is
+        simply never redone):
+
+        1. load the checkpoint (if any) and restore heap tables from it;
+        2. scan the WAL segments, truncating a torn final frame;
+        3. classify transactions: a txn is committed iff its COMMIT record
+           survived (DDL/standalone-catalog records are always committed);
+        4. replay records with ``lsn > checkpoint_lsn`` in log order --
+           committed data/DDL records are redone, uncommitted INSERTs burn
+           their row id as a dead slot so later rids stay aligned, and
+           everything else from uncommitted transactions is discarded;
+        5. resume LSN/txn-id counters past everything seen and activate
+           the WAL for appending.
+
+        ``extra_restore`` receives the checkpoint's opaque ``extra`` blob
+        (the Sinew catalog); ``catalog_apply`` receives each committed
+        CATALOG record's payload in log order.
+        """
+        if self.path is None:
+            return None
+        if self.tables or self.wal.active:
+            raise RecoveryError("recover() must run on a freshly opened database")
+        assert self.checkpointer is not None
+        checkpoint_lsn = 0
+        next_txn_id = 1
+        checkpoint = self.checkpointer.load()
+        self._replaying = True
+        try:
+            if checkpoint is not None:
+                checkpoint_lsn = checkpoint["lsn"]
+                next_txn_id = checkpoint.get("next_txn_id", 1)
+                for table_name, table_state in checkpoint["tables"].items():
+                    table = self.create_table(
+                        table_name,
+                        [(n, SqlType(v)) for n, v in table_state["columns"]],
+                    )
+                    table.restore_state(table_state)
+                if extra_restore is not None:
+                    extra_restore(checkpoint.get("extra"))
+            scan = scan_wal(self.wal.directory)
+            # Stale records at or below the checkpoint LSN can exist when a
+            # crash hit between the checkpoint rename and segment
+            # truncation; their effects are already in the snapshot.
+            records = [r for r in scan.records if r.lsn > checkpoint_lsn]
+            committed = {DDL_TXN_ID}
+            for record in records:
+                if record.record_type is WalRecordType.COMMIT:
+                    committed.add(record.txn_id)
+            replayed = 0
+            discarded = 0
+            for record in records:
+                if self._replay_record(
+                    record, record.txn_id in committed, catalog_apply
+                ):
+                    replayed += 1
+                elif record.record_type not in (
+                    WalRecordType.BEGIN,
+                    WalRecordType.COMMIT,
+                    WalRecordType.ABORT,
+                ):
+                    discarded += 1
+        finally:
+            self._replaying = False
+        max_lsn = max([checkpoint_lsn] + [r.lsn for r in scan.records])
+        max_txn = max([next_txn_id - 1] + [r.txn_id for r in records])
+        self.txn_manager.reset_next_txn_id(max_txn + 1)
+        self.checkpointer.last_checkpoint_lsn = checkpoint_lsn
+        self.wal.activate(max_lsn + 1)
+        self.analyze()
+        txns = {r.txn_id for r in records if r.txn_id != DDL_TXN_ID}
+        self.last_recovery = {
+            "had_checkpoint": checkpoint is not None,
+            "checkpoint_lsn": checkpoint_lsn,
+            "segments_scanned": scan.segments_scanned,
+            "frames_decoded": scan.frames_decoded,
+            "records_replayed": replayed,
+            "records_discarded": discarded,
+            "txns_committed": len(committed & txns),
+            "txns_discarded": len(txns - committed),
+            "torn_segment": scan.torn_segment,
+            "torn_offset": scan.torn_offset,
+            "segments_dropped": scan.segments_dropped,
+        }
+        return self.last_recovery
+
+    def _replay_record(
+        self,
+        record: WalRecord,
+        committed: bool,
+        catalog_apply: Callable[[Any], None] | None,
+    ) -> bool:
+        """Redo one WAL record; returns True when it mutated state."""
+        rt = record.record_type
+        if rt in (WalRecordType.BEGIN, WalRecordType.COMMIT, WalRecordType.ABORT):
+            return False
+        if rt is WalRecordType.INSERT:
+            table = self.tables.get(record.table)
+            if table is None:
+                # the table was dropped later in the log; nothing to align
+                return False
+            if committed:
+                if record.payload is None:
+                    raise RecoveryError(
+                        f"committed INSERT at lsn {record.lsn} carries no row image"
+                    )
+                rid = table.insert(tuple(record.payload))
+            else:
+                # Uncommitted/aborted insert: the row must not reappear but
+                # its rid must stay consumed so later records still align.
+                rid = table.alloc_dead_slot()
+            if rid != record.rid:
+                raise RecoveryError(
+                    f"row id drift replaying {record.table!r}: log says "
+                    f"{record.rid}, heap allocated {rid} (lsn {record.lsn})"
+                )
+            return committed
+        if not committed:
+            # Uncommitted UPDATE/DELETE/CATALOG: skipping *is* the undo --
+            # compensating writes were never logged, so the pre-images from
+            # the checkpoint / earlier committed records remain in place.
+            return False
+        if rt is WalRecordType.UPDATE:
+            table = self.tables.get(record.table)
+            if table is None or record.payload is None:
+                return False
+            table.update(record.rid, tuple(record.payload))
+            return True
+        if rt is WalRecordType.DELETE:
+            table = self.tables.get(record.table)
+            if table is None:
+                return False
+            table.delete(record.rid)
+            return True
+        if rt is WalRecordType.CREATE_TABLE:
+            if record.table not in self.tables:
+                self.create_table(
+                    record.table,
+                    [(n, SqlType(v)) for n, v in record.payload],
+                )
+            return True
+        if rt is WalRecordType.DROP_TABLE:
+            self.drop_table(record.table, if_exists=True)
+            return True
+        if rt is WalRecordType.ADD_COLUMN:
+            table = self.tables.get(record.table)
+            if table is not None:
+                name, type_value = record.payload
+                if name not in table.schema:
+                    table.add_column(Column(name, SqlType(type_value)))
+            return True
+        if rt is WalRecordType.DROP_COLUMN:
+            table = self.tables.get(record.table)
+            if table is not None and record.payload in table.schema:
+                table.drop_column(record.payload)
+            return True
+        if rt is WalRecordType.TRUNCATE:
+            table = self.tables.get(record.table)
+            if table is not None:
+                table.truncate()
+            return True
+        if rt is WalRecordType.CATALOG:
+            if catalog_apply is not None:
+                catalog_apply(record.payload)
+            return True
+        return False  # pragma: no cover - all record types handled above
+
+    def checkpoint(self, extra: Any = None) -> CheckpointInfo:
+        """Snapshot every heap table (+ ``extra``) and truncate dead WAL.
+
+        Ordering: fsync + rotate the WAL first, so the snapshot LSN is the
+        exact boundary -- everything at or below it is inside the snapshot
+        and lives only in segments the checkpoint then deletes; everything
+        above it starts in the fresh segment.  Callers must quiesce writers
+        first (the Sinew layer holds the catalog's exclusive latch).
+        """
+        if self.path is None or self.checkpointer is None:
+            raise TransactionError("an in-memory database cannot checkpoint")
+        if not self.wal.active:
+            raise TransactionError("recover() must run before checkpoint()")
+        if self._session_txn is not None or self.txn_manager.active:
+            raise TransactionError("cannot checkpoint with transactions in flight")
+        wal = self.wal
+        wal.sync()
+        wal.rotate()
+        lsn = wal.last_lsn
+        if self._faults is not None:
+            self._faults.fire("checkpoint.pages", lsn=lsn)
+        tables_state = {
+            name: table.snapshot_state() for name, table in self.tables.items()
+        }
+        if self._faults is not None:
+            self._faults.fire("checkpoint.catalog", lsn=lsn)
+        state = {
+            "lsn": lsn,
+            "next_txn_id": self.txn_manager.next_txn_id,
+            "tables": tables_state,
+            "extra": extra,
+        }
+        return self.checkpointer.write(state, wal)
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Flush and close the durable log (no-op for in-memory databases)."""
+        if self.path is None:
+            return
+        if checkpoint and self.wal.active:
+            self.checkpoint()
+        self.wal.close()
+
+    def wal_status(self) -> dict[str, Any]:
+        """WAL + checkpoint + last-recovery counters (status surface)."""
+        status = self.wal.status()
+        if self.checkpointer is not None:
+            status.update(self.checkpointer.status())
+        status["last_recovery"] = self.last_recovery
+        return status
 
     # ------------------------------------------------------------------
     # transactions

@@ -123,3 +123,8 @@ class TransactionError(DatabaseError):
 
 class ConcurrencyError(DatabaseError):
     """A latch could not be acquired (loader vs. materializer exclusion)."""
+
+
+class RecoveryError(DatabaseError):
+    """Crash recovery found an on-disk state it cannot replay consistently
+    (row-id misalignment, checkpoint referencing missing segments, ...)."""

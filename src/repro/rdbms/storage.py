@@ -292,6 +292,50 @@ class HeapTable:
         self.total_bytes += size
         self.live_rows += 1
 
+    def alloc_dead_slot(self) -> int:
+        """Allocate a row id whose slot is born dead.
+
+        Crash recovery uses this for WAL INSERT records of *uncommitted*
+        transactions: their rows must not reappear, but the row ids they
+        consumed must stay consumed so every later record's rid still
+        points at the same physical slot.
+        """
+        if not self.pages:
+            self.pages.append(Page(self.page_bytes))
+            self.disk.charge(self.page_bytes)
+        page_no = len(self.pages) - 1
+        page = self.pages[page_no]
+        page.slots.append(None)
+        slot_no = len(page.slots) - 1
+        self._rid_directory.append((page_no, slot_no))
+        return len(self._rid_directory) - 1
+
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Checkpoint image: schema + every slot in row-id order.
+
+        Dead slots are kept as ``None`` so a restore reproduces the exact
+        rid layout -- WAL records after the checkpoint address rows by rid.
+        """
+        rows: list[tuple | None] = []
+        for page_no, slot_no in self._rid_directory:
+            rows.append(self.pages[page_no].slots[slot_no])
+        return {
+            "columns": [(c.name, c.sql_type.value) for c in self.schema.columns],
+            "null_model": self.null_model.value,
+            "page_bytes": self.page_bytes,
+            "rows": rows,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Refill a freshly created (empty) table from a checkpoint image."""
+        for row in state["rows"]:
+            if row is None:
+                self.alloc_dead_slot()
+            else:
+                self.insert(tuple(row))
+
     # -- schema evolution ---------------------------------------------------
 
     def add_column(self, column: Column) -> None:

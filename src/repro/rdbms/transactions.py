@@ -1,4 +1,4 @@
-"""Write-ahead logging and transactions.
+"""Write-ahead logging, transactions, and on-disk durability.
 
 The update experiment (paper Figure 8) depends on the RDBMS-based systems
 paying a transactional cost that MongoDB does not: every row mutation is
@@ -7,21 +7,57 @@ no durability bookkeeping.  The paper found that Sinew's cheaper predicate
 evaluation outweighed this overhead; reproducing that requires the overhead
 to actually exist, which this module provides.
 
-The WAL here is an in-memory record stream with byte accounting (record
-counts and bytes flow into the shared :class:`~repro.rdbms.cost.CostCounters`
-so the harness can model fsync latency).  Rollback is implemented with
-per-transaction undo entries applied in reverse order.
+Two modes
+---------
+* **In-memory** (the default, ``directory=None``): the WAL is a record
+  stream with byte accounting (record counts and bytes flow into the shared
+  :class:`~repro.rdbms.cost.CostCounters` so the harness can model fsync
+  latency).  Rollback is implemented with per-transaction undo entries
+  applied in reverse order.  A process exit loses everything.
+* **Durable** (``directory=<path>``): every record is additionally written
+  to an on-disk *segment file* as a CRC32-framed, length-prefixed frame.
+  Commits are fsync barriers (grouped: one fsync per
+  ``group_commit_every`` commits); segments rotate at ``segment_bytes``
+  and are deleted once a checkpoint makes them dead.  On reopen,
+  :meth:`~repro.rdbms.database.Database.recover` replays the log from the
+  last checkpoint -- ARIES-style redo of committed transactions, with
+  uncommitted tails discarded and a torn final frame (partial write)
+  detected via the length/CRC envelope and truncated.
+
+Frame format (one WAL record)::
+
+    +----------------+----------------+------------------------+
+    | body length u32| CRC32(body) u32| body (pickled tuple)   |
+    +----------------+----------------+------------------------+
+
+The body is ``(lsn, txn_id, record_type, table, rid, payload_bytes,
+payload)``; ``payload`` carries the physical redo image (the full row for
+INSERT/UPDATE, the schema for DDL, a catalog delta for CATALOG records).
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import os
+import pickle
+import struct
+import threading
+import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable
 
 from .cost import CostCounters
 from .errors import TransactionError
+
+#: Default size at which a durable WAL rotates to a fresh segment file.
+DEFAULT_SEGMENT_BYTES = 512 * 1024
+
+#: Durable segment files are named ``<seq:016d>.wal`` inside the WAL dir.
+WAL_SUFFIX = ".wal"
+
+_FRAME_HEADER = struct.Struct("<II")
 
 
 class WalRecordType(enum.Enum):
@@ -31,6 +67,15 @@ class WalRecordType(enum.Enum):
     DELETE = "delete"
     COMMIT = "commit"
     ABORT = "abort"
+    # DDL redo records (durable mode): the physical schema must replay in
+    # log order so later row images land in tables that exist again.
+    CREATE_TABLE = "create_table"
+    DROP_TABLE = "drop_table"
+    ADD_COLUMN = "add_column"
+    DROP_COLUMN = "drop_column"
+    TRUNCATE = "truncate"
+    #: An opaque upper-layer (Sinew catalog) delta, replayed via a callback.
+    CATALOG = "catalog"
 
 
 @dataclass(frozen=True)
@@ -43,18 +88,278 @@ class WalRecord:
     table: str | None = None
     rid: int | None = None
     payload_bytes: int = 0
+    #: physical redo image (row tuple, DDL description, or catalog delta);
+    #: only serialized to disk in durable mode
+    payload: Any = None
+
+
+def encode_frame(record: WalRecord) -> bytes:
+    """Serialize one record into its length-prefixed, CRC-framed form."""
+    body = pickle.dumps(
+        (
+            record.lsn,
+            record.txn_id,
+            record.record_type.value,
+            record.table,
+            record.rid,
+            record.payload_bytes,
+            record.payload,
+        ),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    return _FRAME_HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+def decode_frames(data: bytes) -> tuple[list[WalRecord], int | None]:
+    """Decode consecutive frames from one segment's bytes.
+
+    Returns ``(records, torn_offset)``: ``torn_offset`` is the byte
+    position of the first incomplete or corrupt frame (a torn write --
+    short header, short body, or CRC mismatch), or ``None`` when the
+    segment decodes cleanly to its end.  Decoding stops at the first bad
+    frame; anything after it is unreachable by construction (frames are
+    appended strictly in order) and treated as garbage.
+    """
+    records: list[WalRecord] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if offset + _FRAME_HEADER.size > total:
+            return records, offset
+        length, crc = _FRAME_HEADER.unpack_from(data, offset)
+        body_start = offset + _FRAME_HEADER.size
+        body = data[body_start : body_start + length]
+        if len(body) < length or zlib.crc32(body) != crc:
+            return records, offset
+        lsn, txn_id, type_value, table, rid, payload_bytes, payload = pickle.loads(body)
+        records.append(
+            WalRecord(
+                lsn=lsn,
+                txn_id=txn_id,
+                record_type=WalRecordType(type_value),
+                table=table,
+                rid=rid,
+                payload_bytes=payload_bytes,
+                payload=payload,
+            )
+        )
+        offset = body_start + length
+    return records, None
+
+
+@dataclass
+class WalScanResult:
+    """What :func:`scan_wal` found on disk (recovery-report surface)."""
+
+    records: list[WalRecord] = field(default_factory=list)
+    segments_scanned: int = 0
+    frames_decoded: int = 0
+    #: segment file name + byte offset of a torn final frame (if any)
+    torn_segment: str | None = None
+    torn_offset: int | None = None
+    #: segments after a torn/corrupt frame, deleted as unreachable garbage
+    segments_dropped: int = 0
+
+
+def _segment_files(directory: Path) -> list[Path]:
+    return sorted(p for p in directory.iterdir() if p.suffix == WAL_SUFFIX)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry (segment creation/rename durability)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def scan_wal(directory: Path, truncate_torn: bool = True) -> WalScanResult:
+    """Read every WAL segment in order, handling a torn final record.
+
+    A torn frame ends the log: the file is truncated at the tear (when
+    ``truncate_torn``) and any later segment files -- which cannot contain
+    reachable records -- are deleted.
+    """
+    result = WalScanResult()
+    segments = _segment_files(directory)
+    torn_found = False
+    for segment in segments:
+        if torn_found:
+            if truncate_torn:
+                segment.unlink()
+            result.segments_dropped += 1
+            continue
+        data = segment.read_bytes()
+        records, torn_offset = decode_frames(data)
+        result.segments_scanned += 1
+        result.frames_decoded += len(records)
+        result.records.extend(records)
+        if torn_offset is not None:
+            torn_found = True
+            result.torn_segment = segment.name
+            result.torn_offset = torn_offset
+            if truncate_torn:
+                with open(segment, "r+b") as handle:
+                    handle.truncate(torn_offset)
+                    os.fsync(handle.fileno())
+    return result
 
 
 class WriteAheadLog:
-    """Append-only log with monotonically increasing LSNs."""
+    """Append-only log with monotonically increasing LSNs.
 
-    #: Fixed overhead per WAL record (header, CRC, alignment).
+    In durable mode every record is framed and written to the current
+    segment file (flushed to the OS immediately, so an abrupt process death
+    loses at most the final partially-written frame); COMMIT records are
+    fsync barriers subject to group commit.  A durable WAL must be
+    :meth:`activate`-d (normally by ``Database.recover``) before appending,
+    so recovery always reads the log before new records interleave.
+    """
+
+    #: Fixed modelled overhead per WAL record (header, CRC, alignment);
+    #: the cost counters use this regardless of the physical frame size so
+    #: in-memory and durable runs report comparable ``wal_bytes``.
     RECORD_HEADER_BYTES = 26
 
-    def __init__(self, counters: CostCounters):
+    def __init__(
+        self,
+        counters: CostCounters,
+        directory: str | Path | None = None,
+        *,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        group_commit_every: int = 1,
+    ):
         self.counters = counters
+        self.directory = Path(directory) if directory is not None else None
+        self.segment_bytes = max(1024, segment_bytes)
+        self.group_commit_every = max(1, group_commit_every)
+        #: full record history (in-memory mode only; durable logs live on
+        #: disk and keep only the per-active-transaction index in memory)
         self.records: list[WalRecord] = []
+        self._by_txn: dict[int, list[WalRecord]] = {}
         self._lsn = itertools.count(1)
+        self._lock = threading.RLock()
+        #: optional FaultInjector; fires ``wal.append`` / ``wal.fsync`` /
+        #: ``wal.torn_write`` on the durable path
+        self.faults = None
+        # -- durable-mode state --------------------------------------------
+        self._fh = None
+        self._fh_bytes = 0
+        self._segment_seq = 0
+        self._commits_since_sync = 0
+        self.last_lsn = 0
+        self.total_records = 0
+        self.commits = 0
+        self.fsyncs = 0
+        self.segments_created = 0
+        self.bytes_written = 0
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # lifecycle (durable mode)
+    # ------------------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        return self.directory is not None
+
+    @property
+    def active(self) -> bool:
+        """Whether the log accepts appends (always true in-memory)."""
+        return self.directory is None or self._fh is not None
+
+    def activate(self, next_lsn: int = 1) -> None:
+        """Open the durable log for appending, continuing at ``next_lsn``.
+
+        Called by recovery *after* the existing segments were scanned and
+        any torn tail truncated; appending before activation raises, which
+        is what makes "recover before write" an enforced invariant.
+        """
+        if self.directory is None:
+            raise TransactionError("cannot activate an in-memory WAL")
+        with self._lock:
+            self._lsn = itertools.count(next_lsn)
+            self.last_lsn = next_lsn - 1
+            segments = _segment_files(self.directory)
+            if segments:
+                last = segments[-1]
+                self._segment_seq = int(last.stem)
+                size = last.stat().st_size
+                if size < self.segment_bytes:
+                    self._fh = open(last, "ab")
+                    self._fh_bytes = size
+                else:
+                    self._open_segment(self._segment_seq + 1)
+            else:
+                self._open_segment(1)
+
+    def _open_segment(self, seq: int) -> None:
+        self._segment_seq = seq
+        path = self.directory / f"{seq:016d}{WAL_SUFFIX}"
+        self._fh = open(path, "ab")
+        self._fh_bytes = self._fh.tell()
+        self.segments_created += 1
+        _fsync_dir(self.directory)
+
+    def rotate(self) -> None:
+        """Close the current segment and start a fresh one (checkpointing
+        rotates first so every older segment becomes dead afterwards)."""
+        with self._lock:
+            if self._fh is None:
+                return
+            self._sync_locked()
+            self._fh.close()
+            self._open_segment(self._segment_seq + 1)
+
+    def truncate_segments_before(self, seq: int) -> int:
+        """Delete every segment numbered below ``seq``; returns the count."""
+        if self.directory is None:
+            return 0
+        removed = 0
+        with self._lock:
+            for segment in _segment_files(self.directory):
+                if int(segment.stem) < seq:
+                    segment.unlink()
+                    removed += 1
+            if removed:
+                _fsync_dir(self.directory)
+        return removed
+
+    @property
+    def current_segment_seq(self) -> int:
+        return self._segment_seq
+
+    def sync(self) -> None:
+        """Force an fsync barrier now (close/checkpoint path)."""
+        with self._lock:
+            if self._fh is not None:
+                self._sync_locked()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._sync_locked()
+                self._fh.close()
+                self._fh = None
+
+    def _sync_locked(self) -> None:
+        if self.faults is not None:
+            self.faults.fire("wal.fsync", lsn=self.last_lsn)
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        self.fsyncs += 1
+        self.counters.wal_fsyncs += 1
+        self._commits_since_sync = 0
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
 
     def append(
         self,
@@ -63,25 +368,115 @@ class WriteAheadLog:
         table: str | None = None,
         rid: int | None = None,
         payload_bytes: int = 0,
+        payload: Any = None,
     ) -> WalRecord:
-        record = WalRecord(
-            lsn=next(self._lsn),
-            txn_id=txn_id,
-            record_type=record_type,
-            table=table,
-            rid=rid,
-            payload_bytes=payload_bytes,
-        )
-        self.records.append(record)
-        self.counters.wal_records += 1
-        self.counters.wal_bytes += self.RECORD_HEADER_BYTES + payload_bytes
-        return record
+        with self._lock:
+            if self.durable and self.faults is not None:
+                self.faults.fire(
+                    "wal.append",
+                    record_type=record_type.value,
+                    table=table,
+                    txn_id=txn_id,
+                )
+            record = WalRecord(
+                lsn=next(self._lsn),
+                txn_id=txn_id,
+                record_type=record_type,
+                table=table,
+                rid=rid,
+                payload_bytes=payload_bytes,
+                payload=payload,
+            )
+            self.last_lsn = record.lsn
+            self.total_records += 1
+            self.counters.wal_records += 1
+            self.counters.wal_bytes += self.RECORD_HEADER_BYTES + payload_bytes
+            if not self.durable:
+                self.records.append(record)
+                self._by_txn.setdefault(txn_id, []).append(record)
+                return record
+            # Durable path: keep only *active* transactions indexed (the
+            # log itself lives on disk and segments rotate out of memory).
+            if record_type in (WalRecordType.COMMIT, WalRecordType.ABORT):
+                self._by_txn.pop(txn_id, None)
+            else:
+                self._by_txn.setdefault(txn_id, []).append(record)
+            self._write_frame(record)
+            if record_type is WalRecordType.COMMIT:
+                self.commits += 1
+                self._commits_since_sync += 1
+                if self._commits_since_sync >= self.group_commit_every:
+                    self._sync_locked()
+            return record
+
+    def _write_frame(self, record: WalRecord) -> None:
+        if self._fh is None:
+            raise TransactionError(
+                "durable WAL was not activated; run Database.recover() "
+                "before writing"
+            )
+        frame = encode_frame(record)
+        if self._fh_bytes and self._fh_bytes + len(frame) > self.segment_bytes:
+            self.rotate()
+        if record.record_type is WalRecordType.COMMIT and self.faults is not None:
+            try:
+                self.faults.fire("wal.torn_write", txn_id=record.txn_id)
+            except BaseException:
+                # Simulate the torn write this point exists to test: a
+                # prefix of the commit frame reaches the OS, then we die.
+                half = frame[: max(1, len(frame) // 2)]
+                self._fh.write(half)
+                self._fh.flush()
+                self._fh_bytes += len(half)
+                raise
+        self._fh.write(frame)
+        self._fh.flush()  # to the OS: an abrupt exit keeps whole frames
+        self._fh_bytes += len(frame)
+        self.bytes_written += len(frame)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.records)
+        return self.total_records
 
     def records_for(self, txn_id: int) -> list[WalRecord]:
-        return [r for r in self.records if r.txn_id == txn_id]
+        """Records of one transaction, via the per-transaction index.
+
+        O(records of that transaction), not O(log length): abort/undo
+        paths stay flat as the log grows.  In durable mode only *active*
+        transactions are indexed (finished ones live in the segments, which
+        rotate out of memory); the in-memory log keeps full history, which
+        preserves the original post-commit introspection behaviour.
+        """
+        with self._lock:
+            return list(self._by_txn.get(txn_id, ()))
+
+    def segment_count(self) -> int:
+        if self.directory is None:
+            return 0
+        return len(_segment_files(self.directory))
+
+    def bytes_on_disk(self) -> int:
+        if self.directory is None:
+            return 0
+        return sum(p.stat().st_size for p in _segment_files(self.directory))
+
+    def status(self) -> dict[str, Any]:
+        """Counters for ``SinewDB.status()`` / the shell's ``\\wal``."""
+        return {
+            "durable": self.durable,
+            "records": self.total_records,
+            "last_lsn": self.last_lsn,
+            "commits": self.commits,
+            "fsyncs": self.fsyncs,
+            "group_commit_every": self.group_commit_every,
+            "segments": self.segment_count(),
+            "segment_bytes_cap": self.segment_bytes,
+            "bytes_on_disk": self.bytes_on_disk(),
+            "segments_created": self.segments_created,
+        }
 
 
 class TxnState(enum.Enum):
@@ -99,20 +494,58 @@ class Transaction:
     state: TxnState = TxnState.ACTIVE
     _undo: list[Callable[[], None]] = field(default_factory=list)
 
-    def log_insert(self, table: str, rid: int, payload_bytes: int, undo: Callable[[], None]) -> None:
+    def log_insert(
+        self,
+        table: str,
+        rid: int,
+        payload_bytes: int,
+        undo: Callable[[], None],
+        payload: Any = None,
+    ) -> None:
         self._require_active()
-        self.wal.append(self.txn_id, WalRecordType.INSERT, table, rid, payload_bytes)
+        self.wal.append(
+            self.txn_id, WalRecordType.INSERT, table, rid, payload_bytes, payload
+        )
         self._undo.append(undo)
 
-    def log_update(self, table: str, rid: int, payload_bytes: int, undo: Callable[[], None]) -> None:
+    def log_update(
+        self,
+        table: str,
+        rid: int,
+        payload_bytes: int,
+        undo: Callable[[], None],
+        payload: Any = None,
+    ) -> None:
         self._require_active()
-        self.wal.append(self.txn_id, WalRecordType.UPDATE, table, rid, payload_bytes)
+        self.wal.append(
+            self.txn_id, WalRecordType.UPDATE, table, rid, payload_bytes, payload
+        )
         self._undo.append(undo)
 
-    def log_delete(self, table: str, rid: int, payload_bytes: int, undo: Callable[[], None]) -> None:
+    def log_delete(
+        self,
+        table: str,
+        rid: int,
+        payload_bytes: int,
+        undo: Callable[[], None],
+        payload: Any = None,
+    ) -> None:
         self._require_active()
-        self.wal.append(self.txn_id, WalRecordType.DELETE, table, rid, payload_bytes)
+        self.wal.append(
+            self.txn_id, WalRecordType.DELETE, table, rid, payload_bytes, payload
+        )
         self._undo.append(undo)
+
+    def log_catalog(self, payload: Any, payload_bytes: int = 0) -> None:
+        """Log an upper-layer catalog delta (no undo: catalog publication
+        is deliberately redo-only, see the loader's crash-ordering notes)."""
+        self._require_active()
+        self.wal.append(
+            self.txn_id,
+            WalRecordType.CATALOG,
+            payload_bytes=payload_bytes,
+            payload=payload,
+        )
 
     def commit(self) -> None:
         self._require_active()
@@ -142,13 +575,19 @@ class TransactionManager:
     is how the executor runs DML issued outside an explicit transaction.
     """
 
-    def __init__(self, counters: CostCounters):
-        self.wal = WriteAheadLog(counters)
-        self._next_txn_id = itertools.count(1)
+    def __init__(self, counters: CostCounters, wal: WriteAheadLog | None = None):
+        self.wal = wal if wal is not None else WriteAheadLog(counters)
+        self.next_txn_id = 1
         self.active: dict[int, Transaction] = {}
 
+    def reset_next_txn_id(self, next_id: int) -> None:
+        """Continue transaction numbering after recovery."""
+        self.next_txn_id = next_id
+
     def begin(self) -> Transaction:
-        txn = Transaction(next(self._next_txn_id), self.wal)
+        txn_id = self.next_txn_id
+        self.next_txn_id += 1
+        txn = Transaction(txn_id, self.wal)
         self.wal.append(txn.txn_id, WalRecordType.BEGIN)
         self.active[txn.txn_id] = txn
         return txn
@@ -180,3 +619,113 @@ class _Autocommit:
         if self.txn.state is TxnState.ACTIVE:
             self.manager.finish(self.txn, commit=exc_type is None)
         return False
+
+
+# ----------------------------------------------------------------------
+# checkpointing
+# ----------------------------------------------------------------------
+
+#: The checkpoint lives next to the ``wal/`` directory, written atomically
+#: (tmp + fsync + rename) so a crash mid-checkpoint preserves the old one.
+CHECKPOINT_FILE = "checkpoint.bin"
+_CHECKPOINT_TMP = "checkpoint.tmp"
+_CHECKPOINT_MAGIC = b"SNWCKPT1"
+
+
+@dataclass
+class CheckpointInfo:
+    """Result of one :meth:`Checkpointer.write`."""
+
+    lsn: int = 0
+    bytes_written: int = 0
+    segments_truncated: int = 0
+
+
+class Checkpointer:
+    """Atomic snapshot writer + dead-segment truncation.
+
+    The *content* of a checkpoint is assembled by the owning database
+    (heap pages from :mod:`~repro.rdbms.storage`, the Sinew catalog from
+    :mod:`~repro.core.catalog` via the ``extra`` blob); this class owns the
+    envelope: CRC-protected serialization, write-to-temp + fsync + atomic
+    rename, and deleting WAL segments the new checkpoint made dead.
+    Crash-ordering guarantees:
+
+    * a crash before the rename leaves the previous checkpoint intact
+      (recovery replays a longer WAL suffix);
+    * a crash after the rename but before truncation leaves stale
+      segments whose records recovery skips by LSN (the next checkpoint
+      deletes them).
+    """
+
+    def __init__(self, directory: str | Path, counters: CostCounters | None = None):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.counters = counters
+        self.faults = None
+        self.checkpoints = 0
+        self.last_checkpoint_lsn = 0
+        self.segments_truncated = 0
+
+    @property
+    def path(self) -> Path:
+        return self.directory / CHECKPOINT_FILE
+
+    def write(self, state: dict, wal: WriteAheadLog) -> CheckpointInfo:
+        """Persist ``state`` atomically, then truncate dead WAL segments.
+
+        ``state`` must contain ``"lsn"``; every WAL record with an LSN at
+        or below it is dead once the rename lands.  The WAL must have been
+        rotated *before* the snapshot was taken (``Database.checkpoint``
+        does this) so dead records and live records never share a segment.
+        """
+        info = CheckpointInfo(lsn=state["lsn"])
+        body = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = _CHECKPOINT_MAGIC + struct.pack("<I", zlib.crc32(body)) + body
+        tmp = self.directory / _CHECKPOINT_TMP
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        _fsync_dir(self.directory)
+        info.bytes_written = len(blob)
+        self.checkpoints += 1
+        self.last_checkpoint_lsn = state["lsn"]
+        if self.counters is not None:
+            self.counters.checkpoints += 1
+        if self.faults is not None:
+            self.faults.fire("checkpoint.truncate", lsn=state["lsn"])
+        info.segments_truncated = wal.truncate_segments_before(
+            wal.current_segment_seq
+        )
+        self.segments_truncated += info.segments_truncated
+        return info
+
+    def load(self) -> dict | None:
+        """Read the checkpoint back, or ``None`` when absent/corrupt.
+
+        A corrupt checkpoint (bad magic or CRC) is treated as absent: the
+        only way one arises is a crash racing the atomic rename at the
+        filesystem level, and recovery then replays the whole WAL.
+        """
+        try:
+            blob = self.path.read_bytes()
+        except FileNotFoundError:
+            return None
+        if len(blob) < len(_CHECKPOINT_MAGIC) + 4:
+            return None
+        if blob[: len(_CHECKPOINT_MAGIC)] != _CHECKPOINT_MAGIC:
+            return None
+        (crc,) = struct.unpack_from("<I", blob, len(_CHECKPOINT_MAGIC))
+        body = blob[len(_CHECKPOINT_MAGIC) + 4 :]
+        if zlib.crc32(body) != crc:
+            return None
+        return pickle.loads(body)
+
+    def status(self) -> dict[str, Any]:
+        return {
+            "checkpoints": self.checkpoints,
+            "last_checkpoint_lsn": self.last_checkpoint_lsn,
+            "segments_truncated": self.segments_truncated,
+        }

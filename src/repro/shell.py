@@ -18,6 +18,8 @@ Meta-commands
 ``\\settle NAME``    run the schema analyzer + column materializer
 ``\\daemon [CMD]``   background materializer: status (default), start,
                     stop, pause, resume
+``\\wal [CMD]``      durability status (default) or ``checkpoint`` to
+                    force a checkpoint + WAL truncation
 ``\\catalog``        reflect + dump the attribute dictionary
 ``\\q``              quit
 ==================  ====================================================
@@ -165,6 +167,9 @@ class SinewShell:
         if command == "\\daemon":
             self._daemon(arguments)
             return
+        if command == "\\wal":
+            self._wal(arguments)
+            return
         if command == "\\catalog":
             self.sdb.sync_catalog()
             result = self.sdb.db.execute(
@@ -175,7 +180,7 @@ class SinewShell:
             return
         self._print(
             f"unknown meta-command {command!r}; "
-            "try \\d, \\c, \\load, \\lint, \\analyze, \\check, \\daemon, \\q"
+            "try \\d, \\c, \\load, \\lint, \\analyze, \\check, \\daemon, \\wal, \\q"
         )
 
     def _daemon(self, arguments: list[str]) -> None:
@@ -203,6 +208,60 @@ class SinewShell:
             return
         for line in daemon.status().lines():
             self._print(line)
+
+    def _wal(self, arguments: list[str]) -> None:
+        """``\\wal [status|checkpoint]`` -- default status."""
+        action = arguments[0] if arguments else "status"
+        if action == "checkpoint":
+            info = self.sdb.checkpoint()
+            self._print(
+                f"checkpoint written at lsn {info.lsn} "
+                f"({info.bytes_written} bytes, "
+                f"{info.segments_truncated} segments truncated)"
+            )
+            return
+        if action != "status":
+            self._print("usage: \\wal [status|checkpoint]")
+            return
+        status = self.sdb.db.wal_status()
+        if not status.get("durable"):
+            self._print("wal: in-memory (no on-disk durability)")
+            self._print(
+                f"  records: {status['records']}  last_lsn: {status['last_lsn']}  "
+                f"commits: {status['commits']}"
+            )
+            return
+        self._print("wal: durable")
+        self._print(
+            f"  records: {status['records']}  last_lsn: {status['last_lsn']}  "
+            f"commits: {status['commits']}  fsyncs: {status['fsyncs']}"
+        )
+        self._print(
+            f"  segments: {status['segments']}  "
+            f"bytes_on_disk: {status['bytes_on_disk']}  "
+            f"group_commit_every: {status['group_commit_every']}"
+        )
+        self._print(
+            f"  checkpoints: {status.get('checkpoints', 0)}  "
+            f"last_checkpoint_lsn: {status.get('last_checkpoint_lsn')}  "
+            f"segments_truncated: {status.get('segments_truncated', 0)}"
+        )
+        recovery = status.get("last_recovery")
+        if recovery is None:
+            self._print("  last_recovery: (none this session)")
+            return
+        self._print(
+            f"  last_recovery: replayed {recovery['records_replayed']} records "
+            f"({recovery['txns_committed']} txns), discarded "
+            f"{recovery['records_discarded']} records "
+            f"({recovery['txns_discarded']} txns)"
+        )
+        self._print(
+            f"    segments_scanned: {recovery['segments_scanned']}  "
+            f"frames_decoded: {recovery['frames_decoded']}  "
+            f"had_checkpoint: {recovery['had_checkpoint']}  "
+            f"torn_tail: {recovery['torn_offset'] is not None}"
+        )
 
     def _require(self, arguments: list[str], n: int, usage: str) -> None:
         if len(arguments) != n:

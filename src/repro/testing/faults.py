@@ -67,6 +67,14 @@ _KNOWN_POINTS: set[str] = {
     "daemon.after_step",      # slice finished, stats recorded
     # storage engine (repro.rdbms.storage) -- before the page is touched
     "storage.write_row",      # any heap insert/update, context: table=<name>
+    # durable WAL (repro.rdbms.transactions) -- fire only in durable mode
+    "wal.append",             # before a record is framed and written
+    "wal.fsync",              # before the fsync barrier lands
+    "wal.torn_write",         # before a COMMIT frame; a raise tears it in half
+    # checkpointer (repro.rdbms.database / transactions)
+    "checkpoint.pages",       # WAL rotated, heap snapshot not yet taken
+    "checkpoint.catalog",     # heap snapshot taken, catalog blob not yet added
+    "checkpoint.truncate",    # checkpoint renamed in, old segments still present
 }
 
 

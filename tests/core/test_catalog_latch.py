@@ -1,0 +1,169 @@
+"""Contention behaviour of the loader/materializer catalog latch:
+bounded-timeout expiry and LatchStats accuracy under real thread racing."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import SinewDB
+from repro.core.catalog import SinewCatalog
+from repro.rdbms.errors import ConcurrencyError
+from repro.testing.faults import FaultInjector
+
+
+class TestTimeoutExpiry:
+    def test_blocking_acquisition_times_out(self):
+        catalog = SinewCatalog()
+        release = threading.Event()
+
+        def holder():
+            with catalog.exclusive_latch("loader"):
+                release.wait(5.0)
+
+        thread = threading.Thread(target=holder, daemon=True)
+        thread.start()
+        while catalog.latch_owner != "loader":
+            time.sleep(0.001)
+
+        started = time.monotonic()
+        with pytest.raises(ConcurrencyError, match="timed out"):
+            with catalog.exclusive_latch("materializer", timeout=0.05):
+                pass
+        elapsed = time.monotonic() - started
+        assert 0.04 <= elapsed < 2.0  # bounded: gave up near the timeout
+        assert catalog.latch_stats.timeouts == 1
+        assert catalog.latch_stats.waits == 1
+        assert catalog.latch_stats.acquisitions == 1  # only the holder's
+
+        release.set()
+        thread.join()
+        # once released, the same acquisition succeeds and is counted
+        with catalog.exclusive_latch("materializer", timeout=0.05):
+            assert catalog.latch_owner == "materializer"
+        assert catalog.latch_stats.acquisitions == 2
+        assert catalog.latch_stats.timeouts == 1
+
+    def test_non_blocking_contention_fails_fast(self):
+        catalog = SinewCatalog()
+        with catalog.exclusive_latch("loader"):
+            started = time.monotonic()
+            with pytest.raises(ConcurrencyError, match="held by loader"):
+                with catalog.exclusive_latch("materializer", blocking=False):
+                    pass
+            assert time.monotonic() - started < 0.5
+        assert catalog.latch_stats.contentions == 1
+        assert catalog.latch_stats.timeouts == 0
+        assert catalog.latch_stats.waits == 0
+
+    def test_timeout_error_names_both_parties(self):
+        catalog = SinewCatalog()
+        done = threading.Event()
+
+        def holder():
+            with catalog.exclusive_latch("loader"):
+                done.wait(5.0)
+
+        thread = threading.Thread(target=holder, daemon=True)
+        thread.start()
+        while catalog.latch_owner != "loader":
+            time.sleep(0.001)
+        with pytest.raises(ConcurrencyError) as excinfo:
+            with catalog.exclusive_latch("materializer", timeout=0.02):
+                pass
+        message = str(excinfo.value)
+        assert "materializer" in message and "loader" in message
+        done.set()
+        thread.join()
+
+
+class TestStatsUnderRacing:
+    def test_loader_and_daemon_race_accounts_every_acquisition(self):
+        """A daemon thread slowed at its injection points races a loader;
+        the stats must balance exactly: every latch entry is either a clean
+        acquisition or a counted wait, with zero losses."""
+        sdb = SinewDB("race")
+        sdb.create_collection("t")
+        injector = FaultInjector()
+        # keep the materializer inside the latch long enough for the
+        # loader to actually block on it
+        injector.plan(
+            "materializer.before_step", "delay", delay=0.03, at=1, count=None
+        )
+        sdb.attach_faults(injector)
+        sdb.load("t", [{"a": i, "b": f"s{i}"} for i in range(50)])
+        from repro.rdbms.types import SqlType
+
+        sdb.materialize("t", "a", SqlType.INTEGER)
+
+        stats = sdb.catalog.latch_stats
+        base_acquisitions = stats.acquisitions
+
+        stop = threading.Event()
+        loads = [0]
+
+        def loading():
+            while not stop.is_set():
+                sdb.load("t", [{"a": 999, "b": "late"}])
+                loads[0] += 1
+
+        worker = threading.Thread(target=loading, daemon=True)
+        sdb.start_daemon()
+        worker.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while (
+                sdb.catalog.table("t").dirty_columns()
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+        finally:
+            stop.set()
+            worker.join(timeout=5.0)
+            sdb.stop_daemon()
+
+        assert loads[0] > 0
+        # every load + every daemon step took the latch exactly once
+        new_acquisitions = stats.acquisitions - base_acquisitions
+        daemon_steps = sdb.daemon.steps
+        assert new_acquisitions >= loads[0]
+        assert new_acquisitions <= loads[0] + daemon_steps + 2
+        # blocking mode: contention shows up as counted waits, never as
+        # dropped work or fail-fast contentions
+        assert stats.contentions == 0
+        assert stats.timeouts == 0
+        if stats.waits:
+            assert stats.wait_seconds > 0.0
+
+    def test_wait_seconds_accumulates(self):
+        catalog = SinewCatalog()
+        release = threading.Event()
+
+        def holder():
+            with catalog.exclusive_latch("loader"):
+                release.wait(5.0)
+
+        thread = threading.Thread(target=holder, daemon=True)
+        thread.start()
+        while catalog.latch_owner != "loader":
+            time.sleep(0.001)
+
+        waiter_done = threading.Event()
+
+        def waiter():
+            with catalog.exclusive_latch("materializer", timeout=5.0):
+                pass
+            waiter_done.set()
+
+        wthread = threading.Thread(target=waiter, daemon=True)
+        wthread.start()
+        while catalog.latch_stats.waits == 0:
+            time.sleep(0.001)
+        time.sleep(0.05)
+        release.set()
+        thread.join()
+        assert waiter_done.wait(5.0)
+        wthread.join()
+        assert catalog.latch_stats.waits == 1
+        assert catalog.latch_stats.wait_seconds >= 0.04
+        assert catalog.latch_stats.timeouts == 0

@@ -1,0 +1,63 @@
+"""Registry hygiene: every ``fire(...)`` call site in the production tree
+must use a name from the canonical injection-point registry.
+
+``FaultInjector.fire`` rejects unknown names at runtime, but only on code
+paths a test actually executes with an injector attached.  This test
+closes the gap statically: it greps every ``fire("...")`` literal under
+``src/`` and asserts the name is registered, so a typo'd or unregistered
+point fails CI even if no test ever reaches it.
+"""
+
+import re
+from pathlib import Path
+
+from repro.testing.faults import known_points
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: matches ``.fire("point", ...)`` / ``_fire('point')`` call sites,
+#: including ones where the name literal sits on the following line
+_FIRE_CALL = re.compile(r"""\b_?fire\(\s*["']([A-Za-z0-9_.]+)["']""")
+
+
+def fire_call_sites():
+    """Every (file, line, point) triple of a fire() literal under src/."""
+    sites = []
+    for path in sorted(SRC.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in _FIRE_CALL.finditer(text):
+            line_number = text.count("\n", 0, match.start()) + 1
+            sites.append((path.relative_to(SRC), line_number, match.group(1)))
+    return sites
+
+
+def test_there_are_fire_call_sites():
+    """The grep itself works (guards against the pattern rotting)."""
+    sites = fire_call_sites()
+    assert len(sites) >= 10
+    points_seen = {point for _f, _l, point in sites}
+    # every subsystem the registry documents actually fires something
+    for prefix in ("loader.", "materializer.", "daemon.", "wal.", "checkpoint."):
+        assert any(p.startswith(prefix) for p in points_seen), prefix
+
+
+def test_every_fire_site_uses_a_registered_point():
+    registered = known_points()
+    unregistered = [
+        f"{file}:{line}: fire({point!r})"
+        for file, line, point in fire_call_sites()
+        if point not in registered
+    ]
+    assert not unregistered, (
+        "fire() call sites using unregistered injection points "
+        "(add them to repro.testing.faults._KNOWN_POINTS):\n"
+        + "\n".join(unregistered)
+    )
+
+
+def test_every_registered_point_has_a_call_site():
+    """The registry carries no dead entries: each known point is fired
+    somewhere in the production tree."""
+    fired = {point for _f, _l, point in fire_call_sites()}
+    dead = sorted(known_points() - fired)
+    assert not dead, f"registered injection points never fired in src/: {dead}"
