@@ -1,0 +1,149 @@
+"""Bench gate checker: compare a fresh snapshot against the baseline.
+
+Reads the snapshot written by :mod:`run_bench_gate` and the committed
+``benchmarks/baseline.json`` and fails (exit 1) when the engine regressed:
+
+* **Counters are exact.**  Extraction counters (header/subdoc decodes and
+  cache hits, UDF calls) and result cardinalities are deterministic
+  functions of the dataset and plan; any difference from the baseline is
+  a behaviour change, not noise.
+* **Wall time is compared after speed calibration.**  CI runners and dev
+  machines differ in raw speed, so per-query snapshot/baseline ratios are
+  first divided by the run's *median* ratio (the machine-speed factor);
+  a query whose calibrated ratio exceeds ``1 + BENCH_GATE_TOLERANCE``
+  (default 0.25, i.e. +25% over the rest of the run) flags a regression
+  that machine speed cannot explain.  Queries under
+  ``BENCH_GATE_MIN_WALL`` seconds in the baseline (default 2ms) are
+  ignored -- at bench-gate scale their timings are timer noise.
+* **Speedup is reported, enforced on demand.**  The serial/parallel total
+  ratio is printed always; set ``BENCH_GATE_REQUIRE_SPEEDUP=1`` to fail
+  when it drops below ``BENCH_GATE_MIN_SPEEDUP`` (default 1.2).  The
+  default leaves it advisory because single-vCPU runners cannot exceed
+  1x under the GIL.
+
+Usage::
+
+    python benchmarks/check_bench_gate.py \
+        --snapshot benchmarks/results/BENCH_PR5.json \
+        --baseline benchmarks/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import statistics
+import sys
+
+
+def _iter_entries(config: dict):
+    """Yield (label, entry) for every measured query in one worker config."""
+    for query_id, entry in config["fig6"]["queries"].items():
+        yield f"fig6/{query_id}", entry
+    for query_id, conditions in config["tableB"]["queries"].items():
+        for condition, entry in conditions.items():
+            yield f"tableB/{query_id}/{condition}", entry
+
+
+def compare(
+    snapshot: dict, baseline: dict, tolerance: float, min_wall: float
+) -> list[str]:
+    problems: list[str] = []
+    if snapshot.get("repro_scale") != baseline.get("repro_scale"):
+        problems.append(
+            f"scale mismatch: snapshot REPRO_SCALE={snapshot.get('repro_scale')} "
+            f"vs baseline {baseline.get('repro_scale')} -- rebuild the baseline"
+        )
+        return problems
+
+    for workers, base_config in baseline["workers"].items():
+        snap_config = snapshot["workers"].get(workers)
+        if snap_config is None:
+            problems.append(f"snapshot missing workers={workers} run")
+            continue
+
+        base_entries = dict(_iter_entries(base_config))
+        snap_entries = dict(_iter_entries(snap_config))
+        for label, base_entry in base_entries.items():
+            snap_entry = snap_entries.get(label)
+            if snap_entry is None:
+                problems.append(f"workers={workers} {label}: missing from snapshot")
+                continue
+            if snap_entry["rows"] != base_entry["rows"]:
+                problems.append(
+                    f"workers={workers} {label}: rows {snap_entry['rows']} "
+                    f"!= baseline {base_entry['rows']}"
+                )
+            if snap_entry["counters"] != base_entry["counters"]:
+                problems.append(
+                    f"workers={workers} {label}: counters diverge from "
+                    f"baseline: {snap_entry['counters']} != {base_entry['counters']}"
+                )
+
+        # Speed calibration: per-query snapshot/baseline ratios, divided by
+        # the benchmark group's median ratio, so a uniformly faster/slower
+        # machine -- or sustained contention across one group's measurement
+        # phase -- cancels out; only a query slower *relative to its group*
+        # flags.  Groups are calibrated separately because each benchmark
+        # is measured as its own phase.
+        groups: dict[str, dict[str, float]] = {}
+        for label, base_entry in base_entries.items():
+            if label not in snap_entries:
+                continue
+            if not min_wall <= base_entry["wall_seconds"]:
+                continue
+            group = label.split("/", 1)[0]
+            groups.setdefault(group, {})[label] = (
+                snap_entries[label]["wall_seconds"] / base_entry["wall_seconds"]
+            )
+        for group, ratios in sorted(groups.items()):
+            if len(ratios) < 3:
+                continue  # too few measurable queries for a stable median
+            calibration = statistics.median(ratios.values())
+            for label, ratio in sorted(ratios.items()):
+                calibrated = ratio / calibration if calibration else 0.0
+                if calibrated > 1.0 + tolerance:
+                    problems.append(
+                        f"workers={workers} {label}: wall {calibrated:.2f}x "
+                        f"the calibrated baseline (> +{tolerance:.0%} "
+                        f"tolerance; raw ratio {ratio:.2f}x, machine factor "
+                        f"{calibration:.2f}x)"
+                    )
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--snapshot", default="benchmarks/results/BENCH_PR5.json")
+    parser.add_argument("--baseline", default="benchmarks/baseline.json")
+    args = parser.parse_args()
+
+    snapshot = json.loads(pathlib.Path(args.snapshot).read_text())
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    tolerance = float(os.environ.get("BENCH_GATE_TOLERANCE", "0.25"))
+    min_wall = float(os.environ.get("BENCH_GATE_MIN_WALL", "0.002"))
+
+    problems = compare(snapshot, baseline, tolerance, min_wall)
+
+    speedup = snapshot.get("fig6_speedup", 0.0)
+    print(f"fig6 serial/parallel speedup: {speedup:.2f}x")
+    if os.environ.get("BENCH_GATE_REQUIRE_SPEEDUP") == "1":
+        floor = float(os.environ.get("BENCH_GATE_MIN_SPEEDUP", "1.2"))
+        if speedup < floor:
+            problems.append(
+                f"parallel speedup {speedup:.2f}x below required {floor:.2f}x"
+            )
+
+    if problems:
+        print("BENCH GATE FAILED:")
+        for line in problems:
+            print(f"  {line}")
+        return 1
+    print(f"bench gate passed (tolerance +-{tolerance:.0%}, counters exact)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,6 +76,13 @@ class ColumnState:
     #: (the "query patterns" input of section 3.1.3; the rewriter maintains
     #: it, the analyzer consumes and resets it).
     access_count: int = 0
+    #: schema epoch at this column's most recent direction flip.  The
+    #: materializer refuses to move rows while any in-flight query was
+    #: planned before this epoch: such a plan predates the COALESCE bridge
+    #: (or still reads the physical side bare after a dematerialize flip),
+    #: so a move could hide values from it mid-scan.  Runtime-only -- not
+    #: logged; recovery restarts with no in-flight queries.
+    flip_epoch: int = 0
 
     def density(self, n_documents: int) -> float:
         """Fraction of the table's documents containing this attribute."""
@@ -136,6 +143,12 @@ class SinewCatalog:
         self.latch_stats = LatchStats()
         #: owner label while the latch is held (status/debugging surface)
         self.latch_owner: str | None = None
+        #: bumped on every materialization direction flip; queries register
+        #: the epoch they were planned under (see :meth:`query_scope`)
+        self.schema_epoch = 0
+        self._active_queries: dict[int, int] = {}
+        self._active_lock = threading.Lock()
+        self._next_query_token = 0
 
     # ------------------------------------------------------------------
     # global attribute dictionary
@@ -350,6 +363,46 @@ class SinewCatalog:
         finally:
             self.latch_owner = None
             self._latch.release()
+
+    # ------------------------------------------------------------------
+    # schema epochs (query-vs-materializer drain barrier)
+    # ------------------------------------------------------------------
+
+    def bump_schema_epoch(self) -> int:
+        """Record a materialization direction flip; returns the new epoch.
+
+        Callers flip the catalog flags under :meth:`exclusive_latch` and
+        stamp the column's :attr:`ColumnState.flip_epoch` with the result.
+        """
+        with self._active_lock:
+            self.schema_epoch += 1
+            return self.schema_epoch
+
+    @contextmanager
+    def query_scope(self):
+        """Register an in-flight query at its plan-time schema epoch.
+
+        A query's rewritten plan bakes in the catalog flags it observed
+        (bare physical read, COALESCE bridge, or pure extraction).  The
+        materializer consults :meth:`oldest_active_epoch` and defers row
+        moves for any column whose direction flipped *after* some active
+        query was planned -- that query's plan cannot see the destination
+        side, so moving a value mid-scan would make it vanish.
+        """
+        with self._active_lock:
+            token = self._next_query_token
+            self._next_query_token += 1
+            self._active_queries[token] = self.schema_epoch
+        try:
+            yield
+        finally:
+            with self._active_lock:
+                self._active_queries.pop(token, None)
+
+    def oldest_active_epoch(self) -> int | None:
+        """Epoch of the oldest in-flight query, or None when idle."""
+        with self._active_lock:
+            return min(self._active_queries.values(), default=None)
 
     # ------------------------------------------------------------------
     # reflection into the RDBMS (introspection tables)

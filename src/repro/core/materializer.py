@@ -29,6 +29,7 @@ over from the paper:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..rdbms.database import Database
@@ -98,15 +99,36 @@ class ColumnMaterializer:
         return report
 
     def run_to_completion(self, table_name: str, batch_rows: int = 10000) -> MaterializerReport:
-        """Loop :meth:`step` until no dirty columns remain."""
+        """Loop :meth:`step` until no dirty columns remain.
+
+        When every dirty column is blocked behind the query drain barrier
+        (see :meth:`_blocked_by_queries`), waits -- bounded by the latch
+        timeout -- for the in-flight queries to finish rather than
+        returning with work left undone.
+        """
         total = MaterializerReport()
+        deadline = None
         while True:
             report = self.step(table_name, batch_rows)
             total.rows_examined += report.rows_examined
             total.rows_moved += report.rows_moved
             total.columns_completed.extend(report.columns_completed)
-            if not report.rows_examined and not report.columns_completed:
-                break
+            if report.rows_examined or report.columns_completed:
+                deadline = None
+                continue
+            pending = self.pending(table_name)
+            if pending and any(self._blocked_by_queries(s) for s in pending):
+                now = time.monotonic()
+                if deadline is None:
+                    deadline = now + self.latch_timeout
+                elif now >= deadline:
+                    raise CatalogError(
+                        f"materializer blocked for {self.latch_timeout:.1f}s "
+                        "waiting for pre-flip queries to drain"
+                    )
+                time.sleep(0.001)
+                continue
+            break
         return total
 
     # ------------------------------------------------------------------
@@ -139,6 +161,14 @@ class ColumnMaterializer:
             state.cursor = 0
             state.dirty = False
             self.db.log_catalog(column_state_payload(table_name, state))
+            return 0
+
+        if self._blocked_by_queries(state):
+            # A query planned before this column's direction flip is still
+            # running; its plan cannot see the destination side of a move,
+            # so moving rows now would hide values from its scan.  Skip the
+            # slice -- the daemon (or run_to_completion) retries once the
+            # pre-flip queries drain.
             return 0
 
         data_position = table.schema.position_of(RESERVOIR_COLUMN)
@@ -267,6 +297,11 @@ class ColumnMaterializer:
                 txn=txn,
             )
         return True
+
+    def _blocked_by_queries(self, state: ColumnState) -> bool:
+        """True while some in-flight query predates this column's flip."""
+        oldest = self.catalog.oldest_active_epoch()
+        return oldest is not None and oldest < state.flip_epoch
 
     def _ancestor_cell_position(self, table, key: str) -> int | None:
         """Schema position of the nearest materialized ancestor's physical

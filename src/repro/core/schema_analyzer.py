@@ -150,9 +150,18 @@ class SchemaAnalyzer:
             if wants_physical and not state.materialized:
                 if self.prepare_column is not None:
                     self.prepare_column(table_name, state)
-                state.materialized = True
-                state.dirty = True
-                self.db.log_catalog(column_state_payload(table_name, state))
+                # The latch serializes the flip with in-flight materializer
+                # slices: a direction change resets the progress cursor (a
+                # stale mid-pass cursor would skip already-moved rows) and
+                # dirty becomes visible first, so concurrent query planning
+                # always sees the COALESCE bridge, never a bare read of the
+                # still-empty physical column.
+                with self.catalog.exclusive_latch("schema-flip"):
+                    state.cursor = 0
+                    state.flip_epoch = self.catalog.bump_schema_epoch()
+                    state.dirty = True
+                    state.materialized = True
+                    self.db.log_catalog(column_state_payload(table_name, state))
                 report.decisions.append(
                     AnalyzerDecision(
                         attribute.key_name,
@@ -164,9 +173,12 @@ class SchemaAnalyzer:
                     )
                 )
             elif not wants_physical and state.materialized:
-                state.materialized = False
-                state.dirty = True
-                self.db.log_catalog(column_state_payload(table_name, state))
+                with self.catalog.exclusive_latch("schema-flip"):
+                    state.cursor = 0
+                    state.flip_epoch = self.catalog.bump_schema_epoch()
+                    state.dirty = True
+                    state.materialized = False
+                    self.db.log_catalog(column_state_payload(table_name, state))
                 report.decisions.append(
                     AnalyzerDecision(
                         attribute.key_name,

@@ -307,9 +307,21 @@ class SinewDB:
             # may start moving rows, and the rewriter must already be able
             # to emit the COALESCE bridge over the physical column
             self.materializer.prepare_column(table_name, state)
-            state.materialized = True
-            state.dirty = True
-            self.db.log_catalog(column_state_payload(table_name, state))
+            # The latch serializes the flip with in-flight materializer
+            # slices: a direction change must reset the progress cursor to
+            # 0 (a mid-pass cursor would skip rows whose values already
+            # moved the other way), and a concurrent slice would otherwise
+            # overwrite that reset when it commits its own cursor.
+            with self.catalog.exclusive_latch("schema-flip"):
+                state.cursor = 0
+                state.flip_epoch = self.catalog.bump_schema_epoch()
+                # dirty first: a query planned between these two writes must
+                # see the COALESCE bridge, never a bare (still empty)
+                # physical column read (materialized=True + dirty=False
+                # would do that)
+                state.dirty = True
+                state.materialized = True
+                self.db.log_catalog(column_state_payload(table_name, state))
 
     def dematerialize(self, table_name: str, key_name: str, key_type: SqlType) -> None:
         """Explicitly mark a materialized attribute to move back."""
@@ -319,9 +331,17 @@ class SinewDB:
             raise CatalogError(f"unknown attribute: {key_name!r} ({key_type})")
         state = self.catalog.table(table_name).state(attr_id)
         if state.materialized:
-            state.materialized = False
-            state.dirty = True
-            self.db.log_catalog(column_state_payload(table_name, state))
+            # same latch + write ordering as materialize(): the cursor
+            # reset makes the reverse pass re-examine every row (values
+            # already moved to the physical column live *below* any
+            # mid-pass cursor), and dirty becomes visible first so
+            # concurrent planning always takes the bridge
+            with self.catalog.exclusive_latch("schema-flip"):
+                state.cursor = 0
+                state.flip_epoch = self.catalog.bump_schema_epoch()
+                state.dirty = True
+                state.materialized = False
+                self.db.log_catalog(column_state_payload(table_name, state))
 
     def materializer_step(self, table_name: str, max_rows: int = 1000) -> MaterializerReport:
         """One incremental materializer slice (the background process)."""
@@ -384,6 +404,7 @@ class SinewDB:
                 "contentions": latch.contentions,
                 "holder": self.catalog.latch_owner,
             },
+            "executor": self.db.executor_pool.status(),
             "wal": self.db.wal_status(),
         }
 
@@ -514,25 +535,34 @@ class SinewDB:
         explain_analyze: bool = False,
         use_extraction_cache: bool | None = None,
     ) -> QueryResult:
-        analysis = self._analyze(statement)
-        null_ids = analysis.null_predicate_ids() if analysis else None
-        rewriter = self._rewriter(null_ids)
-        rewritten = rewriter.rewrite_select(statement)
-        if use_extraction_cache is None:
-            use_extraction_cache = self.config.enable_extraction_cache
-        # the multi-key tag: only meaningful when one reservoir binding
-        # feeds more than one extraction site
-        keys_per_row = rewriter.max_extraction_keys()
-        options = dict(
-            analyze=explain_analyze,
-            extraction_hint=keys_per_row if keys_per_row > 1 else None,
-            use_extraction_cache=use_extraction_cache,
-        )
-        star_bindings = self._star_bindings(rewritten)
-        if not star_bindings:
-            result = self.db.execute_statement(rewritten, **options)
-        else:
-            result = self._execute_star_select(rewritten, star_bindings, options)
+        # Register before the rewriter reads the catalog flags: the plan
+        # bakes those flags in, and the materializer defers row moves for
+        # columns whose direction flips while this query is in flight
+        # (catalog.query_scope docs).  Registering first makes the race
+        # benign in both orders -- a flip after registration blocks moves;
+        # a flip before it means the rewriter already saw the new flags.
+        with self.catalog.query_scope():
+            analysis = self._analyze(statement)
+            null_ids = analysis.null_predicate_ids() if analysis else None
+            rewriter = self._rewriter(null_ids)
+            rewritten = rewriter.rewrite_select(statement)
+            if use_extraction_cache is None:
+                use_extraction_cache = self.config.enable_extraction_cache
+            # the multi-key tag: only meaningful when one reservoir binding
+            # feeds more than one extraction site
+            keys_per_row = rewriter.max_extraction_keys()
+            options = dict(
+                analyze=explain_analyze,
+                extraction_hint=keys_per_row if keys_per_row > 1 else None,
+                use_extraction_cache=use_extraction_cache,
+            )
+            star_bindings = self._star_bindings(rewritten)
+            if not star_bindings:
+                result = self.db.execute_statement(rewritten, **options)
+            else:
+                result = self._execute_star_select(
+                    rewritten, star_bindings, options
+                )
         return self._attach_diagnostics(result, analysis)
 
     def _star_bindings(self, statement: SelectStatement) -> list[str]:

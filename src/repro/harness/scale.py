@@ -44,11 +44,20 @@ class ScaleConfig:
     mongo_headroom_bytes: int | None
     use_effective_time: bool
 
-    def database_config(self) -> DatabaseConfig:
-        return DatabaseConfig(
+    def database_config(self, parallel_workers: int | None = None) -> DatabaseConfig:
+        """Database tunables for this scale.
+
+        ``parallel_workers`` overrides the executor width (else the
+        REPRO_PARALLEL_WORKERS / cpu-count default applies); the bench
+        gate uses it to compare serial and parallel runs at one scale.
+        """
+        config = DatabaseConfig(
             buffer_pool_pages=self.buffer_pool_pages,
             io_model=IoCostModel(),
         )
+        if parallel_workers is not None:
+            config.parallel_workers = max(1, parallel_workers)
+        return config
 
 
 def _scaled(base: int) -> int:

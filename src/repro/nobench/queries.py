@@ -95,62 +95,75 @@ class SinewNoBench(NoBenchAdapter):
     def _count(self, sql: str) -> int:
         return len(self.sdb.query(sql))
 
+    def sql_for(self, query_id: str) -> str:
+        """The exact SQL a NoBench query id runs.
+
+        Exposed so harnesses (the bench gate in particular) can re-run a
+        query through ``sdb.query`` and collect its ``exec_stats`` without
+        duplicating the statement text here.
+        """
+        p = self.params
+        statements = {
+            "q1": f"SELECT str1, num FROM {TABLE}",
+            "q2": f'SELECT "nested_obj.str", "nested_obj.num" FROM {TABLE}',
+            "q3": f"SELECT {p.q3_key_a}, {p.q3_key_b} FROM {TABLE}",
+            "q4": f"SELECT {p.q4_key_a}, {p.q4_key_b} FROM {TABLE}",
+            "q5": f"SELECT * FROM {TABLE} WHERE str1 = '{p.q5_str1}'",
+            "q6": (
+                f"SELECT * FROM {TABLE} "
+                f"WHERE num BETWEEN {p.q6_low} AND {p.q6_high}"
+            ),
+            "q7": (
+                f"SELECT * FROM {TABLE} "
+                f"WHERE dyn1 BETWEEN {p.q7_low} AND {p.q7_high}"
+            ),
+            "q8": f"SELECT * FROM {TABLE} WHERE '{p.q8_term}' = ANY(nested_arr)",
+            "q9": f"SELECT * FROM {TABLE} WHERE {p.q9_key} = '{p.q9_value}'",
+            "q10": (
+                f"SELECT thousandth, count(*) FROM {TABLE} "
+                f"WHERE num BETWEEN {p.q10_low} AND {p.q10_high} "
+                f"GROUP BY thousandth"
+            ),
+            "q11": (
+                f"SELECT * FROM {TABLE} l, {TABLE} r "
+                f'WHERE l."nested_obj.str" = r.str1 '
+                f"AND l.num BETWEEN {p.q11_low} AND {p.q11_high}"
+            ),
+        }
+        return statements[query_id]
+
     def q1(self) -> int:
-        return self._count(f"SELECT str1, num FROM {TABLE}")
+        return self._count(self.sql_for("q1"))
 
     def q2(self) -> int:
-        return self._count(
-            f'SELECT "nested_obj.str", "nested_obj.num" FROM {TABLE}'
-        )
+        return self._count(self.sql_for("q2"))
 
     def q3(self) -> int:
-        p = self.params
-        return self._count(f"SELECT {p.q3_key_a}, {p.q3_key_b} FROM {TABLE}")
+        return self._count(self.sql_for("q3"))
 
     def q4(self) -> int:
-        p = self.params
-        return self._count(f"SELECT {p.q4_key_a}, {p.q4_key_b} FROM {TABLE}")
+        return self._count(self.sql_for("q4"))
 
     def q5(self) -> int:
-        return self._count(f"SELECT * FROM {TABLE} WHERE str1 = '{self.params.q5_str1}'")
+        return self._count(self.sql_for("q5"))
 
     def q6(self) -> int:
-        p = self.params
-        return self._count(
-            f"SELECT * FROM {TABLE} WHERE num BETWEEN {p.q6_low} AND {p.q6_high}"
-        )
+        return self._count(self.sql_for("q6"))
 
     def q7(self) -> int:
-        p = self.params
-        return self._count(
-            f"SELECT * FROM {TABLE} WHERE dyn1 BETWEEN {p.q7_low} AND {p.q7_high}"
-        )
+        return self._count(self.sql_for("q7"))
 
     def q8(self) -> int:
-        return self._count(
-            f"SELECT * FROM {TABLE} WHERE '{self.params.q8_term}' = ANY(nested_arr)"
-        )
+        return self._count(self.sql_for("q8"))
 
     def q9(self) -> int:
-        p = self.params
-        return self._count(
-            f"SELECT * FROM {TABLE} WHERE {p.q9_key} = '{p.q9_value}'"
-        )
+        return self._count(self.sql_for("q9"))
 
     def q10(self) -> int:
-        p = self.params
-        return self._count(
-            f"SELECT thousandth, count(*) FROM {TABLE} "
-            f"WHERE num BETWEEN {p.q10_low} AND {p.q10_high} GROUP BY thousandth"
-        )
+        return self._count(self.sql_for("q10"))
 
     def q11(self) -> int:
-        p = self.params
-        return self._count(
-            f"SELECT * FROM {TABLE} l, {TABLE} r "
-            f'WHERE l."nested_obj.str" = r.str1 '
-            f"AND l.num BETWEEN {p.q11_low} AND {p.q11_high}"
-        )
+        return self._count(self.sql_for("q11"))
 
     def update(self) -> int:
         p = self.params

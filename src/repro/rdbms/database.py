@@ -16,12 +16,14 @@ never modifies engine code, only creates tables, registers UDFs
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterator, Sequence
 
 from .cost import CostCounters, DiskBudget, IoCostModel
+from .executor import ExecutorPool
 from .errors import (
     CatalogError,
     ExecutionError,
@@ -29,7 +31,7 @@ from .errors import (
     RecoveryError,
     TransactionError,
 )
-from .expressions import ColumnRef, Expr, SchemaResolver, compile_expr
+from .expressions import SchemaResolver, compile_expr
 from .functions import FunctionRegistry
 from .plan_nodes import ExecutionContext, PlanNode
 from .planner import Planner
@@ -80,6 +82,14 @@ DEFAULT_WORK_MEM_BYTES = 256 * 1024
 DEFAULT_BUFFER_POOL_PAGES = 4096
 
 
+def default_parallel_workers() -> int:
+    """Default executor width: REPRO_PARALLEL_WORKERS, else cpu count (<=8)."""
+    env = os.environ.get("REPRO_PARALLEL_WORKERS")
+    if env:
+        return max(1, int(env))
+    return min(os.cpu_count() or 1, 8)
+
+
 @dataclass
 class DatabaseConfig:
     """Tunables for one database instance."""
@@ -93,6 +103,8 @@ class DatabaseConfig:
     wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES
     #: fsync once per this many commits (group commit); 1 = every commit
     wal_group_commit: int = 1
+    #: morsel-executor width; 1 = fully serial (no threads are created)
+    parallel_workers: int = field(default_factory=default_parallel_workers)
 
 
 class QueryResult:
@@ -155,6 +167,9 @@ class Database:
         self.disk = DiskBudget(self.config.disk_budget_bytes)
         self.buffer_pool = BufferPool(self.config.buffer_pool_pages, self.counters)
         self.functions = FunctionRegistry(self.counters)
+        #: shared morsel-executor pool (threads are created lazily, and
+        #: never when ``parallel_workers == 1``)
+        self.executor_pool = ExecutorPool(self.config.parallel_workers)
         #: durability root (``<path>/wal/*.wal`` + ``<path>/checkpoint.bin``);
         #: None keeps the engine fully in-memory (the historical behaviour)
         self.path = Path(path) if path is not None else None
@@ -296,9 +311,16 @@ class Database:
         fn: Callable[..., Any],
         return_type: SqlType,
         counts_as_udf: bool = True,
+        volatile: bool = False,
     ) -> None:
-        """Register a UDF, like PostgreSQL's CREATE FUNCTION."""
-        self.functions.register_scalar(name, fn, return_type, counts_as_udf)
+        """Register a UDF, like PostgreSQL's CREATE FUNCTION.
+
+        ``volatile`` excludes the function from parallel morsel execution
+        (PostgreSQL's PARALLEL UNSAFE).
+        """
+        self.functions.register_scalar(
+            name, fn, return_type, counts_as_udf, volatile=volatile
+        )
 
     # ------------------------------------------------------------------
     # statistics
@@ -383,6 +405,8 @@ class Database:
             self.table_stats,
             self.functions,
             self.config.work_mem_bytes,
+            parallel_workers=self.config.parallel_workers,
+            executor_pool=self.executor_pool,
         )
         return planner.plan_select(statement)
 
@@ -413,6 +437,9 @@ class Database:
         exec_stats: dict[str, Any] = dict(context.extract_stats.as_dict())
         exec_stats["execution_seconds"] = elapsed
         exec_stats["rows"] = len(rows)
+        parallel = context.parallel_summary()
+        if parallel is not None:
+            exec_stats.update(parallel)
         if analyze:
             plan_text = self._render_analyze(plan, context, elapsed, len(rows))
         else:
@@ -426,6 +453,20 @@ class Database:
         plan: PlanNode, context: ExecutionContext, elapsed: float, n_rows: int
     ) -> str:
         lines = plan.explain_analyze_lines(context)
+        parallel = context.parallel_summary()
+        if parallel is not None:
+            lines.append(
+                f"Parallel: workers={parallel['workers']} "
+                f"morsels={parallel['morsels']}"
+            )
+            for worker in parallel["per_worker"]:
+                lines.append(
+                    f"  Worker {worker['worker']}: rows={worker['rows']} "
+                    f"morsels={worker['morsels']} "
+                    f"header_decodes={worker['header_decodes']} "
+                    f"cache_hits={worker['header_cache_hits']} "
+                    f"udf_calls={worker['udf_calls']}"
+                )
         lines.append(context.extract_stats.summary())
         if context.extraction_hint:
             lines.append(
@@ -812,7 +853,8 @@ class Database:
         return self.checkpointer.write(state, wal)
 
     def close(self, checkpoint: bool = True) -> None:
-        """Flush and close the durable log (no-op for in-memory databases)."""
+        """Release worker threads; flush and close the durable log."""
+        self.executor_pool.shutdown()
         if self.path is None:
             return
         if checkpoint and self.wal.active:

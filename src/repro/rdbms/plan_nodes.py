@@ -21,12 +21,15 @@ Q11, exactly as reported in paper sections 6.4-6.5.
 
 from __future__ import annotations
 
+import heapq
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Iterator, Sequence
 
 from .cost import CostCounters, DiskBudget, ExtractionStats
 from .errors import ExecutionError
+from .executor import ExecutorPool, partition_morsels
 from .expressions import (
     CompiledExpr,
     Expr,
@@ -78,6 +81,59 @@ class ExecutionContext:
         #: rewriter hint: max distinct keys extracted per row (multi-key
         #: queries are the ones the decode cache pays off on)
         self.extraction_hint = extraction_hint
+        #: parallel-execution bookkeeping (populated by the morsel
+        #: operators' gather phase; see :meth:`record_parallel`)
+        self.parallel_workers = 0
+        self.parallel_morsels = 0
+        self._worker_stats: dict[int, dict[str, int]] = {}
+
+    def record_parallel(self, workers: int, results: Sequence[Any]) -> None:
+        """Fold per-morsel worker results into the query-wide totals.
+
+        Runs single-threaded after the gather, so the shared counters and
+        extraction stats stay exact without per-increment locking.  Also
+        accumulates a per-OS-thread breakdown for EXPLAIN ANALYZE.
+        """
+        self.parallel_workers = max(self.parallel_workers, workers)
+        self.parallel_morsels += len(results)
+        for result in results:
+            self.counters.accumulate(result.counters)
+            self.extract_stats.merge(result.stats)
+            bucket = self._worker_stats.setdefault(
+                result.thread_ident,
+                {
+                    "rows": 0,
+                    "morsels": 0,
+                    "tuples_scanned": 0,
+                    "udf_calls": 0,
+                    "header_decodes": 0,
+                    "header_cache_hits": 0,
+                    "subdoc_decodes": 0,
+                    "subdoc_cache_hits": 0,
+                },
+            )
+            bucket["rows"] += result.rows
+            bucket["morsels"] += 1
+            bucket["tuples_scanned"] += result.counters.tuples_scanned
+            bucket["udf_calls"] += result.counters.udf_calls
+            bucket["header_decodes"] += result.stats.header_decodes
+            bucket["header_cache_hits"] += result.stats.header_cache_hits
+            bucket["subdoc_decodes"] += result.stats.subdoc_decodes
+            bucket["subdoc_cache_hits"] += result.stats.subdoc_cache_hits
+
+    def parallel_summary(self) -> dict[str, Any] | None:
+        """Workers/morsels/per-worker counters, or None for serial plans."""
+        if not self.parallel_workers:
+            return None
+        per_worker = [
+            {"worker": index, **bucket}
+            for index, bucket in enumerate(self._worker_stats.values())
+        ]
+        return {
+            "workers": self.parallel_workers,
+            "morsels": self.parallel_morsels,
+            "per_worker": per_worker,
+        }
 
 
 @dataclass
@@ -781,3 +837,404 @@ def _compare_keys(left: tuple, right: tuple) -> int:
                 continue
             return -1 if ls < rs else 1
     return 0
+
+
+# ---------------------------------------------------------------------------
+# morsel-driven parallel operators
+# ---------------------------------------------------------------------------
+
+
+class _WorkerFunctions:
+    """Function-registry facade that hands out per-worker counter bindings.
+
+    Compiled UDF closures increment ``implementation.counters`` directly,
+    which is racy across threads (``obj.attr += 1`` is not atomic); the
+    facade rebinds each counted scalar to the worker's private bundle so
+    increments stay single-threaded and the gather-time fold is exact.
+    """
+
+    def __init__(self, functions: FunctionRegistry, counters: CostCounters):
+        self._functions = functions
+        self._counters = counters
+
+    def scalar(self, name: str):
+        implementation = self._functions.scalar(name)
+        if implementation.counts_as_udf and implementation.counters is not None:
+            return replace(implementation, counters=self._counters)
+        return implementation
+
+    def has_scalar(self, name: str) -> bool:
+        return self._functions.has_scalar(name)
+
+    def aggregate(self, name: str):
+        return self._functions.aggregate(name)
+
+    def is_aggregate(self, name: str) -> bool:
+        return self._functions.is_aggregate(name)
+
+
+class _WorkerQueryScope:
+    """The minimal execution-context surface query listeners read.
+
+    Each morsel task passes one of these to ``FunctionRegistry.begin_query``
+    so the reservoir extractor installs a *per-worker* extraction context
+    (its context stack is a ``threading.local``) whose decode counters land
+    in the task's private :class:`ExtractionStats`.
+    """
+
+    def __init__(
+        self,
+        stats: ExtractionStats,
+        use_extraction_cache: bool,
+        extraction_hint: int | None,
+    ):
+        self.extract_stats = stats
+        self.use_extraction_cache = use_extraction_cache
+        self.extraction_hint = extraction_hint
+
+
+@dataclass
+class _MorselResult:
+    """One morsel task's payload plus its private counter bundles."""
+
+    index: int
+    payload: Any
+    rows: int  # rows surviving the scan + filter stage
+    counters: CostCounters
+    stats: ExtractionStats
+    thread_ident: int
+
+
+class ParallelScan(PlanNode):
+    """Morsel-parallel Seq Scan with pushed-down filters and projection.
+
+    Each worker installs its own extraction context, compiles the pushed
+    predicates (and, when folded, the projection) against its private UDF
+    counters, and scans one contiguous rid morsel.  The gather walks
+    results in morsel order -- rids are allocated in append order, so the
+    output row order is identical to the serial Filter/Project chain this
+    node replaces.
+    """
+
+    def __init__(
+        self,
+        table: HeapTable,
+        qualifier: str,
+        predicates: Sequence[Expr],
+        projection: tuple[Sequence[Expr], Sequence[str]] | None,
+        workers: int,
+        pool: ExecutorPool,
+        template: PlanNode,
+    ):
+        self.table = table
+        self.qualifier = qualifier
+        self.predicates = list(predicates)
+        self.projection = (
+            (list(projection[0]), list(projection[1]))
+            if projection is not None
+            else None
+        )
+        self.workers = workers
+        self.pool = pool
+        self.scan_columns: OutputColumns = [
+            (qualifier, c.name) for c in table.schema
+        ]
+        if self.projection is not None:
+            self.output_columns = [(None, name) for name in self.projection[1]]
+        else:
+            self.output_columns = list(self.scan_columns)
+        self.est_rows = template.est_rows
+        self.est_row_bytes = template.est_row_bytes
+        self.est_cost = template.est_cost
+
+    # -- worker pipeline -----------------------------------------------------
+
+    def _input_columns(self) -> OutputColumns:
+        """Row layout seen by post-processing stages (sort keys, grouping)."""
+        if self.projection is not None:
+            return [(None, name) for name in self.projection[1]]
+        return self.scan_columns
+
+    def _make_task(self, context: ExecutionContext, post=None):
+        table = self.table
+        predicates = self.predicates
+        projection = self.projection
+        scan_columns = self.scan_columns
+        functions = context.functions
+        use_cache = context.use_extraction_cache
+        hint = context.extraction_hint
+
+        def run_morsel(morsel):
+            counters = CostCounters()
+            stats = ExtractionStats()
+            worker_functions = _WorkerFunctions(functions, counters)
+            scope = _WorkerQueryScope(stats, use_cache, hint)
+            functions.begin_query(scope)
+            try:
+                resolver = SchemaResolver(scan_columns, worker_functions)
+                predicate_fns = [compile_expr(p, resolver) for p in predicates]
+                project_fns = (
+                    [compile_expr(e, resolver) for e in projection[0]]
+                    if projection is not None
+                    else None
+                )
+                out: list[Row] = []
+                append = out.append
+                for _rid, row in table.scan_range(
+                    morsel.start_rid, morsel.end_rid, counters=counters
+                ):
+                    keep = True
+                    for fn in predicate_fns:
+                        if fn(row) is not True:
+                            keep = False
+                            break
+                    if not keep:
+                        continue
+                    if project_fns is not None:
+                        row = tuple(fn(row) for fn in project_fns)
+                    append(row)
+                payload = out if post is None else post(out, worker_functions)
+            finally:
+                functions.end_query(scope)
+            return _MorselResult(
+                morsel.index,
+                payload,
+                len(out),
+                counters,
+                stats,
+                threading.get_ident(),
+            )
+
+        return run_morsel
+
+    def _gather(self, context: ExecutionContext, post=None) -> list[_MorselResult]:
+        morsels = partition_morsels(self.table.allocated_rids)
+        results = self.pool.map_morsels(self._make_task(context, post), morsels)
+        context.record_parallel(self.workers, results)
+        return results
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        for result in self._gather(context):
+            yield from result.payload
+
+    # -- explain -------------------------------------------------------------
+
+    def node_label(self) -> str:
+        name = self.table.name
+        scan = f"Parallel Seq Scan on {name}"
+        if self.qualifier != name:
+            scan = f"{scan} {self.qualifier}"
+        return f"{scan}  (workers={self.workers})"
+
+    def _annotation_lines(self, depth: int) -> list[str]:
+        pad = "  " * (depth + 2)
+        lines = [f"{pad}Filter: {predicate}" for predicate in self.predicates]
+        if self.projection is not None:
+            rendered = ", ".join(str(e) for e in self.projection[0])
+            if len(rendered) > 160:
+                rendered = rendered[:157] + "..."
+            lines.append(f"{pad}Project: {rendered}")
+        return lines
+
+    def explain_lines(self, depth: int = 0) -> list[str]:
+        lines = super().explain_lines(depth)
+        lines.extend(self._annotation_lines(depth))
+        return lines
+
+    def explain_analyze_lines(
+        self, context: ExecutionContext, depth: int = 0
+    ) -> list[str]:
+        lines = super().explain_analyze_lines(context, depth)
+        lines.extend(self._annotation_lines(depth))
+        return lines
+
+
+def _null_aware_encode(value: Any) -> tuple:
+    """Sort-key encoding matching :func:`sort_rows` NULL placement."""
+    return (1, ()) if value is None else (0, _encode_sort_value(value))
+
+
+class _RunKey:
+    """Comparison wrapper for k-way merging per-worker sorted runs.
+
+    Encodes the multi-key NULL placement of :func:`sort_rows` (NULLs last
+    ascending, first descending) as one total order, which is what
+    ``heapq.merge`` and single-pass ``list.sort`` need to reproduce the
+    serial multi-pass stable sort exactly.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: tuple):
+        #: tuple of ``(encoded_value, ascending)`` pairs, one per sort key
+        self.parts = parts
+
+    def __lt__(self, other: "_RunKey") -> bool:
+        for (left, ascending), (right, _asc) in zip(self.parts, other.parts):
+            if left == right:
+                continue
+            return (left < right) if ascending else (right < left)
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _RunKey) and self.parts == other.parts
+
+
+class ParallelSort(ParallelScan):
+    """Per-worker sorted runs over morsels + stable k-way merge.
+
+    Workers evaluate the sort keys once per surviving row (inside their
+    own extraction context), sort their run, and the gather merges runs in
+    morsel order.  ``heapq.merge`` is stable across its inputs in argument
+    order, so ties come out in scan order -- exactly the serial stable
+    multi-pass sort's output.
+    """
+
+    def __init__(
+        self,
+        table: HeapTable,
+        qualifier: str,
+        predicates: Sequence[Expr],
+        projection: tuple[Sequence[Expr], Sequence[str]] | None,
+        workers: int,
+        pool: ExecutorPool,
+        keys: Sequence[tuple[Expr, bool]],
+        template: PlanNode,
+    ):
+        super().__init__(
+            table, qualifier, predicates, projection, workers, pool, template
+        )
+        self.keys = list(keys)
+        self.output_columns = list(template.output_columns)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        input_columns = self._input_columns()
+        keys = self.keys
+
+        def post(rows_out, worker_functions):
+            resolver = SchemaResolver(input_columns, worker_functions)
+            compiled = [(compile_expr(e, resolver), asc) for e, asc in keys]
+            decorated = [
+                (
+                    _RunKey(
+                        tuple(
+                            (_null_aware_encode(fn(row)), asc)
+                            for fn, asc in compiled
+                        )
+                    ),
+                    row,
+                )
+                for row in rows_out
+            ]
+            decorated.sort(key=lambda pair: pair[0])
+            return decorated
+
+        results = self._gather(context, post)
+        runs = [result.payload for result in results if result.payload]
+        total_rows = sum(len(run) for run in runs)
+        spilled = charge_spill(context, total_rows, self.est_row_bytes)
+        try:
+            for _key, row in heapq.merge(*runs, key=lambda pair: pair[0]):
+                yield row
+        finally:
+            release_spill(context, spilled)
+
+    def node_label(self) -> str:
+        rendered = ", ".join(
+            f"{expr}{'' if asc else ' DESC'}" for expr, asc in self.keys
+        )
+        return f"Parallel Sort  Key: {rendered}  (workers={self.workers})"
+
+
+class ParallelHashAggregate(ParallelScan):
+    """Per-worker partial aggregation over morsels, merged at gather.
+
+    Output is serial-identical: group keys first appear in scan order (the
+    gather walks morsels in rid order and dicts preserve insertion order),
+    and partial states combine through each aggregate's ``merge``.  The
+    planner only builds this node when every aggregate has a merge and none
+    is DISTINCT.  With no aggregate specs this is hash DISTINCT, and the
+    merge degenerates to ordered set union.
+    """
+
+    def __init__(
+        self,
+        table: HeapTable,
+        qualifier: str,
+        predicates: Sequence[Expr],
+        projection: tuple[Sequence[Expr], Sequence[str]] | None,
+        workers: int,
+        pool: ExecutorPool,
+        group_exprs: Sequence[Expr],
+        aggregates: Sequence[AggSpec],
+        template: PlanNode,
+    ):
+        super().__init__(
+            table, qualifier, predicates, projection, workers, pool, template
+        )
+        self.group_exprs = list(group_exprs)
+        self.aggregates = list(aggregates)
+        self.output_columns = list(template.output_columns)
+
+    def rows(self, context: ExecutionContext) -> Iterator[Row]:
+        input_columns = self._input_columns()
+        group_exprs = self.group_exprs
+        aggregates = self.aggregates
+
+        def post(rows_out, worker_functions):
+            resolver = SchemaResolver(input_columns, worker_functions)
+            group_fns = [compile_expr(e, resolver) for e in group_exprs]
+            agg_fns = [
+                None
+                if spec.argument is None or isinstance(spec.argument, Star)
+                else compile_expr(spec.argument, resolver)
+                for spec in aggregates
+            ]
+            groups: dict[tuple, list] = {}
+            for row in rows_out:
+                key = tuple(fn(row) for fn in group_fns)
+                states = groups.get(key)
+                if states is None:
+                    states = groups[key] = [
+                        spec.function.init() for spec in aggregates
+                    ]
+                for index, spec in enumerate(aggregates):
+                    fn = agg_fns[index]
+                    if fn is None:
+                        value: Any = 1  # count(*) counts every row
+                    else:
+                        value = fn(row)
+                        if value is None and spec.function.skip_nulls:
+                            continue
+                    states[index] = spec.function.step(states[index], value)
+            return groups
+
+        results = self._gather(context, post)
+        merged: dict[tuple, list] = {}
+        for result in results:
+            for key, states in result.payload.items():
+                existing = merged.get(key)
+                if existing is None:
+                    merged[key] = states
+                else:
+                    merged[key] = [
+                        spec.function.merge(left, right)
+                        for spec, left, right in zip(aggregates, existing, states)
+                    ]
+        if not merged and not group_exprs:
+            # SQL: a global aggregate always yields exactly one row.
+            finals = [spec.function.final(spec.function.init()) for spec in aggregates]
+            yield tuple(finals)
+            return
+        spilled = charge_spill(context, len(merged), self.est_row_bytes)
+        try:
+            for key, states in merged.items():
+                yield key + tuple(
+                    spec.function.final(state)
+                    for spec, state in zip(aggregates, states)
+                )
+        finally:
+            release_spill(context, spilled)
+
+    def node_label(self) -> str:
+        return f"Parallel HashAggregate  (workers={self.workers})"

@@ -46,6 +46,7 @@ from .expressions import (
     referenced_columns,
 )
 from .functions import FunctionRegistry
+from .executor import ExecutorPool
 from .plan_nodes import (
     AggSpec,
     Filter,
@@ -55,6 +56,9 @@ from .plan_nodes import (
     Limit,
     MergeJoin,
     NestedLoopJoin,
+    ParallelHashAggregate,
+    ParallelScan,
+    ParallelSort,
     PlanNode,
     Project,
     SeqScan,
@@ -106,11 +110,15 @@ class Planner:
         stats: dict[str, TableStats],
         functions: FunctionRegistry,
         work_mem_bytes: int,
+        parallel_workers: int = 1,
+        executor_pool: ExecutorPool | None = None,
     ):
         self.tables = tables
         self.stats = stats
         self.functions = functions
         self.work_mem_bytes = work_mem_bytes
+        self.parallel_workers = max(1, parallel_workers)
+        self.executor_pool = executor_pool
 
     # ------------------------------------------------------------------
     # entry point
@@ -134,7 +142,167 @@ class Planner:
 
         if statement.limit is not None:
             plan = Limit(plan, statement.limit)
-        return plan
+        return self._maybe_parallelize(plan, statement)
+
+    # ------------------------------------------------------------------
+    # morsel-driven parallelism
+    # ------------------------------------------------------------------
+
+    def _maybe_parallelize(
+        self, plan: PlanNode, statement: SelectStatement
+    ) -> PlanNode:
+        """Rewrite scan-side fragments into morsel-parallel operators.
+
+        Eligibility gates (see DESIGN.md section 10):
+
+        * ``parallel_workers > 1`` and a pool to run on;
+        * no ``LIMIT`` without ``ORDER BY`` -- pushing such a limit across
+          morsels would change *which* rows are returned relative to the
+          serial scan, and not pushing it means scanning everything for a
+          query the serial engine can short-circuit;
+        * no volatile (or unknown) scalar functions in any expression a
+          worker would evaluate;
+        * aggregates must be mergeable and non-DISTINCT to run as
+          per-worker partials; joins stay serial.
+        """
+        if self.parallel_workers <= 1 or self.executor_pool is None:
+            return plan
+        if statement.limit is not None and not statement.order_by:
+            return plan
+        return self._parallel_rewrite(plan)
+
+    def _parallel_rewrite(self, node: PlanNode) -> PlanNode:
+        replacement = self._parallel_replacement(node)
+        if replacement is not None:
+            return replacement
+        if isinstance(
+            node,
+            (Limit, Project, Sort, Filter, Unique, HashAggregate, GroupAggregate),
+        ):
+            node.child = self._parallel_rewrite(node.child)
+        return node
+
+    def _parallel_replacement(self, node: PlanNode) -> PlanNode | None:
+        """The parallel operator replacing ``node``'s fragment, or None."""
+        workers = self.parallel_workers
+        pool = self.executor_pool
+        if isinstance(node, Project):
+            chain = self._match_scan_chain(node.child)
+            if chain is None:
+                return None
+            scan, predicates = chain
+            if not self._parallel_safe([*predicates, *node.expressions]):
+                return None
+            names = [name for _qualifier, name in node.output_columns]
+            return ParallelScan(
+                scan.table,
+                scan.qualifier,
+                predicates,
+                (node.expressions, names),
+                workers,
+                pool,
+                node,
+            )
+        if isinstance(node, Filter):
+            chain = self._match_scan_chain(node)
+            if chain is None:
+                return None
+            scan, predicates = chain
+            if not self._parallel_safe(predicates):
+                return None
+            return ParallelScan(
+                scan.table, scan.qualifier, predicates, None, workers, pool, node
+            )
+        if isinstance(node, Sort):
+            chain, projection = self._match_projected_chain(node.child)
+            if chain is None:
+                return None
+            scan, predicates = chain
+            key_exprs = [expr for expr, _asc in node.keys]
+            pushed = [*predicates, *key_exprs]
+            if projection is not None:
+                pushed.extend(projection[0])
+            if not self._parallel_safe(pushed):
+                return None
+            return ParallelSort(
+                scan.table,
+                scan.qualifier,
+                predicates,
+                projection,
+                workers,
+                pool,
+                node.keys,
+                node,
+            )
+        if isinstance(node, HashAggregate):
+            specs = node.aggregates
+            if any(spec.distinct for spec in specs):
+                return None
+            if any(spec.function.merge is None for spec in specs):
+                return None
+            chain, projection = self._match_projected_chain(node.child)
+            if chain is None:
+                return None
+            scan, predicates = chain
+            pushed = [*predicates, *node.group_exprs]
+            pushed.extend(
+                spec.argument for spec in specs if spec.argument is not None
+            )
+            if projection is not None:
+                pushed.extend(projection[0])
+            if not self._parallel_safe(pushed):
+                return None
+            return ParallelHashAggregate(
+                scan.table,
+                scan.qualifier,
+                predicates,
+                projection,
+                workers,
+                pool,
+                node.group_exprs,
+                specs,
+                node,
+            )
+        return None
+
+    @staticmethod
+    def _match_scan_chain(node: PlanNode) -> tuple[SeqScan, list[Expr]] | None:
+        """Match a ``Filter*(SeqScan)`` fragment, predicates in apply order."""
+        predicates: list[Expr] = []
+        while isinstance(node, Filter):
+            predicates.append(node.predicate)
+            node = node.child
+        if isinstance(node, SeqScan):
+            # the innermost Filter runs first serially; reverse to preserve
+            # evaluation order (and therefore short-circuit UDF counts)
+            return node, list(reversed(predicates))
+        return None
+
+    def _match_projected_chain(self, node: PlanNode):
+        """Match a scan chain with an optional Project on top of it."""
+        chain = self._match_scan_chain(node)
+        if chain is not None:
+            return chain, None
+        if isinstance(node, Project):
+            chain = self._match_scan_chain(node.child)
+            if chain is not None:
+                names = [name for _qualifier, name in node.output_columns]
+                return chain, (node.expressions, names)
+        return None, None
+
+    def _parallel_safe(self, expressions: Iterable[Expr]) -> bool:
+        """True when every function a worker would call is parallel-safe."""
+        for expr in expressions:
+            for sub in expr.walk():
+                if not isinstance(sub, FunctionCall):
+                    continue
+                if self.functions.is_aggregate(sub.name):
+                    continue
+                if not self.functions.has_scalar(sub.name):
+                    return False
+                if self.functions.scalar(sub.name).volatile:
+                    return False
+        return True
 
     # ------------------------------------------------------------------
     # FROM binding and predicate classification

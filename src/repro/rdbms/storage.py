@@ -23,9 +23,10 @@ Rows are plain Python tuples; ``None`` is SQL NULL.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Iterator, Sequence
+from typing import Iterator, Sequence
 
 from .cost import CostCounters, DiskBudget
 from .errors import ExecutionError
@@ -141,6 +142,10 @@ class BufferPool:
         self.capacity_pages = capacity_pages
         self.counters = counters
         self._resident: OrderedDict[tuple[str, int], None] = OrderedDict()
+        # Parallel morsel workers touch the pool concurrently; the LRU
+        # check-then-move sequence is not atomic without this lock (a key
+        # evicted between ``in`` and ``move_to_end`` would raise KeyError).
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._resident)
@@ -148,30 +153,33 @@ class BufferPool:
     def access(self, table_name: str, page_no: int) -> bool:
         """Touch a page; returns True on a hit, False on a miss (a 'read')."""
         key = (table_name, page_no)
-        if key in self._resident:
-            self._resident.move_to_end(key)
-            self.counters.page_cache_hits += 1
-            return True
-        self.counters.pages_read += 1
-        self._resident[key] = None
-        if len(self._resident) > self.capacity_pages:
-            self._resident.popitem(last=False)
-        return False
+        with self._lock:
+            if key in self._resident:
+                self._resident.move_to_end(key)
+                self.counters.page_cache_hits += 1
+                return True
+            self.counters.pages_read += 1
+            self._resident[key] = None
+            if len(self._resident) > self.capacity_pages:
+                self._resident.popitem(last=False)
+            return False
 
     def mark_dirty_write(self, table_name: str, page_no: int) -> None:
         """Record that a page was (re)written."""
-        self.counters.pages_written += 1
         key = (table_name, page_no)
-        self._resident[key] = None
-        self._resident.move_to_end(key)
-        if len(self._resident) > self.capacity_pages:
-            self._resident.popitem(last=False)
+        with self._lock:
+            self.counters.pages_written += 1
+            self._resident[key] = None
+            self._resident.move_to_end(key)
+            if len(self._resident) > self.capacity_pages:
+                self._resident.popitem(last=False)
 
     def invalidate_table(self, table_name: str) -> None:
         """Drop every cached page of a table (DROP TABLE, TRUNCATE)."""
-        stale = [key for key in self._resident if key[0] == table_name]
-        for key in stale:
-            del self._resident[key]
+        with self._lock:
+            stale = [key for key in self._resident if key[0] == table_name]
+            for key in stale:
+                del self._resident[key]
 
 
 class HeapTable:
@@ -409,6 +417,38 @@ class HeapTable:
                     self.counters.tuples_scanned += 1
                     yield rid, row
                 rid += 1
+
+    def scan_range(
+        self,
+        start_rid: int,
+        end_rid: int,
+        counters: CostCounters | None = None,
+    ) -> Iterator[tuple[int, tuple]]:
+        """Yield ``(rid, row)`` for live rows with ``start_rid <= rid < end_rid``.
+
+        The morsel-scan primitive: dead slots (deleted rows, recovery
+        filler from :meth:`alloc_dead_slot`) are skipped, and each page is
+        pulled through the buffer pool once per contiguous visit.  Pass
+        ``counters`` to charge tuple accounting to a private (per-worker)
+        bundle instead of the shared one -- page accounting always goes
+        through the (locked) buffer pool.
+        """
+        counters = self.counters if counters is None else counters
+        directory = self._rid_directory
+        end = min(end_rid, len(directory))
+        rid = max(0, start_rid)
+        pages = self.pages
+        last_page = -1
+        while rid < end:
+            page_no, slot_no = directory[rid]
+            if page_no != last_page:
+                self.buffer_pool.access(self.name, page_no)
+                last_page = page_no
+            row = pages[page_no].slots[slot_no]
+            if row is not None:
+                counters.tuples_scanned += 1
+                yield rid, row
+            rid += 1
 
     def fetch(self, rid: int) -> tuple | None:
         """Random access to one row (through the buffer pool)."""

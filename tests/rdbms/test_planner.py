@@ -28,7 +28,11 @@ def nodes_of(plan, node_type):
 
 @pytest.fixture()
 def db():
-    database = Database("plans", DatabaseConfig(work_mem_bytes=32 * 1024))
+    # serial plans: these tests assert the *serial* operator shapes, which
+    # the parallel rewrite would otherwise replace on multi-core machines
+    database = Database(
+        "plans", DatabaseConfig(work_mem_bytes=32 * 1024, parallel_workers=1)
+    )
     database.execute("CREATE TABLE big (id integer, grp integer, label text)")
     database.execute("CREATE TABLE small (id integer, name text)")
     rows = [(i, i % 7, f"l{i % 3}") for i in range(3000)]
