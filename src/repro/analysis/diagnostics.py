@@ -1,9 +1,10 @@
 """Structured diagnostics for Sinew's static analysis layer.
 
-Every finding -- from the semantic analyzer, the catalog-aware linter, or
-the storage integrity checker -- is a :class:`Diagnostic`: a severity, a
-stable ``SNW###`` code, a message, and (for query analysis) the source span
-of the offending SQL fragment.
+Every finding -- from the semantic analyzer, the catalog-aware linter,
+the storage integrity checker, or the engine-protocol analyzer -- is a
+:class:`Diagnostic`: a severity, a stable ``SNW###`` code, a message, and
+a location (the source span of the offending SQL fragment for query
+analysis; a ``path``/``line`` pair for engine-source findings).
 
 Code taxonomy
 -------------
@@ -33,6 +34,17 @@ SNW304   document references an attribute id missing from the
 SNW305   catalog row count disagrees with the heap
 SNW306   materialized column's physical name missing from the
          table schema
+SNW4xx   engine-protocol findings (the :mod:`..analysis.protocol`
+         static pass over ``src/repro`` itself)
+SNW401   ``@requires_latch``-tagged function called outside the
+         exclusive catalog latch
+SNW402   column-state flip writes ``materialized`` before ``dirty``
+SNW403   fault-injection point mismatch: a ``fire()`` call site
+         names an unregistered point, or a registered point has no
+         call site
+SNW404   durable ``WriteAheadLog.append`` reachable before
+         ``activate()`` in the enclosing flow
+SNW405   bare latch ``acquire()`` with no ``try/finally`` release
 =======  ==========================================================
 """
 
@@ -73,6 +85,13 @@ UNKNOWN_ATTR_ID = "SNW304"
 ROWCOUNT_MISMATCH = "SNW305"
 MISSING_PHYSICAL_COLUMN = "SNW306"
 
+# -- engine-protocol findings (SNW4xx) ---------------------------------------
+LATCH_REQUIRED_CALL = "SNW401"
+FLAG_WRITE_ORDER = "SNW402"
+FAULT_POINT_MISMATCH = "SNW403"
+WAL_APPEND_BEFORE_ACTIVATE = "SNW404"
+BARE_LATCH_ACQUIRE = "SNW405"
+
 
 @dataclass(frozen=True)
 class Diagnostic:
@@ -86,6 +105,10 @@ class Diagnostic:
     span: tuple[int, int] | None = None
     #: optional remediation / explanation clause
     hint: str | None = None
+    #: source file of an engine-protocol finding (SNW4xx), or None
+    path: str | None = None
+    #: 1-based source line of an engine-protocol finding, or None
+    line: int | None = None
 
     @property
     def is_error(self) -> bool:
@@ -96,7 +119,13 @@ class Diagnostic:
         return self.severity is Severity.WARNING
 
     def __str__(self) -> str:
-        location = f" at {self.span[0]}..{self.span[1]}" if self.span else ""
+        if self.path is not None:
+            where = self.path if self.line is None else f"{self.path}:{self.line}"
+            location = f" at {where}"
+        elif self.span:
+            location = f" at {self.span[0]}..{self.span[1]}"
+        else:
+            location = ""
         text = f"{self.severity.value} {self.code}{location}: {self.message}"
         if self.hint:
             text += f" ({self.hint})"

@@ -1,0 +1,609 @@
+"""Engine-protocol static analyzer: the SNW4xx rules.
+
+PR 1 pointed the analysis layer at *user queries*; this module points it
+at the engine itself.  The hybrid-layout engine stays correct only
+because a handful of unwritten protocols hold, and PRs 2, 4 and 5 each
+fixed real races found by manually auditing exactly these protocols.
+This pass mechanizes the audit as five ``ast``-based rules over
+``src/repro``, emitting the same :class:`~.diagnostics.Diagnostic`
+records as every other pass (codes ``SNW401``..``SNW405``):
+
+SNW401
+    Functions tagged ``@requires_latch("catalog")`` mutate state that is
+    only consistent under the exclusive catalog latch.  Every call site
+    must either sit lexically inside a ``with ...exclusive_latch(...)``
+    block or be tagged itself (propagating the obligation to *its*
+    callers).  Motivated by the PR 5 loader/materializer races.
+SNW402
+    A column-state flip must write ``dirty`` before ``materialized``:
+    once ``materialized`` is visible, concurrent planners route reads
+    through the physical column, and only an already-set ``dirty`` flag
+    makes them bridge the still-migrating rows with COALESCE.  Detected
+    as assignment order within one function body.
+SNW403
+    Every ``fire("<point>")`` call site must name a registered
+    fault-injection point, and every registered point must have at least
+    one call site -- the AST replacement for the old grep-based
+    fault-registry hygiene test.
+SNW404
+    A durable :class:`WriteAheadLog` (constructed with a directory) only
+    accepts ``append`` after ``activate()`` -- appending first would
+    interleave new frames with unrecovered ones (the PR 4 recovery
+    contract).  Detected as statement order within the enclosing flow.
+SNW405
+    Latch/lock acquisitions must be exception-safe: ``with`` blocks or
+    ``acquire()`` paired with a ``try/finally`` release.  A bare
+    ``acquire()`` leaks the latch on any exception between it and the
+    release (the PR 5 latch-leak class).
+
+False-positive escape hatch: a finding can be waived *on its own line*
+with ``# protocol: ignore[SNW405]`` (comma-separated codes; empty
+brackets waive every rule on the line).  ``--strict`` turns any finding
+into a nonzero exit for CI.
+
+Usage::
+
+    python -m repro.analysis.protocol --strict src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .diagnostics import (
+    BARE_LATCH_ACQUIRE,
+    FAULT_POINT_MISMATCH,
+    FLAG_WRITE_ORDER,
+    LATCH_REQUIRED_CALL,
+    WAL_APPEND_BEFORE_ACTIVATE,
+    Diagnostic,
+    Severity,
+)
+
+__all__ = [
+    "ModuleUnit",
+    "analyze_paths",
+    "collect_fire_sites",
+    "format_finding",
+    "iter_python_files",
+    "load_module",
+    "main",
+]
+
+#: names under which modules declare their fault-point registry literal
+_REGISTRY_NAMES = frozenset({"_KNOWN_POINTS", "KNOWN_POINTS"})
+
+#: method names treated as fault-point firing sites (``fire`` on the
+#: injector itself, ``_fire`` for the per-component convenience wrappers)
+_FIRE_NAMES = frozenset({"fire", "_fire"})
+
+_IGNORE_PRAGMA = re.compile(r"#\s*protocol:\s*ignore\[([A-Z0-9,\s]*)\]")
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = (*_FUNCTION_NODES, ast.ClassDef, ast.Lambda)
+
+
+@dataclass
+class ModuleUnit:
+    """One parsed source file plus its per-line suppression pragmas."""
+
+    path: Path
+    display: str
+    tree: ast.Module
+    #: line -> codes waived on that line (empty set = every code)
+    ignores: dict[int, set[str]] = field(default_factory=dict)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``*.py`` files."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def load_module(path: Path, root: Path | None = None) -> ModuleUnit:
+    """Parse one file into a :class:`ModuleUnit` (pragmas included)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    display = str(path)
+    if root is not None:
+        try:
+            display = str(path.resolve().relative_to(root.resolve()))
+        except ValueError:
+            pass
+    ignores: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _IGNORE_PRAGMA.search(line)
+        if match:
+            codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+            ignores[lineno] = codes
+    return ModuleUnit(path=path, display=display, tree=tree, ignores=ignores)
+
+
+# ----------------------------------------------------------------------
+# small AST helpers
+# ----------------------------------------------------------------------
+
+
+def _terminal_name(func: ast.expr) -> str | None:
+    """The rightmost identifier of a call target (``a.b.c()`` -> ``c``)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _walk_local(fn: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested scopes."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _iter_functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, _FUNCTION_NODES):
+            yield node
+
+
+def _declared_latch_of(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    """The latch named by a ``@requires_latch("...")`` decorator, if any."""
+    for decorator in fn.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        if _terminal_name(decorator.func) != "requires_latch":
+            continue
+        if decorator.args and isinstance(decorator.args[0], ast.Constant):
+            value = decorator.args[0].value
+            if isinstance(value, str):
+                return value
+    return None
+
+
+def _is_latch_acquisition(expr: ast.expr) -> bool:
+    """True for a ``with``-item that takes the exclusive catalog latch."""
+    return isinstance(expr, ast.Call) and _terminal_name(expr.func) == "exclusive_latch"
+
+
+def _string_arg(call: ast.Call) -> str | None:
+    if call.args and isinstance(call.args[0], ast.Constant):
+        value = call.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+# ----------------------------------------------------------------------
+# cross-module index (rules 401 and 403 need whole-tree knowledge)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Index:
+    #: function name -> latch it declares via @requires_latch
+    latch_required: dict[str, str] = field(default_factory=dict)
+    #: registered fault point -> (display path, line of registration)
+    registry_points: dict[str, tuple[str, int]] = field(default_factory=dict)
+    #: True when a ``_KNOWN_POINTS`` registry literal is in the analyzed set
+    registry_found: bool = False
+    #: every literal fire site: (unit, line, point)
+    fire_sites: list[tuple[ModuleUnit, int, str]] = field(default_factory=list)
+
+
+def _build_index(units: Sequence[ModuleUnit]) -> _Index:
+    index = _Index()
+    for unit in units:
+        for node in ast.walk(unit.tree):
+            if isinstance(node, _FUNCTION_NODES):
+                latch = _declared_latch_of(node)
+                if latch is not None:
+                    index.latch_required[node.name] = latch
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in _REGISTRY_NAMES
+                        and isinstance(node.value, (ast.Set, ast.List, ast.Tuple))
+                    ):
+                        index.registry_found = True
+                        for element in node.value.elts:
+                            if isinstance(element, ast.Constant) and isinstance(
+                                element.value, str
+                            ):
+                                index.registry_points.setdefault(
+                                    element.value, (unit.display, element.lineno)
+                                )
+            elif isinstance(node, ast.Call):
+                name = _terminal_name(node.func)
+                if name == "register_point":
+                    point = _string_arg(node)
+                    if point is not None:
+                        index.registry_points.setdefault(
+                            point, (unit.display, node.lineno)
+                        )
+                elif name in _FIRE_NAMES:
+                    point = _string_arg(node)
+                    if point is not None:
+                        index.fire_sites.append((unit, node.lineno, point))
+    return index
+
+
+# ----------------------------------------------------------------------
+# finding emission
+# ----------------------------------------------------------------------
+
+
+def _emit(
+    out: list[Diagnostic],
+    unit: ModuleUnit,
+    code: str,
+    line: int,
+    message: str,
+    hint: str | None = None,
+) -> None:
+    waived = unit.ignores.get(line)
+    if waived is not None and (not waived or code in waived):
+        return
+    out.append(
+        Diagnostic(
+            code=code,
+            severity=Severity.ERROR,
+            message=message,
+            hint=hint,
+            path=unit.display,
+            line=line,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# SNW401: @requires_latch call sites must hold or acquire the latch
+# ----------------------------------------------------------------------
+
+
+def _check_latch_required(
+    unit: ModuleUnit, index: _Index, out: list[Diagnostic]
+) -> None:
+    def visit(node: ast.AST, holds: bool, latch_depth: int) -> None:
+        if isinstance(node, _FUNCTION_NODES):
+            fn_holds = _declared_latch_of(node) is not None
+            for child in ast.iter_child_nodes(node):
+                visit(child, fn_holds, 0)
+            return
+        if isinstance(node, ast.Lambda):
+            # a lambda body runs later, outside any latch held right now
+            for child in ast.iter_child_nodes(node):
+                visit(child, False, 0)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquires = any(
+                _is_latch_acquisition(item.context_expr) for item in node.items
+            )
+            for item in node.items:
+                visit(item, holds, latch_depth)
+            inner = latch_depth + (1 if acquires else 0)
+            for stmt in node.body:
+                visit(stmt, holds, inner)
+            return
+        if isinstance(node, ast.Call):
+            name = _terminal_name(node.func)
+            if name is not None and name in index.latch_required:
+                if not holds and latch_depth == 0:
+                    latch = index.latch_required[name]
+                    _emit(
+                        out,
+                        unit,
+                        LATCH_REQUIRED_CALL,
+                        node.lineno,
+                        f"call to {name}() requires the {latch!r} latch, but the "
+                        "enclosing scope neither holds nor acquires it",
+                        hint=(
+                            "wrap the call in `with ...exclusive_latch(...)` or "
+                            "tag the caller with @requires_latch to pass the "
+                            "obligation up"
+                        ),
+                    )
+        for child in ast.iter_child_nodes(node):
+            visit(child, holds, latch_depth)
+
+    visit(unit.tree, False, 0)
+
+
+# ----------------------------------------------------------------------
+# SNW402: write `dirty` before `materialized`
+# ----------------------------------------------------------------------
+
+
+def _check_flag_order(unit: ModuleUnit, out: list[Diagnostic]) -> None:
+    for fn in _iter_functions(unit.tree):
+        first_write: dict[tuple[str, str], int] = {}
+        for node in _walk_local(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) and target.attr in (
+                    "dirty",
+                    "materialized",
+                ):
+                    key = (ast.unparse(target.value), target.attr)
+                    first_write.setdefault(key, node.lineno)
+        for (base, attr), line in first_write.items():
+            if attr != "materialized":
+                continue
+            dirty_line = first_write.get((base, "dirty"))
+            if dirty_line is not None and line < dirty_line:
+                _emit(
+                    out,
+                    unit,
+                    FLAG_WRITE_ORDER,
+                    line,
+                    f"column-state flip writes {base}.materialized before "
+                    f"{base}.dirty",
+                    hint=(
+                        "write dirty first: once materialized is visible, "
+                        "concurrent planners only bridge in-flight rows with "
+                        "COALESCE when dirty is already set"
+                    ),
+                )
+
+
+# ----------------------------------------------------------------------
+# SNW403: fire() sites vs the fault-point registry
+# ----------------------------------------------------------------------
+
+
+def _check_fault_points(
+    units: Sequence[ModuleUnit],
+    index: _Index,
+    out: list[Diagnostic],
+    *,
+    registry_fallback: bool,
+) -> None:
+    registry = dict(index.registry_points)
+    check_dead = index.registry_found
+    if not registry and registry_fallback:
+        # Analyzing a subset that doesn't include the registry module:
+        # fall back to the live registry so unknown-point checking still
+        # works, but skip the dead-point direction (this subset cannot
+        # prove a point unfired).
+        try:
+            from ..testing.faults import known_points
+
+            registry = {point: ("", 0) for point in known_points()}
+        except Exception:  # pragma: no cover - packaging edge
+            registry = {}
+        check_dead = False
+
+    fired: set[str] = set()
+    for unit, line, point in index.fire_sites:
+        fired.add(point)
+        if registry and point not in registry:
+            _emit(
+                out,
+                unit,
+                FAULT_POINT_MISMATCH,
+                line,
+                f"fire() names unregistered fault point {point!r}",
+                hint="register it in the fault-point registry (_KNOWN_POINTS)",
+            )
+    if check_dead:
+        by_display = {unit.display: unit for unit in units}
+        for point, (display, line) in sorted(registry.items()):
+            if point in fired:
+                continue
+            unit = by_display.get(display)
+            if unit is None:  # pragma: no cover - registry outside the set
+                continue
+            _emit(
+                out,
+                unit,
+                FAULT_POINT_MISMATCH,
+                line,
+                f"registered fault point {point!r} has no fire() call site",
+                hint="delete the dead registration or add the injection site",
+            )
+
+
+# ----------------------------------------------------------------------
+# SNW404: durable WAL append only after activate()
+# ----------------------------------------------------------------------
+
+
+def _durable_wal_assignment(node: ast.Assign) -> list[str] | None:
+    """Target names when ``node`` binds a durable ``WriteAheadLog(...)``."""
+    value = node.value
+    if not isinstance(value, ast.Call) or _terminal_name(value.func) != "WriteAheadLog":
+        return None
+    durable = False
+    if len(value.args) >= 2:
+        directory = value.args[1]
+        if not (isinstance(directory, ast.Constant) and directory.value is None):
+            durable = True
+    for keyword in value.keywords:
+        if keyword.arg == "directory" and not (
+            isinstance(keyword.value, ast.Constant) and keyword.value.value is None
+        ):
+            durable = True
+    if not durable:
+        return None
+    return [ast.unparse(target) for target in node.targets]
+
+
+def _check_wal_activation(unit: ModuleUnit, out: list[Diagnostic]) -> None:
+    for fn in _iter_functions(unit.tree):
+        # (lineno, col, kind, key) -- kinds: bind / activate / append
+        events: list[tuple[int, int, str, str]] = []
+        for node in _walk_local(fn):
+            if isinstance(node, ast.Assign):
+                keys = _durable_wal_assignment(node)
+                if keys:
+                    for key in keys:
+                        events.append((node.lineno, node.col_offset, "bind", key))
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in ("activate", "append"):
+                    key = ast.unparse(node.func.value)
+                    events.append(
+                        (node.lineno, node.col_offset, node.func.attr, key)
+                    )
+        durable: set[str] = set()
+        activated: set[str] = set()
+        for lineno, _col, kind, key in sorted(events):
+            if kind == "bind":
+                durable.add(key)
+                activated.discard(key)
+            elif kind == "activate":
+                activated.add(key)
+            elif key in durable and key not in activated:
+                _emit(
+                    out,
+                    unit,
+                    WAL_APPEND_BEFORE_ACTIVATE,
+                    lineno,
+                    f"{key}.append(...) is reachable before {key}.activate()",
+                    hint=(
+                        "a durable WAL must recover and activate() before "
+                        "accepting frames, or new frames interleave with "
+                        "unrecovered ones"
+                    ),
+                )
+
+
+# ----------------------------------------------------------------------
+# SNW405: no bare acquire() without try/finally release
+# ----------------------------------------------------------------------
+
+
+def _check_bare_acquire(unit: ModuleUnit, out: list[Diagnostic]) -> None:
+    for fn in _iter_functions(unit.tree):
+        released_in_finally: set[str] = set()
+        for node in _walk_local(fn):
+            if not isinstance(node, ast.Try):
+                continue
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "release"
+                    ):
+                        released_in_finally.add(ast.unparse(sub.func.value))
+        for node in _walk_local(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+            ):
+                base = ast.unparse(node.func.value)
+                if base not in released_in_finally:
+                    _emit(
+                        out,
+                        unit,
+                        BARE_LATCH_ACQUIRE,
+                        node.lineno,
+                        f"bare {base}.acquire() with no try/finally release in "
+                        "this function",
+                        hint=(
+                            "use a `with` block, or pair the acquire with a "
+                            "release in a finally clause"
+                        ),
+                    )
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+
+
+def analyze_paths(
+    paths: Iterable[Path | str], *, registry_fallback: bool = True
+) -> list[Diagnostic]:
+    """Run every SNW4xx rule over ``paths`` and return sorted findings."""
+    root = Path.cwd()
+    units = [load_module(path, root) for path in iter_python_files(map(Path, paths))]
+    index = _build_index(units)
+    out: list[Diagnostic] = []
+    for unit in units:
+        _check_latch_required(unit, index, out)
+        _check_flag_order(unit, out)
+        _check_wal_activation(unit, out)
+        _check_bare_acquire(unit, out)
+    _check_fault_points(units, index, out, registry_fallback=registry_fallback)
+    out.sort(key=lambda d: (d.path or "", d.line or 0, d.code))
+    return out
+
+
+def collect_fire_sites(paths: Iterable[Path | str]) -> list[tuple[str, int, str]]:
+    """Every literal fire site as ``(display path, line, point)``.
+
+    Exposed for the fault-registry hygiene test, which asserts coverage
+    properties (enough sites, the expected subsystem prefixes) on top of
+    the SNW403 pass.
+    """
+    root = Path.cwd()
+    units = [load_module(path, root) for path in iter_python_files(map(Path, paths))]
+    index = _build_index(units)
+    return [(unit.display, line, point) for unit, line, point in index.fire_sites]
+
+
+def format_finding(diagnostic: Diagnostic) -> str:
+    """One-line ``path:line: CODE message`` rendering for CLI/shell output."""
+    location = f"{diagnostic.path}:{diagnostic.line}"
+    text = f"{location}: {diagnostic.code} {diagnostic.message}"
+    if diagnostic.hint:
+        text += f" ({diagnostic.hint})"
+    return text
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.protocol",
+        description="Engine-protocol static analyzer (SNW4xx rules).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: the repro package)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when any finding is emitted (CI mode)",
+    )
+    args = parser.parse_args(argv)
+    paths = args.paths or [Path(__file__).resolve().parents[1]]
+    findings = analyze_paths(paths)
+    for finding in findings:
+        print(format_finding(finding))
+    if findings:
+        plural = "" if len(findings) == 1 else "s"
+        print(f"engine protocol: {len(findings)} finding{plural}")
+        return 1 if args.strict else 0
+    print("engine protocol: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from ..latching import TrackedLock
 from ..rdbms.errors import ConcurrencyError
 from .catalog import SinewCatalog
 from .materializer import ColumnMaterializer
@@ -128,7 +129,10 @@ class MaterializerDaemon:
         self._stop_requested = threading.Event()
         self._pause_requested = threading.Event()
         self._wake = threading.Event()
-        self._lock = threading.Lock()
+        # Leaf mutex: guards the stats/state fields only and is never held
+        # across a latch acquisition (TrackedLock lets the latch-order
+        # tracker verify exactly that under REPRO_DEBUG_LATCHES=1).
+        self._lock = TrackedLock("daemon.state")
 
         self.state = "idle"
         self.steps = 0

@@ -25,6 +25,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from ..latching import TrackedLock, latch_tracker, requires_latch
 from ..rdbms.errors import CatalogError, ConcurrencyError
 from ..rdbms.types import SqlType
 
@@ -147,7 +148,7 @@ class SinewCatalog:
         #: the epoch they were planned under (see :meth:`query_scope`)
         self.schema_epoch = 0
         self._active_queries: dict[int, int] = {}
-        self._active_lock = threading.Lock()
+        self._active_lock = TrackedLock("catalog.active")
         self._next_query_token = 0
 
     # ------------------------------------------------------------------
@@ -337,6 +338,11 @@ class SinewCatalog:
         unwind inside the body, so a crash while holding it can never wedge
         the system.
         """
+        tracker = latch_tracker()
+        if tracker is not None:
+            # Report intent before the attempt so ordering is validated
+            # even when the fast path succeeds without contention.
+            tracker.before_acquire("catalog", blocking=blocking)
         acquired = self._latch.acquire(blocking=False)
         if not acquired:
             if not blocking:
@@ -356,13 +362,29 @@ class SinewCatalog:
                     f"{owner} timed out after {timeout:.3f}s waiting for the "
                     f"catalog latch (held by {self.latch_owner or 'unknown'})"
                 )
-        self.latch_stats.acquisitions += 1
-        self.latch_owner = owner
         try:
+            self.latch_stats.acquisitions += 1
+            self.latch_owner = owner
+            if tracker is not None:
+                tracker.after_acquire("catalog")
             yield
         finally:
             self.latch_owner = None
             self._latch.release()
+            if tracker is not None:
+                tracker.released("catalog")
+
+    @requires_latch("catalog")
+    def stamp_flip(self, state: ColumnState) -> None:
+        """Reset a column's migration cursor and stamp its flip epoch.
+
+        The shared first half of every materialization direction flip:
+        the caller holds the exclusive latch, calls this, then writes the
+        flags (``dirty`` before ``materialized`` -- rule SNW402) and logs
+        the catalog record.
+        """
+        state.cursor = 0
+        state.flip_epoch = self.bump_schema_epoch()
 
     # ------------------------------------------------------------------
     # schema epochs (query-vs-materializer drain barrier)

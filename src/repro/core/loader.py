@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
+from ..latching import requires_latch
 from ..rdbms.database import Database
 from ..rdbms.types import SqlType
 from . import serializer
@@ -154,35 +155,8 @@ class SinewLoader:
             # On disk the batch is one WAL transaction: the catalog delta
             # and the heap rows replay together or not at all.
             with self.db._dml_txn() as txn:
-                dirtied_ids: list[int] = []
-                if report.n_documents:
-                    for state in table_catalog.materialized_columns():
-                        if not state.dirty:
-                            state.dirty = True
-                        dirtied_ids.append(state.attr_id)
-                        report.dirtied_columns.append(
-                            self.catalog.attribute(state.attr_id).key_name
-                        )
-                for attr_id, occurrences in counts.items():
-                    table_catalog.state(attr_id).count += occurrences
-                table_catalog.n_documents = next_id
-                self.db.log_catalog(
-                    {
-                        "op": "load",
-                        "table": table_name,
-                        "attrs": [
-                            (
-                                attr_id,
-                                self.catalog.attribute(attr_id).key_name,
-                                self.catalog.attribute(attr_id).key_type.value,
-                            )
-                            for attr_id in counts
-                        ],
-                        "counts": counts,
-                        "dirtied": dirtied_ids,
-                        "n_documents": next_id,
-                    },
-                    txn=txn,
+                self._publish_catalog_delta(
+                    table_name, table_catalog, counts, next_id, report, txn
                 )
                 if self.faults is not None:
                     self.faults.fire("loader.before_insert", table=table_name)
@@ -192,3 +166,50 @@ class SinewLoader:
 
         report.new_attributes = len(self.catalog) - attributes_before
         return report
+
+    @requires_latch("catalog")
+    def _publish_catalog_delta(
+        self,
+        table_name: str,
+        table_catalog,
+        counts: dict[int, int],
+        next_id: int,
+        report: LoadReport,
+        txn,
+    ) -> None:
+        """Publish a load's catalog mutations (latch held, inside the txn).
+
+        Dirty flags, occurrence counts and the document tally flip here --
+        the state the materializer and the query rewriter read, hence the
+        ``@requires_latch`` obligation on every caller.
+        """
+        dirtied_ids: list[int] = []
+        if report.n_documents:
+            for state in table_catalog.materialized_columns():
+                if not state.dirty:
+                    state.dirty = True
+                dirtied_ids.append(state.attr_id)
+                report.dirtied_columns.append(
+                    self.catalog.attribute(state.attr_id).key_name
+                )
+        for attr_id, occurrences in counts.items():
+            table_catalog.state(attr_id).count += occurrences
+        table_catalog.n_documents = next_id
+        self.db.log_catalog(
+            {
+                "op": "load",
+                "table": table_name,
+                "attrs": [
+                    (
+                        attr_id,
+                        self.catalog.attribute(attr_id).key_name,
+                        self.catalog.attribute(attr_id).key_type.value,
+                    )
+                    for attr_id in counts
+                ],
+                "counts": counts,
+                "dirtied": dirtied_ids,
+                "n_documents": next_id,
+            },
+            txn=txn,
+        )

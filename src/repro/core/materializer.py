@@ -32,6 +32,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..latching import requires_latch
 from ..rdbms.database import Database
 from ..rdbms.errors import CatalogError
 from ..rdbms.types import SqlType
@@ -135,6 +136,7 @@ class ColumnMaterializer:
     # internals
     # ------------------------------------------------------------------
 
+    @requires_latch("catalog")
     def _process_column(
         self,
         table_name: str,
@@ -207,6 +209,7 @@ class ColumnMaterializer:
             report.columns_completed.append(attribute.key_name)
         return examined
 
+    @requires_latch("catalog")
     def _move_row_value(
         self,
         table,
@@ -325,6 +328,7 @@ class ColumnMaterializer:
                 return table.schema.position_of(parent.physical_name)
         return None
 
+    @requires_latch("catalog")
     def _finish_column(self, table_name: str, state: ColumnState, key_name: str) -> None:
         """Clear the dirty bit (and drop the source column when dematerializing).
 

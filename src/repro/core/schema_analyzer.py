@@ -157,8 +157,7 @@ class SchemaAnalyzer:
                 # always sees the COALESCE bridge, never a bare read of the
                 # still-empty physical column.
                 with self.catalog.exclusive_latch("schema-flip"):
-                    state.cursor = 0
-                    state.flip_epoch = self.catalog.bump_schema_epoch()
+                    self.catalog.stamp_flip(state)
                     state.dirty = True
                     state.materialized = True
                     self.db.log_catalog(column_state_payload(table_name, state))
@@ -174,8 +173,7 @@ class SchemaAnalyzer:
                 )
             elif not wants_physical and state.materialized:
                 with self.catalog.exclusive_latch("schema-flip"):
-                    state.cursor = 0
-                    state.flip_epoch = self.catalog.bump_schema_epoch()
+                    self.catalog.stamp_flip(state)
                     state.dirty = True
                     state.materialized = False
                     self.db.log_catalog(column_state_payload(table_name, state))

@@ -217,8 +217,11 @@ class SinewDB:
         elif op == "state":
             state = self.catalog.table(payload["table"]).state(payload["attr_id"])
             state.count = payload["count"]
-            state.materialized = payload["materialized"]
+            # dirty before materialized (SNW402): recovery replays with no
+            # concurrent planners today, but the redo path must still obey
+            # the live write protocol rather than silently inverting it
             state.dirty = payload["dirty"]
+            state.materialized = payload["materialized"]
             state.physical_name = payload["physical_name"]
             state.cursor = payload["cursor"]
         elif op == "cursor":
@@ -313,8 +316,7 @@ class SinewDB:
             # moved the other way), and a concurrent slice would otherwise
             # overwrite that reset when it commits its own cursor.
             with self.catalog.exclusive_latch("schema-flip"):
-                state.cursor = 0
-                state.flip_epoch = self.catalog.bump_schema_epoch()
+                self.catalog.stamp_flip(state)
                 # dirty first: a query planned between these two writes must
                 # see the COALESCE bridge, never a bare (still empty)
                 # physical column read (materialized=True + dirty=False
@@ -337,8 +339,7 @@ class SinewDB:
             # mid-pass cursor), and dirty becomes visible first so
             # concurrent planning always takes the bridge
             with self.catalog.exclusive_latch("schema-flip"):
-                state.cursor = 0
-                state.flip_epoch = self.catalog.bump_schema_epoch()
+                self.catalog.stamp_flip(state)
                 state.dirty = True
                 state.materialized = False
                 self.db.log_catalog(column_state_payload(table_name, state))

@@ -22,10 +22,11 @@ operators in :mod:`repro.rdbms.plan_nodes`.
 
 from __future__ import annotations
 
-import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
+
+from ..latching import TrackedLock
 
 #: Rows per morsel.  See module docstring for the sizing argument.
 MORSEL_ROWS = 4096
@@ -76,7 +77,9 @@ class ExecutorPool:
     def __init__(self, workers: int):
         self.workers = max(1, int(workers))
         self._executor: ThreadPoolExecutor | None = None
-        self._lock = threading.Lock()
+        # Leaf mutex guarding pool lifecycle + stats; named so the runtime
+        # latch-order tracker can place it in the global order graph.
+        self._lock = TrackedLock("executor.pool")
         #: lifetime accounting (surfaced through ``SinewDB.status()``)
         self.parallel_queries = 0
         self.morsels_executed = 0

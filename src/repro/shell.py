@@ -14,6 +14,8 @@ Meta-commands
 ``\\analyze SQL``    execute with EXPLAIN ANALYZE instrumentation: per-node
                     actual rows and wall time plus extraction counters
 ``\\lint SQL``       semantic analysis only: diagnostics, no execution
+``\\lint engine``    run the engine-protocol analyzer (SNW4xx findings)
+                    over the installed ``repro`` package source
 ``\\check [NAME]``   catalog/storage integrity audit (SNW3xx findings)
 ``\\settle NAME``    run the schema analyzer + column materializer
 ``\\daemon [CMD]``   background materializer: status (default), start,
@@ -137,7 +139,10 @@ class SinewShell:
         if command == "\\lint":
             sql = line[len("\\lint") :].strip()
             if not sql:
-                self._print("usage: \\lint SELECT ...")
+                self._print("usage: \\lint SELECT ... | \\lint engine")
+                return
+            if sql == "engine":
+                self._lint_engine()
                 return
             analysis = self.sdb.lint(sql)
             if analysis.diagnostics:
@@ -182,6 +187,23 @@ class SinewShell:
             f"unknown meta-command {command!r}; "
             "try \\d, \\c, \\load, \\lint, \\analyze, \\check, \\daemon, \\wal, \\q"
         )
+
+    def _lint_engine(self) -> None:
+        """``\\lint engine`` -- the SNW4xx protocol pass over this install."""
+        from pathlib import Path
+
+        import repro
+
+        from .analysis.protocol import analyze_paths, format_finding
+
+        findings = analyze_paths([Path(repro.__file__).resolve().parent])
+        for finding in findings:
+            self._print(format_finding(finding))
+        if findings:
+            plural = "" if len(findings) == 1 else "s"
+            self._print(f"engine protocol: {len(findings)} finding{plural}")
+        else:
+            self._print("engine protocol: clean")
 
     def _daemon(self, arguments: list[str]) -> None:
         """``\\daemon [start|stop|pause|resume|status]`` -- default status."""

@@ -1,8 +1,11 @@
-"""Test-support subsystems (fault injection, deterministic schedules).
+"""Test-support subsystems (fault injection, latch tracking, schedules).
 
 Production code never imports this package at module load time; the
 components hold an optional ``faults`` attribute (duck-typed, default
-``None``) that tests populate with a :class:`~repro.testing.faults.FaultInjector`.
+``None``) that tests populate with a :class:`~repro.testing.faults.FaultInjector`,
+and latch call sites consult the :func:`repro.latching.latch_tracker`
+hook, which lazily pulls in :mod:`.latch_tracker` only when tracking is
+switched on (``REPRO_DEBUG_LATCHES=1`` or an explicit enable).
 """
 
 from .faults import (  # noqa: F401
@@ -12,4 +15,10 @@ from .faults import (  # noqa: F401
     InjectedFault,
     known_points,
     register_point,
+)
+from .latch_tracker import (  # noqa: F401
+    LatchOrderError,
+    LatchOrderTracker,
+    disable_latch_tracking,
+    enable_latch_tracking,
 )

@@ -1,0 +1,16 @@
+"""SNW401 fixture: a @requires_latch callee invoked with no latch held."""
+
+from repro.latching import requires_latch
+
+
+class Catalog:
+    def __init__(self):
+        self.counts = {}
+
+    @requires_latch("catalog")
+    def mutate_counts(self, attr_id, occurrences):
+        self.counts[attr_id] = self.counts.get(attr_id, 0) + occurrences
+
+
+def rogue_caller(catalog):
+    catalog.mutate_counts(7, 1)  # marker:snw401

@@ -1,0 +1,8 @@
+"""SNW402 fixture: materialized becomes visible before dirty."""
+
+
+def flip_backwards(state, catalog):
+    state.cursor = 0
+    state.materialized = True  # marker:snw402
+    state.dirty = True
+    catalog.log(state)

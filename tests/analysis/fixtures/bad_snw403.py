@@ -1,0 +1,16 @@
+"""SNW403 fixture: a fire() site with a typo'd (unregistered) point name."""
+
+_KNOWN_POINTS = {
+    "fixture.registered_point",
+}
+
+
+class Component:
+    def __init__(self, faults):
+        self.faults = faults
+
+    def good_site(self):
+        self.faults.fire("fixture.registered_point", table="t")
+
+    def bad_site(self):
+        self.faults.fire("fixture.registered_pont", table="t")  # marker:snw403

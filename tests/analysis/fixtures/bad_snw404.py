@@ -1,0 +1,8 @@
+"""SNW404 fixture: durable WAL appended before activate()."""
+
+
+def open_database(counters, wal_dir):
+    wal = WriteAheadLog(counters, wal_dir)  # noqa: F821 - fixture corpus only
+    wal.append(1, "begin")  # marker:snw404
+    wal.activate()
+    return wal

@@ -1,0 +1,12 @@
+"""SNW405 fixture: bare acquire() with no try/finally release."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+def unsafe_critical_section(rows):
+    _lock.acquire()  # marker:snw405
+    total = sum(rows)
+    _lock.release()
+    return total

@@ -1,0 +1,23 @@
+"""SNW401 clean fixture: every call site holds or propagates the latch."""
+
+from repro.latching import requires_latch
+
+
+class Catalog:
+    def __init__(self):
+        self.counts = {}
+
+    @requires_latch("catalog")
+    def mutate_counts(self, attr_id, occurrences):
+        self.counts[attr_id] = self.counts.get(attr_id, 0) + occurrences
+
+
+def latched_caller(catalog):
+    with catalog.exclusive_latch("loader"):
+        catalog.mutate_counts(7, 1)
+
+
+@requires_latch("catalog")
+def propagating_caller(catalog):
+    # tagged itself: the obligation moves to *its* callers
+    catalog.mutate_counts(7, 1)

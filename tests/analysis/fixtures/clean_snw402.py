@@ -1,0 +1,19 @@
+"""SNW402 clean fixture: dirty written first; lone flags are exempt."""
+
+
+def flip_forwards(state, catalog):
+    state.cursor = 0
+    state.dirty = True
+    state.materialized = True
+    catalog.log(state)
+
+
+def clear_dirty_only(state):
+    # a single-flag write carries no ordering obligation
+    state.dirty = False
+
+
+def two_columns(first, second):
+    # writes to *different* column states are independent
+    first.materialized = True
+    second.dirty = True

@@ -1,0 +1,22 @@
+"""SNW403 clean fixture: every point registered, every registration fired."""
+
+_KNOWN_POINTS = {
+    "fixture.static_point",
+}
+
+register_point("fixture.dynamic_point")  # noqa: F821 - fixture corpus only
+
+
+class Component:
+    def __init__(self, faults):
+        self.faults = faults
+
+    def static_site(self):
+        self.faults.fire("fixture.static_point", table="t")
+
+    def dynamic_site(self):
+        self.faults.fire("fixture.dynamic_point", table="t")
+
+    def non_literal_site(self, point):
+        # dynamic point names are out of scope for the static pass
+        self.faults.fire(point, table="t")

@@ -1,0 +1,21 @@
+"""SNW404 clean fixture: recover/activate before append; in-memory exempt."""
+
+
+def open_database(counters, wal_dir):
+    wal = WriteAheadLog(counters, wal_dir)  # noqa: F821 - fixture corpus only
+    wal.activate()
+    wal.append(1, "begin")
+    return wal
+
+
+def scratch_wal(counters):
+    # an in-memory WAL (no directory) has no recovery phase to respect
+    wal = WriteAheadLog(counters)  # noqa: F821 - fixture corpus only
+    wal.append(1, "begin")
+    return wal
+
+
+def unrelated_append(items):
+    # list.append on a non-WAL binding is not a finding
+    items.append("row")
+    return items

@@ -1,0 +1,18 @@
+"""SNW405 clean fixture: with-block and try/finally acquisitions."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+def with_block(rows):
+    with _lock:
+        return sum(rows)
+
+
+def try_finally(rows):
+    _lock.acquire()
+    try:
+        return sum(rows)
+    finally:
+        _lock.release()

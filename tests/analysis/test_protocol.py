@@ -1,0 +1,174 @@
+"""The engine-protocol analyzer (SNW4xx rules) against its fixture corpus.
+
+Each ``bad_snw40X.py`` fixture seeds exactly one violation on a line
+tagged ``# marker:snw40X``; each ``clean_snw40X.py`` exercises the same
+constructs correctly.  The tests assert exact code + line on the bad set,
+zero false positives on the clean set, and -- the acceptance criterion --
+zero findings on ``src/repro`` itself.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import diagnostics
+from repro.analysis.protocol import (
+    analyze_paths,
+    collect_fire_sites,
+    format_finding,
+    main,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_REPRO = Path(repro.__file__).resolve().parent
+
+
+def marker_line(path: Path, marker: str) -> int:
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if marker in line:
+            return lineno
+    raise AssertionError(f"no {marker!r} marker in {path}")
+
+
+class TestBadCorpus:
+    @pytest.mark.parametrize(
+        "code",
+        ["SNW401", "SNW402", "SNW403", "SNW404", "SNW405"],
+    )
+    def test_each_rule_flags_its_fixture(self, code):
+        tag = code[3:]
+        path = FIXTURES / f"bad_snw{tag}.py"
+        findings = analyze_paths([path])
+        assert len(findings) == 1, [str(f) for f in findings]
+        finding = findings[0]
+        assert finding.code == code
+        assert finding.line == marker_line(path, f"marker:snw{tag}")
+        assert finding.path is not None and finding.path.endswith(f"bad_snw{tag}.py")
+        assert finding.severity is diagnostics.Severity.ERROR
+
+    def test_whole_corpus_merges_cross_module_state(self):
+        # Analyzing bad + clean together: registries and @requires_latch
+        # tags merge across modules, and exactly the five seeded
+        # violations survive.
+        findings = analyze_paths([FIXTURES])
+        assert sorted(f.code for f in findings) == [
+            "SNW401",
+            "SNW402",
+            "SNW403",
+            "SNW404",
+            "SNW405",
+        ]
+
+
+class TestCleanCorpus:
+    def test_zero_findings(self):
+        clean = sorted(FIXTURES.glob("clean_*.py"))
+        assert len(clean) == 5
+        findings = analyze_paths(clean)
+        assert findings == [], [str(f) for f in findings]
+
+
+class TestEngineTree:
+    def test_src_repro_is_clean(self):
+        findings = analyze_paths([SRC_REPRO])
+        assert findings == [], [format_finding(f) for f in findings]
+
+    def test_fire_sites_collected_from_engine(self):
+        sites = collect_fire_sites([SRC_REPRO])
+        points = {point for _path, _line, point in sites}
+        prefixes = {point.split(".")[0] for point in points}
+        assert {"loader", "materializer", "daemon", "wal", "checkpoint"} <= prefixes
+
+
+class TestSuppressionPragma:
+    def test_line_pragma_waives_named_code(self, tmp_path):
+        module = tmp_path / "m.py"
+        module.write_text(
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "def f():\n"
+            "    _lock.acquire()  # protocol: ignore[SNW405]\n"
+            "    _lock.release()\n"
+        )
+        assert analyze_paths([module]) == []
+
+    def test_pragma_for_other_code_does_not_waive(self, tmp_path):
+        module = tmp_path / "m.py"
+        module.write_text(
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "def f():\n"
+            "    _lock.acquire()  # protocol: ignore[SNW402]\n"
+            "    _lock.release()\n"
+        )
+        findings = analyze_paths([module])
+        assert [f.code for f in findings] == ["SNW405"]
+
+    def test_empty_pragma_waives_everything(self, tmp_path):
+        module = tmp_path / "m.py"
+        module.write_text(
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "def f():\n"
+            "    _lock.acquire()  # protocol: ignore[]\n"
+            "    _lock.release()\n"
+        )
+        assert analyze_paths([module]) == []
+
+
+class TestRegistryFallback:
+    def test_subset_without_registry_uses_live_registry(self, tmp_path):
+        # A module with fire() sites but no _KNOWN_POINTS literal is
+        # checked against the live repro.testing.faults registry ...
+        module = tmp_path / "m.py"
+        module.write_text(
+            "def f(faults):\n"
+            "    faults.fire('loader.before_insert')\n"
+            "    faults.fire('no.such_point')\n"
+        )
+        findings = analyze_paths([module])
+        assert [f.code for f in findings] == ["SNW403"]
+        assert "no.such_point" in findings[0].message
+
+    def test_fallback_can_be_disabled(self, tmp_path):
+        module = tmp_path / "m.py"
+        module.write_text("def f(faults):\n    faults.fire('no.such_point')\n")
+        assert analyze_paths([module], registry_fallback=False) == []
+
+
+class TestCli:
+    def test_strict_exit_codes(self, capsys):
+        assert main(["--strict", str(FIXTURES / "bad_snw402.py")]) == 1
+        assert main([str(FIXTURES / "bad_snw402.py")]) == 0  # advisory mode
+        assert main(["--strict", str(FIXTURES / "clean_snw402.py")]) == 0
+        out = capsys.readouterr().out
+        assert "SNW402" in out
+        assert "engine protocol: clean" in out
+
+    def test_module_entrypoint(self):
+        env = dict(os.environ)
+        src = str(SRC_REPRO.parent)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.protocol", "--strict", str(SRC_REPRO)],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "engine protocol: clean" in proc.stdout
+        assert "RuntimeWarning" not in proc.stderr
+
+    def test_finding_rendering(self):
+        findings = analyze_paths([FIXTURES / "bad_snw404.py"])
+        (finding,) = findings
+        text = format_finding(finding)
+        assert text.startswith(f"{finding.path}:{finding.line}: SNW404")
+        # Diagnostic.__str__ also carries the path:line location
+        assert f"{finding.path}:{finding.line}" in str(finding)

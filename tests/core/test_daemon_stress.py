@@ -20,9 +20,26 @@ import pytest
 
 from repro.core import SinewConfig, SinewDB
 from repro.rdbms.types import SqlType
+from repro.testing import disable_latch_tracking, enable_latch_tracking
 from repro.testing.faults import FaultInjector, InjectedFault
 
 pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(autouse=True)
+def _latch_tracking():
+    """Run the whole stress schedule under the latch-order detector.
+
+    Any latch-order inversion or blocking self-re-acquire raises inside
+    the offending thread (failing the test through its error channel);
+    the post-run assert catches violations a thread might have swallowed.
+    """
+    tracker = enable_latch_tracking()
+    try:
+        yield tracker
+    finally:
+        disable_latch_tracking()
+    assert tracker.violations == []
 
 BATCHES = 24
 BATCH_SIZE = 8

@@ -1,39 +1,38 @@
-"""Registry hygiene: every ``fire(...)`` call site in the production tree
-must use a name from the canonical injection-point registry.
+"""Registry hygiene: the SNW403 rule over the production tree.
 
 ``FaultInjector.fire`` rejects unknown names at runtime, but only on code
-paths a test actually executes with an injector attached.  This test
-closes the gap statically: it greps every ``fire("...")`` literal under
-``src/`` and asserts the name is registered, so a typo'd or unregistered
-point fails CI even if no test ever reaches it.
+paths a test actually executes with an injector attached.  The engine
+protocol analyzer closes the gap statically: rule SNW403 resolves every
+``fire("...")`` literal under ``src/repro`` against the canonical
+registry (``_KNOWN_POINTS`` plus ``register_point`` literals) and checks
+both directions -- no unregistered call sites, no dead registrations.
+These tests assert that pass runs clean on the tree and, against seeded
+fixtures, that it actually catches both violation directions (a test
+that only ever sees zero findings could be a pass that finds nothing).
 """
 
-import re
 from pathlib import Path
 
-from repro.testing.faults import known_points
+from repro.analysis.protocol import analyze_paths, collect_fire_sites, format_finding
 
-SRC = Path(__file__).resolve().parents[2] / "src"
-
-#: matches ``.fire("point", ...)`` / ``_fire('point')`` call sites,
-#: including ones where the name literal sits on the following line
-_FIRE_CALL = re.compile(r"""\b_?fire\(\s*["']([A-Za-z0-9_.]+)["']""")
-
-
-def fire_call_sites():
-    """Every (file, line, point) triple of a fire() literal under src/."""
-    sites = []
-    for path in sorted(SRC.rglob("*.py")):
-        text = path.read_text(encoding="utf-8")
-        for match in _FIRE_CALL.finditer(text):
-            line_number = text.count("\n", 0, match.start()) + 1
-            sites.append((path.relative_to(SRC), line_number, match.group(1)))
-    return sites
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+BAD_FIXTURE = (
+    Path(__file__).resolve().parents[1] / "analysis" / "fixtures" / "bad_snw403.py"
+)
 
 
-def test_there_are_fire_call_sites():
-    """The grep itself works (guards against the pattern rotting)."""
-    sites = fire_call_sites()
+def snw403_findings(paths):
+    return [d for d in analyze_paths(paths) if d.code == "SNW403"]
+
+
+def test_engine_tree_has_no_registry_findings():
+    findings = snw403_findings([SRC_REPRO])
+    assert not findings, "\n".join(format_finding(d) for d in findings)
+
+
+def test_the_pass_sees_the_call_sites():
+    """The AST scan itself works (guards against the visitor rotting)."""
+    sites = collect_fire_sites([SRC_REPRO])
     assert len(sites) >= 10
     points_seen = {point for _f, _l, point in sites}
     # every subsystem the registry documents actually fires something
@@ -41,23 +40,24 @@ def test_there_are_fire_call_sites():
         assert any(p.startswith(prefix) for p in points_seen), prefix
 
 
-def test_every_fire_site_uses_a_registered_point():
-    registered = known_points()
-    unregistered = [
-        f"{file}:{line}: fire({point!r})"
-        for file, line, point in fire_call_sites()
-        if point not in registered
-    ]
-    assert not unregistered, (
-        "fire() call sites using unregistered injection points "
-        "(add them to repro.testing.faults._KNOWN_POINTS):\n"
-        + "\n".join(unregistered)
+def test_seeded_unregistered_point_is_caught():
+    findings = snw403_findings([BAD_FIXTURE])
+    assert len(findings) == 1
+    assert "fixture.registered_pont" in findings[0].message
+
+
+def test_seeded_dead_registration_is_caught(tmp_path):
+    module = tmp_path / "registry.py"
+    module.write_text(
+        '_KNOWN_POINTS = {\n'
+        '    "island.fired_point",\n'
+        '    "island.dead_point",\n'
+        '}\n'
+        '\n'
+        'def f(faults):\n'
+        '    faults.fire("island.fired_point")\n'
     )
-
-
-def test_every_registered_point_has_a_call_site():
-    """The registry carries no dead entries: each known point is fired
-    somewhere in the production tree."""
-    fired = {point for _f, _l, point in fire_call_sites()}
-    dead = sorted(known_points() - fired)
-    assert not dead, f"registered injection points never fired in src/: {dead}"
+    findings = snw403_findings([module])
+    assert len(findings) == 1
+    assert "island.dead_point" in findings[0].message
+    assert findings[0].line == 3  # the registration line, not a call site

@@ -166,6 +166,11 @@ class TestAnalysisCommands:
         sh.run_line("\\lint SELECT a FROM t")
         assert "no diagnostics" in output_of(out)
 
+    def test_lint_engine_runs_protocol_pass(self, shell):
+        sh, out, _tmp = shell
+        sh.run_line("\\lint engine")
+        assert "engine protocol: clean" in output_of(out)
+
     def test_semantic_error_renders_with_caret(self, shell):
         sh, out, _tmp = shell
         sh.run(["\\c t"])

@@ -17,7 +17,21 @@ import pytest
 from repro.core.sinew import SinewConfig, SinewDB
 from repro.nobench.generator import NoBenchGenerator
 from repro.rdbms.database import DatabaseConfig
+from repro.testing import disable_latch_tracking, enable_latch_tracking
 from repro.testing.faults import FaultInjector
+
+
+@pytest.fixture(autouse=True)
+def _latch_tracking():
+    """Scans, loads and daemon steps all run under the latch-order
+    detector; an ordering inversion fails the test immediately."""
+    tracker = enable_latch_tracking()
+    try:
+        yield tracker
+    finally:
+        disable_latch_tracking()
+    assert tracker.violations == []
+
 
 TABLE = "stress_docs"
 
