@@ -1,0 +1,363 @@
+"""Service load harness: N concurrent clients against one live SinewDB.
+
+Boots one durable Sinew instance with the materializer daemon *and* the
+background checkpointer running, serves it through
+:class:`~repro.service.server.SinewService`, then opens ``--clients``
+(default 200) concurrent asyncio connections.  Each client runs a mixed
+read/write script: bulk-loads documents tagged with its own client id,
+issues point and aggregate SELECTs, uses a prepared statement, and
+flips a private session setting.  The harness then verifies the three
+service-layer contracts the DESIGN.md section 12 acceptance criteria
+name:
+
+* **zero cross-session state leaks** -- each session's settings and
+  prepared statements are exactly what that client installed, and after
+  the run the server reports no residual sessions, no open transactions,
+  and no held catalog latch;
+* **zero result diffs vs serial replay** -- every client only writes
+  documents tagged with its own id, so the final state is
+  interleaving-independent; the harness replays the same loads serially
+  on a fresh embedded instance and compares the full (tag, seq) multiset
+  plus per-tag counts;
+* **structured overload behaviour** -- ``busy`` shedding is retried with
+  backoff and counted, never surfaced as a hard failure.
+
+Latency per request (p50/p95/p99, per-op and overall) and error counts
+land in a bench-gate-style JSON snapshot.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_service_bench.py \
+        --clients 200 --output benchmarks/results/SERVICE_BENCH.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import platform
+import shutil
+import tempfile
+import time
+
+from repro.core import SinewDB
+from repro.core.sinew import SinewConfig
+from repro.service import AsyncServiceClient, ServiceConfig, ServiceError, SinewService
+
+TABLE = "bench"
+#: per-client script shape
+LOADS_PER_CLIENT = 2
+DOCS_PER_LOAD = 3
+SELECTS_PER_CLIENT = 4
+#: bounded retry budget for ``busy`` shedding: a well-behaved client
+#: retries with growing backoff until a deadline, not a fixed count --
+#: under 200-client contention for max_inflight slots, wait time scales
+#: with the whole backlog, not with any per-request constant
+BUSY_DEADLINE = 60.0
+BUSY_BACKOFF_START = 0.01
+BUSY_BACKOFF_MAX = 0.2
+
+
+def client_documents(client_id: int) -> list[list[dict]]:
+    """The batches client ``client_id`` loads (deterministic, id-tagged)."""
+    batches = []
+    seq = 0
+    for _ in range(LOADS_PER_CLIENT):
+        batch = []
+        for _ in range(DOCS_PER_LOAD):
+            batch.append(
+                {
+                    "bench_tag": client_id,
+                    "seq": seq,
+                    "payload": {"text": f"client-{client_id}-doc-{seq}", "even": seq % 2 == 0},
+                }
+            )
+            seq += 1
+        batches.append(batch)
+    return batches
+
+
+class Recorder:
+    """Latency samples and error tallies shared by all client tasks."""
+
+    def __init__(self) -> None:
+        self.latencies: dict[str, list[float]] = {}
+        self.errors: dict[str, int] = {}
+        self.busy_retries = 0
+        self.isolation_failures: list[str] = []
+
+    def sample(self, op: str, seconds: float) -> None:
+        self.latencies.setdefault(op, []).append(seconds)
+
+    def error(self, code: str) -> None:
+        self.errors[code] = self.errors.get(code, 0) + 1
+
+
+async def timed(recorder: Recorder, op: str, coroutine_factory):
+    """Run one request with busy-retry, recording latency of the success."""
+    deadline = time.perf_counter() + BUSY_DEADLINE
+    backoff = BUSY_BACKOFF_START
+    while True:
+        start = time.perf_counter()
+        try:
+            result = await coroutine_factory()
+        except ServiceError as error:
+            if error.code == "busy" and error.retryable and start < deadline:
+                recorder.busy_retries += 1
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, BUSY_BACKOFF_MAX)
+                continue
+            recorder.error(
+                "busy_exhausted" if error.code == "busy" else error.code
+            )
+            raise
+        recorder.sample(op, time.perf_counter() - start)
+        return result
+
+
+async def run_client(port: int, client_id: int, recorder: Recorder) -> None:
+    async with AsyncServiceClient("127.0.0.1", port) as client:
+        # a private session setting: verified back at the end of the
+        # script, so any cross-session settings bleed shows up as a diff
+        explain = client_id % 2 == 0
+        await timed(
+            recorder,
+            "set",
+            lambda: client.request(
+                {"op": "set", "key": "explain_analyze", "value": explain}
+            ),
+        )
+        prepared_name = f"count_{client_id}"
+        await timed(
+            recorder,
+            "prepare",
+            lambda: client.request(
+                {
+                    "op": "prepare",
+                    "name": prepared_name,
+                    "sql": (
+                        f'SELECT COUNT(*) FROM {TABLE} '
+                        f'WHERE bench_tag = {client_id}'
+                    ),
+                }
+            ),
+        )
+        for batch in client_documents(client_id):
+            await timed(recorder, "load", lambda b=batch: client.load(TABLE, b))
+        for index in range(SELECTS_PER_CLIENT):
+            if index % 2 == 0:
+                sql = (
+                    f'SELECT seq, "payload.text" FROM {TABLE} '
+                    f"WHERE bench_tag = {client_id}"
+                )
+            else:
+                sql = f"SELECT COUNT(*) FROM {TABLE} WHERE bench_tag = {client_id}"
+            await timed(recorder, "query", lambda s=sql: client.query(s))
+        count = await timed(
+            recorder,
+            "execute",
+            lambda: client.request({"op": "execute", "name": prepared_name}),
+        )
+        expected_docs = LOADS_PER_CLIENT * DOCS_PER_LOAD
+        got = count["result"]["rows"][0][0]
+        if got != expected_docs:
+            recorder.isolation_failures.append(
+                f"client {client_id}: sees {got} own documents, wrote {expected_docs}"
+            )
+        session = (await client.request({"op": "session"}))["session"]
+        if session["prepared"] != [prepared_name]:
+            recorder.isolation_failures.append(
+                f"client {client_id}: prepared statements leaked: {session['prepared']}"
+            )
+        if session["settings"]["explain_analyze"] is not explain:
+            recorder.isolation_failures.append(
+                f"client {client_id}: settings leaked: {session['settings']}"
+            )
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def summarize(samples: list[float]) -> dict:
+    return {
+        "count": len(samples),
+        "p50_ms": percentile(samples, 0.50) * 1000.0,
+        "p95_ms": percentile(samples, 0.95) * 1000.0,
+        "p99_ms": percentile(samples, 0.99) * 1000.0,
+        "max_ms": (max(samples) if samples else 0.0) * 1000.0,
+    }
+
+
+def final_state(sdb: SinewDB) -> dict:
+    """Canonical end-state: (tag, seq) multiset + per-tag counts."""
+    rows = sdb.query(f"SELECT bench_tag, seq FROM {TABLE}").rows
+    pairs = sorted((int(tag), int(seq)) for tag, seq in rows)
+    counts: dict[int, int] = {}
+    for tag, _ in pairs:
+        counts[tag] = counts.get(tag, 0) + 1
+    return {"pairs": pairs, "counts": counts, "total": len(pairs)}
+
+
+def serial_replay(n_clients: int) -> dict:
+    """The same workload's writes applied one client at a time."""
+    sdb = SinewDB("service-bench-replay")
+    try:
+        sdb.create_collection(TABLE)
+        for client_id in range(n_clients):
+            for batch in client_documents(client_id):
+                sdb.load(TABLE, batch)
+        return final_state(sdb)
+    finally:
+        sdb.close()
+
+
+async def drive(port: int, n_clients: int, recorder: Recorder) -> float:
+    start = time.perf_counter()
+    results = await asyncio.gather(
+        *(run_client(port, client_id, recorder) for client_id in range(n_clients)),
+        return_exceptions=True,
+    )
+    wall = time.perf_counter() - start
+    for client_id, result in enumerate(results):
+        if isinstance(result, BaseException):
+            recorder.error("client_failed")
+            recorder.isolation_failures.append(
+                f"client {client_id}: {type(result).__name__}: {result}"
+            )
+    return wall
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=200)
+    parser.add_argument(
+        "--output",
+        default="benchmarks/results/SERVICE_BENCH.json",
+        help="where to write the snapshot JSON",
+    )
+    parser.add_argument(
+        "--path", default=None, help="durable root (default: fresh temp dir)"
+    )
+    parser.add_argument("--max-inflight", type=int, default=16)
+    parser.add_argument("--executor-threads", type=int, default=8)
+    parser.add_argument(
+        "--checkpoint", type=float, default=0.5, help="checkpointer cadence (s)"
+    )
+    args = parser.parse_args()
+
+    root = args.path or tempfile.mkdtemp(prefix="sinew-service-bench-")
+    sdb = SinewDB.open(root, "service-bench", SinewConfig())
+    sdb.start_daemon()  # live background materializer during the whole run
+    service = SinewService(
+        sdb,
+        ServiceConfig(
+            port=0,
+            max_sessions=args.clients + 8,
+            max_inflight=args.max_inflight,
+            executor_threads=args.executor_threads,
+            checkpoint_interval=args.checkpoint,
+        ),
+    )
+    recorder = Recorder()
+    try:
+        port = service.start_in_thread()
+        print(
+            f"== service bench: {args.clients} clients against "
+            f"127.0.0.1:{port} (daemon + checkpointer live)"
+        )
+        wall = asyncio.run(drive(port, args.clients, recorder))
+
+        # post-run health: no sessions, txns, or latch holders left behind
+        # (close acks precede connection-task cleanup; allow it to drain)
+        drain_deadline = time.perf_counter() + 10.0
+        while service.sessions and time.perf_counter() < drain_deadline:
+            time.sleep(0.02)
+        concurrent_state = final_state(sdb)
+        status = sdb.status()
+        leaks = []
+        if service.sessions:
+            leaks.append(f"{len(service.sessions)} sessions still registered")
+        if sdb.db.txn_manager.active:
+            leaks.append(f"{len(sdb.db.txn_manager.active)} open transactions")
+        if status["latch"]["holder"] is not None:
+            leaks.append(f"catalog latch held by {status['latch']['holder']}")
+        if service.write_lock.locked():
+            leaks.append("service write latch still held")
+        leaks.extend(recorder.isolation_failures)
+    finally:
+        service.stop_in_thread()
+        sdb.close()
+        if args.path is None:
+            shutil.rmtree(root, ignore_errors=True)
+
+    print("== serial replay")
+    replay_state = serial_replay(args.clients)
+    replay_match = concurrent_state == replay_state
+
+    all_samples = [s for samples in recorder.latencies.values() for s in samples]
+    payload = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "clients": args.clients,
+        "wall_seconds": wall,
+        "requests": len(all_samples),
+        "throughput_rps": (len(all_samples) / wall) if wall else 0.0,
+        "latency": {
+            "overall": summarize(all_samples),
+            **{op: summarize(samples) for op, samples in sorted(recorder.latencies.items())},
+        },
+        "errors": dict(sorted(recorder.errors.items())),
+        "busy_retries": recorder.busy_retries,
+        "service_counters": dict(service.counters),
+        "verify": {
+            "replay_match": replay_match,
+            "documents": concurrent_state["total"],
+            "replay_documents": replay_state["total"],
+            "leaks": leaks,
+        },
+    }
+    output = pathlib.Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    overall = payload["latency"]["overall"]
+    print(f"wrote {output}")
+    print(
+        f"{args.clients} clients / {payload['requests']} requests in {wall:.2f}s "
+        f"({payload['throughput_rps']:.0f} rps) "
+        f"p50={overall['p50_ms']:.1f}ms p99={overall['p99_ms']:.1f}ms "
+        f"busy_retries={recorder.busy_retries}"
+    )
+    failed = False
+    if recorder.errors:
+        print(f"ERRORS: {payload['errors']}")
+        failed = True
+    if leaks:
+        print("STATE LEAKS:")
+        for leak in leaks:
+            print(f"  {leak}")
+        failed = True
+    if not replay_match:
+        print(
+            f"SERIAL-REPLAY MISMATCH: concurrent {concurrent_state['total']} docs "
+            f"(counts {concurrent_state['counts']}) vs replay "
+            f"{replay_state['total']} (counts {replay_state['counts']})"
+        )
+        failed = True
+    else:
+        print(
+            f"serial replay: {replay_state['total']} documents, "
+            f"{args.clients} tags -- identical"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -147,6 +147,13 @@ class SinewCatalog:
         #: bumped on every materialization direction flip; queries register
         #: the epoch they were planned under (see :meth:`query_scope`)
         self.schema_epoch = 0
+        #: bumped on anything that can change a *rewritten* query without
+        #: being a direction flip: loads (new attributes / occurrence
+        #: counts), logical UPDATE/DELETE, collection DDL, and the
+        #: materializer's finish path (which may drop a physical column).
+        #: Cached plans validate against :meth:`plan_token`, which folds
+        #: both epochs together.
+        self.data_epoch = 0
         self._active_queries: dict[int, int] = {}
         self._active_lock = TrackedLock("catalog.active")
         self._next_query_token = 0
@@ -399,6 +406,25 @@ class SinewCatalog:
         with self._active_lock:
             self.schema_epoch += 1
             return self.schema_epoch
+
+    def bump_data_epoch(self) -> int:
+        """Record a non-flip catalog change that can stale cached plans."""
+        with self._active_lock:
+            self.data_epoch += 1
+            return self.data_epoch
+
+    def plan_token(self) -> tuple[int, int]:
+        """The plan-cache validity token: ``(schema_epoch, data_epoch)``.
+
+        A cached rewritten plan is valid exactly while this token matches
+        the one stamped at prepare time: the rewrite bakes in the catalog
+        flags (bare read / COALESCE bridge / pure extraction), the
+        attribute dictionary, and the occurrence counts the analyzer used
+        for provably-NULL pruning -- any of those moving must force a
+        re-prepare (DESIGN.md section 12).
+        """
+        with self._active_lock:
+            return (self.schema_epoch, self.data_epoch)
 
     @contextmanager
     def query_scope(self):

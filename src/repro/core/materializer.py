@@ -346,6 +346,9 @@ class ColumnMaterializer:
         state.cursor = 0
         state.dirty = False
         self.db.log_catalog(column_state_payload(table_name, state))
+        # a finished dematerialization dropped the physical column above:
+        # any cached plan still bridging through it must re-prepare
+        self.catalog.bump_data_epoch()
 
     def prepare_column(self, table_name: str, state: ColumnState) -> None:
         """Allocate the physical column for a column about to be marked.

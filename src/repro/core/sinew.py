@@ -25,7 +25,7 @@ from typing import Any, Iterable, Iterator, Mapping
 
 from ..analysis.analyzer import AnalysisResult, SemanticAnalyzer
 from ..analysis.checker import CheckReport, IntegrityChecker, validate_document
-from ..rdbms.database import Database, DatabaseConfig, QueryResult
+from ..rdbms.database import Database, DatabaseConfig, DbSession, QueryResult
 from ..rdbms.errors import CatalogError, PlanningError, SemanticError
 from ..rdbms.transactions import CheckpointInfo
 from ..rdbms.expressions import Star
@@ -42,6 +42,7 @@ from .catalog import SinewCatalog, column_state_payload
 from .extractors import ReservoirExtractor, register_extraction_udfs
 from .loader import ID_COLUMN, RESERVOIR_COLUMN, LoadReport, SinewLoader
 from .materializer import ColumnMaterializer, MaterializerReport
+from .plan_cache import PlanCache, PreparedSelect, normalize_sql
 from .rewriter import QueryRewriter
 from .schema_analyzer import (
     AnalyzerReport,
@@ -74,6 +75,11 @@ class SinewConfig:
     #: header at most once per query no matter how many virtual columns,
     #: predicates, or COALESCE bridges touch it (DESIGN.md section 8)
     enable_extraction_cache: bool = True
+    #: prepared-plan cache capacity; 0 disables caching entirely (the
+    #: embedded default).  The service layer enables it so repeated
+    #: statements skip parse + analyze + rewrite; entries invalidate on
+    #: schema-epoch or data-epoch movement (DESIGN.md section 12)
+    plan_cache_size: int = 0
 
 
 class SinewDB:
@@ -106,6 +112,11 @@ class SinewDB:
             idle_sleep=self.config.daemon_idle_sleep,
         )
         self.faults = None
+        self.plan_cache = (
+            PlanCache(self.config.plan_cache_size)
+            if self.config.plan_cache_size > 0
+            else None
+        )
         self.text_index = InvertedTextIndex() if self.config.enable_text_index else None
         self._matches_cache: dict[tuple[str, str], set[int]] = {}
         register_extraction_udfs(self.db, self.extractor)
@@ -252,6 +263,7 @@ class SinewDB:
         )
         self.catalog.table(table_name)
         self._collections.add(table_name)
+        self.catalog.bump_data_epoch()
         self.db.log_catalog(
             {"op": "collection", "action": "add", "table": table_name}
         )
@@ -260,6 +272,7 @@ class SinewDB:
         self.db.drop_table(table_name)
         self.catalog.tables.pop(table_name, None)
         self._collections.discard(table_name)
+        self.catalog.bump_data_epoch()
         self.db.log_catalog(
             {"op": "collection", "action": "drop", "table": table_name}
         )
@@ -281,6 +294,8 @@ class SinewDB:
             for offset, document in enumerate(documents):
                 self.text_index.index_document(base + offset, parse_document(document))
         self._matches_cache.clear()
+        # new attributes / occurrence counts stale any cached plan
+        self.catalog.bump_data_epoch()
         # a load dirties every materialized column: wake the daemon
         self.daemon.kick()
         return report
@@ -396,6 +411,9 @@ class SinewDB:
         return {
             "name": self.name,
             "collections": collections,
+            "plan_cache": (
+                self.plan_cache.stats() if self.plan_cache is not None else None
+            ),
             "daemon": asdict(self.daemon.status()),
             "latch": {
                 "acquisitions": latch.acquisitions,
@@ -427,12 +445,23 @@ class SinewDB:
     # querying
     # ------------------------------------------------------------------
 
+    def create_session(self, name: str = "session") -> DbSession:
+        """An independent transaction scope (one per service connection).
+
+        Pass the handle back through :meth:`query`/:meth:`execute` so
+        ``BEGIN``/``COMMIT``/``ROLLBACK`` and DML statements bind to this
+        session's transaction instead of the shared default scope.
+        """
+        return self.db.create_session(name)
+
     def query(
         self,
         sql: str,
         *,
         explain_analyze: bool = False,
         use_extraction_cache: bool | None = None,
+        session: DbSession | None = None,
+        use_plan_cache: bool = True,
     ) -> QueryResult:
         """Run a standard SQL query against the logical schema.
 
@@ -441,14 +470,22 @@ class SinewDB:
         time plus the extraction counters, and ``exec_stats`` is always
         populated.  ``use_extraction_cache`` overrides the config default
         for this one query (the uncached path exists for verification).
+        ``session`` scopes any transaction interaction to one connection;
+        ``use_plan_cache=False`` bypasses the prepared-plan cache for this
+        query even when the instance has one enabled.
         """
         statement = parse(sql)
         if not isinstance(statement, SelectStatement):
-            return self.execute(sql)
+            return self.execute(sql, session=session)
+        sql_key = None
+        if use_plan_cache and self.plan_cache is not None:
+            sql_key = normalize_sql(sql)
         return self._execute_select(
             statement,
             explain_analyze=explain_analyze,
             use_extraction_cache=use_extraction_cache,
+            sql_key=sql_key,
+            session=session,
         )
 
     def explain_analyze(self, sql: str) -> str:
@@ -469,23 +506,24 @@ class SinewDB:
         plan = self.db._plan(rewritten)
         return plan.explain()
 
-    def execute(self, sql: str) -> QueryResult:
+    def execute(self, sql: str, *, session: DbSession | None = None) -> QueryResult:
         """Execute DML (UPDATE/DELETE) against the logical schema."""
         statement = parse(sql)
         if isinstance(statement, UpdateStatement) and statement.table in self._collections:
-            return self._execute_update(statement)
+            return self._execute_update(statement, session=session)
         if isinstance(statement, DeleteStatement) and statement.table in self._collections:
             analysis = self._analyze(statement)
             null_ids = analysis.null_predicate_ids() if analysis else None
             where = self._rewriter(null_ids).rewrite_where(statement)
             result = self.db.execute_statement(
-                DeleteStatement(statement.table, where)
+                DeleteStatement(statement.table, where), session=session
             )
             self._matches_cache.clear()
+            self.catalog.bump_data_epoch()
             return self._attach_diagnostics(result, analysis)
         if isinstance(statement, SelectStatement):
-            return self._execute_select(statement)
-        return self.db.execute_statement(statement)
+            return self._execute_select(statement, session=session)
+        return self.db.execute_statement(statement, session=session)
 
     # -- SELECT ----------------------------------------------------------
 
@@ -529,12 +567,38 @@ class SinewDB:
             result.diagnostics = analysis.warnings
         return result
 
+    def _prepare_select(
+        self, statement: SelectStatement, token: tuple[int, int]
+    ) -> PreparedSelect:
+        """The cacheable prepare phase: analyze + rewrite + star bindings.
+
+        Must run inside :meth:`SinewCatalog.query_scope` with ``token``
+        read after registration, so the rewritten statement's view of the
+        catalog flags is exactly the one the token certifies.
+        """
+        analysis = self._analyze(statement)
+        null_ids = analysis.null_predicate_ids() if analysis else None
+        rewriter = self._rewriter(null_ids)
+        rewritten = rewriter.rewrite_select(statement)
+        # the multi-key tag: only meaningful when one reservoir binding
+        # feeds more than one extraction site
+        keys_per_row = rewriter.max_extraction_keys()
+        return PreparedSelect(
+            rewritten=rewritten,
+            analysis=analysis,
+            extraction_hint=keys_per_row if keys_per_row > 1 else None,
+            star_bindings=self._star_bindings(rewritten),
+            token=token,
+        )
+
     def _execute_select(
         self,
         statement: SelectStatement,
         *,
         explain_analyze: bool = False,
         use_extraction_cache: bool | None = None,
+        sql_key: str | None = None,
+        session: DbSession | None = None,
     ) -> QueryResult:
         # Register before the rewriter reads the catalog flags: the plan
         # bakes those flags in, and the materializer defers row moves for
@@ -542,29 +606,33 @@ class SinewDB:
         # (catalog.query_scope docs).  Registering first makes the race
         # benign in both orders -- a flip after registration blocks moves;
         # a flip before it means the rewriter already saw the new flags.
+        # The same registration covers a cached plan: serving it requires
+        # the live plan token to equal the entry's, i.e. no flip happened
+        # since its prepare, and any flip after our registration defers.
         with self.catalog.query_scope():
-            analysis = self._analyze(statement)
-            null_ids = analysis.null_predicate_ids() if analysis else None
-            rewriter = self._rewriter(null_ids)
-            rewritten = rewriter.rewrite_select(statement)
+            token = self.catalog.plan_token()
+            prepared = None
+            if self.plan_cache is not None and sql_key is not None:
+                prepared = self.plan_cache.lookup(sql_key, token)
+            if prepared is None:
+                prepared = self._prepare_select(statement, token)
+                if self.plan_cache is not None and sql_key is not None:
+                    self.plan_cache.store(sql_key, prepared)
             if use_extraction_cache is None:
                 use_extraction_cache = self.config.enable_extraction_cache
-            # the multi-key tag: only meaningful when one reservoir binding
-            # feeds more than one extraction site
-            keys_per_row = rewriter.max_extraction_keys()
             options = dict(
                 analyze=explain_analyze,
-                extraction_hint=keys_per_row if keys_per_row > 1 else None,
+                extraction_hint=prepared.extraction_hint,
                 use_extraction_cache=use_extraction_cache,
+                session=session,
             )
-            star_bindings = self._star_bindings(rewritten)
-            if not star_bindings:
-                result = self.db.execute_statement(rewritten, **options)
+            if not prepared.star_bindings:
+                result = self.db.execute_statement(prepared.rewritten, **options)
             else:
                 result = self._execute_star_select(
-                    rewritten, star_bindings, options
+                    prepared.rewritten, prepared.star_bindings, options
                 )
-        return self._attach_diagnostics(result, analysis)
+        return self._attach_diagnostics(result, prepared.analysis)
 
     def _star_bindings(self, statement: SelectStatement) -> list[str]:
         """Bindings of Sinew tables covered by ``*`` items (in order)."""
@@ -758,7 +826,9 @@ class SinewDB:
 
     # -- UPDATE ------------------------------------------------------------
 
-    def _execute_update(self, statement: UpdateStatement) -> QueryResult:
+    def _execute_update(
+        self, statement: UpdateStatement, session: DbSession | None = None
+    ) -> QueryResult:
         """UPDATE against the logical schema.
 
         Assignments to clean physical columns run as plain SQL; assignments
@@ -813,7 +883,7 @@ class SinewDB:
 
         updated = 0
         touched_attrs: dict[int, tuple[str, str]] = {}
-        with self.db.txn_manager.autocommit() as txn:
+        with self.db._dml_txn(session) as txn:
             matches: list[tuple[int, tuple]] = []
             for rid, row in table.scan():
                 if predicate is None or predicate(row) is True:
@@ -873,6 +943,7 @@ class SinewDB:
                     txn=txn,
                 )
         self._matches_cache.clear()
+        self.catalog.bump_data_epoch()
         return self._attach_diagnostics(QueryResult(rowcount=updated), analysis)
 
     def _document_of_row(self, table, row: tuple) -> dict[str, Any]:

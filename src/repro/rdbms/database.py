@@ -107,6 +107,32 @@ class DatabaseConfig:
     parallel_workers: int = field(default_factory=default_parallel_workers)
 
 
+class DbSession:
+    """Per-connection transaction scope.
+
+    Everything that can open or join a transaction is keyed on one of
+    these.  The embedded single-caller API keeps working through the
+    database's own default session; the service layer allocates one
+    session per remote connection, so ``BEGIN`` in one connection never
+    sees -- or blocks -- another connection's transaction.
+    """
+
+    __slots__ = ("name", "txn")
+
+    def __init__(self, name: str = "default"):
+        self.name = name
+        #: the open session transaction, or None (autocommit per statement)
+        self.txn: Transaction | None = None
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.txn is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging surface
+        state = f"txn={self.txn.txn_id}" if self.txn else "autocommit"
+        return f"DbSession({self.name!r}, {state})"
+
+
 class QueryResult:
     """Rows plus metadata from one statement execution."""
 
@@ -187,7 +213,7 @@ class Database:
         self.txn_manager = TransactionManager(self.counters, wal)
         self.tables: dict[str, HeapTable] = {}
         self.table_stats: dict[str, TableStats] = {}
-        self._session_txn: Transaction | None = None
+        self._default_session = DbSession()
         #: optional FaultInjector threaded into every heap table
         self._faults = None
         #: True while recovery replays WAL records (suppresses re-logging)
@@ -339,9 +365,9 @@ class Database:
     # statement execution
     # ------------------------------------------------------------------
 
-    def execute(self, sql: str) -> QueryResult:
+    def execute(self, sql: str, *, session: DbSession | None = None) -> QueryResult:
         """Parse and execute one SQL statement."""
-        return self.execute_statement(parse(sql))
+        return self.execute_statement(parse(sql), session=session)
 
     def execute_statement(
         self,
@@ -350,6 +376,7 @@ class Database:
         analyze: bool = False,
         extraction_hint: int | None = None,
         use_extraction_cache: bool = True,
+        session: DbSession | None = None,
     ) -> QueryResult:
         if isinstance(statement, SelectStatement):
             return self._execute_select(
@@ -362,11 +389,11 @@ class Database:
             plan = self._plan(statement.inner)
             return QueryResult(plan_text=plan.explain())
         if isinstance(statement, InsertStatement):
-            return self._execute_insert(statement)
+            return self._execute_insert(statement, session=session)
         if isinstance(statement, UpdateStatement):
-            return self._execute_update(statement)
+            return self._execute_update(statement, session=session)
         if isinstance(statement, DeleteStatement):
-            return self._execute_delete(statement)
+            return self._execute_delete(statement, session=session)
         if isinstance(statement, CreateTableStatement):
             return self._execute_create_table(statement)
         if isinstance(statement, DropTableStatement):
@@ -378,13 +405,13 @@ class Database:
             self.analyze(statement.table)
             return QueryResult()
         if isinstance(statement, BeginStatement):
-            self._begin()
+            self._begin(session)
             return QueryResult()
         if isinstance(statement, CommitStatement):
-            self._commit()
+            self._commit(session)
             return QueryResult()
         if isinstance(statement, RollbackStatement):
-            self._rollback()
+            self._rollback(session)
             return QueryResult()
         raise PlanningError(f"unsupported statement type: {type(statement).__name__}")
 
@@ -486,7 +513,9 @@ class Database:
 
     # -- DML --------------------------------------------------------------
 
-    def _execute_insert(self, statement: InsertStatement) -> QueryResult:
+    def _execute_insert(
+        self, statement: InsertStatement, session: DbSession | None = None
+    ) -> QueryResult:
         table = self.table(statement.table)
         resolver = SchemaResolver([], self.functions)
         rows_to_insert: list[tuple] = []
@@ -495,7 +524,7 @@ class Database:
             rows_to_insert.append(
                 self._shape_row(table, statement.columns, values)
             )
-        with self._dml_txn() as txn:
+        with self._dml_txn(session) as txn:
             for row in rows_to_insert:
                 self._insert_row(table, row, txn)
         return QueryResult(rowcount=len(rows_to_insert))
@@ -549,7 +578,9 @@ class Database:
             row[table.schema.position_of(name)] = value
         return tuple(row)
 
-    def _execute_update(self, statement: UpdateStatement) -> QueryResult:
+    def _execute_update(
+        self, statement: UpdateStatement, session: DbSession | None = None
+    ) -> QueryResult:
         table = self.table(statement.table)
         resolver = SchemaResolver(
             [(statement.table, c.name) for c in table.schema], self.functions
@@ -565,7 +596,7 @@ class Database:
             assignments.append((position, compile_expr(expr, resolver)))
 
         updated = 0
-        with self._dml_txn() as txn:
+        with self._dml_txn(session) as txn:
             # Two phases so an UPDATE never observes its own writes.
             matches: list[tuple[int, tuple]] = []
             for rid, row in table.scan():
@@ -587,7 +618,9 @@ class Database:
                 updated += 1
         return QueryResult(rowcount=updated)
 
-    def _execute_delete(self, statement: DeleteStatement) -> QueryResult:
+    def _execute_delete(
+        self, statement: DeleteStatement, session: DbSession | None = None
+    ) -> QueryResult:
         table = self.table(statement.table)
         resolver = SchemaResolver(
             [(statement.table, c.name) for c in table.schema], self.functions
@@ -598,7 +631,7 @@ class Database:
             else None
         )
         deleted = 0
-        with self._dml_txn() as txn:
+        with self._dml_txn(session) as txn:
             victims = [
                 rid
                 for rid, row in table.scan()
@@ -831,7 +864,9 @@ class Database:
             raise TransactionError("an in-memory database cannot checkpoint")
         if not self.wal.active:
             raise TransactionError("recover() must run before checkpoint()")
-        if self._session_txn is not None or self.txn_manager.active:
+        if self.txn_manager.active:
+            # session transactions live in txn_manager.active too, so this
+            # covers every connection's open BEGIN, not just the default's
             raise TransactionError("cannot checkpoint with transactions in flight")
         wal = self.wal
         wal.sync()
@@ -873,27 +908,51 @@ class Database:
     # transactions
     # ------------------------------------------------------------------
 
-    def _begin(self) -> None:
-        if self._session_txn is not None:
-            raise TransactionError("a transaction is already in progress")
-        self._session_txn = self.txn_manager.begin()
+    def create_session(self, name: str = "session") -> DbSession:
+        """Allocate an independent transaction scope (one per connection)."""
+        return DbSession(name)
 
-    def _commit(self) -> None:
-        if self._session_txn is None:
+    def _begin(self, session: DbSession | None = None) -> None:
+        session = session or self._default_session
+        if session.txn is not None:
+            raise TransactionError(
+                f"session {session.name!r} already has a transaction in progress"
+            )
+        session.txn = self.txn_manager.begin()
+
+    def _commit(self, session: DbSession | None = None) -> None:
+        session = session or self._default_session
+        if session.txn is None:
             raise TransactionError("no transaction in progress")
-        self.txn_manager.finish(self._session_txn, commit=True)
-        self._session_txn = None
+        self.txn_manager.finish(session.txn, commit=True)
+        session.txn = None
 
-    def _rollback(self) -> None:
-        if self._session_txn is None:
+    def _rollback(self, session: DbSession | None = None) -> None:
+        session = session or self._default_session
+        if session.txn is None:
             raise TransactionError("no transaction in progress")
-        self.txn_manager.finish(self._session_txn, commit=False)
-        self._session_txn = None
+        self.txn_manager.finish(session.txn, commit=False)
+        session.txn = None
 
-    def _dml_txn(self):
+    def abort_session(self, session: DbSession) -> bool:
+        """Roll back a session's open transaction, if any.
+
+        The service layer's disconnect path: a client that dies mid-
+        transaction must never leave its writes pending (or its undo
+        chain pinned) in the shared engine.  Returns True when there was
+        a transaction to abort.
+        """
+        if session.txn is None:
+            return False
+        self.txn_manager.finish(session.txn, commit=False)
+        session.txn = None
+        return True
+
+    def _dml_txn(self, session: DbSession | None = None):
         """Session transaction when open, else per-statement autocommit."""
-        if self._session_txn is not None:
-            return _NoopTxnContext(self._session_txn)
+        session = session or self._default_session
+        if session.txn is not None:
+            return _NoopTxnContext(session.txn)
         return self.txn_manager.autocommit()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,58 @@
+"""The Sinew SQL service layer (``python -m repro.service``).
+
+A network front end over one shared :class:`~repro.core.SinewDB`: an
+asyncio TCP server speaking a JSON-lines protocol, per-connection
+:class:`~repro.service.session.Session` objects owning transaction and
+prepared-statement state, a shared prepared-plan cache with schema-epoch
+invalidation, and connection admission control -- the gateway that turns
+the embedded engine into a multi-client database (DESIGN.md section 12).
+
+Quickstart::
+
+    # server
+    python -m repro.service --port 5543
+
+    # client
+    from repro.service import ServiceClient
+    with ServiceClient("127.0.0.1", 5543) as client:
+        client.create_collection("docs")
+        client.load("docs", [{"user": {"id": 1}, "text": "hello"}])
+        result = client.query('SELECT "user.id" FROM docs')
+"""
+
+from .client import AsyncServiceClient, ServiceClient, ServiceError
+from .protocol import (
+    PROTOCOL_VERSION,
+    RemoteResult,
+    decode_message,
+    decode_result,
+    decode_row,
+    decode_value,
+    encode_message,
+    encode_result,
+    encode_row,
+    encode_value,
+    infer_column_types,
+)
+from .server import ServiceConfig, SinewService
+from .session import Session
+
+__all__ = [
+    "AsyncServiceClient",
+    "PROTOCOL_VERSION",
+    "RemoteResult",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "Session",
+    "SinewService",
+    "decode_message",
+    "decode_result",
+    "decode_row",
+    "decode_value",
+    "encode_message",
+    "encode_result",
+    "encode_row",
+    "encode_value",
+    "infer_column_types",
+]

@@ -1,0 +1,213 @@
+"""Client bindings for the Sinew service (sync and asyncio flavours).
+
+Both clients speak the JSON-lines protocol and surface server-side
+failures as :class:`ServiceError` carrying the structured error code
+(``syntax``, ``semantic``, ``busy``, ``timeout``, ...), so callers can
+branch on ``error.code`` -- e.g. retry on ``error.retryable``.
+
+:class:`ServiceClient` (blocking sockets) is the porcelain for scripts
+and the shell's ``\\connect`` mode; :class:`AsyncServiceClient` is the
+plumbing the concurrency harness uses to hold hundreds of connections
+open from one event loop.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Mapping
+
+from .protocol import (
+    RemoteResult,
+    decode_message,
+    decode_result,
+    encode_message,
+    encode_value,
+)
+
+
+class ServiceError(Exception):
+    """A structured error returned by the server."""
+
+    def __init__(self, code: str, message: str, payload: dict[str, Any] | None = None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.payload = payload or {}
+
+    @property
+    def retryable(self) -> bool:
+        return bool(self.payload.get("retryable"))
+
+
+def _raise_on_error(response: dict[str, Any]) -> dict[str, Any]:
+    if response.get("ok"):
+        return response
+    error = response.get("error") or {}
+    raise ServiceError(
+        error.get("code", "internal"),
+        error.get("message", "unknown server error"),
+        error,
+    )
+
+
+class ServiceClient:
+    """Blocking client: one TCP connection, one server session."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 5543, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self.greeting = _raise_on_error(self._read())
+        self.session_id: int = self.greeting.get("session", -1)
+
+    # -- wire plumbing -------------------------------------------------
+
+    def _read(self) -> dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_message(line)
+
+    def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """One raw request/response round trip (raises on server error)."""
+        self._sock.sendall(encode_message(message))
+        return _raise_on_error(self._read())
+
+    # -- porcelain -----------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def query(self, sql: str) -> RemoteResult:
+        return decode_result(self.request({"op": "query", "sql": sql})["result"])
+
+    def execute(self, sql: str) -> RemoteResult:
+        return self.query(sql)
+
+    def prepare(self, name: str, sql: str) -> str:
+        return self.request({"op": "prepare", "name": name, "sql": sql})["prepared"]
+
+    def execute_prepared(self, name: str) -> RemoteResult:
+        return decode_result(self.request({"op": "execute", "name": name})["result"])
+
+    def deallocate(self, name: str) -> bool:
+        return bool(self.request({"op": "deallocate", "name": name})["deallocated"])
+
+    def load(self, table: str, documents: list[Mapping[str, Any]]) -> dict[str, Any]:
+        response = self.request(
+            {
+                "op": "load",
+                "table": table,
+                "documents": [encode_value(dict(document)) for document in documents],
+            }
+        )
+        return {key: value for key, value in response.items() if key != "ok"}
+
+    def create_collection(self, table: str) -> None:
+        # collections auto-create on first load; an explicit empty load
+        # gives scripts the same call shape as the embedded API
+        self.load(table, [])
+
+    def set_option(self, key: str, value: Any) -> dict[str, Any]:
+        return self.request({"op": "set", "key": key, "value": encode_value(value)})[
+            "settings"
+        ]
+
+    def session(self) -> dict[str, Any]:
+        return self.request({"op": "session"})["session"]
+
+    def status(self) -> dict[str, Any]:
+        return self.request({"op": "status"})["status"]
+
+    def begin(self) -> None:
+        self.query("BEGIN")
+
+    def commit(self) -> None:
+        self.query("COMMIT")
+
+    def rollback(self) -> None:
+        self.query("ROLLBACK")
+
+    def close(self) -> None:
+        try:
+            self.request({"op": "close"})
+        except (ConnectionError, OSError, ServiceError):
+            pass
+        finally:
+            self._file.close()
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class AsyncServiceClient:
+    """asyncio client: what the load harness opens 200 of."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 5543):
+        self.host = host
+        self.port = port
+        self._reader: Any = None
+        self._writer: Any = None
+        self.greeting: dict[str, Any] = {}
+        self.session_id: int = -1
+
+    async def connect(self) -> "AsyncServiceClient":
+        import asyncio
+
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        self.greeting = _raise_on_error(await self._read())
+        self.session_id = self.greeting.get("session", -1)
+        return self
+
+    async def _read(self) -> dict[str, Any]:
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_message(line)
+
+    async def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        self._writer.write(encode_message(message))
+        await self._writer.drain()
+        return _raise_on_error(await self._read())
+
+    async def query(self, sql: str) -> RemoteResult:
+        response = await self.request({"op": "query", "sql": sql})
+        return decode_result(response["result"])
+
+    async def load(self, table: str, documents: list[Mapping[str, Any]]) -> dict[str, Any]:
+        response = await self.request(
+            {
+                "op": "load",
+                "table": table,
+                "documents": [encode_value(dict(document)) for document in documents],
+            }
+        )
+        return {key: value for key, value in response.items() if key != "ok"}
+
+    async def status(self) -> dict[str, Any]:
+        return (await self.request({"op": "status"}))["status"]
+
+    async def close(self) -> None:
+        try:
+            if self._writer is not None:
+                await self.request({"op": "close"})
+        except (ConnectionError, OSError, ServiceError):
+            pass
+        finally:
+            if self._writer is not None:
+                self._writer.close()
+                try:
+                    await self._writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()

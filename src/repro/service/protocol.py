@@ -1,0 +1,234 @@
+"""The service wire format: JSON lines with full value-type fidelity.
+
+One request or response per ``\\n``-terminated line of UTF-8 JSON.  Plain
+JSON cannot carry everything a :class:`~repro.rdbms.database.QueryResult`
+can hold -- BYTEA cells are ``bytes``, REAL cells may be ``nan``/``inf``,
+and documents nest arbitrarily -- so values ride in a tagged encoding:
+
+* ``None`` / ``bool`` / ``int`` / finite ``float`` / ``str`` pass through
+  (JSON distinguishes ``1`` from ``1.0``, so INTEGER vs REAL survives);
+* non-finite floats become ``{"$": "f", "v": "nan" | "inf" | "-inf"}``;
+* ``bytes`` become ``{"$": "b", "v": <base64>}``;
+* lists encode element-wise (rows themselves are arrays; the client
+  rebuilds engine-shaped ``tuple`` rows);
+* dicts encode value-wise, and any dict *containing* a ``"$"`` key is
+  escape-wrapped as ``{"$": "d", "v": {...}}`` -- so on the wire, a dict
+  with a ``"$"`` key is always a tag and the encoding is unambiguous.
+
+The round-trip property (tests/service/test_protocol.py) asserts
+``decode(encode(x)) == x`` with matching types for arbitrary nested
+multi-typed values, which is exactly the fidelity contract the in-process
+``QueryResult`` gives callers.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import math
+from typing import Any, Iterator, Sequence
+
+PROTOCOL_VERSION = 1
+
+#: wire type names per Python runtime type (mirrors SqlType values)
+_TYPE_NAMES = {
+    bool: "boolean",
+    int: "integer",
+    float: "real",
+    str: "text",
+    bytes: "bytea",
+    list: "array",
+    tuple: "array",
+    dict: "json",
+}
+
+_FLOAT_TAGS = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
+
+
+class ProtocolError(ValueError):
+    """A malformed wire message (bad JSON, bad tag, bad frame)."""
+
+
+# ----------------------------------------------------------------------
+# value encoding
+# ----------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one cell/document value into its JSON-safe wire form."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            return {"$": "f", "v": "nan"}
+        if math.isinf(value):
+            return {"$": "f", "v": "inf" if value > 0 else "-inf"}
+        return value
+    if isinstance(value, bytes):
+        return {"$": "b", "v": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        encoded = {key: encode_value(item) for key, item in value.items()}
+        if "$" in value:
+            return {"$": "d", "v": encoded}
+        return encoded
+    raise ProtocolError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        if "$" in value:
+            tag = value.get("$")
+            if tag == "f":
+                try:
+                    return _FLOAT_TAGS[value["v"]]
+                except KeyError:
+                    raise ProtocolError(f"bad float tag: {value!r}") from None
+            if tag == "b":
+                try:
+                    return base64.b64decode(value["v"])
+                except Exception:
+                    raise ProtocolError(f"bad bytes tag: {value!r}") from None
+            if tag == "d":
+                inner = value.get("v")
+                if not isinstance(inner, dict):
+                    raise ProtocolError(f"bad dict tag: {value!r}")
+                return {key: decode_value(item) for key, item in inner.items()}
+            raise ProtocolError(f"unknown value tag {tag!r}")
+        return {key: decode_value(item) for key, item in value.items()}
+    raise ProtocolError(f"cannot decode value of type {type(value).__name__}")
+
+
+def encode_row(row: Sequence[Any]) -> list[Any]:
+    return [encode_value(value) for value in row]
+
+
+def decode_row(row: Sequence[Any]) -> tuple:
+    return tuple(decode_value(value) for value in row)
+
+
+# ----------------------------------------------------------------------
+# message framing
+# ----------------------------------------------------------------------
+
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    """One wire frame: compact JSON + newline (JSON never embeds one)."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes | str) -> dict[str, Any]:
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty message")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"bad JSON frame: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+
+
+def infer_column_types(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> list[str | None]:
+    """Per-column wire types observed in the result rows.
+
+    ``None`` for an all-NULL (or empty) column, the single type name when
+    every non-NULL value agrees, and ``"mixed"`` for Sinew's multi-typed
+    columns -- the honest answer for a universal relation.
+    """
+    types: list[str | None] = [None] * len(columns)
+    for row in rows:
+        for index, value in enumerate(row):
+            if value is None:
+                continue
+            name = _TYPE_NAMES.get(type(value), "json")
+            if types[index] is None:
+                types[index] = name
+            elif types[index] != name:
+                types[index] = "mixed"
+    return types
+
+
+class RemoteResult:
+    """Client-side mirror of :class:`~repro.rdbms.database.QueryResult`.
+
+    Same access surface (``columns``, tuple ``rows``, ``rowcount``,
+    ``exec_stats``, ``plan_text``, ``scalar()``, ``column()``) plus the
+    wire-level ``types`` list, so code written against the embedded API
+    ports to the service without edits.
+    """
+
+    def __init__(
+        self,
+        columns: list[str],
+        rows: list[tuple],
+        rowcount: int,
+        types: list[str | None],
+        exec_stats: dict[str, Any],
+        plan_text: str | None = None,
+        diagnostics: tuple[str, ...] = (),
+    ):
+        self.columns = columns
+        self.rows = rows
+        self.rowcount = rowcount
+        self.types = types
+        self.exec_stats = exec_stats
+        self.plan_text = plan_text
+        self.diagnostics = diagnostics
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Any:
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def column(self, name_or_index: str | int) -> list[Any]:
+        if isinstance(name_or_index, str):
+            index = self.columns.index(name_or_index)
+        else:
+            index = name_or_index
+        return [row[index] for row in self.rows]
+
+
+def encode_result(result: Any) -> dict[str, Any]:
+    """Serialize a ``QueryResult`` into the response ``result`` payload."""
+    return {
+        "columns": list(result.columns),
+        "types": infer_column_types(result.columns, result.rows),
+        "rows": [encode_row(row) for row in result.rows],
+        "rowcount": result.rowcount,
+        "exec_stats": encode_value(dict(result.exec_stats)),
+        "plan_text": result.plan_text,
+        "diagnostics": [str(diagnostic) for diagnostic in result.diagnostics],
+    }
+
+
+def decode_result(payload: dict[str, Any]) -> RemoteResult:
+    return RemoteResult(
+        columns=list(payload.get("columns", [])),
+        rows=[decode_row(row) for row in payload.get("rows", [])],
+        rowcount=payload.get("rowcount", 0),
+        types=list(payload.get("types", [])),
+        exec_stats=decode_value(payload.get("exec_stats", {})) or {},
+        plan_text=payload.get("plan_text"),
+        diagnostics=tuple(payload.get("diagnostics", ())),
+    )

@@ -1,0 +1,523 @@
+"""The asyncio SQL service: many clients, one shared :class:`SinewDB`.
+
+One ``SinewService`` hosts one engine instance.  Connections speak the
+JSON-lines protocol (:mod:`repro.service.protocol`); each gets a private
+:class:`~repro.service.session.Session` (its own transaction scope and
+prepared statements) while the heavy machinery -- heap, catalog,
+materializer daemon, prepared-plan cache, checkpointer -- is shared.
+
+Concurrency model (DESIGN.md section 12):
+
+* engine calls run on a bounded thread pool so the event loop never
+  blocks on storage work; reads run concurrently (the engine's
+  morsel-parallel scans and extraction caches are already thread-safe
+  under the catalog latch protocol);
+* writes serialize on one service-wide :class:`~repro.latching.TrackedLock`
+  (``service.write``), which also participates in the latch-order
+  tracker -- a write path that tried to take the catalog latch in the
+  wrong order would trip ``REPRO_DEBUG_LATCHES=1``;
+* admission control is two-layered: ``max_sessions`` rejects new
+  connections at accept time and ``max_inflight`` sheds excess
+  concurrent statements, both with a structured ``busy`` error the
+  client can retry on;
+* every statement gets ``query_timeout`` seconds; past that the client
+  receives a ``timeout`` error (the worker thread finishes in the
+  background -- the engine has no cancellation points -- but its
+  result is discarded).
+
+Fault injection: the per-connection paths fire ``service.accept``,
+``service.execute`` and ``service.respond`` so tests can kill a session
+at any protocol stage and assert the shared engine stays healthy (no
+leaked latches, no orphaned transactions).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.plan_cache import DEFAULT_PLAN_CACHE_SIZE, PlanCache
+from ..core.sinew import SinewDB
+from ..latching import TrackedLock
+from ..rdbms.errors import (
+    CatalogError,
+    ConcurrencyError,
+    DatabaseError,
+    ExecutionError,
+    PlanningError,
+    SemanticError,
+    SqlSyntaxError,
+    TransactionError,
+)
+from ..testing.faults import InjectedFault
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    decode_value,
+    encode_message,
+    encode_result,
+)
+from .session import Session
+
+#: map engine exception types to wire error codes; ordered most-specific
+#: first (SemanticError subclasses PlanningError, etc.)
+_ERROR_CODES: tuple[tuple[type[Exception], str], ...] = (
+    (SqlSyntaxError, "syntax"),
+    (SemanticError, "semantic"),
+    (PlanningError, "planning"),
+    (CatalogError, "catalog"),
+    (ConcurrencyError, "concurrency"),
+    (TransactionError, "transaction"),
+    (ExecutionError, "execution"),
+    (InjectedFault, "injected"),
+    (DatabaseError, "database"),
+    (ProtocolError, "protocol"),
+)
+
+#: longest SQL fragment echoed back in error payloads
+_SQL_ECHO = 120
+
+
+def error_code(error: BaseException) -> str:
+    for exc_type, code in _ERROR_CODES:
+        if isinstance(error, exc_type):
+            return code
+    return "internal"
+
+
+def error_payload(error: BaseException, **extra: Any) -> dict[str, Any]:
+    detail: dict[str, Any] = {"code": error_code(error), "message": str(error)}
+    detail.update(extra)
+    return {"ok": False, "error": detail}
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one :class:`SinewService`."""
+
+    host: str = "127.0.0.1"
+    #: 0 asks the OS for an ephemeral port (tests); ``port`` on the
+    #: running service reports the bound one
+    port: int = 0
+    #: admission control: connections beyond this are refused with a
+    #: structured ``busy`` error at accept time
+    max_sessions: int = 64
+    #: backpressure: statements executing concurrently beyond this are
+    #: shed with a ``busy`` error instead of queueing unboundedly
+    max_inflight: int = 8
+    #: per-statement wall-clock budget in seconds (None = unlimited)
+    query_timeout: float | None = 30.0
+    #: engine worker threads (reads run concurrently up to this)
+    executor_threads: int = 8
+    #: background checkpoint cadence in seconds (None = no checkpointer;
+    #: only effective on durable databases)
+    checkpoint_interval: float | None = None
+    #: plan-cache capacity installed on the engine if it has none yet
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
+    #: extra context merged into the greeting (tests tag servers)
+    tags: dict[str, Any] = field(default_factory=dict)
+
+
+class SinewService:
+    """One TCP endpoint over one shared engine.
+
+    Lifecycle: construct with an open :class:`SinewDB`, then either
+    ``await serve()`` inside an event loop (``python -m repro.service``)
+    or use :meth:`start_in_thread`/:meth:`stop_in_thread` to host it on
+    a background thread (tests, benchmarks, the shell's ``\\connect``).
+    The service never closes the engine -- the caller owns it.
+    """
+
+    def __init__(self, sdb: SinewDB, config: ServiceConfig | None = None):
+        self.sdb = sdb
+        self.config = config or ServiceConfig()
+        if self.sdb.plan_cache is None and self.config.plan_cache_size > 0:
+            # the embedded default disables the cache; the service is the
+            # intended beneficiary (repeated statements across clients)
+            self.sdb.plan_cache = PlanCache(self.config.plan_cache_size)
+        #: one writer at a time across every session (named + tracked)
+        self.write_lock = TrackedLock("service.write")
+        self.sessions: dict[int, Session] = {}
+        self._next_session_id = 1
+        self._inflight = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopping: asyncio.Event | None = None
+        self._checkpoint_task: asyncio.Task | None = None
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max(1, self.config.executor_threads),
+            thread_name_prefix="service-worker",
+        )
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._thread_error: BaseException | None = None
+        self.port: int | None = None
+        #: service-level observability (merged into the ``status`` op)
+        self.counters = {
+            "connections": 0,
+            "rejected_busy": 0,
+            "shed_busy": 0,
+            "statements": 0,
+            "errors": 0,
+            "timeouts": 0,
+            "protocol_errors": 0,
+            "checkpoints": 0,
+            "checkpoints_skipped": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    async def serve(self) -> None:
+        """Bind, accept connections, and run until :meth:`stop` is called."""
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.checkpoint_interval is not None and self.sdb.db.path is not None:
+            self._checkpoint_task = asyncio.ensure_future(self._checkpoint_loop())
+        self._ready.set()
+        try:
+            await self._stopping.wait()
+        finally:
+            if self._checkpoint_task is not None:
+                self._checkpoint_task.cancel()
+                try:
+                    await self._checkpoint_task
+                except (asyncio.CancelledError, Exception):
+                    pass
+            self._server.close()
+            await self._server.wait_closed()
+            for session in list(self.sessions.values()):
+                session.close()
+            self.sessions.clear()
+            self._executor.shutdown(wait=False)
+
+    def stop(self) -> None:
+        """Request shutdown (safe from any thread)."""
+        if self._loop is not None and self._stopping is not None:
+            self._loop.call_soon_threadsafe(self._stopping.set)
+
+    # ------------------------------------------------------------------
+    # background-thread hosting (tests, benchmarks, shell \connect)
+    # ------------------------------------------------------------------
+
+    def start_in_thread(self, timeout: float = 10.0) -> int:
+        """Host the server on a daemon thread; returns the bound port."""
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+
+        def runner() -> None:
+            try:
+                asyncio.run(self.serve())
+            except BaseException as error:  # surfaced by start/stop
+                self._thread_error = error
+                self._ready.set()
+
+        self._thread = threading.Thread(
+            target=runner, name="sinew-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("service failed to start within timeout")
+        if self._thread_error is not None:
+            raise RuntimeError("service failed to start") from self._thread_error
+        assert self.port is not None
+        return self.port
+
+    def stop_in_thread(self, timeout: float = 10.0) -> None:
+        if self._thread is None:
+            return
+        self.stop()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("service thread did not stop within timeout")
+        self._thread = None
+        if self._thread_error is not None:
+            error, self._thread_error = self._thread_error, None
+            raise RuntimeError("service thread crashed") from error
+
+    def __enter__(self) -> "SinewService":
+        self.start_in_thread()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop_in_thread()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session: Session | None = None
+        try:
+            self.counters["connections"] += 1
+            try:
+                if self.sdb.faults is not None:
+                    self.sdb.faults.fire("service.accept")
+                if len(self.sessions) >= self.config.max_sessions:
+                    self.counters["rejected_busy"] += 1
+                    writer.write(
+                        encode_message(
+                            {
+                                "ok": False,
+                                "error": {
+                                    "code": "busy",
+                                    "message": (
+                                        f"session limit reached "
+                                        f"({self.config.max_sessions}); retry later"
+                                    ),
+                                    "retryable": True,
+                                },
+                            }
+                        )
+                    )
+                    await writer.drain()
+                    return
+                session_id = self._next_session_id
+                self._next_session_id += 1
+                session = Session(session_id, self.sdb, self.write_lock)
+                self.sessions[session_id] = session
+            except InjectedFault as error:
+                # admission fault: the connection dies before a session
+                # exists, so there is nothing to clean up in the engine
+                self.counters["errors"] += 1
+                writer.write(encode_message(error_payload(error)))
+                await writer.drain()
+                return
+            writer.write(
+                encode_message(
+                    {
+                        "ok": True,
+                        "server": "sinew-service",
+                        "version": PROTOCOL_VERSION,
+                        "session": session.id,
+                        **({"tags": self.config.tags} if self.config.tags else {}),
+                    }
+                )
+            )
+            await writer.drain()
+            await self._request_loop(session, reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client vanished; the finally block still cleans up
+        finally:
+            if session is not None:
+                self.sessions.pop(session.id, None)
+                # rolls back any open transaction so a dead client never
+                # pins undo state in the shared engine; synchronous on
+                # purpose -- an await here could be cancelled at loop
+                # teardown and skip the rollback
+                session.close()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _request_loop(
+        self,
+        session: Session,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        while True:
+            line = await reader.readline()
+            if not line:
+                return  # EOF: client closed the connection
+            try:
+                request = decode_message(line)
+            except ProtocolError as error:
+                self.counters["protocol_errors"] += 1
+                writer.write(encode_message(error_payload(error)))
+                await writer.drain()
+                continue
+            response = await self._dispatch(session, request)
+            try:
+                if self.sdb.faults is not None:
+                    self.sdb.faults.fire("service.respond")
+            except InjectedFault:
+                # fault between execution and the response write: the
+                # statement's effects stand, the client sees a dead socket
+                # (exactly what a network partition produces); session
+                # cleanup runs in _handle_connection's finally
+                return
+            request_id = request.get("id")
+            if request_id is not None:
+                response["id"] = request_id
+            writer.write(encode_message(response))
+            await writer.drain()
+            if request.get("op") == "close":
+                return
+
+    # ------------------------------------------------------------------
+    # request dispatch
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, session: Session, request: dict[str, Any]) -> dict[str, Any]:
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "query":
+                sql = request.get("sql")
+                if not isinstance(sql, str):
+                    raise ProtocolError("'query' needs a string 'sql' field")
+                result = await self._run_engine(session, session.execute_sql, sql)
+                return {"ok": True, "result": encode_result(result)}
+            if op == "prepare":
+                name, sql = request.get("name"), request.get("sql")
+                if not isinstance(name, str) or not isinstance(sql, str):
+                    raise ProtocolError("'prepare' needs string 'name' and 'sql' fields")
+                prepared = await self._run_engine(session, session.prepare, name, sql)
+                return {"ok": True, "prepared": name, "kind": prepared.kind}
+            if op == "execute":
+                name = request.get("name")
+                if not isinstance(name, str):
+                    raise ProtocolError("'execute' needs a string 'name' field")
+                result = await self._run_engine(session, session.execute_prepared, name)
+                return {"ok": True, "result": encode_result(result)}
+            if op == "deallocate":
+                name = request.get("name")
+                if not isinstance(name, str):
+                    raise ProtocolError("'deallocate' needs a string 'name' field")
+                return {"ok": True, "deallocated": session.deallocate(name)}
+            if op == "load":
+                table = request.get("table")
+                documents = request.get("documents")
+                if not isinstance(table, str) or not isinstance(documents, list):
+                    raise ProtocolError(
+                        "'load' needs a string 'table' and a list 'documents'"
+                    )
+                decoded = [decode_value(document) for document in documents]
+                report = await self._run_engine(
+                    session, session.load_documents, table, decoded
+                )
+                return {"ok": True, **report}
+            if op == "set":
+                key, value = request.get("key"), decode_value(request.get("value"))
+                if not isinstance(key, str):
+                    raise ProtocolError("'set' needs a string 'key' field")
+                session.set_option(key, value)
+                return {"ok": True, "settings": dict(session.settings)}
+            if op == "session":
+                return {"ok": True, "session": session.describe()}
+            if op == "status":
+                return {"ok": True, "status": self._status()}
+            if op == "close":
+                return {"ok": True, "closed": True}
+            raise ProtocolError(f"unknown op {op!r}")
+        except asyncio.TimeoutError:
+            self.counters["timeouts"] += 1
+            session.errors += 1
+            return {
+                "ok": False,
+                "error": {
+                    "code": "timeout",
+                    "message": (
+                        f"statement exceeded the {self.config.query_timeout}s "
+                        f"query timeout"
+                    ),
+                    "retryable": True,
+                },
+            }
+        except _Busy:
+            self.counters["shed_busy"] += 1
+            return {
+                "ok": False,
+                "error": {
+                    "code": "busy",
+                    "message": (
+                        f"server at max inflight statements "
+                        f"({self.config.max_inflight}); retry"
+                    ),
+                    "retryable": True,
+                },
+            }
+        except Exception as error:
+            self.counters["errors"] += 1
+            session.errors += 1
+            extra: dict[str, Any] = {}
+            sql = request.get("sql")
+            if isinstance(sql, str):
+                extra["sql"] = sql[:_SQL_ECHO]
+            return error_payload(error, **extra)
+
+    async def _run_engine(self, session: Session, fn: Any, *args: Any) -> Any:
+        """Run one engine call on the worker pool with shedding + timeout."""
+        if self._inflight >= self.config.max_inflight:
+            raise _Busy()
+        if self.sdb.faults is not None:
+            # "request decoded, statement not yet executed": an injected
+            # raise here surfaces as a structured error on this session
+            # only; a DaemonKilled tears just this statement down
+            self.sdb.faults.fire("service.execute")
+        self._inflight += 1
+        self.counters["statements"] += 1
+        loop = asyncio.get_running_loop()
+        try:
+            future = loop.run_in_executor(self._executor, lambda: fn(*args))
+            if self.config.query_timeout is None:
+                return await future
+            return await asyncio.wait_for(future, self.config.query_timeout)
+        finally:
+            self._inflight -= 1
+
+    def _status(self) -> dict[str, Any]:
+        engine = self.sdb.status()
+        payload = {
+            "service": {
+                "sessions": len(self.sessions),
+                "max_sessions": self.config.max_sessions,
+                "inflight": self._inflight,
+                "max_inflight": self.config.max_inflight,
+                "counters": dict(self.counters),
+            },
+            "engine": engine,
+        }
+        # engine status nests dataclasses and counters; squeeze through
+        # JSON once so the wire frame never hits an unencodable object
+        return json.loads(json.dumps(payload, default=str))
+
+    # ------------------------------------------------------------------
+    # background checkpointer
+    # ------------------------------------------------------------------
+
+    async def _checkpoint_loop(self) -> None:
+        assert self.config.checkpoint_interval is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(self.config.checkpoint_interval)
+            # skip while any session transaction is open: a checkpoint
+            # must capture a transaction-consistent cut
+            if self.sdb.db.txn_manager.active:
+                self.counters["checkpoints_skipped"] += 1
+                continue
+            try:
+                await loop.run_in_executor(self._executor, self._checkpoint_once)
+                self.counters["checkpoints"] += 1
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                self.counters["checkpoints_skipped"] += 1
+
+    def _checkpoint_once(self) -> None:
+        # under the write latch so no writer commits mid-snapshot; a
+        # begun-but-idle transaction still skips above
+        with self.write_lock:
+            if self.sdb.db.txn_manager.active:
+                raise RuntimeError("transaction opened while scheduling checkpoint")
+            self.sdb.checkpoint()
+
+
+class _Busy(Exception):
+    """Internal signal: max_inflight reached, shed this statement."""

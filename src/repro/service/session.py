@@ -1,0 +1,208 @@
+"""Per-connection session state over one shared :class:`SinewDB`.
+
+A :class:`Session` is everything one remote client is allowed to own:
+its transaction scope (a :class:`~repro.rdbms.database.DbSession`, so
+``BEGIN`` in one connection never collides with another's), its named
+prepared statements, its settings, and its counters.  Sessions never
+share cursors or transaction state; the only shared objects are the
+engine itself and the service-wide prepared-plan cache, both of which
+are safe under concurrent readers.
+
+Statement execution runs on the service's worker threads.  Reads run
+concurrently; anything that mutates the heap or the catalog serializes
+on the service's write latch (one writer at a time, readers unblocked)
+so two sessions' DML can never interleave row-level operations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..core.sinew import SinewDB
+from ..latching import TrackedLock
+from ..rdbms.database import DbSession, QueryResult
+from ..rdbms.errors import DatabaseError
+from ..rdbms.sql.ast import (
+    AlterTableStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropTableStatement,
+    InsertStatement,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+)
+from ..rdbms.sql.parser import parse
+
+#: statement classes that mutate heap or catalog state and therefore
+#: serialize on the service write latch
+_WRITE_STATEMENTS = (
+    InsertStatement,
+    UpdateStatement,
+    DeleteStatement,
+    CreateTableStatement,
+    DropTableStatement,
+    AlterTableStatement,
+)
+
+#: session settings a client may change via the ``set`` op, with their
+#: expected value type (None in a setting means "use the server default")
+_SETTING_TYPES: dict[str, type] = {
+    "use_extraction_cache": bool,
+    "use_plan_cache": bool,
+    "explain_analyze": bool,
+}
+
+
+def is_write_statement(statement: Statement) -> bool:
+    return isinstance(statement, _WRITE_STATEMENTS)
+
+
+@dataclass
+class PreparedStatement:
+    """One named, session-scoped statement (``prepare``/``execute`` ops).
+
+    The parse happens at prepare time (errors surface immediately); the
+    analyze/rewrite phase is memoized by the shared plan cache, so
+    repeated executions skip the whole front half of the pipeline.
+    """
+
+    name: str
+    sql: str
+    statement: Statement
+    executions: int = 0
+
+    @property
+    def kind(self) -> str:
+        return "select" if isinstance(self.statement, SelectStatement) else "statement"
+
+
+class Session:
+    """One client connection's private state and execution entry points."""
+
+    def __init__(
+        self,
+        session_id: int,
+        sdb: SinewDB,
+        write_lock: TrackedLock,
+    ):
+        self.id = session_id
+        self.sdb = sdb
+        self._write_lock = write_lock
+        self.db_session: DbSession = sdb.create_session(f"session-{session_id}")
+        self.prepared: dict[str, PreparedStatement] = {}
+        self.settings: dict[str, Any] = {
+            "use_extraction_cache": None,
+            "use_plan_cache": True,
+            "explain_analyze": False,
+        }
+        self.statements = 0
+        self.errors = 0
+        self.created_at = time.monotonic()
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    # execution (runs on a service worker thread)
+    # ------------------------------------------------------------------
+
+    def execute_sql(self, sql: str) -> QueryResult:
+        """Run one SQL statement under this session's scope."""
+        statement = parse(sql)
+        return self._run(sql, statement)
+
+    def _run(self, sql: str, statement: Statement) -> QueryResult:
+        self.statements += 1
+        kwargs: dict[str, Any] = {"session": self.db_session}
+        if isinstance(statement, SelectStatement):
+            extraction = self.settings["use_extraction_cache"]
+            kwargs.update(
+                explain_analyze=bool(self.settings["explain_analyze"]),
+                use_extraction_cache=extraction,
+                use_plan_cache=bool(self.settings["use_plan_cache"]),
+            )
+            return self.sdb.query(sql, **kwargs)
+        if is_write_statement(statement):
+            with self._write_lock:
+                return self.sdb.query(sql, **kwargs)
+        # BEGIN / COMMIT / ROLLBACK / ANALYZE etc. only touch this
+        # session's transaction scope -- no write latch needed
+        return self.sdb.query(sql, **kwargs)
+
+    def load_documents(self, table: str, documents: list[Mapping[str, Any]]) -> dict:
+        """Bulk-load documents (the service's ingestion path)."""
+        with self._write_lock:
+            if table not in self.sdb.collections():
+                self.sdb.create_collection(table)
+            report = self.sdb.load(table, documents)
+        return {
+            "loaded": report.n_documents,
+            "new_attributes": report.new_attributes,
+        }
+
+    # ------------------------------------------------------------------
+    # prepared statements
+    # ------------------------------------------------------------------
+
+    def prepare(self, name: str, sql: str) -> PreparedStatement:
+        if not name:
+            raise DatabaseError("prepared statement name must be non-empty")
+        prepared = PreparedStatement(name=name, sql=sql, statement=parse(sql))
+        self.prepared[name] = prepared
+        return prepared
+
+    def execute_prepared(self, name: str) -> QueryResult:
+        prepared = self.prepared.get(name)
+        if prepared is None:
+            raise DatabaseError(
+                f"session {self.id} has no prepared statement {name!r}"
+            )
+        prepared.executions += 1
+        return self._run(prepared.sql, prepared.statement)
+
+    def deallocate(self, name: str) -> bool:
+        return self.prepared.pop(name, None) is not None
+
+    # ------------------------------------------------------------------
+    # settings / lifecycle
+    # ------------------------------------------------------------------
+
+    def set_option(self, key: str, value: Any) -> None:
+        expected = _SETTING_TYPES.get(key)
+        if expected is None:
+            raise DatabaseError(
+                f"unknown session setting {key!r}; "
+                f"settable: {', '.join(sorted(_SETTING_TYPES))}"
+            )
+        if value is not None and not isinstance(value, expected):
+            raise DatabaseError(
+                f"setting {key!r} expects {expected.__name__}, "
+                f"got {type(value).__name__}"
+            )
+        self.settings[key] = value
+
+    def close(self) -> dict[str, Any]:
+        """Release everything this session owns; always safe to re-call.
+
+        The critical guarantee: a dead client's open transaction is
+        rolled back, so its uncommitted writes (and undo chain) never
+        linger in the shared engine.
+        """
+        rolled_back = False
+        if not self.closed:
+            self.closed = True
+            rolled_back = self.sdb.db.abort_session(self.db_session)
+            self.prepared.clear()
+        return {"rolled_back": rolled_back, "statements": self.statements}
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "id": self.id,
+            "statements": self.statements,
+            "errors": self.errors,
+            "in_transaction": self.db_session.in_transaction,
+            "prepared": sorted(self.prepared),
+            "settings": dict(self.settings),
+            "age_seconds": time.monotonic() - self.created_at,
+        }

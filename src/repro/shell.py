@@ -23,6 +23,10 @@ Meta-commands
 ``\\wal [CMD]``      durability status (default) or ``checkpoint`` to
                     force a checkpoint + WAL truncation
 ``\\catalog``        reflect + dump the attribute dictionary
+``\\connect H:P``    switch to remote mode against a running
+                    ``python -m repro.service`` server; SQL, ``\\c`` and
+                    ``\\load`` then run over the wire in this session
+``\\disconnect``     leave remote mode (back to the embedded instance)
 ``\\q``              quit
 ==================  ====================================================
 
@@ -41,6 +45,7 @@ from .analysis.diagnostics import render_report
 from .core import SinewConfig, SinewDB
 from .harness.tables import format_table
 from .rdbms.errors import DatabaseError, SemanticError
+from .service.client import ServiceClient, ServiceError
 
 
 class SinewShell:
@@ -50,6 +55,8 @@ class SinewShell:
         self.sdb = sdb or SinewDB("shell", SinewConfig(enable_text_index=True))
         self.out = out or sys.stdout
         self.running = True
+        #: remote mode: a live ServiceClient, or None for embedded mode
+        self.remote: ServiceClient | None = None
 
     # ------------------------------------------------------------------
 
@@ -65,8 +72,16 @@ class SinewShell:
                 self._sql(line)
         except DatabaseError as error:
             self._print(f"ERROR: {error}")
+        except ServiceError as error:
+            self._print(f"ERROR: {error}")
         except FileNotFoundError as error:
             self._print(f"ERROR: {error}")
+        except (ConnectionError, OSError) as error:
+            if self.remote is not None:
+                self._print(f"ERROR: lost connection to server ({error})")
+                self._disconnect(silent=True)
+            else:
+                self._print(f"ERROR: {error}")
 
     def run(self, lines: Iterable[str]) -> None:
         for line in lines:
@@ -80,11 +95,14 @@ class SinewShell:
         print(text, file=self.out)
 
     def _sql(self, sql: str) -> None:
-        try:
-            result = self.sdb.query(sql)
-        except SemanticError as error:
-            self._print(render_report(error.diagnostics, sql))
-            return
+        if self.remote is not None:
+            result = self.remote.query(sql)
+        else:
+            try:
+                result = self.sdb.query(sql)
+            except SemanticError as error:
+                self._print(render_report(error.diagnostics, sql))
+                return
         if result.columns:
             rows = [list(row) for row in result.rows[:100]]
             self._print(format_table(result.columns, rows))
@@ -101,17 +119,37 @@ class SinewShell:
         if command == "\\q":
             self.running = False
             return
+        if command == "\\connect":
+            self._require(arguments, 1, "\\connect HOST:PORT")
+            self._connect(arguments[0])
+            return
+        if command == "\\disconnect":
+            self._disconnect()
+            return
         if command == "\\c":
             self._require(arguments, 1, "\\c NAME")
-            self.sdb.create_collection(arguments[0])
+            if self.remote is not None:
+                self.remote.create_collection(arguments[0])
+            else:
+                self.sdb.create_collection(arguments[0])
             self._print(f"created collection {arguments[0]!r}")
             return
         if command == "\\load":
             self._require(arguments, 2, "\\load NAME FILE")
             self._load(arguments[0], arguments[1])
             return
+        if self.remote is not None and command not in ("\\d",):
+            self._print(
+                f"{command} is a local meta-command; \\disconnect first "
+                "(remote mode supports SQL, \\c, \\load, \\d)"
+            )
+            return
         if command == "\\d":
-            if arguments:
+            if self.remote is not None:
+                engine = self.remote.status().get("engine", {})
+                names = sorted(engine.get("collections", {}))
+                self._print("collections: " + (", ".join(names) or "(none)"))
+            elif arguments:
                 self._describe(arguments[0])
             else:
                 names = self.sdb.collections()
@@ -185,7 +223,8 @@ class SinewShell:
             return
         self._print(
             f"unknown meta-command {command!r}; "
-            "try \\d, \\c, \\load, \\lint, \\analyze, \\check, \\daemon, \\wal, \\q"
+            "try \\d, \\c, \\load, \\lint, \\analyze, \\check, \\daemon, \\wal, "
+            "\\connect, \\q"
         )
 
     def _lint_engine(self) -> None:
@@ -289,9 +328,40 @@ class SinewShell:
         if len(arguments) != n:
             raise DatabaseError(f"usage: {usage}")
 
+    def _connect(self, address: str) -> None:
+        """``\\connect HOST:PORT`` -- attach this shell to a running service."""
+        host, _, port_text = address.rpartition(":")
+        if not host or not port_text.isdigit():
+            raise DatabaseError("usage: \\connect HOST:PORT")
+        if self.remote is not None:
+            self._disconnect(silent=True)
+        self.remote = ServiceClient(host, int(port_text))
+        self._print(
+            f"connected to {address} "
+            f"(session {self.remote.session_id}, "
+            f"protocol v{self.remote.greeting.get('version')})"
+        )
+
+    def _disconnect(self, silent: bool = False) -> None:
+        if self.remote is None:
+            if not silent:
+                self._print("not connected")
+            return
+        remote, self.remote = self.remote, None
+        remote.close()
+        if not silent:
+            self._print("disconnected (back to embedded instance)")
+
     def _load(self, table_name: str, path: str) -> None:
         with open(path, "r", encoding="utf-8") as handle:
             documents = [json.loads(line) for line in handle if line.strip()]
+        if self.remote is not None:
+            report = self.remote.load(table_name, documents)
+            self._print(
+                f"loaded {report['loaded']} documents "
+                f"({report['new_attributes']} new attributes)"
+            )
+            return
         if table_name not in self.sdb.collections():
             self.sdb.create_collection(table_name)
         report = self.sdb.load(table_name, documents)
@@ -314,13 +384,17 @@ def main(argv: list[str] | None = None) -> int:
     print("Sinew shell -- \\q to quit, \\load NAME FILE to load JSON lines")
     try:
         while shell.running:
+            prompt = "sinew> " if shell.remote is None else "sinew(remote)> "
             try:
-                line = input("sinew> ")
+                line = input(prompt)
             except EOFError:
                 break
             shell.run_line(line)
     except KeyboardInterrupt:
         pass
+    finally:
+        if shell.remote is not None:
+            shell.remote.close()
     return 0
 
 

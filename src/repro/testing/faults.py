@@ -75,6 +75,12 @@ _KNOWN_POINTS: set[str] = {
     "checkpoint.pages",       # WAL rotated, heap snapshot not yet taken
     "checkpoint.catalog",     # heap snapshot taken, catalog blob not yet added
     "checkpoint.truncate",    # checkpoint renamed in, old segments still present
+    # SQL service layer (repro.service.server) -- per-connection paths;
+    # a fault here must never poison the shared SinewDB (no leaked
+    # latches, no orphaned session transactions)
+    "service.accept",         # connection admitted, session not yet created
+    "service.execute",        # request decoded, statement not yet executed
+    "service.respond",        # statement done, response not yet written
 }
 
 

@@ -1,0 +1,187 @@
+"""Prepared-plan cache: reuse across statements, invalidation on change.
+
+The dangerous case is a *stale* plan: SELECT rewrites depend on catalog
+state (virtual extraction vs physical column vs the dirty-column
+COALESCE bridge), so a plan cached before a materializer flip must never
+execute afterwards.  Invalidation is epoch-tokened -- ``schema_epoch``
+moves on column-state flips, ``data_epoch`` on loads, logical DML,
+collection DDL, and materializer pass completion (which *drops* the
+physical column on dematerialize, the nastiest stale-plan shape).
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import SinewDB
+from repro.core.plan_cache import PlanCache, normalize_sql
+from repro.core.sinew import SinewConfig
+from repro.rdbms.types import SqlType
+
+
+@pytest.fixture
+def sdb():
+    instance = SinewDB("plan-cache-test", SinewConfig(plan_cache_size=8))
+    instance.create_collection("docs")
+    yield instance
+    instance.close()
+
+
+class TestNormalizeSql:
+    def test_whitespace_and_keyword_case_insensitive(self):
+        assert normalize_sql("SELECT a FROM docs") == normalize_sql(
+            "select   a\n  from docs"
+        )
+
+    def test_literals_and_identifiers_distinguish(self):
+        base = normalize_sql("SELECT a FROM docs WHERE b = 1")
+        assert base != normalize_sql("SELECT a FROM docs WHERE b = 2")
+        assert base != normalize_sql("SELECT a FROM other WHERE b = 1")
+
+    def test_unlexable_sql_returns_none(self):
+        assert normalize_sql("SELECT ???") is None
+
+
+def plan(token=(0, 0), label="plan"):
+    """A minimal cache entry: only the ``token`` attribute matters here."""
+    return SimpleNamespace(token=token, label=label)
+
+
+class TestPlanCacheUnit:
+    def test_hit_miss_and_stale_eviction(self):
+        cache = PlanCache(4)
+        entry = plan(token=(0, 0))
+        assert cache.lookup("k", (0, 0)) is None
+        cache.store("k", entry)
+        assert cache.lookup("k", (0, 0)) is entry
+        # any token movement invalidates
+        assert cache.lookup("k", (1, 0)) is None
+        stats = cache.stats()
+        assert stats == {
+            "size": 0,
+            "capacity": 4,
+            "hits": 1,
+            "misses": 2,
+            "evictions": 0,
+            "stale_evictions": 1,
+        }
+
+    def test_lru_eviction_at_capacity(self):
+        cache = PlanCache(2)
+        a, b, c = plan(label="a"), plan(label="b"), plan(label="c")
+        cache.store("a", a)
+        cache.store("b", b)
+        assert cache.lookup("a", (0, 0)) is a  # refresh a
+        cache.store("c", c)  # evicts b (least recent)
+        assert cache.lookup("b", (0, 0)) is None
+        assert cache.lookup("a", (0, 0)) is a
+        assert cache.lookup("c", (0, 0)) is c
+        assert cache.stats()["evictions"] == 1
+
+    def test_clear(self):
+        cache = PlanCache(4)
+        cache.store("a", plan())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.lookup("a", (0, 0)) is None
+
+
+class TestPlanCacheIntegration:
+    def test_repeated_query_hits_and_counters_surface_in_status(self, sdb):
+        sdb.load("docs", [{"a": 1}])
+        sdb.query("SELECT a FROM docs")
+        sdb.query("SELECT a FROM docs")
+        sdb.query("select  a  from docs")  # normalization: same entry
+        stats = sdb.status()["plan_cache"]
+        assert stats["hits"] == 2
+        assert stats["misses"] == 1
+
+    def test_disabled_by_default_in_embedded_config(self):
+        instance = SinewDB("plan-cache-off")
+        try:
+            assert instance.plan_cache is None
+            assert instance.status()["plan_cache"] is None
+        finally:
+            instance.close()
+
+    def test_use_plan_cache_false_bypasses(self, sdb):
+        sdb.load("docs", [{"a": 1}])
+        sdb.query("SELECT a FROM docs", use_plan_cache=False)
+        sdb.query("SELECT a FROM docs", use_plan_cache=False)
+        stats = sdb.plan_cache.stats()
+        assert stats["hits"] == 0 and stats["misses"] == 0
+
+    def test_load_bumps_data_epoch_and_invalidates(self, sdb):
+        sdb.load("docs", [{"a": 1}])
+        token = sdb.catalog.plan_token()
+        sdb.query("SELECT a FROM docs")
+        # a load can add attributes / change occurrence counts, which the
+        # analyzer's NULL-pruning consults at plan time
+        sdb.load("docs", [{"a": 2, "brand_new": True}])
+        assert sdb.catalog.plan_token() != token
+        assert sdb.query("SELECT a FROM docs").rows == [(1,), (2,)]
+        assert sdb.plan_cache.stats()["stale_evictions"] >= 1
+
+    def test_logical_update_and_delete_bump_data_epoch(self, sdb):
+        sdb.load("docs", [{"a": 1}])
+        token = sdb.catalog.plan_token()
+        sdb.execute("UPDATE docs SET a = 2 WHERE a = 1")
+        after_update = sdb.catalog.plan_token()
+        assert after_update != token
+        sdb.execute("DELETE FROM docs WHERE a = 2")
+        assert sdb.catalog.plan_token() != after_update
+
+    def test_materialize_flip_evicts_cached_plan(self, sdb):
+        sdb.load("docs", [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert sdb.query("SELECT a FROM docs WHERE a > 1").rows == [(2,)]
+        before = sdb.plan_cache.stats()["stale_evictions"]
+        sdb.materialize("docs", "a", SqlType.INTEGER)
+        # column is now materialized+dirty: the cached virtual-extraction
+        # plan is stale; the fresh plan must take the COALESCE bridge and
+        # still see every value (none moved yet)
+        assert sdb.query("SELECT a FROM docs WHERE a > 1").rows == [(2,)]
+        assert sdb.plan_cache.stats()["stale_evictions"] == before + 1
+
+    def test_cached_bridge_plan_is_evicted_when_pass_finishes(self, sdb):
+        """The regression the data epoch exists for: a plan cached while a
+        column was dirty (COALESCE bridge over the physical column) must
+        not survive the materializer finishing -- on a dematerialize pass
+        the finish *drops* the physical column the bridge references."""
+        sdb.load("docs", [{"a": 1}, {"a": 2}])
+        sdb.materialize("docs", "a", SqlType.INTEGER)
+        sdb.run_materializer("docs")
+        # dirty -> clean flip done; now reverse it: dematerialize marks
+        # dirty again and queries bridge over the (populated) column
+        sdb.dematerialize("docs", "a", SqlType.INTEGER)
+        assert sdb.query("SELECT a FROM docs ORDER BY a").rows == [(1,), (2,)]
+        token_dirty = sdb.catalog.plan_token()
+        # the reverse pass finishes and drops the physical column
+        sdb.run_materializer("docs")
+        assert sdb.catalog.plan_token() != token_dirty
+        # the cached bridge plan references the dropped column; a stale
+        # serve here would error (or silently read garbage)
+        assert sdb.query("SELECT a FROM docs ORDER BY a").rows == [(1,), (2,)]
+
+    def test_flip_mid_cache_lifetime_results_match_uncached(self, sdb):
+        """End-to-end equivalence: every phase of the materialization
+        lifecycle returns the same rows with and without the cache."""
+        sdb.load("docs", [{"a": i, "b": f"doc{i}"} for i in range(10)])
+        sql = 'SELECT a, b FROM docs WHERE a >= 5'
+
+        def both():
+            cached = sdb.query(sql).rows
+            uncached = sdb.query(sql, use_plan_cache=False).rows
+            assert cached == uncached
+            return cached
+
+        assert len(both()) == 5
+        sdb.materialize("docs", "a", SqlType.INTEGER)
+        assert len(both()) == 5
+        sdb.run_materializer("docs")
+        assert len(both()) == 5
+        sdb.dematerialize("docs", "a", SqlType.INTEGER)
+        assert len(both()) == 5
+        sdb.run_materializer("docs")
+        assert len(both()) == 5

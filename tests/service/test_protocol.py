@@ -1,0 +1,193 @@
+"""Wire-protocol round trips: type fidelity from engine to client.
+
+The service's fidelity contract is that a remote caller sees exactly
+what an embedded caller sees: INTEGER vs REAL preserved, BYTEA as
+``bytes``, nan/inf intact, nested documents unchanged, and ``"$"``-keyed
+dicts (the tag escape hatch) indistinguishable from any other dict.  The
+hypothesis test generates arbitrary nested multi-typed values and pushes
+them through encode -> JSON -> decode.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.service.protocol import (
+    ProtocolError,
+    RemoteResult,
+    decode_message,
+    decode_result,
+    decode_row,
+    decode_value,
+    encode_message,
+    encode_result,
+    encode_row,
+    encode_value,
+    infer_column_types,
+)
+
+
+def round_trip(value):
+    """encode -> actual JSON serialization -> decode (the full wire path)."""
+    return decode_value(json.loads(json.dumps(encode_value(value))))
+
+
+class TestValueRoundTrip:
+    def test_scalars_pass_through(self):
+        for value in (None, True, False, 0, -7, 12345678901234567890, "", "héllo"):
+            result = round_trip(value)
+            assert result == value
+            assert type(result) is type(value)
+
+    def test_integer_vs_real_distinction_survives(self):
+        assert round_trip(1) == 1 and isinstance(round_trip(1), int)
+        assert round_trip(1.0) == 1.0 and isinstance(round_trip(1.0), float)
+        assert not isinstance(round_trip(1), float)
+
+    def test_non_finite_floats(self):
+        assert math.isnan(round_trip(math.nan))
+        assert round_trip(math.inf) == math.inf
+        assert round_trip(-math.inf) == -math.inf
+
+    def test_bytes(self):
+        for payload in (b"", b"\x00\x01\xff", bytes(range(256))):
+            result = round_trip(payload)
+            assert result == payload
+            assert isinstance(result, bytes)
+
+    def test_nested_structures(self):
+        value = {
+            "user": {"id": 7, "tags": ["a", 1, 2.5, None, {"deep": b"\x01"}]},
+            "scores": [math.inf, -0.0],
+        }
+        assert round_trip(value) == value
+
+    def test_dollar_key_dicts_are_escaped(self):
+        # a document that *looks like* a tag must not be decoded as one
+        for value in (
+            {"$": "f"},
+            {"$": "b", "v": "not base64!"},
+            {"$": "d", "v": {"x": 1}},
+            {"$": 1, "other": [b"\x02"]},
+        ):
+            assert round_trip(value) == value
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(ProtocolError):
+            encode_value(object())
+
+    def test_bad_tags_raise(self):
+        with pytest.raises(ProtocolError):
+            decode_value({"$": "f", "v": "fast"})
+        with pytest.raises(ProtocolError):
+            decode_value({"$": "zzz"})
+        with pytest.raises(ProtocolError):
+            decode_value({"$": "d", "v": [1]})
+
+    def test_rows_decode_to_tuples(self):
+        row = [1, "x", [1, 2], None]
+        decoded = decode_row(json.loads(json.dumps(encode_row(row))))
+        assert decoded == (1, "x", [1, 2], None)
+        assert isinstance(decoded, tuple)
+
+
+class TestMessageFraming:
+    def test_round_trip(self):
+        frame = encode_message({"op": "query", "sql": "SELECT 1"})
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1  # compact JSON never embeds newlines
+        assert decode_message(frame) == {"op": "query", "sql": "SELECT 1"}
+
+    def test_malformed_frames_raise(self):
+        for bad in (b"", b"   \n", b"not json\n", b"[1, 2]\n", b'"str"\n'):
+            with pytest.raises(ProtocolError):
+                decode_message(bad)
+
+
+class TestResults:
+    def test_infer_column_types(self):
+        rows = [(1, "a", None, 1), (2, None, None, 2.5)]
+        assert infer_column_types(["i", "t", "n", "m"], rows) == [
+            "integer",
+            "text",
+            None,
+            "mixed",
+        ]
+
+    def test_bool_is_not_integer(self):
+        assert infer_column_types(["b"], [(True,)]) == ["boolean"]
+
+    def test_result_round_trip(self):
+        source = RemoteResult(
+            columns=["a", "b"],
+            rows=[(1, b"\x00"), (2.5, None)],
+            rowcount=2,
+            types=[],
+            exec_stats={"rows_scanned": 2},
+            plan_text="Scan",
+            diagnostics=("SNW201 something",),
+        )
+        payload = json.loads(json.dumps(encode_result(source)))
+        result = decode_result(payload)
+        assert result.rows == [(1, b"\x00"), (2.5, None)]
+        assert result.types == ["mixed", "bytea"]
+        assert result.rowcount == 2
+        assert result.exec_stats == {"rows_scanned": 2}
+        assert result.plan_text == "Scan"
+        assert result.diagnostics == ("SNW201 something",)
+        assert result.scalar() == 1
+        assert result.column("b") == [b"\x00", None]
+        assert len(result) == 2 and list(result) == result.rows
+
+
+# ----------------------------------------------------------------------
+# property-based fidelity (skipped where hypothesis is not installed,
+# e.g. the tier-1 CI lane; the stress lane runs it with the ci profile)
+# ----------------------------------------------------------------------
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, strategies as st  # noqa: E402
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False),  # nan breaks == comparison; tested directly above
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+wire_values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+        # adversarial: dicts whose keys collide with the tag escape
+        st.fixed_dictionaries({"$": children}),
+    ),
+    max_leaves=25,
+)
+
+
+@given(wire_values)
+def test_arbitrary_values_round_trip_with_type_fidelity(value):
+    result = round_trip(value)
+    assert result == value
+    assert type(result) is type(value)
+
+
+@given(st.lists(st.lists(scalars, min_size=3, max_size=3), max_size=6))
+def test_arbitrary_rows_round_trip(rows):
+    tuples = [tuple(row) for row in rows]
+    source = RemoteResult(
+        columns=["a", "b", "c"],
+        rows=tuples,
+        rowcount=len(tuples),
+        types=[],
+        exec_stats={},
+    )
+    decoded = decode_result(json.loads(json.dumps(encode_result(source))))
+    assert decoded.rows == tuples

@@ -1,0 +1,271 @@
+"""End-to-end service tests: real sockets, real sessions, one engine.
+
+Each test boots a :class:`SinewService` on an ephemeral port (hosted on
+a background thread) and talks to it with the blocking client -- the
+exact stack ``\\connect`` and the load harness use.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.core import SinewDB
+from repro.service import (
+    PROTOCOL_VERSION,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    SinewService,
+)
+from repro.service.protocol import decode_message, encode_message
+
+
+@pytest.fixture
+def sdb():
+    instance = SinewDB("server-test")
+    yield instance
+    instance.close()
+
+
+@pytest.fixture
+def service(sdb):
+    with SinewService(sdb, ServiceConfig(port=0, max_sessions=8)) as running:
+        yield running
+
+
+def connect(service) -> ServiceClient:
+    return ServiceClient("127.0.0.1", service.port)
+
+
+class TestBasicProtocol:
+    def test_greeting_and_ping(self, service):
+        with connect(service) as client:
+            assert client.greeting["version"] == PROTOCOL_VERSION
+            assert client.session_id >= 1
+            assert client.ping()
+
+    def test_load_query_round_trip(self, service):
+        with connect(service) as client:
+            report = client.load(
+                "docs", [{"user": {"id": 1}, "score": 2.5}, {"user": {"id": 2}}]
+            )
+            assert report["loaded"] == 2
+            result = client.query('SELECT "user.id", score FROM docs ORDER BY "user.id"')
+            assert result.rows == [(1, 2.5), (2, None)]
+            assert result.types == ["integer", "real"]
+            assert result.exec_stats  # instrumentation travels the wire
+
+    def test_prepared_statement_flow(self, service):
+        with connect(service) as client:
+            client.load("docs", [{"a": 1}])
+            assert client.prepare("c", "SELECT COUNT(*) FROM docs") == "c"
+            assert client.execute_prepared("c").scalar() == 1
+            assert client.deallocate("c") is True
+            with pytest.raises(ServiceError, match="no prepared statement"):
+                client.execute_prepared("c")
+
+    def test_request_ids_echo(self, service):
+        with connect(service) as client:
+            response = client.request({"op": "ping", "id": 42})
+            assert response["id"] == 42
+
+    def test_status_merges_service_and_engine(self, service):
+        with connect(service) as client:
+            status = client.status()
+            assert status["service"]["sessions"] == 1
+            assert status["service"]["max_sessions"] == 8
+            assert "collections" in status["engine"]
+            assert "latch" in status["engine"]
+
+    def test_session_settings(self, service):
+        with connect(service) as client:
+            settings = client.set_option("explain_analyze", True)
+            assert settings["explain_analyze"] is True
+            with pytest.raises(ServiceError) as info:
+                client.set_option("bogus", 1)
+            assert info.value.code == "database"
+
+
+class TestErrorMapping:
+    def test_syntax_error(self, service):
+        with connect(service) as client:
+            with pytest.raises(ServiceError) as info:
+                client.query("SELEC 1")
+            assert info.value.code == "syntax"
+            # the connection survives the error
+            assert client.ping()
+
+    def test_semantic_error(self, service):
+        with connect(service) as client:
+            client.load("docs", [{"a": 1}])
+            with pytest.raises(ServiceError) as info:
+                client.query("SELECT a, COUNT(*) FROM docs")
+            assert info.value.code == "semantic"
+            assert "SNW107" in info.value.message
+
+    def test_unknown_key_is_null_with_warning(self, service):
+        # multi-structured contract: a never-seen key is NULL, not an
+        # error -- and the analyzer's warning travels the wire
+        with connect(service) as client:
+            client.load("docs", [{"a": 1}])
+            result = client.query("SELECT definitely_not_a_key FROM docs")
+            assert result.rows == [(None,)]
+            assert any("SNW201" in d for d in result.diagnostics)
+
+    def test_catalog_error(self, service):
+        with connect(service) as client:
+            with pytest.raises(ServiceError) as info:
+                client.query("SELECT a FROM no_such_table")
+            assert info.value.code in ("catalog", "semantic", "planning")
+
+    def test_malformed_frame_keeps_connection_alive(self, service):
+        with connect(service) as client:
+            client._sock.sendall(b"this is not json\n")
+            response = decode_message(client._file.readline())
+            assert response["ok"] is False
+            assert response["error"]["code"] == "protocol"
+            assert client.ping()
+
+    def test_unknown_op(self, service):
+        with connect(service) as client:
+            with pytest.raises(ServiceError) as info:
+                client.request({"op": "teleport"})
+            assert info.value.code == "protocol"
+
+
+class TestAdmissionControl:
+    def test_session_limit_rejects_with_busy(self, sdb):
+        with SinewService(sdb, ServiceConfig(port=0, max_sessions=2)) as service:
+            first, second = connect(service), connect(service)
+            try:
+                with pytest.raises(ServiceError) as info:
+                    connect(service)
+                assert info.value.code == "busy"
+                assert info.value.retryable
+            finally:
+                first.close()
+                second.close()
+            # a freed slot admits again (closes need a moment to unregister)
+            import time
+
+            for _ in range(100):
+                try:
+                    third = connect(service)
+                    break
+                except ServiceError:
+                    time.sleep(0.02)
+            else:
+                pytest.fail("slot never freed after client close")
+            third.close()
+
+    def test_query_timeout_returns_structured_error(self, sdb):
+        from repro.testing.faults import FaultInjector
+
+        injector = FaultInjector()
+        sdb.attach_faults(injector)
+        config = ServiceConfig(port=0, query_timeout=0.15)
+        with SinewService(sdb, config) as service:
+            with connect(service) as client:
+                client.load("docs", [{"a": 1}])
+                # stall the engine-side write long past the query budget
+                injector.plan("storage.write_row", "delay", delay=1.0, count=None)
+                with pytest.raises(ServiceError) as info:
+                    client.load("docs", [{"a": 2}])
+                assert info.value.code == "timeout"
+                assert info.value.retryable
+                injector.reset()
+                # the session (and server) remain usable afterwards
+                assert client.query("SELECT COUNT(*) FROM docs").scalar() >= 1
+        sdb.attach_faults(None)
+
+    def test_disconnect_mid_transaction_rolls_back(self, service, sdb):
+        client = connect(service)
+        client.load("docs", [{"a": 1}])
+        client.begin()
+        client.query("UPDATE docs SET a = 99 WHERE a = 1")
+        # vanish without COMMIT or a polite close; the makefile() handle
+        # shares the fd, so close both or no FIN ever reaches the server
+        client._file.close()
+        client._sock.close()
+        import time
+
+        for _ in range(100):
+            if not sdb.db.txn_manager.active:
+                break
+            time.sleep(0.02)
+        assert not sdb.db.txn_manager.active
+        with connect(service) as control:
+            assert control.query("SELECT a FROM docs").rows == [(1,)]
+
+    def test_eof_mid_frame_is_tolerated(self, service):
+        raw = socket.create_connection(("127.0.0.1", service.port))
+        raw.recv(4096)  # greeting
+        raw.sendall(b'{"op": "pi')  # half a frame, then gone
+        raw.close()
+        # server still serves
+        with connect(service) as client:
+            assert client.ping()
+
+
+class TestTwoClients:
+    def test_transactions_do_not_interleave(self, service):
+        with connect(service) as one, connect(service) as two:
+            one.load("docs", [{"a": 1}])
+            one.begin()
+            one.query("UPDATE docs SET a = 50 WHERE a = 1")
+            # two's autocommit read: must not observe one's open txn view
+            # through shared mutable session state, and two's write must
+            # not be absorbed into one's transaction
+            two.load("docs", [{"a": 2}])
+            one.rollback()
+            rows = sorted(two.query("SELECT a FROM docs").rows)
+            assert rows == [(1,), (2,)]
+
+    def test_prepared_namespaces_are_disjoint(self, service):
+        with connect(service) as one, connect(service) as two:
+            one.load("docs", [{"a": 1}])
+            one.prepare("mine", "SELECT COUNT(*) FROM docs")
+            with pytest.raises(ServiceError):
+                two.execute_prepared("mine")
+            assert one.execute_prepared("mine").scalar() == 1
+
+    def test_shared_plan_cache_counts_cross_session_hits(self, service):
+        with connect(service) as one, connect(service) as two:
+            one.load("docs", [{"a": 1}])
+            sql = "SELECT a FROM docs"
+            one.query(sql)
+            before = two.status()["engine"]["plan_cache"]["hits"]
+            two.query(sql)  # same normalized key, different session
+            after = two.status()["engine"]["plan_cache"]["hits"]
+            assert after == before + 1
+
+
+def test_shell_connect_round_trip(sdb):
+    """The ``\\connect`` path: a shell driving a remote server."""
+    import io
+
+    from repro.shell import SinewShell
+
+    with SinewService(sdb, ServiceConfig(port=0)) as service:
+        out = io.StringIO()
+        shell = SinewShell(out=out)
+        shell.run_line(f"\\connect 127.0.0.1:{service.port}")
+        shell.run_line("\\c remote_docs")
+        shell.run_line("\\d")
+        shell.run_line("\\daemon")  # refused remotely
+        shell.run_line("\\disconnect")
+        text = out.getvalue()
+        assert "connected to" in text
+        assert "remote_docs" in text
+        assert "local meta-command" in text
+        assert "disconnected" in text
+        assert shell.remote is None
+        shell.sdb.close()
+
+
+def test_frame_compactness():
+    """Responses are single lines (the framing invariant)."""
+    frame = encode_message({"rows": [[1, "two\nlines"]]})
+    assert frame.count(b"\n") == 1

@@ -1,0 +1,152 @@
+"""Fault injection at the service layer: sessions die, the engine doesn't.
+
+The three registered points (``service.accept``, ``service.execute``,
+``service.respond``) bracket a request's life.  The invariant under test
+at every one of them: a killed or errored *session* must never poison
+the shared SinewDB -- no leaked catalog latch, no orphaned transaction,
+no held write latch, and other sessions (current and future) keep
+working with correct results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SinewDB
+from repro.service import ServiceClient, ServiceConfig, ServiceError, SinewService
+from repro.testing.faults import FaultInjector, known_points
+
+
+@pytest.fixture
+def harness():
+    sdb = SinewDB("faults-test")
+    injector = FaultInjector()
+    sdb.attach_faults(injector)
+    service = SinewService(sdb, ServiceConfig(port=0))
+    service.start_in_thread()
+    yield sdb, injector, service
+    service.stop_in_thread()
+    sdb.attach_faults(None)
+    sdb.close()
+
+
+def connect(service) -> ServiceClient:
+    return ServiceClient("127.0.0.1", service.port)
+
+
+def assert_engine_healthy(sdb, service):
+    """The shared-state postconditions every fault scenario must meet."""
+    assert sdb.catalog.latch_owner is None
+    assert not sdb.db.txn_manager.active
+    assert not service.write_lock.locked()
+    # and the engine still takes work from a fresh session
+    with connect(service) as probe:
+        probe.load("health", [{"ok": 1}])
+        assert probe.query("SELECT ok FROM health").rows == [(1,)]
+
+
+def test_service_points_are_registered():
+    points = known_points()
+    for name in ("service.accept", "service.execute", "service.respond"):
+        assert name in points
+
+
+def test_fault_at_accept_rejects_connection_cleanly(harness):
+    sdb, injector, service = harness
+    injector.plan("service.accept", "raise")
+    with pytest.raises(ServiceError) as info:
+        connect(service)
+    assert info.value.code == "injected"
+    # the failed admission registered nothing
+    assert not service.sessions
+    assert_engine_healthy(sdb, service)
+
+
+def test_fault_at_execute_errors_one_statement_only(harness):
+    sdb, injector, service = harness
+    with connect(service) as client:
+        client.load("docs", [{"a": 1}])
+        injector.plan("service.execute", "raise")
+        with pytest.raises(ServiceError) as info:
+            client.query("SELECT a FROM docs")
+        assert info.value.code == "injected"
+        # the *same session* recovers on the next statement
+        assert client.query("SELECT a FROM docs").rows == [(1,)]
+    assert_engine_healthy(sdb, service)
+
+
+def test_kill_at_respond_drops_connection_but_not_effects(harness):
+    sdb, injector, service = harness
+    with connect(service) as setup:
+        setup.load("docs", [{"a": 1}])
+    # next respond hit dies after the statement ran, before the reply
+    injector.plan("service.respond", "kill")
+    victim = connect(service)
+    with pytest.raises(ConnectionError):
+        victim.load("docs", [{"a": 2}])
+    victim.close()
+    # the statement's effects stand (exactly a network partition after
+    # commit); the dead session is reaped
+    with connect(service) as control:
+        assert sorted(control.query("SELECT a FROM docs").rows) == [(1,), (2,)]
+    assert_engine_healthy(sdb, service)
+
+
+def test_kill_at_respond_mid_transaction_rolls_back(harness):
+    """The poisoning scenario: a session dies holding an open transaction."""
+    sdb, injector, service = harness
+    with connect(service) as setup:
+        setup.load("docs", [{"a": 1}])
+    victim = connect(service)
+    victim.begin()
+    # kill the reply to the UPDATE: the statement ran inside the still
+    # open transaction, the connection dies before COMMIT ever arrives,
+    # and cleanup must roll the transaction (and its undo chain) back
+    injector.plan("service.respond", "kill")
+    with pytest.raises(ConnectionError):
+        victim.query("UPDATE docs SET a = 99 WHERE a = 1")
+    victim.close()
+    import time
+
+    deadline = time.monotonic() + 10.0
+    while sdb.db.txn_manager.active and time.monotonic() < deadline:
+        time.sleep(0.02)
+    with connect(service) as control:
+        assert control.query("SELECT a FROM docs").rows == [(1,)]
+    assert_engine_healthy(sdb, service)
+
+
+def test_fault_during_engine_work_does_not_leak_write_latch(harness):
+    """An engine-side fault inside a latched write path must release the
+    service write latch on the way out (the with-statement contract)."""
+    sdb, injector, service = harness
+    with connect(service) as client:
+        client.load("docs", [{"a": 1}])
+        injector.plan("storage.write_row", "raise", where={"table": "docs"})
+        with pytest.raises(ServiceError) as info:
+            client.load("docs", [{"a": 2}])
+        assert info.value.code == "injected"
+        assert not service.write_lock.locked()
+        # loader-level atomicity: the failed batch contributed nothing
+        assert client.query("SELECT COUNT(*) FROM docs").scalar() == 1
+    assert_engine_healthy(sdb, service)
+
+
+def test_repeated_faults_then_recovery(harness):
+    """A burst of failures across all three points, then normal service."""
+    sdb, injector, service = harness
+    injector.plan("service.accept", "raise", at=1, count=2)
+    for _ in range(2):
+        with pytest.raises(ServiceError):
+            connect(service)
+    injector.plan("service.execute", "raise", at=1, count=3)
+    with connect(service) as client:
+        client.ping()  # ping skips the engine path: no execute fire
+        for _ in range(3):
+            with pytest.raises(ServiceError):
+                client.load("docs", [{"a": 1}])
+        client.load("docs", [{"a": 1}])
+        assert client.query("SELECT COUNT(*) FROM docs").scalar() == 1
+        assert injector.fired("service.accept") == 2
+        assert injector.fired("service.execute") == 3
+    assert_engine_healthy(sdb, service)

@@ -1,0 +1,177 @@
+"""Session-scoped engine state: the refactor away from one global txn.
+
+Before the service layer, ``Database`` kept a single ``_session_txn``:
+fine embedded, fatal multi-client (one connection's BEGIN would hijack
+another's autocommit).  These tests pin the new contract at both levels:
+``DbSession`` handles in the engine, and ``repro.service.session.Session``
+objects above them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SinewDB
+from repro.latching import TrackedLock
+from repro.rdbms.database import Database
+from repro.rdbms.errors import DatabaseError, TransactionError
+from repro.rdbms.types import SqlType
+from repro.service.session import PreparedStatement, Session, is_write_statement
+from repro.rdbms.sql.parser import parse
+
+
+@pytest.fixture
+def db():
+    database = Database("session-test")
+    database.create_table("t", [("a", SqlType.INTEGER)])
+    yield database
+    database.close(checkpoint=False)
+
+
+@pytest.fixture
+def sdb():
+    instance = SinewDB("svc-session-test")
+    instance.create_collection("docs")
+    yield instance
+    instance.close()
+
+
+def make_session(sdb, session_id=1, lock=None):
+    return Session(session_id, sdb, lock or TrackedLock("service.write"))
+
+
+class TestDbSessions:
+    def test_transactions_are_isolated_between_sessions(self, db):
+        s1, s2 = db.create_session("s1"), db.create_session("s2")
+        db.execute("BEGIN", session=s1)
+        db.execute("INSERT INTO t (a) VALUES (1)", session=s1)
+        # s2 runs autocommit while s1's txn is open -- not hijacked into it
+        db.execute("INSERT INTO t (a) VALUES (100)", session=s2)
+        assert s1.in_transaction and not s2.in_transaction
+        db.execute("ROLLBACK", session=s1)
+        rows = db.execute("SELECT a FROM t").rows
+        # s2's autocommit write survived s1's rollback
+        assert rows == [(100,)]
+
+    def test_concurrent_open_transactions_commit_independently(self, db):
+        s1, s2 = db.create_session("s1"), db.create_session("s2")
+        db.execute("BEGIN", session=s1)
+        db.execute("BEGIN", session=s2)
+        db.execute("INSERT INTO t (a) VALUES (1)", session=s1)
+        db.execute("INSERT INTO t (a) VALUES (2)", session=s2)
+        db.execute("COMMIT", session=s1)
+        db.execute("ROLLBACK", session=s2)
+        assert db.execute("SELECT a FROM t").rows == [(1,)]
+
+    def test_default_session_still_works(self, db):
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t (a) VALUES (5)")
+        db.execute("COMMIT")
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+    def test_commit_without_begin_raises_per_session(self, db):
+        session = db.create_session("s")
+        with pytest.raises(TransactionError):
+            db.execute("COMMIT", session=session)
+
+    def test_abort_session_rolls_back(self, db):
+        session = db.create_session("doomed")
+        db.execute("BEGIN", session=session)
+        db.execute("INSERT INTO t (a) VALUES (9)", session=session)
+        assert db.abort_session(session) is True
+        assert db.abort_session(session) is False  # idempotent
+        assert db.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+    def test_open_session_txn_blocks_checkpoint_path(self, db):
+        session = db.create_session("s")
+        db.execute("BEGIN", session=session)
+        assert db.txn_manager.active  # the checkpointer's skip predicate
+        db.execute("ROLLBACK", session=session)
+        assert not db.txn_manager.active
+
+
+class TestServiceSession:
+    def test_statement_classification(self):
+        assert is_write_statement(parse("INSERT INTO t (a) VALUES (1)"))
+        assert is_write_statement(parse("DELETE FROM t WHERE a = 1"))
+        assert not is_write_statement(parse("SELECT 1"))
+        assert not is_write_statement(parse("BEGIN"))
+
+    def test_execute_and_load(self, sdb):
+        session = make_session(sdb)
+        report = session.load_documents("docs", [{"a": 1}, {"a": 2}])
+        assert report["loaded"] == 2
+        result = session.execute_sql("SELECT a FROM docs WHERE a > 1")
+        assert result.rows == [(2,)]
+        assert session.statements == 1
+
+    def test_load_creates_missing_collection(self, sdb):
+        session = make_session(sdb)
+        session.load_documents("fresh", [{"x": 1}])
+        assert "fresh" in sdb.collections()
+
+    def test_prepared_statements_are_per_session(self, sdb):
+        lock = TrackedLock("service.write")
+        s1, s2 = make_session(sdb, 1, lock), make_session(sdb, 2, lock)
+        s1.load_documents("docs", [{"a": 1}])
+        s1.prepare("q", "SELECT COUNT(*) FROM docs")
+        assert s1.execute_prepared("q").scalar() == 1
+        with pytest.raises(DatabaseError, match="no prepared statement"):
+            s2.execute_prepared("q")
+        assert s1.deallocate("q") is True
+        assert s1.deallocate("q") is False
+
+    def test_prepare_parses_eagerly(self, sdb):
+        session = make_session(sdb)
+        with pytest.raises(DatabaseError):
+            session.prepare("bad", "SELEC 1")
+        with pytest.raises(DatabaseError):
+            session.prepare("", "SELECT 1")
+        assert session.prepared == {}
+
+    def test_prepared_kind_and_counters(self, sdb):
+        session = make_session(sdb)
+        session.load_documents("docs", [{"a": 1}])
+        prepared = session.prepare("q", "SELECT a FROM docs")
+        assert isinstance(prepared, PreparedStatement)
+        assert prepared.kind == "select"
+        session.execute_prepared("q")
+        session.execute_prepared("q")
+        assert session.prepared["q"].executions == 2
+
+    def test_settings_validation(self, sdb):
+        session = make_session(sdb)
+        session.set_option("use_plan_cache", False)
+        assert session.settings["use_plan_cache"] is False
+        with pytest.raises(DatabaseError, match="unknown session setting"):
+            session.set_option("nope", 1)
+        with pytest.raises(DatabaseError, match="expects bool"):
+            session.set_option("explain_analyze", "yes")
+
+    def test_transactions_are_isolated_between_service_sessions(self, sdb):
+        lock = TrackedLock("service.write")
+        s1, s2 = make_session(sdb, 1, lock), make_session(sdb, 2, lock)
+        s1.load_documents("docs", [{"a": 1}])
+        s1.execute_sql("BEGIN")
+        s1.execute_sql("UPDATE docs SET a = 99 WHERE a = 1")
+        assert not s2.db_session.in_transaction
+        s1.execute_sql("ROLLBACK")
+        assert s2.execute_sql("SELECT a FROM docs").rows == [(1,)]
+
+    def test_close_rolls_back_open_transaction(self, sdb):
+        session = make_session(sdb)
+        session.load_documents("docs", [{"a": 1}])
+        session.execute_sql("BEGIN")
+        session.execute_sql("UPDATE docs SET a = 2 WHERE a = 1")
+        summary = session.close()
+        assert summary["rolled_back"] is True
+        assert session.close()["rolled_back"] is False  # idempotent
+        control = make_session(sdb, 99)
+        assert control.execute_sql("SELECT a FROM docs").rows == [(1,)]
+
+    def test_explain_analyze_setting_attaches_plan(self, sdb):
+        session = make_session(sdb)
+        session.load_documents("docs", [{"a": 1}])
+        session.set_option("explain_analyze", True)
+        result = session.execute_sql("SELECT a FROM docs")
+        assert result.plan_text
