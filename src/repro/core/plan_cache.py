@@ -35,6 +35,21 @@ __all__ = ["PlanCache", "PreparedSelect", "normalize_sql"]
 DEFAULT_PLAN_CACHE_SIZE = 256
 
 
+def _escape_token(value: str) -> str:
+    """Make a token value separator-free so the key join stays injective.
+
+    String literals can contain the ``\\x1f``/``\\x1e`` separator bytes;
+    unescaped, a single literal embedding them could normalize to the
+    same key as a different statement whose token boundaries fall at
+    those bytes -- and serve it the wrong cached plan.
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace("\x1f", "\\u")
+        .replace("\x1e", "\\r")
+    )
+
+
 def normalize_sql(sql: str) -> str | None:
     """Lexer-normalized cache key for one statement, or None on bad SQL.
 
@@ -47,7 +62,10 @@ def normalize_sql(sql: str) -> str | None:
         tokens = tokenize(sql)
     except Exception:
         return None
-    return "\x1f".join(f"{token.type.value[0]}\x1e{token.value}" for token in tokens)
+    return "\x1f".join(
+        f"{token.type.value[0]}\x1e{_escape_token(str(token.value))}"
+        for token in tokens
+    )
 
 
 @dataclass

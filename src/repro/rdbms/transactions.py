@@ -577,27 +577,42 @@ class TransactionManager:
 
     def __init__(self, counters: CostCounters, wal: WriteAheadLog | None = None):
         self.wal = wal if wal is not None else WriteAheadLog(counters)
+        #: guards txn-id allocation and the ``active`` dict: ``begin()``
+        #: runs concurrently from service worker threads (explicit BEGIN,
+        #: autocommit DML) and the materializer daemon's autocommit, and
+        #: a duplicated txn_id would corrupt the WAL's per-txn index and
+        #: recovery replay
+        self._lock = threading.Lock()
         self.next_txn_id = 1
         self.active: dict[int, Transaction] = {}
 
     def reset_next_txn_id(self, next_id: int) -> None:
         """Continue transaction numbering after recovery."""
-        self.next_txn_id = next_id
+        with self._lock:
+            self.next_txn_id = next_id
 
     def begin(self) -> Transaction:
-        txn_id = self.next_txn_id
-        self.next_txn_id += 1
-        txn = Transaction(txn_id, self.wal)
-        self.wal.append(txn.txn_id, WalRecordType.BEGIN)
-        self.active[txn.txn_id] = txn
+        # the BEGIN frame is appended inside the allocation lock so WAL
+        # order matches id order; the lock order manager -> WAL-RLock is
+        # one-way (the WAL never calls back into the manager)
+        with self._lock:
+            txn_id = self.next_txn_id
+            self.next_txn_id += 1
+            txn = Transaction(txn_id, self.wal)
+            self.wal.append(txn.txn_id, WalRecordType.BEGIN)
+            self.active[txn.txn_id] = txn
         return txn
 
     def finish(self, txn: Transaction, commit: bool = True) -> None:
+        # commit/abort run outside the lock (a commit may fsync); a txn
+        # whose commit raises intentionally stays in ``active`` so the
+        # checkpointer keeps skipping and recovery discards it
         if commit:
             txn.commit()
         else:
             txn.abort()
-        self.active.pop(txn.txn_id, None)
+        with self._lock:
+            self.active.pop(txn.txn_id, None)
 
     def autocommit(self) -> "_Autocommit":
         return _Autocommit(self)

@@ -23,7 +23,9 @@ Concurrency model (DESIGN.md section 12):
 * every statement gets ``query_timeout`` seconds; past that the client
   receives a ``timeout`` error (the worker thread finishes in the
   background -- the engine has no cancellation points -- but its
-  result is discarded).
+  result is discarded).  Only read timeouts advertise ``retryable``:
+  a timed-out write's effects may still apply, so retrying it blindly
+  could double-apply.
 
 Fault injection: the per-connection paths fire ``service.accept``,
 ``service.execute`` and ``service.respond`` so tests can kill a session
@@ -53,6 +55,7 @@ from ..rdbms.errors import (
     SqlSyntaxError,
     TransactionError,
 )
+from ..rdbms.sql.parser import parse
 from ..testing.faults import InjectedFault
 from .protocol import (
     PROTOCOL_VERSION,
@@ -62,7 +65,7 @@ from .protocol import (
     encode_message,
     encode_result,
 )
-from .session import Session
+from .session import Session, is_write_statement
 
 #: map engine exception types to wire error codes; ordered most-specific
 #: first (SemanticError subclasses PlanningError, etc.)
@@ -419,15 +422,22 @@ class SinewService:
         except asyncio.TimeoutError:
             self.counters["timeouts"] += 1
             session.errors += 1
+            retryable = self._timeout_retryable(session, request)
+            message = (
+                f"statement exceeded the {self.config.query_timeout}s "
+                f"query timeout"
+            )
+            if not retryable:
+                message += (
+                    "; the statement is still running on its worker thread"
+                    " and its effects may apply -- do not retry blindly"
+                )
             return {
                 "ok": False,
                 "error": {
                     "code": "timeout",
-                    "message": (
-                        f"statement exceeded the {self.config.query_timeout}s "
-                        f"query timeout"
-                    ),
-                    "retryable": True,
+                    "message": message,
+                    "retryable": retryable,
                 },
             }
         except _Busy:
@@ -451,6 +461,33 @@ class SinewService:
             if isinstance(sql, str):
                 extra["sql"] = sql[:_SQL_ECHO]
             return error_payload(error, **extra)
+
+    def _timeout_retryable(self, session: Session, request: dict[str, Any]) -> bool:
+        """Whether a timed-out request is safe to retry verbatim.
+
+        The engine has no cancellation points: a timed-out statement
+        keeps running on its worker thread and its effects (an INSERT's
+        autocommit, a COMMIT's WAL flush) may still apply after the
+        client saw the error.  Only reads are idempotent under that
+        regime -- a client that retries a non-idempotent write on
+        ``retryable`` would double-apply it.
+        """
+        op = request.get("op")
+        if op == "query":
+            sql = request.get("sql")
+            if not isinstance(sql, str):
+                return False
+            try:
+                return not is_write_statement(parse(sql))
+            except Exception:
+                return False
+        if op == "execute":
+            name = request.get("name")
+            prepared = session.prepared.get(name) if isinstance(name, str) else None
+            return prepared is not None and not is_write_statement(prepared.statement)
+        if op == "load":
+            return False
+        return True
 
     async def _run_engine(self, session: Session, fn: Any, *args: Any) -> Any:
         """Run one engine call on the worker pool with shedding + timeout."""
@@ -497,26 +534,37 @@ class SinewService:
         loop = asyncio.get_running_loop()
         while True:
             await asyncio.sleep(self.config.checkpoint_interval)
-            # skip while any session transaction is open: a checkpoint
-            # must capture a transaction-consistent cut
+            # cheap pre-check without the latch: skip the executor round
+            # trip while a session transaction is visibly open
             if self.sdb.db.txn_manager.active:
                 self.counters["checkpoints_skipped"] += 1
                 continue
             try:
-                await loop.run_in_executor(self._executor, self._checkpoint_once)
-                self.counters["checkpoints"] += 1
+                done = await loop.run_in_executor(
+                    self._executor, self._checkpoint_once
+                )
             except asyncio.CancelledError:
                 raise
             except Exception:
                 self.counters["checkpoints_skipped"] += 1
+            else:
+                key = "checkpoints" if done else "checkpoints_skipped"
+                self.counters[key] += 1
 
-    def _checkpoint_once(self) -> None:
-        # under the write latch so no writer commits mid-snapshot; a
-        # begun-but-idle transaction still skips above
+    def _checkpoint_once(self) -> bool:
+        # Under the write latch: DML *and* transaction control (BEGIN/
+        # COMMIT/ROLLBACK, plus disconnect-time aborts) all hold it, so
+        # no session can open a transaction or commit between the check
+        # below and the snapshot -- the cut is transaction-consistent.
+        # The materializer daemon's autocommit txns don't hold it, so the
+        # check can still see one in flight; that is a plain skip (the
+        # engine-side checkpoint would quiesce the daemon via the catalog
+        # latch, but a txn begun before the latch must not be cut).
         with self.write_lock:
             if self.sdb.db.txn_manager.active:
-                raise RuntimeError("transaction opened while scheduling checkpoint")
+                return False
             self.sdb.checkpoint()
+            return True
 
 
 class _Busy(Exception):

@@ -11,7 +11,11 @@ are safe under concurrent readers.
 Statement execution runs on the service's worker threads.  Reads run
 concurrently; anything that mutates the heap or the catalog serializes
 on the service's write latch (one writer at a time, readers unblocked)
-so two sessions' DML can never interleave row-level operations.
+so two sessions' DML can never interleave row-level operations.  That
+includes transaction control: ROLLBACK (and a disconnect-time abort)
+applies per-row undo against shared heap tables, COMMIT flushes the
+WAL, and BEGIN must be mutually exclusive with the checkpointer's
+check-then-snapshot window -- all three hold the write latch.
 """
 
 from __future__ import annotations
@@ -26,10 +30,13 @@ from ..rdbms.database import DbSession, QueryResult
 from ..rdbms.errors import DatabaseError
 from ..rdbms.sql.ast import (
     AlterTableStatement,
+    BeginStatement,
+    CommitStatement,
     CreateTableStatement,
     DeleteStatement,
     DropTableStatement,
     InsertStatement,
+    RollbackStatement,
     SelectStatement,
     Statement,
     UpdateStatement,
@@ -47,6 +54,18 @@ _WRITE_STATEMENTS = (
     AlterTableStatement,
 )
 
+#: transaction control serializes on the write latch too: ROLLBACK
+#: applies per-row undo callbacks that mutate shared heap tables, COMMIT
+#: makes the session's writes visible (WAL flush), and BEGIN must not
+#: slip into the checkpointer's check-then-snapshot window (the active-
+#: transaction barrier in server._checkpoint_once is only airtight if
+#: transaction begin excludes it)
+_TXN_STATEMENTS = (
+    BeginStatement,
+    CommitStatement,
+    RollbackStatement,
+)
+
 #: session settings a client may change via the ``set`` op, with their
 #: expected value type (None in a setting means "use the server default")
 _SETTING_TYPES: dict[str, type] = {
@@ -57,7 +76,8 @@ _SETTING_TYPES: dict[str, type] = {
 
 
 def is_write_statement(statement: Statement) -> bool:
-    return isinstance(statement, _WRITE_STATEMENTS)
+    """True when the statement must hold the service write latch."""
+    return isinstance(statement, _WRITE_STATEMENTS + _TXN_STATEMENTS)
 
 
 @dataclass
@@ -126,8 +146,7 @@ class Session:
         if is_write_statement(statement):
             with self._write_lock:
                 return self.sdb.query(sql, **kwargs)
-        # BEGIN / COMMIT / ROLLBACK / ANALYZE etc. only touch this
-        # session's transaction scope -- no write latch needed
+        # ANALYZE / EXPLAIN etc.: read-only over shared state
         return self.sdb.query(sql, **kwargs)
 
     def load_documents(self, table: str, documents: list[Mapping[str, Any]]) -> dict:
@@ -192,7 +211,12 @@ class Session:
         rolled_back = False
         if not self.closed:
             self.closed = True
-            rolled_back = self.sdb.db.abort_session(self.db_session)
+            # under the write latch: the abort applies per-row undo
+            # against shared heap tables and must not interleave with
+            # another session's DML (or with this session's own timed-out
+            # statement still finishing on a worker thread)
+            with self._write_lock:
+                rolled_back = self.sdb.db.abort_session(self.db_session)
             self.prepared.clear()
         return {"rolled_back": rolled_back, "statements": self.statements}
 

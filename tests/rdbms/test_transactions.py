@@ -1,5 +1,7 @@
 """Unit tests for WAL and transactions."""
 
+import threading
+
 import pytest
 
 from repro.rdbms.cost import CostCounters
@@ -101,3 +103,46 @@ class TestAutocommit:
                 raise ValueError("boom")
         assert undone == [1]
         assert txn.state is TxnState.ABORTED
+
+
+class TestTransactionManagerThreadSafety:
+    def test_concurrent_begin_finish_allocates_unique_ids(self):
+        # regression: next_txn_id was an unsynchronized read-modify-write
+        # and `active` was mutated without a lock; the service layer calls
+        # begin() from worker threads concurrently with the materializer
+        # daemon's autocommit, and a duplicated txn_id corrupts the WAL's
+        # per-txn index and recovery replay
+        manager, _counters = make_manager()
+        n_threads, per_thread = 8, 200
+        barrier = threading.Barrier(n_threads)
+        ids: list[int] = []
+        ids_lock = threading.Lock()
+        errors: list[BaseException] = []
+
+        def worker() -> None:
+            barrier.wait()
+            try:
+                for _ in range(per_thread):
+                    txn = manager.begin()
+                    with ids_lock:
+                        ids.append(txn.txn_id)
+                    manager.finish(txn, commit=True)
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        assert not errors
+        assert len(ids) == n_threads * per_thread
+        assert len(set(ids)) == len(ids)
+        assert not manager.active
+        # WAL BEGIN frames match the handed-out ids one-to-one
+        begin_ids = [
+            record.txn_id
+            for record in manager.wal.records
+            if record.record_type is WalRecordType.BEGIN
+        ]
+        assert sorted(begin_ids) == sorted(ids)

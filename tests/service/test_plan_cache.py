@@ -43,6 +43,22 @@ class TestNormalizeSql:
     def test_unlexable_sql_returns_none(self):
         assert normalize_sql("SELECT ???") is None
 
+    def test_separator_bytes_in_literals_stay_injective(self):
+        # regression: the key joins tokens with \x1f/\x1e, and a string
+        # literal *containing* those bytes used to collide with a
+        # different statement whose token boundaries fall at them --
+        # serving the wrong cached plan
+        embedded = normalize_sql("SELECT 'a\x1fs\x1eb' FROM docs")
+        split = normalize_sql("SELECT 'a' 'b' FROM docs")
+        assert embedded is not None and split is not None
+        assert embedded != split
+        # escaping is deterministic: the same literal still shares a key
+        assert embedded == normalize_sql("SELECT  'a\x1fs\x1eb'  FROM docs")
+        # and a literal backslash never collides with the escape prefix
+        assert normalize_sql("SELECT '\\u' FROM docs") != normalize_sql(
+            "SELECT '\x1f' FROM docs"
+        )
+
 
 def plan(token=(0, 0), label="plan"):
     """A minimal cache entry: only the ``token`` attribute matters here."""

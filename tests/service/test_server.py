@@ -174,11 +174,44 @@ class TestAdmissionControl:
                 with pytest.raises(ServiceError) as info:
                     client.load("docs", [{"a": 2}])
                 assert info.value.code == "timeout"
-                assert info.value.retryable
+                # the timed-out load keeps running on its worker thread
+                # and its rows may land: retrying would double-apply, so
+                # write timeouts must not advertise retryable
+                assert not info.value.retryable
+                assert "may apply" in info.value.payload["message"]
                 injector.reset()
                 # the session (and server) remain usable afterwards
                 assert client.query("SELECT COUNT(*) FROM docs").scalar() >= 1
         sdb.attach_faults(None)
+
+    def test_timeout_retryable_classification(self, sdb):
+        # only reads are idempotent under a timeout (the engine has no
+        # cancellation points, so a timed-out statement's effects may
+        # still apply); everything else must not advertise retryable
+        from repro.service.session import Session
+
+        service = SinewService(sdb, ServiceConfig(port=0))
+        try:
+            session = Session(1, sdb, service.write_lock)
+            sdb.create_collection("docs")
+
+            def retryable(request) -> bool:
+                return service._timeout_retryable(session, request)
+
+            assert retryable({"op": "query", "sql": "SELECT a FROM docs"})
+            assert not retryable(
+                {"op": "query", "sql": "INSERT INTO docs (a) VALUES (1)"}
+            )
+            assert not retryable({"op": "query", "sql": "COMMIT"})
+            assert not retryable({"op": "query", "sql": "not even sql"})
+            assert not retryable({"op": "load", "table": "docs", "documents": []})
+            session.prepare("r", "SELECT a FROM docs")
+            session.prepare("w", "DELETE FROM docs WHERE a = 1")
+            assert retryable({"op": "execute", "name": "r"})
+            assert not retryable({"op": "execute", "name": "w"})
+            assert not retryable({"op": "execute", "name": "missing"})
+        finally:
+            service._executor.shutdown(wait=False)
 
     def test_disconnect_mid_transaction_rolls_back(self, service, sdb):
         client = connect(service)

@@ -9,6 +9,8 @@ objects above them.
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.core import SinewDB
@@ -95,7 +97,37 @@ class TestServiceSession:
         assert is_write_statement(parse("INSERT INTO t (a) VALUES (1)"))
         assert is_write_statement(parse("DELETE FROM t WHERE a = 1"))
         assert not is_write_statement(parse("SELECT 1"))
-        assert not is_write_statement(parse("BEGIN"))
+        # transaction control holds the write latch too: ROLLBACK applies
+        # per-row undo against shared heap tables, COMMIT flushes the WAL,
+        # and BEGIN must not slip into the checkpointer's check-then-
+        # snapshot window
+        assert is_write_statement(parse("BEGIN"))
+        assert is_write_statement(parse("COMMIT"))
+        assert is_write_statement(parse("ROLLBACK"))
+
+    def test_txn_control_and_close_serialize_on_write_latch(self, sdb):
+        # regression: BEGIN/COMMIT/ROLLBACK and the disconnect-time abort
+        # used to bypass the write latch, so a rollback's undo callbacks
+        # could interleave with another session's DML on the shared heap
+        lock = TrackedLock("service.write")
+        session = make_session(sdb, 1, lock)
+        session.load_documents("docs", [{"a": 1}])
+
+        def blocks_until_released(target) -> None:
+            thread = threading.Thread(target=target, daemon=True)
+            with lock:
+                thread.start()
+                thread.join(0.2)
+                assert thread.is_alive()  # parked on the write latch
+            thread.join(5.0)
+            assert not thread.is_alive()
+
+        blocks_until_released(lambda: session.execute_sql("BEGIN"))
+        session.execute_sql("UPDATE docs SET a = 2 WHERE a = 1")
+        blocks_until_released(lambda: session.execute_sql("ROLLBACK"))
+        session.execute_sql("BEGIN")
+        blocks_until_released(session.close)  # abort-on-close latches too
+        assert session.sdb.db.txn_manager.active == {}
 
     def test_execute_and_load(self, sdb):
         session = make_session(sdb)
