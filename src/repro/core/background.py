@@ -46,7 +46,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from ..latching import TrackedLock
-from ..rdbms.errors import ConcurrencyError
+from ..rdbms.errors import ConcurrencyError, DegradedError
 from .catalog import SinewCatalog
 from .materializer import ColumnMaterializer
 
@@ -72,6 +72,10 @@ class DaemonStatus:
     recoveries: int
     last_error: str | None
     backlog: dict[str, int] = field(default_factory=dict)
+    #: wall-clock time of the last crash (``time.time()``), None if never
+    last_error_at: float | None = None
+    #: slices skipped because the WAL was in read-only degraded mode
+    degraded_skips: int = 0
 
     @property
     def idle(self) -> bool:
@@ -93,6 +97,12 @@ class DaemonStatus:
             f"recoveries:   {self.recoveries}",
             f"backlog:      {backlog}",
             f"last error:   {self.last_error or '(none)'}",
+            "crashed at:   "
+            + (
+                time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(self.last_error_at))
+                if self.last_error_at is not None
+                else "(never)"
+            ),
         ]
 
 
@@ -142,6 +152,8 @@ class MaterializerDaemon:
         self.latch_timeouts = 0
         self.recoveries = 0
         self.last_error: str | None = None
+        self.last_error_at: float | None = None
+        self.degraded_skips = 0
 
     # ------------------------------------------------------------------
     # controls
@@ -235,6 +247,7 @@ class MaterializerDaemon:
         with self._lock:
             self.recoveries += 1
             self.last_error = None
+            self.last_error_at = None
         return report
 
     # ------------------------------------------------------------------
@@ -263,6 +276,8 @@ class MaterializerDaemon:
                 recoveries=self.recoveries,
                 last_error=self.last_error,
                 backlog=self.backlog(),
+                last_error_at=self.last_error_at,
+                degraded_skips=self.degraded_skips,
             )
 
     def wait_until_idle(self, timeout: float = 10.0) -> bool:
@@ -299,6 +314,7 @@ class MaterializerDaemon:
             with self._lock:
                 self.state = "crashed"
                 self.last_error = f"{type(error).__name__}: {error}"
+                self.last_error_at = time.time()
             return
         with self._lock:
             if self.state != "crashed":
@@ -321,6 +337,13 @@ class MaterializerDaemon:
                 with self._lock:
                     self.latch_timeouts += 1
                 continue
+            except DegradedError:
+                # Row moves are writes; while the WAL is read-only the
+                # daemon idles instead of crashing and resumes after
+                # ``try_recover`` brings the log back.
+                with self._lock:
+                    self.degraded_skips += 1
+                break
             with self._lock:
                 self.steps += 1
                 self.rows_examined += report.rows_examined

@@ -112,6 +112,9 @@ class SinewDB:
             idle_sleep=self.config.daemon_idle_sleep,
         )
         self.faults = None
+        #: opt-in crash supervision (see :meth:`supervise`); never started
+        #: implicitly so the freeze-on-crash daemon contract holds by default
+        self.supervisor = None
         self.plan_cache = (
             PlanCache(self.config.plan_cache_size)
             if self.config.plan_cache_size > 0
@@ -163,9 +166,12 @@ class SinewDB:
         process *without* calling close is also safe -- that is what the
         WAL is for -- it just makes the next open do recovery work.
         """
+        if self.supervisor is not None:
+            self.supervisor.stop()
+            self.supervisor = None
         if self.daemon.is_alive():
             self.daemon.stop()
-        if self.db.path is not None and self.db.wal.active:
+        if self.db.path is not None and self.db.wal.active and not self.db.wal.degraded:
             self.checkpoint()
         self.db.close(checkpoint=False)
 
@@ -389,6 +395,48 @@ class SinewDB:
     def stop_daemon(self) -> None:
         self.daemon.stop()
 
+    def supervise(self, policy=None) -> "Supervisor":
+        """Start opt-in crash supervision over the materializer daemon.
+
+        Returns the running :class:`~repro.core.supervisor.Supervisor`
+        (idempotent: a second call returns the existing one).  The service
+        layer calls this when ``ServiceConfig.supervise`` is set; embedded
+        users who want auto-restart call it explicitly.  Additional
+        workers (e.g. the service checkpointer) can be ``add()``-ed to the
+        returned supervisor before or after it starts.
+        """
+        if self.supervisor is None:
+            from .supervisor import DaemonWorker, Supervisor
+
+            supervisor = Supervisor(policy, faults_provider=lambda: self.faults)
+            supervisor.add(DaemonWorker(self.daemon))
+            supervisor.start()
+            self.supervisor = supervisor
+        return self.supervisor
+
+    def recover_service(self) -> dict[str, Any]:
+        """Operator recovery: bring a degraded WAL back and untrip workers.
+
+        The ``\\service recover`` path.  Attempts
+        :meth:`WriteAheadLog.try_recover`; when the log is writable again,
+        any supervisor trips are reset (a worker that crash-looped on the
+        read-only log deserves a fresh budget) so supervised workers
+        restart on the next monitor pass.  An unsupervised crashed daemon
+        is left alone, as everywhere else.  Returns a status summary.
+        """
+        wal = self.db.wal
+        recovered = wal.try_recover() if wal.durable else True
+        if recovered and self.supervisor is not None:
+            self.supervisor.reset()
+        return {
+            "recovered": recovered,
+            "degraded": wal.degraded,
+            "last_io_error": wal.last_io_error,
+            "supervisor": (
+                self.supervisor.status() if self.supervisor is not None else None
+            ),
+        }
+
     def status(self) -> dict[str, Any]:
         """One-call health snapshot: collections, daemon, latch.
 
@@ -425,6 +473,9 @@ class SinewDB:
             },
             "executor": self.db.executor_pool.status(),
             "wal": self.db.wal_status(),
+            "supervisor": (
+                self.supervisor.status() if self.supervisor is not None else None
+            ),
         }
 
     def attach_faults(self, injector: Any) -> None:

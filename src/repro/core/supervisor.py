@@ -1,0 +1,324 @@
+"""Crash supervision for background workers (daemon + checkpointer).
+
+The materializer daemon deliberately treats any escaping exception as a
+crash that freezes state for recovery (:mod:`repro.core.background`), and
+the embedded engine keeps that behaviour: a crashed daemon *stays* crashed
+until someone calls ``start_daemon()`` again, which is exactly what the
+crash-safety tests rely on.  A long-running service cannot afford that --
+a dead materializer silently stops compacting and a dead checkpointer
+silently stops truncating the WAL.  :class:`Supervisor` closes the gap:
+
+* a monitor thread polls each registered worker for the crashed state;
+* a crashed worker is restarted under **bounded exponential backoff**
+  (``backoff_base`` doubling up to ``backoff_max``);
+* ``max_restarts`` consecutive failures without a stability window of
+  healthy uptime **trips** the worker permanently -- the supervisor stops
+  touching it and the tripped state is surfaced in ``SinewDB.status()``
+  and the service health response, so operators see a flapping worker
+  instead of an infinite crash loop;
+* a worker that stays healthy for ``stability_window`` seconds has its
+  failure budget reset.
+
+Supervision is strictly **opt-in** (the service enables it via
+``ServiceConfig.supervise``); embedded ``SinewDB`` users and the crash
+tests keep the freeze-on-crash contract untouched.
+
+The ``supervisor.restart`` fault point fires before each restart attempt,
+so chaos schedules can make restarts themselves fail and drive the trip
+logic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..rdbms.errors import ConcurrencyError
+from .background import MaterializerDaemon
+
+
+@dataclass
+class SupervisorPolicy:
+    """Restart policy knobs (see the module docstring)."""
+
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    #: consecutive failed lives after which the worker is tripped for good
+    max_restarts: int = 5
+    #: healthy uptime that resets the consecutive-failure budget
+    stability_window: float = 5.0
+    #: crash-detection poll interval of the monitor thread
+    poll_interval: float = 0.02
+
+
+class DaemonWorker:
+    """Adapter: supervise a :class:`MaterializerDaemon`.
+
+    ``restart`` goes through ``daemon.start()``, which runs the normal
+    cursor-validating :meth:`~MaterializerDaemon.recover` first -- a
+    supervised restart is exactly a manual one.
+    """
+
+    def __init__(self, daemon: MaterializerDaemon, name: str = "materializer"):
+        self.daemon = daemon
+        self.name = name
+
+    def crashed(self) -> bool:
+        return self.daemon.state == "crashed" and not self.daemon.is_alive()
+
+    def restart(self) -> None:
+        self.daemon.start()
+
+    def describe_error(self) -> str | None:
+        return self.daemon.last_error
+
+
+class PeriodicWorker:
+    """A supervisable thread running ``tick()`` every ``interval`` seconds.
+
+    Used by the service for the background checkpointer.  ``tick`` owns its
+    routine error handling; an exception escaping it crashes the worker
+    (state ``crashed``, ``last_error``/``last_error_at`` recorded) and the
+    supervisor -- if one watches this worker -- restarts it.
+    """
+
+    def __init__(self, name: str, interval: float, tick: Callable[[], None]):
+        self.name = name
+        self.interval = interval
+        self.tick = tick
+        self.state = "idle"
+        self.ticks = 0
+        self.last_error: str | None = None
+        self.last_error_at: float | None = None
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        if self.is_alive():
+            raise ConcurrencyError(f"worker {self.name!r} is already running")
+        self._stop.clear()
+        self.state = "running"
+        self._thread = threading.Thread(
+            target=self._run, name=f"sinew-{self.name}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+        if self.state != "crashed":
+            self.state = "stopped"
+
+    def is_alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def crashed(self) -> bool:
+        return self.state == "crashed" and not self.is_alive()
+
+    def restart(self) -> None:
+        self.start()
+
+    def describe_error(self) -> str | None:
+        return self.last_error
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            if self._stop.wait(self.interval):
+                break
+            try:
+                self.tick()
+                self.ticks += 1
+            except BaseException as error:  # crash: freeze, supervisor restarts
+                self.state = "crashed"
+                self.last_error = f"{type(error).__name__}: {error}"
+                self.last_error_at = time.time()
+                return
+        if self.state != "crashed":
+            self.state = "stopped"
+
+
+@dataclass
+class _Entry:
+    """Book-keeping for one supervised worker."""
+
+    worker: Any
+    restarts: int = 0
+    #: consecutive failed lives (resets after a stability window)
+    failures: int = 0
+    tripped: bool = False
+    last_error: str | None = None
+    last_restart_at: float | None = None
+    backoff: float = 0.0
+    next_attempt: float | None = None
+    stable_since: float | None = None
+    pending: bool = field(default=False)  # crash counted, restart not yet tried
+
+
+class Supervisor:
+    """Monitor thread restarting crashed workers under a bounded policy."""
+
+    def __init__(
+        self,
+        policy: SupervisorPolicy | None = None,
+        *,
+        faults_provider: Callable[[], Any] | None = None,
+    ):
+        self.policy = policy or SupervisorPolicy()
+        #: late-bound FaultInjector lookup (the injector may be attached
+        #: after the supervisor is built); fires ``supervisor.restart``
+        self._faults_provider = faults_provider
+        self._lock = threading.Lock()
+        self._entries: dict[str, _Entry] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # registration / lifecycle
+    # ------------------------------------------------------------------
+
+    def add(self, worker: Any) -> None:
+        """Register a worker (duck-typed: name/crashed/restart/describe_error)."""
+        with self._lock:
+            self._entries[worker.name] = _Entry(
+                worker=worker, backoff=self.policy.backoff_base
+            )
+
+    def start(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            raise ConcurrencyError("supervisor is already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._monitor, name="sinew-supervisor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+        self._thread = None
+
+    def is_alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def reset(self, name: str | None = None) -> None:
+        """Clear trip/failure state (operator recovery path).
+
+        ``\\service recover`` calls this after bringing the WAL back so a
+        worker tripped by crash-looping on the degraded log gets a fresh
+        restart budget.
+        """
+        with self._lock:
+            entries = (
+                [self._entries[name]] if name is not None else self._entries.values()
+            )
+            for entry in entries:
+                entry.tripped = False
+                entry.failures = 0
+                entry.pending = False
+                entry.backoff = self.policy.backoff_base
+                entry.next_attempt = None
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+
+    def status(self) -> dict[str, dict[str, Any]]:
+        with self._lock:
+            return {
+                name: {
+                    "restarts": entry.restarts,
+                    "consecutive_failures": entry.failures,
+                    "tripped": entry.tripped,
+                    "last_error": entry.last_error,
+                    "last_restart_at": entry.last_restart_at,
+                    "backoff": entry.backoff,
+                }
+                for name, entry in self._entries.items()
+            }
+
+    def tripped(self) -> list[str]:
+        with self._lock:
+            return [n for n, e in self._entries.items() if e.tripped]
+
+    def total_restarts(self) -> int:
+        with self._lock:
+            return sum(e.restarts for e in self._entries.values())
+
+    # ------------------------------------------------------------------
+    # the monitor loop
+    # ------------------------------------------------------------------
+
+    def _monitor(self) -> None:
+        while not self._stop.wait(self.policy.poll_interval):
+            with self._lock:
+                entries = list(self._entries.values())
+            for entry in entries:
+                self._check(entry)
+
+    def _check(self, entry: _Entry) -> None:
+        worker = entry.worker
+        now = time.monotonic()
+        if not worker.crashed():
+            # healthy (or still coming up): a long-enough quiet stretch
+            # earns the failure budget back
+            with self._lock:
+                if (
+                    entry.failures
+                    and not entry.pending
+                    and entry.stable_since is not None
+                    and now - entry.stable_since >= self.policy.stability_window
+                ):
+                    entry.failures = 0
+                    entry.backoff = self.policy.backoff_base
+            return
+        with self._lock:
+            if entry.tripped:
+                return
+            if not entry.pending:
+                # first sighting of this crash: count the failed life and
+                # schedule the restart after the current backoff
+                entry.pending = True
+                entry.failures += 1
+                entry.last_error = worker.describe_error()
+                entry.stable_since = None
+                if entry.failures > self.policy.max_restarts:
+                    entry.tripped = True
+                    return
+                entry.next_attempt = now + entry.backoff
+                entry.backoff = min(entry.backoff * 2, self.policy.backoff_max)
+                return
+            if entry.next_attempt is None or now < entry.next_attempt:
+                return
+            entry.next_attempt = None
+        # restart outside the lock: daemon.start() runs recover(), which
+        # touches the catalog, and must not serialize against status()
+        try:
+            faults = self._faults_provider() if self._faults_provider else None
+            if faults is not None:
+                faults.fire("supervisor.restart", worker=worker.name)
+            worker.restart()
+        except Exception as error:
+            with self._lock:
+                entry.last_error = (
+                    f"restart failed: {type(error).__name__}: {error}"
+                )
+                entry.failures += 1
+                if entry.failures > self.policy.max_restarts:
+                    entry.tripped = True
+                else:
+                    entry.next_attempt = time.monotonic() + entry.backoff
+                    entry.backoff = min(
+                        entry.backoff * 2, self.policy.backoff_max
+                    )
+            return
+        with self._lock:
+            entry.pending = False
+            entry.restarts += 1
+            entry.last_restart_at = time.time()
+            entry.stable_since = time.monotonic()

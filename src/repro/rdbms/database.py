@@ -26,6 +26,7 @@ from .cost import CostCounters, DiskBudget, IoCostModel
 from .executor import ExecutorPool
 from .errors import (
     CatalogError,
+    DegradedError,
     ExecutionError,
     PlanningError,
     RecoveryError,
@@ -864,6 +865,11 @@ class Database:
             raise TransactionError("an in-memory database cannot checkpoint")
         if not self.wal.active:
             raise TransactionError("recover() must run before checkpoint()")
+        if self.wal.degraded:
+            raise DegradedError(
+                "cannot checkpoint: WAL is in read-only degraded mode",
+                reason=self.wal.degraded_reason,
+            )
         if self.txn_manager.active:
             # session transactions live in txn_manager.active too, so this
             # covers every connection's open BEGIN, not just the default's
@@ -892,7 +898,7 @@ class Database:
         self.executor_pool.shutdown()
         if self.path is None:
             return
-        if checkpoint and self.wal.active:
+        if checkpoint and self.wal.active and not self.wal.degraded:
             self.checkpoint()
         self.wal.close()
 

@@ -125,6 +125,34 @@ class ConcurrencyError(DatabaseError):
     """A latch could not be acquired (loader vs. materializer exclusion)."""
 
 
+class DegradedError(TransactionError):
+    """The engine is in read-only degraded mode after a WAL I/O failure.
+
+    An ``OSError`` (ENOSPC, EIO, ...) from a WAL append or fsync means the
+    log can no longer promise durability, so instead of dying -- or worse,
+    acknowledging writes it cannot recover -- the engine flips the WAL into
+    a *degraded* state: reads keep working (they never touch the log),
+    every write is rejected with this error, and an operator brings the
+    system back with ``WriteAheadLog.try_recover()`` (surfaced as
+    ``\\service recover`` in the shell) once the underlying disk problem is
+    fixed.
+
+    Subclasses :class:`TransactionError` so existing transaction-layer
+    handlers keep working; ``reason`` records the original I/O error.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        position: int | None = None,
+        context: str | None = None,
+        *,
+        reason: str | None = None,
+    ):
+        super().__init__(message, position, context)
+        self.reason = reason
+
+
 class RecoveryError(DatabaseError):
     """Crash recovery found an on-disk state it cannot replay consistently
     (row-id misalignment, checkpoint referencing missing segments, ...)."""

@@ -43,13 +43,14 @@ import os
 import pickle
 import struct
 import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
 from .cost import CostCounters
-from .errors import TransactionError
+from .errors import DegradedError, TransactionError
 
 #: Default size at which a durable WAL rotates to a fresh segment file.
 DEFAULT_SEGMENT_BYTES = 512 * 1024
@@ -257,6 +258,21 @@ class WriteAheadLog:
         self.fsyncs = 0
         self.segments_created = 0
         self.bytes_written = 0
+        # -- degraded (read-only) mode -------------------------------------
+        # An OSError from a WAL write or fsync flips ``degraded``: the log
+        # stops accepting records (ABORTs are bookkeeping-only), reads keep
+        # working, and :meth:`try_recover` is the only way back.
+        self.degraded = False
+        self.degraded_reason: str | None = None
+        self.degraded_since: float | None = None
+        self.io_errors = 0
+        self.last_io_error: str | None = None
+        self.suppressed_aborts = 0
+        self.degraded_recoveries = 0
+        #: bytes of the live segment covered by the last successful fsync;
+        #: anything beyond it is untrusted once an I/O error hits
+        self._fh_synced = 0
+        self._degraded_trim: tuple[Path, int] | None = None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
 
@@ -293,6 +309,7 @@ class WriteAheadLog:
                 if size < self.segment_bytes:
                     self._fh = open(last, "ab")
                     self._fh_bytes = size
+                    self._fh_synced = size
                 else:
                     self._open_segment(self._segment_seq + 1)
             else:
@@ -303,6 +320,7 @@ class WriteAheadLog:
         path = self.directory / f"{seq:016d}{WAL_SUFFIX}"
         self._fh = open(path, "ab")
         self._fh_bytes = self._fh.tell()
+        self._fh_synced = self._fh_bytes
         self.segments_created += 1
         _fsync_dir(self.directory)
 
@@ -312,6 +330,11 @@ class WriteAheadLog:
         with self._lock:
             if self._fh is None:
                 return
+            if self.degraded:
+                raise DegradedError(
+                    "WAL is in read-only degraded mode; cannot rotate",
+                    reason=self.degraded_reason,
+                )
             self._sync_locked()
             self._fh.close()
             self._open_segment(self._segment_seq + 1)
@@ -337,25 +360,107 @@ class WriteAheadLog:
     def sync(self) -> None:
         """Force an fsync barrier now (close/checkpoint path)."""
         with self._lock:
-            if self._fh is not None:
+            if self._fh is not None and not self.degraded:
                 self._sync_locked()
 
     def close(self) -> None:
         with self._lock:
             if self._fh is not None:
-                self._sync_locked()
-                self._fh.close()
+                if not self.degraded:
+                    try:
+                        self._sync_locked()
+                    except DegradedError:
+                        pass  # untrusted tail; recovery truncates via CRC
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
                 self._fh = None
 
     def _sync_locked(self) -> None:
-        if self.faults is not None:
-            self.faults.fire("wal.fsync", lsn=self.last_lsn)
-        if self._fh is not None:
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
+        if self.degraded:
+            return
+        try:
+            if self.faults is not None:
+                self.faults.fire("wal.fsync", lsn=self.last_lsn)
+                self.faults.fire("wal.io_error", op="fsync", lsn=self.last_lsn)
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+        except OSError as error:
+            raise self._enter_degraded_locked("fsync", error) from error
         self.fsyncs += 1
         self.counters.wal_fsyncs += 1
         self._commits_since_sync = 0
+        self._fh_synced = self._fh_bytes
+
+    def _enter_degraded_locked(self, op: str, error: OSError) -> DegradedError:
+        """Record an I/O failure, flip into degraded mode, build the error.
+
+        Returns (rather than raises) so call sites can ``raise ... from``
+        the original ``OSError``.  Remembers the fsync-acknowledged prefix
+        of the live segment: bytes past it may or may not have reached the
+        disk, so :meth:`try_recover` truncates them before trusting the
+        log again (otherwise a later crash-recovery could resurrect a
+        commit whose fsync failed and whose effects were undone in memory).
+        """
+        self.io_errors += 1
+        self.last_io_error = f"{op}: {error}"
+        if not self.degraded:
+            self.degraded = True
+            self.degraded_reason = self.last_io_error
+            self.degraded_since = time.time()
+            if self._fh is not None:
+                path = self.directory / f"{self._segment_seq:016d}{WAL_SUFFIX}"
+                self._degraded_trim = (path, self._fh_synced)
+        return DegradedError(
+            f"WAL {op} failed ({error}); engine is read-only until recovery",
+            reason=str(error),
+        )
+
+    def try_recover(self) -> bool:
+        """Attempt to leave degraded mode; True when the log is read-write.
+
+        Recovery must prove the disk is healthy again before any write is
+        accepted: the untrusted tail of the failed segment (bytes past the
+        last acknowledged fsync) is truncated away, then a fresh segment is
+        opened and fsynced as a write probe.  Any of those steps failing
+        leaves the log degraded and returns False, so operators can retry
+        (``\\service recover``) until the underlying problem is fixed.
+        """
+        with self._lock:
+            if not self.degraded:
+                return True
+            try:
+                if self.faults is not None:
+                    self.faults.fire("wal.io_error", op="recover")
+                if self._fh is not None:
+                    try:
+                        self._fh.close()
+                    except OSError:
+                        pass
+                    self._fh = None
+                if self._degraded_trim is not None:
+                    path, synced = self._degraded_trim
+                    if path.exists():
+                        with open(path, "r+b") as handle:
+                            handle.truncate(synced)
+                            handle.flush()
+                            os.fsync(handle.fileno())
+                self._open_segment(self._segment_seq + 1)
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            except OSError as error:
+                self.io_errors += 1
+                self.last_io_error = f"recover: {error}"
+                return False
+            self._degraded_trim = None
+            self.degraded = False
+            self.degraded_reason = None
+            self.degraded_since = None
+            self.degraded_recoveries += 1
+            self._commits_since_sync = 0
+            return True
 
     # ------------------------------------------------------------------
     # appending
@@ -371,13 +476,29 @@ class WriteAheadLog:
         payload: Any = None,
     ) -> WalRecord:
         with self._lock:
-            if self.durable and self.faults is not None:
-                self.faults.fire(
-                    "wal.append",
-                    record_type=record_type.value,
-                    table=table,
-                    txn_id=txn_id,
+            if (
+                self.durable
+                and self.degraded
+                and record_type is not WalRecordType.ABORT
+            ):
+                # Read-only degraded mode: no new work may enter the log.
+                # ABORT falls through (bookkeeping-only, suppressed below)
+                # so in-flight transactions can still undo cleanly.
+                raise DegradedError(
+                    "WAL is in read-only degraded mode; writes are rejected "
+                    "until recovery",
+                    reason=self.degraded_reason,
                 )
+            if self.durable and self.faults is not None:
+                try:
+                    self.faults.fire(
+                        "wal.append",
+                        record_type=record_type.value,
+                        table=table,
+                        txn_id=txn_id,
+                    )
+                except OSError as error:
+                    raise self._enter_degraded_locked("append", error) from error
             record = WalRecord(
                 lsn=next(self._lsn),
                 txn_id=txn_id,
@@ -401,6 +522,12 @@ class WriteAheadLog:
                 self._by_txn.pop(txn_id, None)
             else:
                 self._by_txn.setdefault(txn_id, []).append(record)
+            if self.degraded:
+                # Only ABORT reaches here while degraded (guard above); its
+                # undo already ran in memory and recovery discards the
+                # uncommitted transaction anyway, so skip the physical write.
+                self.suppressed_aborts += 1
+                return record
             self._write_frame(record)
             if record_type is WalRecordType.COMMIT:
                 self.commits += 1
@@ -429,8 +556,15 @@ class WriteAheadLog:
                 self._fh.flush()
                 self._fh_bytes += len(half)
                 raise
-        self._fh.write(frame)
-        self._fh.flush()  # to the OS: an abrupt exit keeps whole frames
+        try:
+            if self.faults is not None:
+                self.faults.fire(
+                    "wal.io_error", op="append", record_type=record.record_type.value
+                )
+            self._fh.write(frame)
+            self._fh.flush()  # to the OS: an abrupt exit keeps whole frames
+        except OSError as error:
+            raise self._enter_degraded_locked("append", error) from error
         self._fh_bytes += len(frame)
         self.bytes_written += len(frame)
 
@@ -476,6 +610,12 @@ class WriteAheadLog:
             "segment_bytes_cap": self.segment_bytes,
             "bytes_on_disk": self.bytes_on_disk(),
             "segments_created": self.segments_created,
+            "degraded": self.degraded,
+            "degraded_reason": self.degraded_reason,
+            "io_errors": self.io_errors,
+            "last_io_error": self.last_io_error,
+            "suppressed_aborts": self.suppressed_aborts,
+            "degraded_recoveries": self.degraded_recoveries,
         }
 
 
@@ -606,9 +746,23 @@ class TransactionManager:
     def finish(self, txn: Transaction, commit: bool = True) -> None:
         # commit/abort run outside the lock (a commit may fsync); a txn
         # whose commit raises intentionally stays in ``active`` so the
-        # checkpointer keeps skipping and recovery discards it
+        # checkpointer keeps skipping and recovery discards it.  The one
+        # exception is a WAL I/O failure (degraded mode): the process
+        # keeps serving reads, so leaving the txn active forever would
+        # leak it -- instead its effects are undone in memory here and the
+        # caller sees the DegradedError (the write is *not* durable).
         if commit:
-            txn.commit()
+            try:
+                txn.commit()
+            except DegradedError:
+                if txn.state is TxnState.ACTIVE:
+                    try:
+                        txn.abort()  # ABORT record is suppressed while degraded
+                    except DegradedError:
+                        pass  # undo already ran; the record is advisory
+                with self._lock:
+                    self.active.pop(txn.txn_id, None)
+                raise
         else:
             txn.abort()
         with self._lock:

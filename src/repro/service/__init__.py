@@ -6,6 +6,10 @@ asyncio TCP server speaking a JSON-lines protocol, per-connection
 prepared-statement state, a shared prepared-plan cache with schema-epoch
 invalidation, and connection admission control -- the gateway that turns
 the embedded engine into a multi-client database (DESIGN.md section 12).
+PR 9 made its operations fault-tolerant: exactly-once write retries via
+per-session dedup journals (:mod:`repro.service.retry`), graceful drain,
+a read-only degraded mode after WAL I/O failures, and supervised
+background workers (DESIGN.md section 13).
 
 Quickstart::
 
@@ -21,6 +25,7 @@ Quickstart::
 """
 
 from .client import AsyncServiceClient, ServiceClient, ServiceError
+from .retry import JournalRegistry, RetryJournal, RetryPolicy
 from .protocol import (
     PROTOCOL_VERSION,
     RemoteResult,
@@ -39,8 +44,11 @@ from .session import Session
 
 __all__ = [
     "AsyncServiceClient",
+    "JournalRegistry",
     "PROTOCOL_VERSION",
     "RemoteResult",
+    "RetryJournal",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",

@@ -48,6 +48,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not start the background materializer daemon",
     )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="graceful-shutdown grace period for in-flight statements",
+    )
+    parser.add_argument(
+        "--no-supervise",
+        action="store_true",
+        help="do not supervise the daemon/checkpointer (crashes stay down)",
+    )
     return parser
 
 
@@ -84,6 +96,8 @@ def main(argv: list[str] | None = None) -> int:
             query_timeout=args.query_timeout or None,
             executor_threads=args.executor_threads,
             checkpoint_interval=args.checkpoint,
+            drain_timeout=args.drain_timeout,
+            supervise=not args.no_supervise,
         ),
     )
     try:

@@ -28,7 +28,12 @@ import json
 import math
 from typing import Any, Iterator, Sequence
 
-PROTOCOL_VERSION = 1
+#: version 2 added fault-tolerant operations: ``rid``/``ack`` request
+#: fields (exactly-once write retries against the per-session dedup
+#: journal), the greeting's ``resume_token``, and the ``resume`` /
+#: ``health`` / ``recover`` ops.  Version-1 clients interoperate
+#: unchanged -- rid-less requests keep the version-1 semantics.
+PROTOCOL_VERSION = 2
 
 #: wire type names per Python runtime type (mirrors SqlType values)
 _TYPE_NAMES = {

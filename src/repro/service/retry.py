@@ -1,0 +1,273 @@
+"""Exactly-once write retries: dedup journal, resume registry, backoff.
+
+The failure a SQL wire protocol cannot hide is the *indeterminate write*:
+the client sent ``INSERT``/``COMMIT``/``load``, the connection (or its
+patience) died before the response arrived, and the statement may or may
+not have applied.  PR 7 answered that honestly -- write timeouts were
+``retryable: false`` with "effects may apply" -- which is correct but
+useless to a client that needs exactly-once effects.
+
+This module makes retrying writes safe:
+
+* Clients stamp every non-read statement with a session-scoped,
+  monotonically increasing **request id** (``rid``).
+* The server keeps a per-session :class:`RetryJournal` mapping
+  rid -> outcome.  A retried rid returns the *recorded* outcome instead of
+  re-executing; a rid whose original attempt is still running on a worker
+  thread waits for it.  Only **successes** are journaled: a statement that
+  failed had no effects (statement-level atomicity), so re-execution is
+  safe and the entry is forgotten.
+* Entries are bounded two ways: the client piggybacks an **acked
+  watermark** (``ack: <highest rid whose response it received>``) on every
+  request, dropping everything at or below it; an LRU ``capacity`` cap is
+  the backstop for clients that never ack.
+* Statements journaled inside an open ``BEGIN`` are flagged; ``ROLLBACK``
+  (or an abort at disconnect) drops them -- their effects were undone, so
+  a post-abort retry must re-execute, not replay a success that no longer
+  holds.  ``COMMIT`` clears the flags.  The journaled ``COMMIT`` itself is
+  the classic case: a commit acknowledged by the journal but lost on the
+  wire must never run twice.
+* Journals survive reconnects: on disconnect the journal is parked in the
+  server's :class:`JournalRegistry` under the session's ``resume_token``
+  (issued in the greeting); a new connection reclaims it with
+  ``{"op": "resume", "token": ...}`` and retries its in-doubt rid.
+
+:class:`RetryPolicy` is the client half: capped exponential backoff with
+jitter for ``busy``/retryable errors and reconnect-with-resume on
+connection loss.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+
+class JournalEntry:
+    """One journaled write attempt (pending until ``done`` is set)."""
+
+    __slots__ = ("rid", "response", "done", "in_txn", "failed", "kind")
+
+    def __init__(self, rid: int):
+        self.rid = rid
+        self.response: dict[str, Any] | None = None
+        #: set when the attempt finished (successfully or not); retries of
+        #: an in-flight rid wait on this instead of re-executing
+        self.done = threading.Event()
+        self.in_txn = False
+        self.failed = False
+        self.kind = "write"
+
+
+class RetryJournal:
+    """Per-session rid -> outcome dedup journal (see module docstring).
+
+    Thread-safe: the event loop checks/creates entries while worker
+    threads record outcomes for statements that outlived their timeout.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = max(1, capacity)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[int, JournalEntry]" = OrderedDict()
+        #: highest rid the client confirmed receiving a response for
+        self.acked = 0
+        self.replays = 0
+        self.evicted = 0
+        self.recorded = 0
+
+    # ------------------------------------------------------------------
+    # the dispatch-side protocol
+    # ------------------------------------------------------------------
+
+    def begin(self, rid: int) -> tuple[JournalEntry | None, bool]:
+        """Look up or create the entry for ``rid``.
+
+        Returns ``(entry, created)``; ``(None, False)`` means the rid is at
+        or below the acked watermark -- the client already confirmed the
+        response, so re-sending it is a protocol violation, not a retry.
+        """
+        with self._lock:
+            if rid <= self.acked:
+                return None, False
+            entry = self._entries.get(rid)
+            if entry is not None:
+                self._entries.move_to_end(rid)
+                return entry, False
+            entry = JournalEntry(rid)
+            self._entries[rid] = entry
+            self._evict_locked()
+            return entry, True
+
+    def finish(
+        self,
+        rid: int,
+        response: dict[str, Any],
+        *,
+        in_txn: bool = False,
+        kind: str = "write",
+    ) -> None:
+        """Record the successful outcome of ``rid`` and wake any waiters."""
+        with self._lock:
+            entry = self._entries.get(rid)
+            if entry is None:  # forgotten (acked/evicted) while running
+                return
+            if kind == "commit":
+                # everything journaled inside the open txn is now durable
+                for other in self._entries.values():
+                    other.in_txn = False
+            elif kind == "rollback":
+                self._drop_open_locked(keep=rid)
+            entry.response = response
+            entry.in_txn = in_txn and kind not in ("commit", "rollback")
+            entry.kind = kind
+            self.recorded += 1
+            entry.done.set()
+
+    def forget(self, rid: int) -> None:
+        """Drop a failed/never-started attempt so a retry re-executes."""
+        with self._lock:
+            entry = self._entries.pop(rid, None)
+            if entry is not None:
+                entry.failed = True
+                entry.done.set()
+
+    def replayed(self, entry: JournalEntry) -> dict[str, Any]:
+        """Count and return a replay copy of a recorded outcome."""
+        with self._lock:
+            self.replays += 1
+        response = dict(entry.response or {})
+        response["replayed"] = True
+        return response
+
+    # ------------------------------------------------------------------
+    # watermarks and transaction boundaries
+    # ------------------------------------------------------------------
+
+    def ack(self, rid: int) -> None:
+        """Client confirmed receiving responses up to ``rid``: drop them."""
+        with self._lock:
+            if rid <= self.acked:
+                return
+            self.acked = rid
+            for key in [k for k in self._entries if k <= rid]:
+                entry = self._entries[key]
+                if entry.done.is_set():
+                    del self._entries[key]
+
+    def rollback_open(self) -> int:
+        """Open transaction aborted: journaled statements inside it are
+        void (their effects were undone), so retries must re-execute."""
+        with self._lock:
+            return self._drop_open_locked()
+
+    def commit_open(self) -> None:
+        """Open transaction committed (by a statement that was not itself
+        journaled): everything journaled inside it is durable now."""
+        with self._lock:
+            for entry in self._entries.values():
+                entry.in_txn = False
+
+    def _drop_open_locked(self, keep: int | None = None) -> int:
+        doomed = [
+            rid
+            for rid, entry in self._entries.items()
+            if entry.in_txn and rid != keep
+        ]
+        for rid in doomed:
+            del self._entries[rid]
+        return len(doomed)
+
+    def _evict_locked(self) -> None:
+        # LRU backstop for clients that never ack; pending entries are
+        # never evicted (a worker thread still owns them)
+        while len(self._entries) > self.capacity:
+            victim = next(
+                (
+                    rid
+                    for rid, entry in self._entries.items()
+                    if entry.done.is_set()
+                ),
+                None,
+            )
+            if victim is None:
+                return
+            del self._entries[victim]
+            self.evicted += 1
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "acked": self.acked,
+                "recorded": self.recorded,
+                "replays": self.replays,
+                "evicted": self.evicted,
+            }
+
+
+class JournalRegistry:
+    """Parked journals of disconnected sessions, keyed by resume token.
+
+    Bounded FIFO: when full, the oldest parked journal is dropped (its
+    client can no longer resume -- the same answer an expired session
+    would give).
+    """
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = max(1, capacity)
+        self._lock = threading.Lock()
+        self._parked: "OrderedDict[str, RetryJournal]" = OrderedDict()
+        self.resumes = 0
+        self.dropped = 0
+
+    def park(self, token: str, journal: RetryJournal) -> None:
+        with self._lock:
+            self._parked[token] = journal
+            self._parked.move_to_end(token)
+            while len(self._parked) > self.capacity:
+                self._parked.popitem(last=False)
+                self.dropped += 1
+
+    def claim(self, token: str) -> RetryJournal | None:
+        with self._lock:
+            journal = self._parked.pop(token, None)
+            if journal is not None:
+                self.resumes += 1
+            return journal
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "parked": len(self._parked),
+                "resumes": self.resumes,
+                "dropped": self.dropped,
+            }
+
+
+@dataclass
+class RetryPolicy:
+    """Client-side retry knobs: capped exponential backoff with jitter.
+
+    ``backoff(attempt, rng)`` returns the pre-retry sleep for the given
+    0-based attempt: ``backoff_base * 2^attempt``, capped at
+    ``backoff_max``, with +/- ``jitter`` (a fraction) of random spread so
+    a thundering herd of retrying clients decorrelates.
+    """
+
+    max_attempts: int = 6
+    #: overall wall-clock budget across attempts (seconds)
+    deadline: float = 30.0
+    backoff_base: float = 0.02
+    backoff_max: float = 1.0
+    jitter: float = 0.5
+    #: also retry initial connection failures (server briefly down/draining)
+    retry_connect: bool = True
+
+    def backoff(self, attempt: int, rng) -> float:
+        base = min(self.backoff_base * (2**attempt), self.backoff_max)
+        if not self.jitter:
+            return base
+        return max(0.0, base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0)))

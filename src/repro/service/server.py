@@ -23,14 +23,34 @@ Concurrency model (DESIGN.md section 12):
 * every statement gets ``query_timeout`` seconds; past that the client
   receives a ``timeout`` error (the worker thread finishes in the
   background -- the engine has no cancellation points -- but its
-  result is discarded).  Only read timeouts advertise ``retryable``:
-  a timed-out write's effects may still apply, so retrying it blindly
-  could double-apply.
+  outcome is captured).  Reads are always retryable; a write stamped
+  with a client ``rid`` is retryable too, because the per-session
+  dedup journal (:mod:`repro.service.retry`) replays the original
+  outcome instead of re-executing.  Only rid-less writes keep the PR 7
+  "effects may apply, do not retry" answer.
+
+Fault tolerance (DESIGN.md section 13):
+
+* **exactly-once writes**: ``rid``/``ack`` request fields + the
+  ``resume`` op reattach a disconnected session's journal, so a retry
+  after a timeout, a killed response, or a reconnect returns the
+  recorded outcome exactly once;
+* **graceful drain**: ``stop()`` closes the listener, gives in-flight
+  statements ``drain_timeout`` seconds to finish, then closes sessions
+  (rolling back open transactions);
+* **degraded mode**: a WAL I/O failure flips the engine read-only
+  (structured ``degraded`` errors for writes, SELECTs keep working);
+  the ``recover`` op / ``\\service recover`` brings it back;
+* **supervision**: with ``ServiceConfig.supervise`` the materializer
+  daemon and the background checkpointer are watched by a
+  :class:`~repro.core.supervisor.Supervisor` (bounded-backoff restart,
+  permanent trip surfaced in the ``health`` op).
 
 Fault injection: the per-connection paths fire ``service.accept``,
-``service.execute`` and ``service.respond`` so tests can kill a session
-at any protocol stage and assert the shared engine stays healthy (no
-leaked latches, no orphaned transactions).
+``service.execute`` and ``service.respond``, and shutdown fires
+``service.drain``, so tests can kill a session at any protocol stage
+and assert the shared engine stays healthy (no leaked latches, no
+orphaned transactions).
 """
 
 from __future__ import annotations
@@ -44,11 +64,13 @@ from typing import Any
 
 from ..core.plan_cache import DEFAULT_PLAN_CACHE_SIZE, PlanCache
 from ..core.sinew import SinewDB
+from ..core.supervisor import PeriodicWorker
 from ..latching import TrackedLock
 from ..rdbms.errors import (
     CatalogError,
     ConcurrencyError,
     DatabaseError,
+    DegradedError,
     ExecutionError,
     PlanningError,
     SemanticError,
@@ -56,7 +78,7 @@ from ..rdbms.errors import (
     TransactionError,
 )
 from ..rdbms.sql.parser import parse
-from ..testing.faults import InjectedFault
+from ..testing.faults import DaemonKilled, InjectedFault
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -65,7 +87,8 @@ from .protocol import (
     encode_message,
     encode_result,
 )
-from .session import Session, is_write_statement
+from .retry import JournalEntry, JournalRegistry
+from .session import Session, is_write_statement, statement_kind
 
 #: map engine exception types to wire error codes; ordered most-specific
 #: first (SemanticError subclasses PlanningError, etc.)
@@ -75,6 +98,7 @@ _ERROR_CODES: tuple[tuple[type[Exception], str], ...] = (
     (PlanningError, "planning"),
     (CatalogError, "catalog"),
     (ConcurrencyError, "concurrency"),
+    (DegradedError, "degraded"),
     (TransactionError, "transaction"),
     (ExecutionError, "execution"),
     (InjectedFault, "injected"),
@@ -84,6 +108,13 @@ _ERROR_CODES: tuple[tuple[type[Exception], str], ...] = (
 
 #: longest SQL fragment echoed back in error payloads
 _SQL_ECHO = 120
+
+
+def _sql_head(sql: str) -> str:
+    """Lowercased first token -- enough to spot COMMIT/ROLLBACK (they are
+    single-token statements) without re-parsing every read."""
+    parts = sql.split(None, 1)
+    return parts[0].lower() if parts else ""
 
 
 def error_code(error: BaseException) -> str:
@@ -122,6 +153,17 @@ class ServiceConfig:
     checkpoint_interval: float | None = None
     #: plan-cache capacity installed on the engine if it has none yet
     plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
+    #: shutdown grace: in-flight statements get this many seconds to
+    #: finish before sessions are closed (open transactions roll back)
+    drain_timeout: float = 5.0
+    #: watch the materializer daemon + checkpointer with a Supervisor
+    #: (bounded-backoff restart; see repro.core.supervisor)
+    supervise: bool = True
+    #: per-session rid -> outcome dedup journal capacity (LRU backstop
+    #: for clients that never ack)
+    journal_capacity: int = 256
+    #: parked journals of disconnected sessions kept for ``resume``
+    resume_capacity: int = 128
     #: extra context merged into the greeting (tests tag servers)
     tags: dict[str, Any] = field(default_factory=dict)
 
@@ -151,7 +193,12 @@ class SinewService:
         self._server: asyncio.AbstractServer | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stopping: asyncio.Event | None = None
-        self._checkpoint_task: asyncio.Task | None = None
+        self._checkpoint_worker: PeriodicWorker | None = None
+        self._owns_supervisor = False
+        self._draining = False
+        self._shutting_down = False
+        #: journals of disconnected sessions, claimable via ``resume``
+        self.journals = JournalRegistry(self.config.resume_capacity)
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=max(1, self.config.executor_threads),
             thread_name_prefix="service-worker",
@@ -171,6 +218,13 @@ class SinewService:
             "protocol_errors": 0,
             "checkpoints": 0,
             "checkpoints_skipped": 0,
+            "journaled": 0,
+            "retries_deduped": 0,
+            "resumes": 0,
+            "drained_clean": 0,
+            "drain_timeouts": 0,
+            "drain_rejected": 0,
+            "recoveries": 0,
         }
 
     # ------------------------------------------------------------------
@@ -185,18 +239,31 @@ class SinewService:
             self._handle_connection, self.config.host, self.config.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        supervisor = None
+        if self.config.supervise:
+            self._owns_supervisor = self.sdb.supervisor is None
+            supervisor = self.sdb.supervise()
         if self.config.checkpoint_interval is not None and self.sdb.db.path is not None:
-            self._checkpoint_task = asyncio.ensure_future(self._checkpoint_loop())
+            self._checkpoint_worker = PeriodicWorker(
+                "checkpointer", self.config.checkpoint_interval, self._checkpoint_tick
+            )
+            self._checkpoint_worker.start()
+            if supervisor is not None:
+                supervisor.add(self._checkpoint_worker)
         self._ready.set()
         try:
             await self._stopping.wait()
+            await self._drain()
         finally:
-            if self._checkpoint_task is not None:
-                self._checkpoint_task.cancel()
-                try:
-                    await self._checkpoint_task
-                except (asyncio.CancelledError, Exception):
-                    pass
+            self._shutting_down = True
+            # stop the supervisor first so it cannot restart the
+            # checkpointer we are about to stop
+            if self._owns_supervisor and self.sdb.supervisor is not None:
+                self.sdb.supervisor.stop()
+                self.sdb.supervisor = None
+                self._owns_supervisor = False
+            if self._checkpoint_worker is not None:
+                self._checkpoint_worker.stop()
             self._server.close()
             await self._server.wait_closed()
             for session in list(self.sessions.values()):
@@ -204,10 +271,42 @@ class SinewService:
             self.sessions.clear()
             self._executor.shutdown(wait=False)
 
+    async def _drain(self) -> None:
+        """Graceful-shutdown phase: stop accepting, let in-flight finish.
+
+        The listener closes first (new connections get refused at the
+        socket), then in-flight statements get ``drain_timeout`` seconds
+        to complete; whatever is still running when the deadline passes
+        is abandoned to the normal teardown path (sessions close, open
+        transactions roll back).  An injected ``service.drain`` raise
+        skips the grace period entirely -- the abrupt-shutdown path
+        chaos schedules exercise.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        try:
+            if self.sdb.faults is not None:
+                self.sdb.faults.fire("service.drain")
+        except InjectedFault:
+            self.counters["drain_timeouts"] += 1
+            return
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + max(0.0, self.config.drain_timeout)
+        while self._inflight > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        if self._inflight > 0:
+            self.counters["drain_timeouts"] += 1
+        else:
+            self.counters["drained_clean"] += 1
+
     def stop(self) -> None:
-        """Request shutdown (safe from any thread)."""
+        """Request shutdown (safe from any thread, idempotent)."""
         if self._loop is not None and self._stopping is not None:
-            self._loop.call_soon_threadsafe(self._stopping.set)
+            try:
+                self._loop.call_soon_threadsafe(self._stopping.set)
+            except RuntimeError:
+                pass  # loop already closed: shutdown has happened
 
     # ------------------------------------------------------------------
     # background-thread hosting (tests, benchmarks, shell \connect)
@@ -289,7 +388,12 @@ class SinewService:
                     return
                 session_id = self._next_session_id
                 self._next_session_id += 1
-                session = Session(session_id, self.sdb, self.write_lock)
+                session = Session(
+                    session_id,
+                    self.sdb,
+                    self.write_lock,
+                    journal_capacity=self.config.journal_capacity,
+                )
                 self.sessions[session_id] = session
             except InjectedFault as error:
                 # admission fault: the connection dies before a session
@@ -305,6 +409,7 @@ class SinewService:
                         "server": "sinew-service",
                         "version": PROTOCOL_VERSION,
                         "session": session.id,
+                        "resume_token": session.resume_token,
                         **({"tags": self.config.tags} if self.config.tags else {}),
                     }
                 )
@@ -321,6 +426,11 @@ class SinewService:
                 # purpose -- an await here could be cancelled at loop
                 # teardown and skip the rollback
                 session.close()
+                # park the journal *after* close: the rollback just
+                # voided any entries journaled inside the open txn, and
+                # the parked copy must reflect that (a resumed retry of
+                # one of those rids re-executes instead of replaying)
+                self.journals.park(session.resume_token, session.journal)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -359,7 +469,12 @@ class SinewService:
                 response["id"] = request_id
             writer.write(encode_message(response))
             await writer.drain()
-            if request.get("op") == "close":
+            if request.get("op") == "close" or self._shutting_down:
+                # during loop teardown a cancellation delivered while the
+                # statement's executor future was completing can be
+                # swallowed by wait_for (it returns the ready result);
+                # without this check the handler would loop back into
+                # readline() uncancelled and hang the loop shutdown
                 return
 
     # ------------------------------------------------------------------
@@ -368,14 +483,42 @@ class SinewService:
 
     async def _dispatch(self, session: Session, request: dict[str, Any]) -> dict[str, Any]:
         op = request.get("op")
+        rid = request.get("rid")
+        ack = request.get("ack")
+        if isinstance(ack, int):
+            # piggybacked watermark: the client saw every response <= ack
+            session.journal.ack(ack)
         try:
+            if self._draining and op not in ("close", "ping", "health"):
+                self.counters["drain_rejected"] += 1
+                return {
+                    "ok": False,
+                    "error": {
+                        "code": "unavailable",
+                        "message": "server is draining; reconnect later",
+                        "retryable": False,
+                        "draining": True,
+                    },
+                }
             if op == "ping":
                 return {"ok": True, "pong": True}
             if op == "query":
                 sql = request.get("sql")
                 if not isinstance(sql, str):
                     raise ProtocolError("'query' needs a string 'sql' field")
+                if isinstance(rid, int):
+                    kind = self._sql_kind(sql)
+                    if kind != "read":
+                        return await self._run_journaled(
+                            session,
+                            rid,
+                            kind,
+                            lambda result: {"ok": True, "result": encode_result(result)},
+                            session.execute_sql,
+                            sql,
+                        )
                 result = await self._run_engine(session, session.execute_sql, sql)
+                self._sync_journal_txn(session, _sql_head(sql))
                 return {"ok": True, "result": encode_result(result)}
             if op == "prepare":
                 name, sql = request.get("name"), request.get("sql")
@@ -387,7 +530,23 @@ class SinewService:
                 name = request.get("name")
                 if not isinstance(name, str):
                     raise ProtocolError("'execute' needs a string 'name' field")
+                prepared = session.prepared.get(name)
+                if isinstance(rid, int) and prepared is not None:
+                    kind = statement_kind(prepared.statement)
+                    if kind != "read":
+                        return await self._run_journaled(
+                            session,
+                            rid,
+                            kind,
+                            lambda result: {"ok": True, "result": encode_result(result)},
+                            session.execute_prepared,
+                            name,
+                        )
                 result = await self._run_engine(session, session.execute_prepared, name)
+                if prepared is not None:
+                    self._sync_journal_txn(
+                        session, statement_kind(prepared.statement)
+                    )
                 return {"ok": True, "result": encode_result(result)}
             if op == "deallocate":
                 name = request.get("name")
@@ -402,10 +561,36 @@ class SinewService:
                         "'load' needs a string 'table' and a list 'documents'"
                     )
                 decoded = [decode_value(document) for document in documents]
+                if isinstance(rid, int):
+                    return await self._run_journaled(
+                        session,
+                        rid,
+                        "write",
+                        lambda report: {"ok": True, **report},
+                        session.load_documents,
+                        table,
+                        decoded,
+                    )
                 report = await self._run_engine(
                     session, session.load_documents, table, decoded
                 )
                 return {"ok": True, **report}
+            if op == "resume":
+                token = request.get("token")
+                if not isinstance(token, str):
+                    raise ProtocolError("'resume' needs a string 'token' field")
+                journal = self.journals.claim(token)
+                if journal is None:
+                    return {"ok": True, "resumed": False, "acked": 0}
+                session.journal = journal
+                self.counters["resumes"] += 1
+                return {"ok": True, "resumed": True, "acked": journal.acked}
+            if op == "health":
+                return {"ok": True, "health": self._health()}
+            if op == "recover":
+                report = await self._run_engine(session, self.sdb.recover_service)
+                self.counters["recoveries"] += 1
+                return {"ok": True, "recover": report}
             if op == "set":
                 key, value = request.get("key"), decode_value(request.get("value"))
                 if not isinstance(key, str):
@@ -460,6 +645,13 @@ class SinewService:
             sql = request.get("sql")
             if isinstance(sql, str):
                 extra["sql"] = sql[:_SQL_ECHO]
+            if isinstance(error, DegradedError):
+                # the write was rejected before any effect; retrying it
+                # verbatim is pointless until an operator runs recover
+                extra["degraded"] = True
+                extra["retryable"] = False
+                if error.reason:
+                    extra["reason"] = error.reason
             return error_payload(error, **extra)
 
     def _timeout_retryable(self, session: Session, request: dict[str, Any]) -> bool:
@@ -468,26 +660,52 @@ class SinewService:
         The engine has no cancellation points: a timed-out statement
         keeps running on its worker thread and its effects (an INSERT's
         autocommit, a COMMIT's WAL flush) may still apply after the
-        client saw the error.  Only reads are idempotent under that
-        regime -- a client that retries a non-idempotent write on
-        ``retryable`` would double-apply it.
+        client saw the error.  Reads are idempotent, so always
+        retryable.  A write is retryable iff the request carried a
+        ``rid``: the journal records the original outcome when the
+        worker finishes, so a retry replays it (or waits for it)
+        instead of double-applying.  Rid-less writes keep the honest
+        "effects may apply, do not retry" answer.
         """
         op = request.get("op")
+        journaled = isinstance(request.get("rid"), int)
         if op == "query":
             sql = request.get("sql")
             if not isinstance(sql, str):
                 return False
             try:
-                return not is_write_statement(parse(sql))
+                write = is_write_statement(parse(sql))
             except Exception:
                 return False
+            return journaled or not write
         if op == "execute":
             name = request.get("name")
             prepared = session.prepared.get(name) if isinstance(name, str) else None
-            return prepared is not None and not is_write_statement(prepared.statement)
+            if prepared is None:
+                return False
+            return journaled or not is_write_statement(prepared.statement)
         if op == "load":
-            return False
+            return journaled
         return True
+
+    def _sql_kind(self, sql: str) -> str:
+        """Journal classification of raw SQL; parse errors fall through
+        to the normal engine path (as ``read``) where they surface as
+        structured syntax errors."""
+        try:
+            return statement_kind(parse(sql))
+        except Exception:
+            return "read"
+
+    def _sync_journal_txn(self, session: Session, kind: str) -> None:
+        """A transaction boundary executed OUTSIDE the journal (no rid):
+        the journal must still learn about it, or entries recorded inside
+        the closed transaction keep the wrong in-txn flag -- a rolled-back
+        write would replay a success whose effects were undone."""
+        if kind == "rollback":
+            session.journal.rollback_open()
+        elif kind == "commit":
+            session.journal.commit_open()
 
     async def _run_engine(self, session: Session, fn: Any, *args: Any) -> Any:
         """Run one engine call on the worker pool with shedding + timeout."""
@@ -509,6 +727,110 @@ class SinewService:
         finally:
             self._inflight -= 1
 
+    async def _run_journaled(
+        self,
+        session: Session,
+        rid: int,
+        kind: str,
+        build: Any,
+        fn: Any,
+        *args: Any,
+    ) -> dict[str, Any]:
+        """Run one rid-stamped write with exactly-once retry semantics.
+
+        The journal handshake happens *before* admission control: a
+        retry of an already-recorded rid replays the outcome without
+        costing an inflight slot, and a retry of a still-running rid
+        waits for the original worker instead of racing a second
+        execution.  The outcome is recorded on the worker thread itself
+        -- after the statement, before the response is sent -- so a
+        statement that outlives its timeout (or whose response dies on
+        the wire) still lands in the journal for the next retry.
+        """
+        journal = session.journal
+        entry, created = journal.begin(rid)
+        if entry is None:
+            return {
+                "ok": False,
+                "error": {
+                    "code": "protocol",
+                    "message": (
+                        f"request id {rid} is at or below the acked "
+                        f"watermark ({journal.acked}); it was already "
+                        f"confirmed delivered"
+                    ),
+                },
+            }
+        if not created:
+            return await self._await_outcome(session, entry)
+        self.counters["journaled"] += 1
+        if self._inflight >= self.config.max_inflight:
+            journal.forget(rid)
+            raise _Busy()
+        if self.sdb.faults is not None:
+            try:
+                self.sdb.faults.fire("service.execute")
+            except BaseException:
+                # pre-execution fault: nothing ran, a retry must re-execute
+                journal.forget(rid)
+                raise
+        self._inflight += 1
+        self.counters["statements"] += 1
+        loop = asyncio.get_running_loop()
+
+        def job() -> dict[str, Any]:
+            try:
+                result = fn(*args)
+            except BaseException:
+                journal.forget(rid)
+                raise
+            response = build(result)
+            journal.finish(
+                rid,
+                response,
+                in_txn=session.db_session.in_transaction,
+                kind=kind,
+            )
+            return response
+
+        try:
+            future = loop.run_in_executor(self._executor, job)
+            if self.config.query_timeout is None:
+                return await future
+            return await asyncio.wait_for(future, self.config.query_timeout)
+        finally:
+            self._inflight -= 1
+
+    async def _await_outcome(
+        self, session: Session, entry: JournalEntry
+    ) -> dict[str, Any]:
+        """A retried rid: replay the recorded outcome, or wait for the
+        original attempt still running on its worker thread."""
+        if entry.response is None and not entry.failed:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None, entry.done.wait, self.config.query_timeout
+            )
+        if entry.failed:
+            # the original attempt errored (no effects, statement-level
+            # atomicity) or was aborted before starting: safe to re-send
+            return {
+                "ok": False,
+                "error": {
+                    "code": "retry",
+                    "message": (
+                        "the original attempt of this request failed "
+                        "before completing; retry"
+                    ),
+                    "retryable": True,
+                },
+            }
+        if entry.response is None:
+            # still running past another full timeout budget
+            raise asyncio.TimeoutError()
+        self.counters["retries_deduped"] += 1
+        return session.journal.replayed(entry)
+
     def _status(self) -> dict[str, Any]:
         engine = self.sdb.status()
         payload = {
@@ -517,7 +839,9 @@ class SinewService:
                 "max_sessions": self.config.max_sessions,
                 "inflight": self._inflight,
                 "max_inflight": self.config.max_inflight,
+                "draining": self._draining,
                 "counters": dict(self.counters),
+                "journals": self.journals.stats(),
             },
             "engine": engine,
         }
@@ -525,31 +849,68 @@ class SinewService:
         # JSON once so the wire frame never hits an unencodable object
         return json.loads(json.dumps(payload, default=str))
 
+    def _health(self) -> dict[str, Any]:
+        """Cheap liveness summary (the ``health`` op; no engine latches).
+
+        Unlike ``status`` this stays answerable while the engine is
+        degraded or draining -- it reads flags and counters only.
+        """
+        wal = self.sdb.db.wal
+        daemon = self.sdb.daemon
+        supervisor = self.sdb.supervisor
+        degraded = bool(wal.durable and wal.degraded)
+        status = "ok"
+        if degraded:
+            status = "degraded"
+        if self._draining:
+            status = "draining"
+        checkpointer = self._checkpoint_worker
+        return {
+            "status": status,
+            "draining": self._draining,
+            "degraded": degraded,
+            "degraded_reason": wal.degraded_reason if wal.durable else None,
+            "sessions": len(self.sessions),
+            "inflight": self._inflight,
+            "daemon": {
+                "state": daemon.state,
+                "alive": daemon.is_alive(),
+                "last_error": daemon.last_error,
+                "last_error_at": daemon.last_error_at,
+            },
+            "checkpointer": None
+            if checkpointer is None
+            else {
+                "state": checkpointer.state,
+                "ticks": checkpointer.ticks,
+                "last_error": checkpointer.last_error,
+            },
+            "supervisor": None if supervisor is None else supervisor.status(),
+            "tripped": [] if supervisor is None else supervisor.tripped(),
+        }
+
     # ------------------------------------------------------------------
-    # background checkpointer
+    # background checkpointer (a supervisable PeriodicWorker)
     # ------------------------------------------------------------------
 
-    async def _checkpoint_loop(self) -> None:
-        assert self.config.checkpoint_interval is not None
-        loop = asyncio.get_running_loop()
-        while True:
-            await asyncio.sleep(self.config.checkpoint_interval)
-            # cheap pre-check without the latch: skip the executor round
-            # trip while a session transaction is visibly open
-            if self.sdb.db.txn_manager.active:
-                self.counters["checkpoints_skipped"] += 1
-                continue
-            try:
-                done = await loop.run_in_executor(
-                    self._executor, self._checkpoint_once
-                )
-            except asyncio.CancelledError:
-                raise
-            except Exception:
-                self.counters["checkpoints_skipped"] += 1
-            else:
-                key = "checkpoints" if done else "checkpoints_skipped"
-                self.counters[key] += 1
+    def _checkpoint_tick(self) -> None:
+        # cheap pre-checks without the latch: skip the latched round
+        # trip while a session transaction is visibly open, and never
+        # try to checkpoint a degraded WAL (it cannot fsync)
+        if self.sdb.db.txn_manager.active or self.sdb.db.wal.degraded:
+            self.counters["checkpoints_skipped"] += 1
+            return
+        try:
+            done = self._checkpoint_once()
+        except DaemonKilled:
+            # injected crash: escape so the worker freezes and the
+            # supervisor's restart/trip machinery takes over
+            raise
+        except Exception:
+            self.counters["checkpoints_skipped"] += 1
+        else:
+            key = "checkpoints" if done else "checkpoints_skipped"
+            self.counters[key] += 1
 
     def _checkpoint_once(self) -> bool:
         # Under the write latch: DML *and* transaction control (BEGIN/

@@ -20,6 +20,7 @@ check-then-snapshot window -- all three hold the write latch.
 
 from __future__ import annotations
 
+import secrets
 import time
 from dataclasses import dataclass
 from typing import Any, Mapping
@@ -42,6 +43,7 @@ from ..rdbms.sql.ast import (
     UpdateStatement,
 )
 from ..rdbms.sql.parser import parse
+from .retry import RetryJournal
 
 #: statement classes that mutate heap or catalog state and therefore
 #: serialize on the service write latch
@@ -80,6 +82,24 @@ def is_write_statement(statement: Statement) -> bool:
     return isinstance(statement, _WRITE_STATEMENTS + _TXN_STATEMENTS)
 
 
+def statement_kind(statement: Statement) -> str:
+    """Classify a statement for the retry journal.
+
+    ``commit``/``rollback`` drive the journal's transaction-boundary
+    bookkeeping; ``begin``/``write`` are journaled plainly; ``read`` is
+    never journaled (re-execution is idempotent).
+    """
+    if isinstance(statement, CommitStatement):
+        return "commit"
+    if isinstance(statement, RollbackStatement):
+        return "rollback"
+    if isinstance(statement, BeginStatement):
+        return "begin"
+    if isinstance(statement, _WRITE_STATEMENTS):
+        return "write"
+    return "read"
+
+
 @dataclass
 class PreparedStatement:
     """One named, session-scoped statement (``prepare``/``execute`` ops).
@@ -107,11 +127,17 @@ class Session:
         session_id: int,
         sdb: SinewDB,
         write_lock: TrackedLock,
+        journal_capacity: int = 256,
     ):
         self.id = session_id
         self.sdb = sdb
         self._write_lock = write_lock
         self.db_session: DbSession = sdb.create_session(f"session-{session_id}")
+        #: rid -> outcome dedup journal (exactly-once write retries); on
+        #: disconnect the server parks it under ``resume_token`` so a
+        #: reconnecting client can claim it back and retry in-doubt writes
+        self.journal = RetryJournal(journal_capacity)
+        self.resume_token = secrets.token_hex(8)
         self.prepared: dict[str, PreparedStatement] = {}
         self.settings: dict[str, Any] = {
             "use_extraction_cache": None,
@@ -145,7 +171,15 @@ class Session:
             return self.sdb.query(sql, **kwargs)
         if is_write_statement(statement):
             with self._write_lock:
-                return self.sdb.query(sql, **kwargs)
+                result = self.sdb.query(sql, **kwargs)
+                if self.closed and self.db_session.in_transaction:
+                    # this statement outlived its connection: close()
+                    # already ran (it serialized on the write latch ahead
+                    # of us), so a BEGIN landing now would leak an open
+                    # transaction nobody can ever finish -- abort it here,
+                    # still under the latch
+                    self.sdb.db.abort_session(self.db_session)
+                return result
         # ANALYZE / EXPLAIN etc.: read-only over shared state
         return self.sdb.query(sql, **kwargs)
 
@@ -217,6 +251,9 @@ class Session:
             # statement still finishing on a worker thread)
             with self._write_lock:
                 rolled_back = self.sdb.db.abort_session(self.db_session)
+            if rolled_back:
+                # journaled successes inside the aborted txn are void now
+                self.journal.rollback_open()
             self.prepared.clear()
         return {"rolled_back": rolled_back, "statements": self.statements}
 
@@ -229,4 +266,5 @@ class Session:
             "prepared": sorted(self.prepared),
             "settings": dict(self.settings),
             "age_seconds": time.monotonic() - self.created_at,
+            "journal": self.journal.stats(),
         }

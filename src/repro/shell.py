@@ -25,8 +25,13 @@ Meta-commands
 ``\\catalog``        reflect + dump the attribute dictionary
 ``\\connect H:P``    switch to remote mode against a running
                     ``python -m repro.service`` server; SQL, ``\\c`` and
-                    ``\\load`` then run over the wire in this session
+                    ``\\load`` then run over the wire in this session,
+                    with automatic retries (exactly-once writes via the
+                    service's request-id journal)
 ``\\disconnect``     leave remote mode (back to the embedded instance)
+``\\service [CMD]``  fault-tolerance operations: status (default) shows
+                    health/degraded/supervisor state; ``recover`` brings
+                    a degraded engine back and resets tripped workers
 ``\\q``              quit
 ==================  ====================================================
 
@@ -46,6 +51,7 @@ from .core import SinewConfig, SinewDB
 from .harness.tables import format_table
 from .rdbms.errors import DatabaseError, SemanticError
 from .service.client import ServiceClient, ServiceError
+from .service.retry import RetryPolicy
 
 
 class SinewShell:
@@ -138,6 +144,9 @@ class SinewShell:
             self._require(arguments, 2, "\\load NAME FILE")
             self._load(arguments[0], arguments[1])
             return
+        if command == "\\service":
+            self._service(arguments)
+            return
         if self.remote is not None and command not in ("\\d",):
             self._print(
                 f"{command} is a local meta-command; \\disconnect first "
@@ -224,7 +233,7 @@ class SinewShell:
         self._print(
             f"unknown meta-command {command!r}; "
             "try \\d, \\c, \\load, \\lint, \\analyze, \\check, \\daemon, \\wal, "
-            "\\connect, \\q"
+            "\\service, \\connect, \\q"
         )
 
     def _lint_engine(self) -> None:
@@ -269,6 +278,72 @@ class SinewShell:
             return
         for line in daemon.status().lines():
             self._print(line)
+
+    def _service(self, arguments: list[str]) -> None:
+        """``\\service [status|recover]`` -- fault-tolerance operations."""
+        action = arguments[0] if arguments else "status"
+        if action == "recover":
+            if self.remote is not None:
+                report = self.remote.recover()
+            else:
+                report = self.sdb.recover_service()
+            self._print(
+                f"recovered: {report.get('recovered')}  "
+                f"degraded: {report.get('degraded')}"
+            )
+            if report.get("last_io_error"):
+                self._print(f"  last_io_error: {report['last_io_error']}")
+            return
+        if action != "status":
+            self._print("usage: \\service [status|recover]")
+            return
+        if self.remote is not None:
+            health = self.remote.health()
+            self._print(
+                f"service: {health['status']}  sessions: {health['sessions']}  "
+                f"inflight: {health['inflight']}"
+            )
+            daemon = health.get("daemon") or {}
+            line = f"  daemon: {daemon.get('state')}"
+            if daemon.get("last_error"):
+                line += f" (last error: {daemon['last_error']})"
+            self._print(line)
+            if health.get("degraded"):
+                self._print(f"  degraded: {health.get('degraded_reason')}")
+            supervisor = health.get("supervisor") or {}
+            for name, info in supervisor.items():
+                self._print(
+                    f"  supervisor[{name}]: restarts={info['restarts']} "
+                    f"failures={info['consecutive_failures']} "
+                    f"tripped={info['tripped']}"
+                )
+            for name in health.get("tripped") or []:
+                self._print(f"  TRIPPED: {name} (\\service recover to reset)")
+            return
+        wal = self.sdb.db.wal
+        degraded = bool(wal.durable and wal.degraded)
+        self._print(f"engine: {'degraded' if degraded else 'ok'}")
+        if degraded:
+            self._print(f"  degraded: {wal.degraded_reason}")
+        daemon_status = self.sdb.daemon.status()
+        self._print(
+            f"  daemon: {daemon_status.state}"
+            + (
+                f" (last error: {daemon_status.last_error})"
+                if daemon_status.last_error
+                else ""
+            )
+        )
+        supervisor = self.sdb.supervisor
+        if supervisor is None:
+            self._print("  supervisor: (not running)")
+            return
+        for name, info in supervisor.status().items():
+            self._print(
+                f"  supervisor[{name}]: restarts={info['restarts']} "
+                f"failures={info['consecutive_failures']} "
+                f"tripped={info['tripped']}"
+            )
 
     def _wal(self, arguments: list[str]) -> None:
         """``\\wal [status|checkpoint]`` -- default status."""
@@ -335,11 +410,18 @@ class SinewShell:
             raise DatabaseError("usage: \\connect HOST:PORT")
         if self.remote is not None:
             self._disconnect(silent=True)
-        self.remote = ServiceClient(host, int(port_text))
+        self.remote = ServiceClient(
+            host,
+            int(port_text),
+            connect_timeout=5.0,
+            read_timeout=60.0,
+            retry=RetryPolicy(),
+        )
         self._print(
             f"connected to {address} "
             f"(session {self.remote.session_id}, "
-            f"protocol v{self.remote.greeting.get('version')})"
+            f"protocol v{self.remote.greeting.get('version')}, "
+            f"retries on)"
         )
 
     def _disconnect(self, silent: bool = False) -> None:

@@ -71,6 +71,8 @@ _KNOWN_POINTS: set[str] = {
     "wal.append",             # before a record is framed and written
     "wal.fsync",              # before the fsync barrier lands
     "wal.torn_write",         # before a COMMIT frame; a raise tears it in half
+    "wal.io_error",           # disk I/O sites; arm with exception=OSError to
+                              # flip degraded mode (context: op=append|fsync|recover)
     # checkpointer (repro.rdbms.database / transactions)
     "checkpoint.pages",       # WAL rotated, heap snapshot not yet taken
     "checkpoint.catalog",     # heap snapshot taken, catalog blob not yet added
@@ -81,6 +83,9 @@ _KNOWN_POINTS: set[str] = {
     "service.accept",         # connection admitted, session not yet created
     "service.execute",        # request decoded, statement not yet executed
     "service.respond",        # statement done, response not yet written
+    "service.drain",          # stop requested, drain phase not yet started
+    # daemon supervision (repro.core.supervisor)
+    "supervisor.restart",     # crash detected, restart not yet attempted
 }
 
 

@@ -1,0 +1,160 @@
+"""Degraded (read-only) mode: WAL I/O failures and the recovery path.
+
+An ``OSError`` from a WAL append or fsync must not crash the server or
+corrupt the engine: the service flips read-only, rejects writes with a
+structured ``degraded`` error, keeps serving reads, and comes back via
+``recover`` (the ``\\service recover`` wire op) once the disk behaves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SinewConfig, SinewDB
+from repro.rdbms.errors import DegradedError
+from repro.service import ServiceClient, ServiceConfig, ServiceError, SinewService
+from repro.testing.faults import FaultInjector
+
+
+@pytest.fixture
+def harness(tmp_path):
+    sdb = SinewDB.open(tmp_path / "db", "degraded-test", SinewConfig())
+    injector = FaultInjector()
+    sdb.attach_faults(injector)
+    service = SinewService(sdb, ServiceConfig(port=0))
+    service.start_in_thread()
+    yield sdb, injector, service
+    service.stop_in_thread()
+    injector.reset()
+    sdb.attach_faults(None)
+    sdb.close()
+
+
+def connect(service, **kwargs) -> ServiceClient:
+    return ServiceClient("127.0.0.1", service.port, **kwargs)
+
+
+def force_degraded(sdb, injector, client, op="append"):
+    """Arm one WAL I/O failure and trip it with a write."""
+    injector.plan("wal.io_error", exception=OSError, where={"op": op})
+    with pytest.raises(ServiceError) as info:
+        client.query("INSERT INTO docs (a) VALUES (99)")
+    assert sdb.db.wal.degraded
+    return info.value
+
+
+class TestDegradedMode:
+    def test_wal_append_failure_flips_read_only(self, harness):
+        sdb, injector, service = harness
+        with connect(service) as client:
+            client.execute("CREATE TABLE docs (a INTEGER)")
+            client.execute("INSERT INTO docs (a) VALUES (1)")
+            error = force_degraded(sdb, injector, client)
+            assert error.code == "degraded"
+            assert error.payload["degraded"] is True
+            assert error.payload["retryable"] is False
+            assert error.payload["reason"]
+            assert sdb.db.wal.last_io_error.startswith("append:")
+            # the failed write's effects did not land
+            assert client.query("SELECT a FROM docs").rows == [(1,)]
+
+    def test_reads_keep_working_while_degraded(self, harness):
+        sdb, injector, service = harness
+        with connect(service) as client:
+            client.execute("CREATE TABLE docs (a INTEGER)")
+            client.execute("INSERT INTO docs (a) VALUES (1)")
+            force_degraded(sdb, injector, client)
+            assert client.query("SELECT a FROM docs").rows == [(1,)]
+            # and so do other sessions' reads
+            with connect(service) as other:
+                assert other.query("SELECT COUNT(*) FROM docs").scalar() == 1
+
+    def test_further_writes_stay_rejected_until_recover(self, harness):
+        sdb, injector, service = harness
+        with connect(service) as client:
+            client.execute("CREATE TABLE docs (a INTEGER)")
+            force_degraded(sdb, injector, client)
+            for _ in range(2):
+                with pytest.raises(ServiceError) as info:
+                    client.query("INSERT INTO docs (a) VALUES (2)")
+                assert info.value.code == "degraded"
+
+    def test_recover_op_restores_writes(self, harness):
+        sdb, injector, service = harness
+        with connect(service) as client:
+            client.execute("CREATE TABLE docs (a INTEGER)")
+            force_degraded(sdb, injector, client)
+            injector.reset()  # the disk is healthy again
+            report = client.recover()
+            assert report["recovered"] is True
+            assert report["degraded"] is False
+            assert not sdb.db.wal.degraded
+            client.query("INSERT INTO docs (a) VALUES (2)")
+            assert client.query("SELECT COUNT(*) FROM docs").scalar() == 1
+        assert service.counters["recoveries"] == 1
+
+    def test_health_reports_degraded_state(self, harness):
+        sdb, injector, service = harness
+        with connect(service) as client:
+            client.execute("CREATE TABLE docs (a INTEGER)")
+            healthy = client.health()
+            assert healthy["status"] == "ok"
+            assert healthy["degraded"] is False
+            force_degraded(sdb, injector, client)
+            sick = client.health()
+            assert sick["status"] == "degraded"
+            assert sick["degraded"] is True
+            assert sick["degraded_reason"]
+
+    def test_fsync_failure_also_degrades(self, harness):
+        sdb, injector, service = harness
+        with connect(service) as client:
+            client.execute("CREATE TABLE docs (a INTEGER)")
+            error = force_degraded(sdb, injector, client, op="fsync")
+            assert error.code == "degraded"
+            assert sdb.db.wal.last_io_error.startswith("fsync:")
+
+    def test_degraded_episode_leaves_no_engine_debris(self, harness):
+        sdb, injector, service = harness
+        with connect(service) as client:
+            client.execute("CREATE TABLE docs (a INTEGER)")
+            force_degraded(sdb, injector, client)
+        assert not sdb.db.txn_manager.active
+        assert sdb.catalog.latch_owner is None
+        assert not service.write_lock.locked()
+
+    def test_recover_while_healthy_is_a_noop(self, harness):
+        _, _, service = harness
+        with connect(service) as client:
+            report = client.recover()
+            assert report["recovered"] is True
+            assert report["degraded"] is False
+
+
+class TestEmbeddedRecover:
+    def test_recover_service_embedded(self, tmp_path):
+        sdb = SinewDB.open(tmp_path / "db", "embedded", SinewConfig())
+        injector = FaultInjector()
+        sdb.attach_faults(injector)
+        try:
+            sdb.query("CREATE TABLE docs (a INTEGER)")
+            injector.plan("wal.io_error", exception=OSError, where={"op": "append"})
+            with pytest.raises(DegradedError):
+                sdb.query("INSERT INTO docs (a) VALUES (1)")
+            assert sdb.db.wal.degraded
+            injector.reset()
+            report = sdb.recover_service()
+            assert report["recovered"] is True and not sdb.db.wal.degraded
+            sdb.query("INSERT INTO docs (a) VALUES (1)")
+            assert sdb.query("SELECT COUNT(*) FROM docs").scalar() == 1
+        finally:
+            sdb.attach_faults(None)
+            sdb.close()
+
+    def test_in_memory_wal_never_degrades(self):
+        sdb = SinewDB("volatile")
+        try:
+            report = sdb.recover_service()
+            assert report["recovered"] is True
+        finally:
+            sdb.close()

@@ -185,9 +185,10 @@ class TestAdmissionControl:
         sdb.attach_faults(None)
 
     def test_timeout_retryable_classification(self, sdb):
-        # only reads are idempotent under a timeout (the engine has no
-        # cancellation points, so a timed-out statement's effects may
-        # still apply); everything else must not advertise retryable
+        # without a rid, only reads are idempotent under a timeout (the
+        # engine has no cancellation points, so a timed-out statement's
+        # effects may still apply); a rid-stamped write is journaled, so
+        # retrying it dedups server-side and is therefore safe
         from repro.service.session import Session
 
         service = SinewService(sdb, ServiceConfig(port=0))
@@ -210,6 +211,18 @@ class TestAdmissionControl:
             assert retryable({"op": "execute", "name": "r"})
             assert not retryable({"op": "execute", "name": "w"})
             assert not retryable({"op": "execute", "name": "missing"})
+            # rid-stamped writes flip to retryable (journal dedups them)
+            assert retryable(
+                {"op": "query", "sql": "INSERT INTO docs (a) VALUES (1)", "rid": 1}
+            )
+            assert retryable({"op": "query", "sql": "COMMIT", "rid": 2})
+            assert retryable({"op": "execute", "name": "w", "rid": 3})
+            assert retryable(
+                {"op": "load", "table": "docs", "documents": [], "rid": 4}
+            )
+            # but a rid can't make the unparseable or the unknown safe
+            assert not retryable({"op": "query", "sql": "not even sql", "rid": 5})
+            assert not retryable({"op": "execute", "name": "missing", "rid": 6})
         finally:
             service._executor.shutdown(wait=False)
 

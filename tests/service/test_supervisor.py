@@ -1,0 +1,268 @@
+"""Daemon supervision: crash detection, bounded restarts, tripping.
+
+Unit tests drive :class:`Supervisor` with stub workers for deterministic
+policy coverage; integration tests crash the real materializer daemon
+under a supervised service and watch it come back (and its crash surface
+in ``status()`` / ``\\daemon`` / health).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import SinewConfig, SinewDB
+from repro.rdbms.types import SqlType
+from repro.core.supervisor import (
+    PeriodicWorker,
+    Supervisor,
+    SupervisorPolicy,
+)
+from repro.service import ServiceClient, ServiceConfig, SinewService
+from repro.testing.faults import FaultInjector
+
+
+def wait_until(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+FAST = SupervisorPolicy(
+    backoff_base=0.01, backoff_max=0.05, max_restarts=3, stability_window=0.2,
+    poll_interval=0.005,
+)
+
+
+class StubWorker:
+    """Duck-typed supervised worker with a scriptable crash state."""
+
+    def __init__(self, name="stub", fail_restarts=0):
+        self.name = name
+        self.down = False
+        self.restarts = 0
+        self._fail_restarts = fail_restarts
+
+    def crashed(self) -> bool:
+        return self.down
+
+    def restart(self) -> None:
+        if self._fail_restarts > 0:
+            self._fail_restarts -= 1
+            raise RuntimeError("restart refused")
+        self.restarts += 1
+        self.down = False
+
+    def describe_error(self) -> str | None:
+        return "stub crash" if self.down else None
+
+
+class TestSupervisorPolicy:
+    def test_restarts_a_crashed_worker(self):
+        worker = StubWorker()
+        supervisor = Supervisor(FAST)
+        supervisor.add(worker)
+        supervisor.start()
+        try:
+            worker.down = True
+            assert wait_until(lambda: worker.restarts == 1)
+            status = supervisor.status()["stub"]
+            assert status["restarts"] == 1
+            assert not status["tripped"]
+        finally:
+            supervisor.stop()
+
+    def test_trips_after_budget_exhausted(self):
+        # a worker whose restart always fails burns one failure per
+        # attempt; past max_restarts the supervisor stops touching it
+        worker = StubWorker(fail_restarts=99)
+        supervisor = Supervisor(FAST)
+        supervisor.add(worker)
+        supervisor.start()
+        try:
+            worker.down = True
+            assert wait_until(lambda: supervisor.tripped() == ["stub"])
+            assert worker.restarts == 0
+            status = supervisor.status()["stub"]
+            assert status["tripped"]
+            assert "restart refused" in status["last_error"]
+            # tripped means *left alone*: give it time to prove it
+            time.sleep(0.1)
+            assert worker.restarts == 0
+        finally:
+            supervisor.stop()
+
+    def test_reset_untrips_and_restores_budget(self):
+        worker = StubWorker(fail_restarts=99)
+        supervisor = Supervisor(FAST)
+        supervisor.add(worker)
+        supervisor.start()
+        try:
+            worker.down = True
+            assert wait_until(lambda: supervisor.tripped() == ["stub"])
+            worker._fail_restarts = 0  # the underlying condition is fixed
+            supervisor.reset()
+            assert wait_until(lambda: worker.restarts >= 1)
+            assert supervisor.tripped() == []
+        finally:
+            supervisor.stop()
+
+    def test_stability_window_resets_failure_budget(self):
+        worker = StubWorker()
+        supervisor = Supervisor(FAST)
+        supervisor.add(worker)
+        supervisor.start()
+        try:
+            # two crash/restart cycles, each followed by a stretch of
+            # healthy uptime longer than the stability window
+            for expected in (1, 2):
+                worker.down = True
+                assert wait_until(lambda: worker.restarts == expected)
+                time.sleep(FAST.stability_window * 2)
+            assert supervisor.status()["stub"]["consecutive_failures"] == 0
+        finally:
+            supervisor.stop()
+
+    def test_restart_faults_count_against_the_budget(self):
+        # the supervisor.restart injection point makes restarts fail,
+        # driving the trip logic from the outside
+        worker = StubWorker()
+        injector = FaultInjector()
+        supervisor = Supervisor(FAST, faults_provider=lambda: injector)
+        supervisor.add(worker)
+        supervisor.start()
+        try:
+            injector.plan("supervisor.restart", "raise", count=None)
+            worker.down = True
+            assert wait_until(lambda: supervisor.tripped() == ["stub"])
+            assert worker.restarts == 0
+            injector.reset()
+            supervisor.reset()
+            assert wait_until(lambda: worker.restarts == 1)
+        finally:
+            supervisor.stop()
+
+
+class TestPeriodicWorker:
+    def test_ticks_and_stops(self):
+        worker = PeriodicWorker("ticker", 0.01, lambda: None)
+        worker.start()
+        assert wait_until(lambda: worker.ticks >= 3)
+        worker.stop()
+        assert worker.state == "stopped"
+        assert not worker.is_alive()
+
+    def test_escaping_exception_crashes_the_worker(self):
+        def tick():
+            raise ValueError("tick went bad")
+
+        worker = PeriodicWorker("crasher", 0.01, tick)
+        worker.start()
+        assert wait_until(worker.crashed)
+        assert worker.state == "crashed"
+        assert "tick went bad" in worker.last_error
+        assert worker.last_error_at is not None
+
+    def test_supervisor_restarts_a_crashed_periodic_worker(self):
+        crashes = {"left": 1}
+
+        def tick():
+            if crashes["left"] > 0:
+                crashes["left"] -= 1
+                raise ValueError("transient")
+
+        worker = PeriodicWorker("flaky", 0.01, tick)
+        worker.start()
+        supervisor = Supervisor(FAST)
+        supervisor.add(worker)
+        supervisor.start()
+        try:
+            assert wait_until(lambda: worker.ticks >= 2)
+            assert supervisor.status()["flaky"]["restarts"] == 1
+        finally:
+            supervisor.stop()
+            worker.stop()
+
+
+class TestSupervisedDaemon:
+    def test_daemon_crash_is_restarted_under_service(self):
+        sdb = SinewDB("supervised", config=SinewConfig(daemon_idle_sleep=0.002))
+        injector = FaultInjector()
+        sdb.attach_faults(injector)
+        sdb.start_daemon()
+        # tighten the restart cadence before the service builds its own
+        sdb.supervise(FAST)
+        service = SinewService(sdb, ServiceConfig(port=0))
+        service.start_in_thread()
+        try:
+            with ServiceClient("127.0.0.1", service.port) as client:
+                client.load("docs", [{"a": index} for index in range(8)])
+                injector.kill_at("daemon.before_step")
+                sdb.materialize("docs", "a", SqlType.INTEGER)  # queue daemon work
+                assert wait_until(
+                    lambda: sdb.supervisor.status()["materializer"]["restarts"] >= 1
+                )
+                assert wait_until(lambda: sdb.daemon.is_alive())
+                # the restarted daemon finishes the materialization pass
+                assert wait_until(lambda: sdb.daemon.status().idle)
+            status = sdb.status()
+            assert status["supervisor"]["materializer"]["restarts"] >= 1
+        finally:
+            injector.reset()
+            service.stop_in_thread()
+            sdb.attach_faults(None)
+            sdb.close()
+
+    def test_unsupervised_daemon_stays_crashed(self):
+        # the embedded freeze-on-crash contract is untouched when nobody
+        # calls supervise()
+        sdb = SinewDB("frozen", config=SinewConfig(daemon_idle_sleep=0.002))
+        injector = FaultInjector()
+        sdb.attach_faults(injector)
+        sdb.start_daemon()
+        try:
+            sdb.create_collection("docs")
+            sdb.load("docs", [{"a": index} for index in range(8)])
+            injector.kill_at("daemon.before_step")
+            sdb.materialize("docs", "a", SqlType.INTEGER)
+            assert wait_until(lambda: sdb.daemon.state == "crashed")
+            time.sleep(0.1)
+            assert sdb.daemon.state == "crashed"
+            assert sdb.supervisor is None
+        finally:
+            injector.reset()
+            sdb.attach_faults(None)
+            sdb.close()
+
+    def test_health_carries_daemon_crash_details(self):
+        sdb = SinewDB("visible", config=SinewConfig(daemon_idle_sleep=0.002))
+        injector = FaultInjector()
+        sdb.attach_faults(injector)
+        sdb.start_daemon()
+        # no supervision: the crash must stay visible, not get repaired
+        service = SinewService(sdb, ServiceConfig(port=0, supervise=False))
+        service.start_in_thread()
+        try:
+            with ServiceClient("127.0.0.1", service.port) as client:
+                client.load("docs", [{"a": index} for index in range(8)])
+                injector.kill_at("daemon.before_step")
+                sdb.materialize("docs", "a", SqlType.INTEGER)
+                assert wait_until(lambda: sdb.daemon.state == "crashed")
+                health = client.health()
+                daemon = health["daemon"]
+                assert daemon["state"] == "crashed"
+                assert daemon["last_error"]
+                assert daemon["last_error_at"] is not None
+                # and the engine-side status block agrees
+                status = sdb.status()["daemon"]
+                assert status["state"] == "crashed"
+                assert status["last_error"]
+        finally:
+            injector.reset()
+            service.stop_in_thread()
+            sdb.attach_faults(None)
+            sdb.close()
