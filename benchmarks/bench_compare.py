@@ -1,0 +1,154 @@
+"""Render a markdown comparison of a bench snapshot against the baseline.
+
+Reads the schema-2 snapshot written by :mod:`run_bench_gate` plus the
+committed ``benchmarks/baseline.json`` and emits a markdown report: one
+table per lane (wall seconds baseline vs snapshot with the ratio, plus
+the extraction-access signature) and a Figure 6 speedup summary.  CI
+appends the output to ``$GITHUB_STEP_SUMMARY`` so every PR shows the
+numbers without downloading the artifact.
+
+This script never fails the build -- it is reporting only; the pass/fail
+decision belongs to :mod:`check_bench_gate`.
+
+Usage::
+
+    python benchmarks/bench_compare.py \
+        --snapshot benchmarks/results/BENCH_PR10.json \
+        --baseline benchmarks/baseline.json \
+        --output "$GITHUB_STEP_SUMMARY"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from check_bench_gate import _iter_entries
+
+
+def _accesses(entry: dict) -> str:
+    counters = entry["counters"]
+    headers = counters["header_decodes"] + counters["header_cache_hits"]
+    subdocs = counters["subdoc_decodes"] + counters["subdoc_cache_hits"]
+    return f"{counters['udf_calls']}/{headers}/{subdocs}"
+
+
+def _ratio(base: float, snap: float) -> str:
+    if not base:
+        return "n/a"
+    return f"{snap / base:.2f}x"
+
+
+def render(snapshot: dict, baseline: dict) -> str:
+    lines: list[str] = ["## Bench gate comparison", ""]
+    lines.append(
+        f"Snapshot: python {snapshot.get('python')}, "
+        f"scale {snapshot.get('repro_scale')}, "
+        f"{snapshot.get('effective_cpu_count')} effective cpu(s). "
+        f"Baseline: python {baseline.get('python')}, "
+        f"scale {baseline.get('repro_scale')}."
+    )
+    lines.append("")
+
+    if snapshot.get("schema") != baseline.get("schema"):
+        lines.append(
+            f"**Schema mismatch** (snapshot {snapshot.get('schema')} vs "
+            f"baseline {baseline.get('schema')}) -- no comparison possible."
+        )
+        return "\n".join(lines) + "\n"
+
+    for lane, snap_config in snapshot.get("lanes", {}).items():
+        base_config = baseline.get("lanes", {}).get(lane)
+        if base_config is None:
+            lines.append(f"### lane={lane} (no baseline data)")
+            lines.append("")
+            continue
+        base_entries = dict(_iter_entries(base_config))
+        snap_entries = dict(_iter_entries(snap_config))
+        lines.append(
+            f"### lane={lane} (workers={snap_config.get('workers')})"
+        )
+        lines.append("")
+        lines.append(
+            "| query | rows | wall base (s) | wall now (s) | ratio "
+            "| udf/header/subdoc accesses |"
+        )
+        lines.append("|---|---|---|---|---|---|")
+        for label in sorted(base_entries, key=_label_key):
+            base_entry = base_entries[label]
+            snap_entry = snap_entries.get(label)
+            if snap_entry is None:
+                lines.append(f"| {label} | missing from snapshot | | | | |")
+                continue
+            rows = str(snap_entry["rows"])
+            if snap_entry["rows"] != base_entry["rows"]:
+                rows = f"**{snap_entry['rows']} != {base_entry['rows']}**"
+            accesses = _accesses(snap_entry)
+            if snap_entry["counters"] != base_entry["counters"]:
+                accesses = f"**{accesses} (was {_accesses(base_entry)})**"
+            lines.append(
+                f"| {label} | {rows} "
+                f"| {base_entry['wall_seconds']:.4f} "
+                f"| {snap_entry['wall_seconds']:.4f} "
+                f"| {_ratio(base_entry['wall_seconds'], snap_entry['wall_seconds'])} "
+                f"| {accesses} |"
+            )
+        lines.append("")
+
+    lines.append("### Figure 6 speedup (serial / process)")
+    lines.append("")
+    lines.append("| query | baseline | snapshot |")
+    lines.append("|---|---|---|")
+    base_speedups = baseline.get("fig6_per_query_speedup", {})
+    snap_speedups = snapshot.get("fig6_per_query_speedup", {})
+    for query_id in sorted(snap_speedups, key=_label_key):
+        base = base_speedups.get(query_id)
+        lines.append(
+            f"| {query_id} "
+            f"| {f'{base:.2f}x' if base is not None else 'n/a'} "
+            f"| {snap_speedups[query_id]:.2f}x |"
+        )
+    lines.append(
+        f"| **total** | {baseline.get('fig6_speedup', 0.0):.2f}x "
+        f"| {snapshot.get('fig6_speedup', 0.0):.2f}x |"
+    )
+    lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def _label_key(label: str):
+    """Sort q2 before q10: split trailing digits out of each segment."""
+    parts = []
+    for segment in label.split("/"):
+        head = segment.rstrip("0123456789")
+        tail = segment[len(head):]
+        parts.append((head, int(tail) if tail else -1))
+    return parts
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--snapshot", default="benchmarks/results/BENCH_PR10.json")
+    parser.add_argument("--baseline", default="benchmarks/baseline.json")
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="append the markdown here (default: stdout)",
+    )
+    args = parser.parse_args()
+
+    snapshot = json.loads(pathlib.Path(args.snapshot).read_text())
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    report = render(snapshot, baseline)
+    if args.output:
+        with open(args.output, "a", encoding="utf-8") as handle:
+            handle.write(report)
+    else:
+        sys.stdout.write(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

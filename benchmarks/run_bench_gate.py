@@ -1,22 +1,24 @@
-"""Bench gate runner: measure the Sinew engine serial vs parallel.
+"""Bench gate runner: measure the Sinew engine across executor lanes.
 
 Runs the Figure 6 NoBench queries (q1-q10) and the Appendix B virtual-
-overhead workload at the current ``REPRO_SCALE``, once with
-``parallel_workers=1`` and once with ``parallel_workers=4``, and writes a
+overhead workload at the current ``REPRO_SCALE`` once per executor lane
+-- ``serial`` (workers=1), ``thread`` (workers=4, GIL-bound), and
+``process`` (workers=4, true CPU parallelism) -- and writes a
 machine-readable snapshot (wall seconds + extraction counters + result
-cardinalities) for :mod:`check_bench_gate` to compare against the
-committed ``benchmarks/baseline.json``.
+cardinalities + per-query process-lane speedups) for
+:mod:`check_bench_gate` to compare against the committed
+``benchmarks/baseline.json``.
 
 The script also enforces the executor's serial-equivalence contract
-directly: for every query, the parallel run must report the *same*
-result cardinality and the same extraction counters as the serial run
-(a morsel must never decode a header more or fewer times than the
-serial pipeline does).
+directly: for every query, every lane must report the *same* result
+cardinality, the same UDF-call count, and the same extraction *access*
+totals as the serial run (a morsel must never need a header more or
+fewer times than the serial pipeline does).
 
 Usage::
 
-    PYTHONPATH=src REPRO_SCALE=0.1 python benchmarks/run_bench_gate.py \
-        --output benchmarks/results/BENCH_PR5.json
+    PYTHONPATH=src REPRO_SCALE=1.0 python benchmarks/run_bench_gate.py \
+        --output benchmarks/results/BENCH_PR10.json
 """
 
 from __future__ import annotations
@@ -34,14 +36,21 @@ from repro.harness import small_scale
 from repro.nobench.generator import NoBenchGenerator
 from repro.nobench.queries import SinewNoBench
 from repro.rdbms.database import DatabaseConfig
+from repro.rdbms.executor import effective_cpu_count
 from repro.workloads import APPENDIX_B_QUERIES, TwitterGenerator
 
 FIG6_QUERIES = ["q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9", "q10"]
-WORKER_CONFIGS = (1, 4)
+#: (lane, parallel_workers) per measured configuration.  The serial lane
+#: is the correctness and speedup reference; the thread lane documents
+#: the GIL ceiling; the process lane is the one the speedup gate judges.
+LANE_CONFIGS = (("serial", 1), ("thread", 4), ("process", 4))
+#: lanes that also run the Appendix B workload (tableB measures virtual
+#: vs physical column overhead, which is lane-independent -- two lanes
+#: are enough to show the contract holds off the thread lane too)
+TABLEB_LANES = ("serial", "process")
 REPEATS = 5
 
-#: counters that must be bit-identical between runs (and between serial
-#: and parallel executions of the same query)
+#: counters that must be bit-identical between runs of the same lane
 EXACT_COUNTERS = (
     "header_decodes",
     "header_cache_hits",
@@ -81,12 +90,16 @@ def _measure_all(workload: dict[str, tuple[SinewDB, str]]) -> dict[str, dict]:
     return results
 
 
-def run_fig6(workers: int) -> dict:
+def run_fig6(lane: str, workers: int) -> dict:
     scale = small_scale()
     generator = NoBenchGenerator(scale.n_records)
     adapter = SinewNoBench(
         generator.params(),
-        SinewConfig(database=scale.database_config(parallel_workers=workers)),
+        SinewConfig(
+            database=scale.database_config(
+                parallel_workers=workers, executor_lane=lane
+            )
+        ),
     )
     adapter.load(list(generator.documents()))
     adapter.prepare()
@@ -98,15 +111,24 @@ def run_fig6(workers: int) -> dict:
     )
     executor = adapter.sdb.status()["executor"]
     adapter.sdb.close()
-    return {"n_records": scale.n_records, "queries": queries, "executor": executor}
+    return {
+        "n_records": scale.n_records,
+        "workers": workers,
+        "queries": queries,
+        "executor": executor,
+    }
 
 
-def run_tableb(workers: int) -> dict:
+def run_tableb(lane: str, workers: int) -> dict:
     def build(materialize: bool) -> SinewDB:
-        name = f"gate_tableB_{'phys' if materialize else 'virt'}_{workers}"
+        name = f"gate_tableB_{'phys' if materialize else 'virt'}_{lane}"
         sdb = SinewDB(
             name,
-            SinewConfig(database=DatabaseConfig(parallel_workers=workers)),
+            SinewConfig(
+                database=DatabaseConfig(
+                    parallel_workers=workers, executor_lane=lane
+                )
+            ),
         )
         sdb.create_collection("tweets")
         sdb.load("tweets", TwitterGenerator(N_TWEETS).tweets())
@@ -140,59 +162,67 @@ def run_tableb(workers: int) -> dict:
         }
     for sdb in systems.values():
         sdb.close()
-    return {"n_tweets": N_TWEETS, "queries": queries}
+    return {"n_tweets": N_TWEETS, "workers": workers, "queries": queries}
+
+
+def access_signature(entry: dict) -> dict:
+    """Cross-lane extraction invariant: how often data was *needed*.
+
+    Raw decode/hit splits may legitimately differ by lane (the serial
+    pipeline can hit entries a later operator left in the query cache;
+    per-morsel worker contexts have their own caches and capacities), but
+    the sum of decodes and hits -- how many times a header or sub-document
+    was accessed -- is plan-determined and must match exactly.
+    """
+    counters = entry["counters"]
+    return {
+        "udf_calls": counters["udf_calls"],
+        "header_accesses": counters["header_decodes"]
+        + counters["header_cache_hits"],
+        "subdoc_accesses": counters["subdoc_decodes"]
+        + counters["subdoc_cache_hits"],
+    }
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--output",
-        default="benchmarks/results/BENCH_PR5.json",
+        default="benchmarks/results/BENCH_PR10.json",
         help="where to write the snapshot JSON",
     )
     args = parser.parse_args()
 
     payload: dict = {
-        "schema": 1,
+        "schema": 2,
         "repro_scale": float(os.environ.get("REPRO_SCALE", "1.0")),
         "python": platform.python_version(),
-        "workers": {},
+        "effective_cpu_count": effective_cpu_count(),
+        "lanes": {},
     }
-    for workers in WORKER_CONFIGS:
-        print(f"== bench gate: parallel_workers={workers}")
-        payload["workers"][str(workers)] = {
-            "fig6": run_fig6(workers),
-            "tableB": run_tableb(workers),
-        }
+    for lane, workers in LANE_CONFIGS:
+        print(f"== bench gate: lane={lane} workers={workers}")
+        entry = {"workers": workers, "fig6": run_fig6(lane, workers)}
+        if lane in TABLEB_LANES:
+            entry["tableB"] = run_tableb(lane, workers)
+        payload["lanes"][lane] = entry
 
-    # Serial-equivalence contract: rows, UDF calls, and extraction *access*
-    # totals identical across the worker configs, query by query.  Raw
-    # decode/hit splits may legitimately differ by cache locality (the
-    # serial pipeline can hit entries a later operator left in the query
-    # cache; per-morsel worker contexts cannot), but the sum of decodes
-    # and hits -- how many times a header was needed -- is plan-determined.
-    def access_signature(entry: dict) -> dict:
-        counters = entry["counters"]
-        return {
-            "udf_calls": counters["udf_calls"],
-            "header_accesses": counters["header_decodes"]
-            + counters["header_cache_hits"],
-            "subdoc_accesses": counters["subdoc_decodes"]
-            + counters["subdoc_cache_hits"],
-        }
-
+    # Serial-equivalence contract: rows, UDF calls, and extraction access
+    # totals identical across lanes, query by query.
     mismatches = []
-    serial = payload["workers"]["1"]
-    for workers in WORKER_CONFIGS[1:]:
-        parallel = payload["workers"][str(workers)]
+    serial = payload["lanes"]["serial"]
+    for lane, _workers in LANE_CONFIGS[1:]:
+        lane_payload = payload["lanes"][lane]
         for bench in ("fig6", "tableB"):
+            if bench not in lane_payload or bench not in serial:
+                continue
             for query_id, serial_entry in serial[bench]["queries"].items():
-                parallel_entry = parallel[bench]["queries"][query_id]
+                lane_entry = lane_payload[bench]["queries"][query_id]
                 pairs = (
-                    [(serial_entry, parallel_entry)]
+                    [(serial_entry, lane_entry)]
                     if bench == "fig6"
                     else [
-                        (serial_entry[c], parallel_entry[c])
+                        (serial_entry[c], lane_entry[c])
                         for c in ("virtual", "physical")
                     ]
                 )
@@ -200,36 +230,53 @@ def main() -> int:
                     if left["rows"] != right["rows"]:
                         mismatches.append(
                             f"{bench}/{query_id}: rows {left['rows']} (serial) "
-                            f"!= {right['rows']} (workers={workers})"
+                            f"!= {right['rows']} (lane={lane})"
                         )
                     if access_signature(left) != access_signature(right):
                         mismatches.append(
                             f"{bench}/{query_id}: extraction accesses diverge "
-                            f"at workers={workers}: {access_signature(left)} "
+                            f"at lane={lane}: {access_signature(left)} "
                             f"!= {access_signature(right)}"
                         )
 
-    def total(config: dict) -> float:
+    def total(lane: str) -> float:
         return sum(
             entry["wall_seconds"]
-            for entry in config["fig6"]["queries"].values()
+            for entry in payload["lanes"][lane]["fig6"]["queries"].values()
         )
 
     payload["fig6_total_seconds"] = {
-        str(w): total(payload["workers"][str(w)]) for w in WORKER_CONFIGS
+        lane: total(lane) for lane, _ in LANE_CONFIGS
     }
-    serial_total = payload["fig6_total_seconds"]["1"]
-    parallel_total = payload["fig6_total_seconds"][str(WORKER_CONFIGS[-1])]
-    payload["fig6_speedup"] = serial_total / parallel_total if parallel_total else 0.0
+    serial_queries = serial["fig6"]["queries"]
+    process_queries = payload["lanes"]["process"]["fig6"]["queries"]
+    payload["fig6_per_query_speedup"] = {
+        query_id: (
+            serial_queries[query_id]["wall_seconds"]
+            / process_queries[query_id]["wall_seconds"]
+            if process_queries[query_id]["wall_seconds"]
+            else 0.0
+        )
+        for query_id in FIG6_QUERIES
+    }
+    serial_total = payload["fig6_total_seconds"]["serial"]
+    process_total = payload["fig6_total_seconds"]["process"]
+    payload["fig6_speedup"] = (
+        serial_total / process_total if process_total else 0.0
+    )
 
     output = pathlib.Path(args.output)
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output}")
     print(
-        f"fig6 totals: serial={serial_total:.3f}s "
-        f"workers={WORKER_CONFIGS[-1]}: {parallel_total:.3f}s "
-        f"(speedup {payload['fig6_speedup']:.2f}x)"
+        "fig6 totals: "
+        + " ".join(
+            f"{lane}={payload['fig6_total_seconds'][lane]:.3f}s"
+            for lane, _ in LANE_CONFIGS
+        )
+        + f" (process speedup {payload['fig6_speedup']:.2f}x "
+        f"on {payload['effective_cpu_count']} cpus)"
     )
     if mismatches:
         print("SERIAL-EQUIVALENCE FAILURES:")

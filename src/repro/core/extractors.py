@@ -32,7 +32,7 @@ from ..rdbms.database import Database
 from ..rdbms.types import SqlType
 from . import serializer
 from .catalog import SinewCatalog
-from .extraction_context import ExtractionContext
+from .extraction_context import DEFAULT_CACHE_CAPACITY, ExtractionContext
 from .serializer import DecodedHeader
 
 
@@ -56,15 +56,24 @@ class ReservoirExtractor:
     # -- query-scoped decode cache (FunctionRegistry listener hooks) ---------
 
     def begin_query(self, execution_context: Any) -> None:
-        """Install a fresh :class:`ExtractionContext` for one query."""
+        """Install a fresh :class:`ExtractionContext` for one query.
+
+        A scope may request a larger decode cache through an
+        ``extraction_cache_capacity`` attribute: the vectorized batch
+        pipeline evaluates expressions column-major, so the cache must
+        hold one full batch of headers for the decode/hit split to match
+        row-major evaluation (see repro.rdbms.vectorized).
+        """
         local = self._local
         stack = getattr(local, "stack", None)
         if stack is None:
             stack = local.stack = []
+        capacity = getattr(execution_context, "extraction_cache_capacity", None)
         stack.append(
             ExtractionContext(
                 stats=getattr(execution_context, "extract_stats", None),
                 enabled=getattr(execution_context, "use_extraction_cache", True),
+                capacity=capacity or DEFAULT_CACHE_CAPACITY,
             )
         )
         # mirror of stack[-1]: one getattr on the hot path instead of two
@@ -305,6 +314,30 @@ class ReservoirExtractor:
             data, attr_id, sql_type, value, self.catalog.type_of
         )
 
+    # -- process-lane support -------------------------------------------------
+
+    def remote_token(self) -> tuple:
+        """Cache key for the catalog snapshot shipped to worker processes.
+
+        Epochs move on every DDL / DML batch, so a worker never extracts
+        against attribute ids the parent has since reassigned.
+        """
+        catalog = self.catalog
+        return (catalog.schema_epoch, catalog.data_epoch, len(catalog))
+
+    def remote_payload(self) -> list[tuple[int, str, str]]:
+        """Picklable catalog image: ``(attr_id, key_name, type value)``.
+
+        Worker processes rebuild a :class:`SinewCatalog` from these
+        triples with ``ensure_attribute`` (forced ids), giving their
+        private extractor the exact dictionary the parent's documents
+        were serialized against.
+        """
+        return [
+            (attribute.attr_id, attribute.key_name, attribute.key_type.value)
+            for attribute in self.catalog.all_attributes()
+        ]
+
     def _rewrite_parent(
         self, data: bytes, key: str, transform: Callable[[bytes], bytes]
     ) -> bytes | None:
@@ -335,18 +368,41 @@ EXTRACT_FUNCTION_FOR_TYPE = {
 }
 
 
+#: The extraction UDF surface: SQL name -> (extractor method, return type).
+#: Shared with the process-lane worker (repro.rdbms.process_worker), which
+#: re-registers the same methods on its private extractor from the same
+#: table -- the two registries cannot drift apart.
+EXTRACTION_UDFS: dict[str, tuple[str, SqlType]] = {
+    "extract_key_text": ("extract_text", SqlType.TEXT),
+    "extract_key_int": ("extract_int", SqlType.INTEGER),
+    "extract_key_real": ("extract_real", SqlType.REAL),
+    "extract_key_num": ("extract_num", SqlType.REAL),
+    "extract_key_bool": ("extract_bool", SqlType.BOOLEAN),
+    "extract_key_array": ("extract_array", SqlType.ARRAY),
+    "extract_key_doc": ("extract_doc", SqlType.BYTEA),
+    "extract_key_any": ("extract_any", SqlType.TEXT),
+    "sinew_exists": ("exists", SqlType.BOOLEAN),
+    "sinew_to_json": ("to_json", SqlType.TEXT),
+}
+
+
 def register_extraction_udfs(db: Database, extractor: ReservoirExtractor) -> None:
     """Register Sinew's extraction functions on the underlying RDBMS,
-    exactly as the prototype installs its UDF extension (paper section 5)."""
-    db.create_function("extract_key_text", extractor.extract_text, SqlType.TEXT)
-    db.create_function("extract_key_int", extractor.extract_int, SqlType.INTEGER)
-    db.create_function("extract_key_real", extractor.extract_real, SqlType.REAL)
-    db.create_function("extract_key_num", extractor.extract_num, SqlType.REAL)
-    db.create_function("extract_key_bool", extractor.extract_bool, SqlType.BOOLEAN)
-    db.create_function("extract_key_array", extractor.extract_array, SqlType.ARRAY)
-    db.create_function("extract_key_doc", extractor.extract_doc, SqlType.BYTEA)
-    db.create_function("extract_key_any", extractor.extract_any, SqlType.TEXT)
-    db.create_function("sinew_exists", extractor.exists, SqlType.BOOLEAN)
-    db.create_function("sinew_to_json", extractor.to_json, SqlType.TEXT)
+    exactly as the prototype installs its UDF extension (paper section 5).
+
+    Each function carries a ``("sinew_extract", method)`` remote spec: the
+    bound methods themselves are unpicklable (they close over the catalog
+    and its latches), so the process lane ships the *name* and the worker
+    rebinds it to its own extractor (see repro.rdbms.process_worker).
+    """
+    for name, (method, return_type) in EXTRACTION_UDFS.items():
+        db.create_function(
+            name,
+            getattr(extractor, method),
+            return_type,
+            remote_spec=("sinew_extract", method),
+        )
     # scope the extractor's decoded-header cache to each query's lifetime
     db.functions.register_query_listener(extractor)
+    # and let the planner/process lane snapshot the catalog for workers
+    db.functions.remote_catalog = extractor

@@ -44,12 +44,18 @@ class ScaleConfig:
     mongo_headroom_bytes: int | None
     use_effective_time: bool
 
-    def database_config(self, parallel_workers: int | None = None) -> DatabaseConfig:
+    def database_config(
+        self,
+        parallel_workers: int | None = None,
+        executor_lane: str | None = None,
+    ) -> DatabaseConfig:
         """Database tunables for this scale.
 
         ``parallel_workers`` overrides the executor width (else the
-        REPRO_PARALLEL_WORKERS / cpu-count default applies); the bench
-        gate uses it to compare serial and parallel runs at one scale.
+        REPRO_PARALLEL_WORKERS / cpu-count default applies) and
+        ``executor_lane`` the lane (else REPRO_EXECUTOR_LANE / "thread");
+        the bench gate uses both to compare serial, thread, and process
+        runs at one scale.
         """
         config = DatabaseConfig(
             buffer_pool_pages=self.buffer_pool_pages,
@@ -57,6 +63,8 @@ class ScaleConfig:
         )
         if parallel_workers is not None:
             config.parallel_workers = max(1, parallel_workers)
+        if executor_lane is not None:
+            config.executor_lane = executor_lane
         return config
 
 

@@ -23,7 +23,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterator, Sequence
 
 from .cost import CostCounters, DiskBudget, IoCostModel
-from .executor import ExecutorPool
+from .executor import ExecutorPool, effective_cpu_count
 from .errors import (
     CatalogError,
     DegradedError,
@@ -84,11 +84,29 @@ DEFAULT_BUFFER_POOL_PAGES = 4096
 
 
 def default_parallel_workers() -> int:
-    """Default executor width: REPRO_PARALLEL_WORKERS, else cpu count (<=8)."""
+    """Default executor width: REPRO_PARALLEL_WORKERS, else the *effective*
+    CPU count (<=8) -- affinity masks and cgroup quotas often grant fewer
+    cores than ``os.cpu_count()`` advertises."""
     env = os.environ.get("REPRO_PARALLEL_WORKERS")
     if env:
         return max(1, int(env))
-    return min(os.cpu_count() or 1, 8)
+    return min(effective_cpu_count(), 8)
+
+
+#: The executor lanes a database can be configured with.
+EXECUTOR_LANES = ("serial", "thread", "process")
+
+
+def default_executor_lane() -> str:
+    """Default lane: REPRO_EXECUTOR_LANE, else the shared-memory threads."""
+    env = os.environ.get("REPRO_EXECUTOR_LANE", "").strip().lower()
+    if env:
+        if env not in EXECUTOR_LANES:
+            raise ValueError(
+                f"REPRO_EXECUTOR_LANE must be one of {EXECUTOR_LANES}, got {env!r}"
+            )
+        return env
+    return "thread"
 
 
 @dataclass
@@ -106,6 +124,11 @@ class DatabaseConfig:
     wal_group_commit: int = 1
     #: morsel-executor width; 1 = fully serial (no threads are created)
     parallel_workers: int = field(default_factory=default_parallel_workers)
+    #: which executor lane parallel fragments run on: "serial" disables
+    #: the morsel rewrite, "thread" shares memory under the GIL, and
+    #: "process" ships pickled batch programs to a spawn pool (falling
+    #: back to threads per fragment when expressions cannot pickle)
+    executor_lane: str = field(default_factory=default_executor_lane)
 
 
 class DbSession:
@@ -339,14 +362,23 @@ class Database:
         return_type: SqlType,
         counts_as_udf: bool = True,
         volatile: bool = False,
+        remote_spec: tuple[str, str] | None = None,
     ) -> None:
         """Register a UDF, like PostgreSQL's CREATE FUNCTION.
 
         ``volatile`` excludes the function from parallel morsel execution
-        (PostgreSQL's PARALLEL UNSAFE).
+        (PostgreSQL's PARALLEL UNSAFE).  ``remote_spec`` tells the process
+        executor lane how a worker process can rebuild the function
+        without pickling ``fn``; without one the function is thread-lane
+        only (see :class:`repro.rdbms.functions.ScalarFunction`).
         """
         self.functions.register_scalar(
-            name, fn, return_type, counts_as_udf, volatile=volatile
+            name,
+            fn,
+            return_type,
+            counts_as_udf,
+            volatile=volatile,
+            remote_spec=remote_spec,
         )
 
     # ------------------------------------------------------------------
@@ -435,6 +467,7 @@ class Database:
             self.config.work_mem_bytes,
             parallel_workers=self.config.parallel_workers,
             executor_pool=self.executor_pool,
+            executor_lane=self.config.executor_lane,
         )
         return planner.plan_select(statement)
 
@@ -485,7 +518,8 @@ class Database:
         if parallel is not None:
             lines.append(
                 f"Parallel: workers={parallel['workers']} "
-                f"morsels={parallel['morsels']}"
+                f"morsels={parallel['morsels']} "
+                f"lane={parallel['lane']}"
             )
             for worker in parallel["per_worker"]:
                 lines.append(

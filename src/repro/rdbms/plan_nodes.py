@@ -29,16 +29,18 @@ from typing import Any, Iterator, Sequence
 
 from .cost import CostCounters, DiskBudget, ExtractionStats
 from .errors import ExecutionError
-from .executor import ExecutorPool, partition_morsels
+from .executor import ExecutorPool, morsel_rows_for, partition_morsels
 from .expressions import (
     CompiledExpr,
     Expr,
+    FunctionCall,
     SchemaResolver,
     Star,
     compile_expr,
 )
 from .functions import AggregateFunction, FunctionRegistry
 from .storage import HeapTable
+from .vectorized import BATCH_ROWS, BatchProgram, ColumnBatch, compile_batch
 
 Row = tuple
 OutputColumns = list[tuple[str | None, str]]
@@ -85,6 +87,9 @@ class ExecutionContext:
         #: operators' gather phase; see :meth:`record_parallel`)
         self.parallel_workers = 0
         self.parallel_morsels = 0
+        #: which executor lane the parallel fragment ran on
+        #: ("thread" | "process"); None until a parallel gather happens
+        self.parallel_lane: str | None = None
         self._worker_stats: dict[int, dict[str, int]] = {}
 
     def record_parallel(self, workers: int, results: Sequence[Any]) -> None:
@@ -132,6 +137,7 @@ class ExecutionContext:
         return {
             "workers": self.parallel_workers,
             "morsels": self.parallel_morsels,
+            "lane": self.parallel_lane or "thread",
             "per_worker": per_worker,
         }
 
@@ -887,10 +893,16 @@ class _WorkerQueryScope:
         stats: ExtractionStats,
         use_extraction_cache: bool,
         extraction_hint: int | None,
+        batch_rows: int = BATCH_ROWS,
     ):
         self.extract_stats = stats
         self.use_extraction_cache = use_extraction_cache
         self.extraction_hint = extraction_hint
+        # Column-major kernels touch each batch row once per kernel, so
+        # the decode cache must hold a few full batches of headers for
+        # the decode/hit split to match row-major evaluation exactly
+        # (see the repro.rdbms.vectorized module docstring).
+        self.extraction_cache_capacity = max(256, 4 * batch_rows)
 
 
 @dataclass
@@ -925,6 +937,8 @@ class ParallelScan(PlanNode):
         workers: int,
         pool: ExecutorPool,
         template: PlanNode,
+        lane: str = "thread",
+        batch_rows: int = BATCH_ROWS,
     ):
         self.table = table
         self.qualifier = qualifier
@@ -936,6 +950,10 @@ class ParallelScan(PlanNode):
         )
         self.workers = workers
         self.pool = pool
+        #: "thread" (shared-memory morsel workers) or "process" (pickled
+        #: tasks over a spawn pool); the planner picks per fragment
+        self.lane = lane
+        self.batch_rows = batch_rows
         self.scan_columns: OutputColumns = [
             (qualifier, c.name) for c in table.schema
         ]
@@ -963,43 +981,37 @@ class ParallelScan(PlanNode):
         functions = context.functions
         use_cache = context.use_extraction_cache
         hint = context.extraction_hint
+        batch_rows = self.batch_rows
 
         def run_morsel(morsel):
             counters = CostCounters()
             stats = ExtractionStats()
             worker_functions = _WorkerFunctions(functions, counters)
-            scope = _WorkerQueryScope(stats, use_cache, hint)
+            scope = _WorkerQueryScope(stats, use_cache, hint, batch_rows=batch_rows)
             functions.begin_query(scope)
             try:
                 resolver = SchemaResolver(scan_columns, worker_functions)
-                predicate_fns = [compile_expr(p, resolver) for p in predicates]
-                project_fns = (
-                    [compile_expr(e, resolver) for e in projection[0]]
-                    if projection is not None
-                    else None
+                program = BatchProgram(
+                    resolver,
+                    predicates,
+                    projection[0] if projection is not None else None,
+                    batch_rows=batch_rows,
                 )
-                out: list[Row] = []
-                append = out.append
-                for _rid, row in table.scan_range(
+                scan = table.scan_range(
                     morsel.start_rid, morsel.end_rid, counters=counters
-                ):
-                    keep = True
-                    for fn in predicate_fns:
-                        if fn(row) is not True:
-                            keep = False
-                            break
-                    if not keep:
-                        continue
-                    if project_fns is not None:
-                        row = tuple(fn(row) for fn in project_fns)
-                    append(row)
-                payload = out if post is None else post(out, worker_functions)
+                )
+                batches = list(program.run(row for _rid, row in scan))
+                n_rows = sum(len(batch) for batch in batches)
+                if post is None:
+                    payload = [row for batch in batches for row in batch.rows()]
+                else:
+                    payload = post(batches, worker_functions)
             finally:
                 functions.end_query(scope)
             return _MorselResult(
                 morsel.index,
                 payload,
-                len(out),
+                n_rows,
                 counters,
                 stats,
                 threading.get_ident(),
@@ -1007,10 +1019,103 @@ class ParallelScan(PlanNode):
 
         return run_morsel
 
-    def _gather(self, context: ExecutionContext, post=None) -> list[_MorselResult]:
-        morsels = partition_morsels(self.table.allocated_rids)
-        results = self.pool.map_morsels(self._make_task(context, post), morsels)
+    # -- remote (process-lane) task building ---------------------------------
+
+    def _pushed_expressions(self) -> list[Expr]:
+        """Every expression a worker evaluates (for remote function specs)."""
+        pushed = list(self.predicates)
+        if self.projection is not None:
+            pushed.extend(self.projection[0])
+        return pushed
+
+    def _remote_function_specs(
+        self, functions: FunctionRegistry
+    ) -> tuple[tuple[str, str, str, str], ...]:
+        """``(name, kind, target, return_type)`` for every called scalar.
+
+        The planner only routes a fragment to the process lane when every
+        scalar carries a remote spec, so a missing one here is a protocol
+        bug, not a user error.
+        """
+        specs: dict[str, tuple[str, str, str, str]] = {}
+        for expr in self._pushed_expressions():
+            for node in expr.walk():
+                if not isinstance(node, FunctionCall):
+                    continue
+                name = node.name.lower()
+                if name in specs or not functions.has_scalar(name):
+                    continue
+                implementation = functions.scalar(name)
+                remote = implementation.remote_spec
+                if remote is None:
+                    raise ExecutionError(
+                        f"function {name}() has no remote spec; the planner "
+                        "must not route it to the process lane",
+                        context="process-lane task build",
+                    )
+                specs[name] = (
+                    name,
+                    remote[0],
+                    remote[1],
+                    implementation.return_type.value,
+                )
+        return tuple(specs.values())
+
+    def _gather_process(
+        self, context: ExecutionContext, remote_post
+    ) -> list[_MorselResult]:
+        from .process_worker import ProcessTask, run_process_task
+
+        table = self.table
+        pool = self.pool
+        functions = context.functions
+        table_path = pool.spill.path_for(
+            "table", (table.name, table.version), table.snapshot_state
+        )
+        specs = self._remote_function_specs(functions)
+        catalog_path = None
+        if any(kind == "sinew_extract" for _n, kind, _t, _rt in specs):
+            extractor = functions.remote_catalog
+            catalog_path = pool.spill.path_for(
+                "catalog", extractor.remote_token(), extractor.remote_payload
+            )
+        n_rids = table.allocated_rids
+        morsels = partition_morsels(n_rids, morsel_rows_for(n_rids, self.workers))
+        projection = (
+            (tuple(self.projection[0]), tuple(self.projection[1]))
+            if self.projection is not None
+            else None
+        )
+        tasks = [
+            ProcessTask(
+                index=morsel.index,
+                start_rid=morsel.start_rid,
+                end_rid=morsel.end_rid,
+                table_path=table_path,
+                scan_columns=tuple(self.scan_columns),
+                predicates=tuple(self.predicates),
+                projection=projection,
+                post=remote_post,
+                function_specs=specs,
+                catalog_path=catalog_path,
+                use_cache=context.use_extraction_cache,
+                hint=context.extraction_hint,
+                batch_rows=self.batch_rows,
+            )
+            for morsel in morsels
+        ]
+        return pool.map_tasks(run_process_task, tasks)
+
+    def _gather(
+        self, context: ExecutionContext, post=None, remote_post=None
+    ) -> list[_MorselResult]:
+        if self.lane == "process":
+            results = self._gather_process(context, remote_post)
+        else:
+            morsels = partition_morsels(self.table.allocated_rids)
+            results = self.pool.map_morsels(self._make_task(context, post), morsels)
         context.record_parallel(self.workers, results)
+        context.parallel_lane = self.lane
         return results
 
     def rows(self, context: ExecutionContext) -> Iterator[Row]:
@@ -1024,7 +1129,10 @@ class ParallelScan(PlanNode):
         scan = f"Parallel Seq Scan on {name}"
         if self.qualifier != name:
             scan = f"{scan} {self.qualifier}"
-        return f"{scan}  (workers={self.workers})"
+        return f"{scan}  (workers={self.workers}){self._lane_label()}"
+
+    def _lane_label(self) -> str:
+        return f" [lane={self.lane} batch={self.batch_rows}]"
 
     def _annotation_lines(self, depth: int) -> list[str]:
         pad = "  " * (depth + 2)
@@ -1080,6 +1188,93 @@ class _RunKey:
         return isinstance(other, _RunKey) and self.parts == other.parts
 
 
+def batch_sort_run(
+    batches: Sequence[ColumnBatch],
+    worker_functions: "_WorkerFunctions",
+    input_columns: OutputColumns,
+    keys: Sequence[tuple[Expr, bool]],
+) -> list[tuple[_RunKey, Row]]:
+    """One worker's sorted run, key columns evaluated batch-at-a-time.
+
+    Shared between the thread-lane post closure and the process worker
+    (:mod:`repro.rdbms.process_worker`), so both lanes decorate and sort
+    with identical key encoding and tie behaviour.
+    """
+    resolver = SchemaResolver(input_columns, worker_functions)
+    compiled = [(compile_batch(expr, resolver), asc) for expr, asc in keys]
+    decorated: list[tuple[_RunKey, Row]] = []
+    for batch in batches:
+        sel = batch.selection()
+        if not sel:
+            continue
+        key_columns = [(kernel(batch, sel), asc) for kernel, asc in compiled]
+        for offset, row in enumerate(batch.rows()):
+            decorated.append(
+                (
+                    _RunKey(
+                        tuple(
+                            (_null_aware_encode(column[offset]), asc)
+                            for column, asc in key_columns
+                        )
+                    ),
+                    row,
+                )
+            )
+    decorated.sort(key=lambda pair: pair[0])
+    return decorated
+
+
+def batch_aggregate_run(
+    batches: Sequence[ColumnBatch],
+    worker_functions: "_WorkerFunctions",
+    input_columns: OutputColumns,
+    group_exprs: Sequence[Expr],
+    aggregates: Sequence["AggSpec"],
+) -> dict[tuple, list]:
+    """One worker's partial aggregation states, grouped in scan order.
+
+    Group keys and aggregate arguments evaluate as batch kernels over
+    each output batch's survivors; the per-row state transitions are the
+    same init/step machinery the serial HashAggregate runs.  Shared with
+    the process worker, like :func:`batch_sort_run`.
+    """
+    resolver = SchemaResolver(input_columns, worker_functions)
+    group_kernels = [compile_batch(e, resolver) for e in group_exprs]
+    agg_kernels = [
+        None
+        if spec.argument is None or isinstance(spec.argument, Star)
+        else compile_batch(spec.argument, resolver)
+        for spec in aggregates
+    ]
+    groups: dict[tuple, list] = {}
+    for batch in batches:
+        sel = batch.selection()
+        if not sel:
+            continue
+        key_columns = [kernel(batch, sel) for kernel in group_kernels]
+        value_columns = [
+            None if kernel is None else kernel(batch, sel)
+            for kernel in agg_kernels
+        ]
+        for offset in range(len(sel)):
+            key = tuple(column[offset] for column in key_columns)
+            states = groups.get(key)
+            if states is None:
+                states = groups[key] = [
+                    spec.function.init() for spec in aggregates
+                ]
+            for index, spec in enumerate(aggregates):
+                column = value_columns[index]
+                if column is None:
+                    value: Any = 1  # count(*) counts every row
+                else:
+                    value = column[offset]
+                    if value is None and spec.function.skip_nulls:
+                        continue
+                states[index] = spec.function.step(states[index], value)
+    return groups
+
+
 class ParallelSort(ParallelScan):
     """Per-worker sorted runs over morsels + stable k-way merge.
 
@@ -1100,36 +1295,36 @@ class ParallelSort(ParallelScan):
         pool: ExecutorPool,
         keys: Sequence[tuple[Expr, bool]],
         template: PlanNode,
+        lane: str = "thread",
+        batch_rows: int = BATCH_ROWS,
     ):
         super().__init__(
-            table, qualifier, predicates, projection, workers, pool, template
+            table,
+            qualifier,
+            predicates,
+            projection,
+            workers,
+            pool,
+            template,
+            lane=lane,
+            batch_rows=batch_rows,
         )
         self.keys = list(keys)
         self.output_columns = list(template.output_columns)
+
+    def _pushed_expressions(self) -> list[Expr]:
+        pushed = super()._pushed_expressions()
+        pushed.extend(expr for expr, _asc in self.keys)
+        return pushed
 
     def rows(self, context: ExecutionContext) -> Iterator[Row]:
         input_columns = self._input_columns()
         keys = self.keys
 
-        def post(rows_out, worker_functions):
-            resolver = SchemaResolver(input_columns, worker_functions)
-            compiled = [(compile_expr(e, resolver), asc) for e, asc in keys]
-            decorated = [
-                (
-                    _RunKey(
-                        tuple(
-                            (_null_aware_encode(fn(row)), asc)
-                            for fn, asc in compiled
-                        )
-                    ),
-                    row,
-                )
-                for row in rows_out
-            ]
-            decorated.sort(key=lambda pair: pair[0])
-            return decorated
+        def post(batches, worker_functions):
+            return batch_sort_run(batches, worker_functions, input_columns, keys)
 
-        results = self._gather(context, post)
+        results = self._gather(context, post, remote_post=("sort", tuple(keys)))
         runs = [result.payload for result in results if result.payload]
         total_rows = sum(len(run) for run in runs)
         spilled = charge_spill(context, total_rows, self.est_row_bytes)
@@ -1143,7 +1338,10 @@ class ParallelSort(ParallelScan):
         rendered = ", ".join(
             f"{expr}{'' if asc else ' DESC'}" for expr, asc in self.keys
         )
-        return f"Parallel Sort  Key: {rendered}  (workers={self.workers})"
+        return (
+            f"Parallel Sort  Key: {rendered}  "
+            f"(workers={self.workers}){self._lane_label()}"
+        )
 
 
 class ParallelHashAggregate(ParallelScan):
@@ -1168,48 +1366,56 @@ class ParallelHashAggregate(ParallelScan):
         group_exprs: Sequence[Expr],
         aggregates: Sequence[AggSpec],
         template: PlanNode,
+        lane: str = "thread",
+        batch_rows: int = BATCH_ROWS,
     ):
         super().__init__(
-            table, qualifier, predicates, projection, workers, pool, template
+            table,
+            qualifier,
+            predicates,
+            projection,
+            workers,
+            pool,
+            template,
+            lane=lane,
+            batch_rows=batch_rows,
         )
         self.group_exprs = list(group_exprs)
         self.aggregates = list(aggregates)
         self.output_columns = list(template.output_columns)
+
+    def _pushed_expressions(self) -> list[Expr]:
+        pushed = super()._pushed_expressions()
+        pushed.extend(self.group_exprs)
+        pushed.extend(
+            spec.argument
+            for spec in self.aggregates
+            if spec.argument is not None and not isinstance(spec.argument, Star)
+        )
+        return pushed
 
     def rows(self, context: ExecutionContext) -> Iterator[Row]:
         input_columns = self._input_columns()
         group_exprs = self.group_exprs
         aggregates = self.aggregates
 
-        def post(rows_out, worker_functions):
-            resolver = SchemaResolver(input_columns, worker_functions)
-            group_fns = [compile_expr(e, resolver) for e in group_exprs]
-            agg_fns = [
+        def post(batches, worker_functions):
+            return batch_aggregate_run(
+                batches, worker_functions, input_columns, group_exprs, aggregates
+            )
+
+        remote_aggs = tuple(
+            (
+                spec.function.name,
                 None
                 if spec.argument is None or isinstance(spec.argument, Star)
-                else compile_expr(spec.argument, resolver)
-                for spec in aggregates
-            ]
-            groups: dict[tuple, list] = {}
-            for row in rows_out:
-                key = tuple(fn(row) for fn in group_fns)
-                states = groups.get(key)
-                if states is None:
-                    states = groups[key] = [
-                        spec.function.init() for spec in aggregates
-                    ]
-                for index, spec in enumerate(aggregates):
-                    fn = agg_fns[index]
-                    if fn is None:
-                        value: Any = 1  # count(*) counts every row
-                    else:
-                        value = fn(row)
-                        if value is None and spec.function.skip_nulls:
-                            continue
-                    states[index] = spec.function.step(states[index], value)
-            return groups
-
-        results = self._gather(context, post)
+                else spec.argument,
+            )
+            for spec in aggregates
+        )
+        results = self._gather(
+            context, post, remote_post=("agg", tuple(group_exprs), remote_aggs)
+        )
         merged: dict[tuple, list] = {}
         for result in results:
             for key, states in result.payload.items():
@@ -1237,4 +1443,7 @@ class ParallelHashAggregate(ParallelScan):
             release_spill(context, spilled)
 
     def node_label(self) -> str:
-        return f"Parallel HashAggregate  (workers={self.workers})"
+        return (
+            f"Parallel HashAggregate  (workers={self.workers})"
+            f"{self._lane_label()}"
+        )
